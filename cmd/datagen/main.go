@@ -1,0 +1,102 @@
+// Command datagen materializes the demo scenarios to N-Triples files so
+// they can be loaded by refdemo, external tools, or version-controlled:
+//
+//	datagen -scenario lubm -scale 1 -out lubm1.nt
+//	datagen -scenario insee -size 400 -out insee.nt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/datasets"
+	"repro/internal/graph"
+	"repro/internal/lubm"
+	"repro/internal/ntriples"
+	"repro/internal/rdf"
+)
+
+func main() {
+	var (
+		scenario = flag.String("scenario", "lubm", "scenario: lubm, insee, ign, dblp")
+		scale    = flag.Int("scale", 1, "LUBM scale factor (universities)")
+		size     = flag.Int("size", int(datasets.Base), "entity count for the synthetic scenarios")
+		seed     = flag.Int64("seed", 42, "generator seed")
+		out      = flag.String("out", "", "output file (default stdout)")
+		snapshot = flag.Bool("snapshot", false, "write a binary snapshot instead of N-Triples (requires -out)")
+		turtle   = flag.Bool("turtle", false, "write compact Turtle instead of N-Triples")
+	)
+	flag.Parse()
+
+	var triples []rdf.Triple
+	switch *scenario {
+	case "lubm":
+		p := lubm.Default()
+		p.Universities = *scale
+		triples = append(lubm.OntologyTriples(), lubm.Generate(p, *seed)...)
+	case "insee", "ign", "dblp":
+		scs, err := datasets.All(datasets.Size(*size), *seed)
+		if err != nil {
+			fail(err)
+		}
+		for _, sc := range scs {
+			if sc.Name != *scenario {
+				continue
+			}
+			// Re-serialize the graph: closed schema + data.
+			d := sc.Graph.Dict()
+			for _, t := range sc.Graph.AllTriples() {
+				triples = append(triples, d.DecodeTriple(t))
+			}
+		}
+		if triples == nil {
+			fail(fmt.Errorf("scenario %q produced no triples", *scenario))
+		}
+	default:
+		fail(fmt.Errorf("unknown scenario %q", *scenario))
+	}
+
+	if *snapshot {
+		if *out == "" {
+			fail(fmt.Errorf("-snapshot requires -out"))
+		}
+		g, err := graph.FromTriples(triples)
+		if err != nil {
+			fail(err)
+		}
+		if err := g.SaveSnapshot(*out); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "datagen: wrote snapshot with %d data triples\n", g.DataCount())
+		return
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if *turtle {
+		prefixes := map[string]string{
+			"ub":   lubm.NS,
+			"ins":  "http://rdf.insee.example/def#",
+			"ign":  "http://rdf.ign.example/def#",
+			"dblp": "http://rdf.dblp.example/def#",
+		}
+		if err := ntriples.WriteTurtle(w, triples, prefixes); err != nil {
+			fail(err)
+		}
+	} else if err := ntriples.Write(w, triples); err != nil {
+		fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "datagen: wrote %d triples\n", len(triples))
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "datagen:", err)
+	os.Exit(1)
+}

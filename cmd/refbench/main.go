@@ -1,0 +1,69 @@
+// Command refbench regenerates every experiment of the paper reproduction
+// (see DESIGN.md §5 and EXPERIMENTS.md):
+//
+//	refbench -exp all                 # run E1..E6 at LUBM(1) scale
+//	refbench -exp e1 -ucq             # Example 1 including the full UCQ
+//	refbench -exp e3 -scale 2 -seed 7 # cross-system comparison, LUBM(2)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/lubm"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment to run: e1..e7, ablation, or all")
+		scale   = flag.Int("scale", 1, "LUBM scale factor (universities)")
+		seed    = flag.Int64("seed", 42, "generator seed")
+		timeout = flag.Duration("timeout", 60*time.Second, "per-strategy evaluation timeout")
+		ucq     = flag.Bool("ucq", false, "include the full UCQ strategy (slow)")
+	)
+	flag.Parse()
+
+	profile := lubm.Default()
+	profile.Universities = *scale
+	cfg := bench.Config{Profile: profile, Seed: *seed, Timeout: *timeout, IncludeUCQ: *ucq}
+
+	type experiment struct {
+		name string
+		run  func(bench.Config) (fmt.Stringer, error)
+	}
+	experiments := []experiment{
+		{"e1", func(c bench.Config) (fmt.Stringer, error) { return bench.E1(c) }},
+		{"e2", func(c bench.Config) (fmt.Stringer, error) { return bench.E2(c) }},
+		{"e3", func(c bench.Config) (fmt.Stringer, error) { return bench.E3(c) }},
+		{"e4", func(c bench.Config) (fmt.Stringer, error) { return bench.E4(c) }},
+		{"e5", func(c bench.Config) (fmt.Stringer, error) { return bench.E5(c) }},
+		{"e6", func(c bench.Config) (fmt.Stringer, error) { return bench.E6(c) }},
+		{"e7", func(c bench.Config) (fmt.Stringer, error) { return bench.E7(c) }},
+		{"ablation", func(c bench.Config) (fmt.Stringer, error) { return bench.Ablation(c) }},
+	}
+
+	want := strings.ToLower(*exp)
+	ran := false
+	for _, e := range experiments {
+		if want != "all" && want != e.name {
+			continue
+		}
+		ran = true
+		start := time.Now()
+		res, err := e.run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "refbench: %s: %v\n", e.name, err)
+			os.Exit(1)
+		}
+		fmt.Println(res.String())
+		fmt.Printf("(%s completed in %v)\n\n", e.name, time.Since(start).Round(time.Millisecond))
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "refbench: unknown experiment %q (want e1..e6 or all)\n", *exp)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/query"
+)
+
+func TestParseCover(t *testing.T) {
+	c, err := parseCover("0,2|1,3|2,4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := query.Cover{{0, 2}, {1, 3}, {2, 4}}
+	if c.Key() != want.Key() {
+		t.Fatalf("parsed %v, want %v", c, want)
+	}
+	if _, err := parseCover("0,x|1"); err == nil {
+		t.Fatal("garbage fragment must error")
+	}
+}
+
+func TestParseQueryDialects(t *testing.T) {
+	g, err := graph.ParseString(`
+@prefix ex: <http://example.org/> .
+ex:a ex:p ex:b .
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prefixes := map[string]string{"ex": "http://example.org/"}
+	if _, err := parseQuery(g, prefixes, `q(x) :- x ex:p y`); err != nil {
+		t.Fatalf("rule notation: %v", err)
+	}
+	if _, err := parseQuery(g, prefixes, `SELECT ?x WHERE { ?x <http://example.org/p> ?y }`); err != nil {
+		t.Fatalf("sparql: %v", err)
+	}
+	if _, err := parseQuery(g, prefixes, `PREFIX ex: <http://example.org/> SELECT ?x WHERE { ?x ex:p ?y }`); err != nil {
+		t.Fatalf("sparql with prefix: %v", err)
+	}
+}
+
+func TestLoadGraphScenarios(t *testing.T) {
+	for _, scenario := range []string{"insee", "ign", "dblp"} {
+		g, prefixes, err := loadGraph(scenario, "", 1, 3)
+		if err != nil {
+			t.Fatalf("%s: %v", scenario, err)
+		}
+		if g.DataCount() == 0 || len(prefixes) == 0 {
+			t.Fatalf("%s: empty graph or prefixes", scenario)
+		}
+	}
+	if _, _, err := loadGraph("nope", "", 1, 3); err == nil {
+		t.Fatal("unknown scenario must error")
+	}
+}

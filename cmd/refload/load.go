@@ -1,0 +1,157 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// loadConfig parameterizes one load run.
+type loadConfig struct {
+	BaseURL     string
+	Concurrency int
+	Requests    int
+	Query       string
+	Strategy    string
+	Timeout     time.Duration
+}
+
+// loadResult aggregates a run.
+type loadResult struct {
+	Requests  int
+	Errors    int
+	Answers   int // answers of the last successful response (sanity)
+	Elapsed   time.Duration
+	Latencies []time.Duration // successful requests only, unsorted
+}
+
+type queryPayload struct {
+	Query    string `json:"query"`
+	Strategy string `json:"strategy,omitempty"`
+}
+
+type queryReply struct {
+	Total int `json:"total"`
+}
+
+// runLoad fires cfg.Requests POST /query requests from cfg.Concurrency
+// workers and collects latencies.
+func runLoad(cfg loadConfig) (*loadResult, error) {
+	if cfg.Concurrency <= 0 || cfg.Requests <= 0 {
+		return nil, fmt.Errorf("concurrency and request count must be positive")
+	}
+	body, err := json.Marshal(queryPayload{Query: cfg.Query, Strategy: cfg.Strategy})
+	if err != nil {
+		return nil, err
+	}
+	client := &http.Client{Timeout: cfg.Timeout}
+
+	// Fail fast on an unreachable or erroring endpoint before fanning out.
+	if _, err := fire(client, cfg.BaseURL, body); err != nil {
+		return nil, fmt.Errorf("preflight request failed: %w", err)
+	}
+
+	var (
+		mu  sync.Mutex
+		res = &loadResult{Requests: cfg.Requests}
+		idx int
+	)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				if idx >= cfg.Requests {
+					mu.Unlock()
+					return
+				}
+				idx++
+				mu.Unlock()
+				t0 := time.Now()
+				total, err := fire(client, cfg.BaseURL, body)
+				lat := time.Since(t0)
+				mu.Lock()
+				if err != nil {
+					res.Errors++
+				} else {
+					res.Latencies = append(res.Latencies, lat)
+					res.Answers = total
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// fire sends one query and returns the reported answer count.
+func fire(client *http.Client, baseURL string, body []byte) (int, error) {
+	resp, err := client.Post(baseURL+"/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return 0, fmt.Errorf("status %d: %s", resp.StatusCode, msg)
+	}
+	var reply queryReply
+	if err := json.NewDecoder(resp.Body).Decode(&reply); err != nil {
+		return 0, err
+	}
+	return reply.Total, nil
+}
+
+// percentile returns the p-th percentile (0 < p ≤ 100) of the latencies.
+func percentile(lats []time.Duration, p float64) time.Duration {
+	if len(lats) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), lats...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	// Nearest-rank.
+	rank := int(p/100*float64(len(sorted)) + 0.9999999)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+// Report renders the run summary.
+func (r *loadResult) Report() string {
+	var sb strings.Builder
+	ok := len(r.Latencies)
+	fmt.Fprintf(&sb, "requests: %d ok, %d errors in %v (%.1f req/s)\n",
+		ok, r.Errors, r.Elapsed.Round(time.Millisecond),
+		float64(ok)/maxF(r.Elapsed.Seconds(), 1e-9))
+	if ok > 0 {
+		fmt.Fprintf(&sb, "latency: p50=%v p90=%v p99=%v max=%v\n",
+			percentile(r.Latencies, 50).Round(time.Microsecond),
+			percentile(r.Latencies, 90).Round(time.Microsecond),
+			percentile(r.Latencies, 99).Round(time.Microsecond),
+			percentile(r.Latencies, 100).Round(time.Microsecond))
+		fmt.Fprintf(&sb, "answers per query: %d\n", r.Answers)
+	}
+	return sb.String()
+}
+
+func maxF(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

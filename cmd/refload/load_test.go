@@ -1,0 +1,94 @@
+package main
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/httpapi"
+)
+
+const loadGraph = `
+@prefix ex: <http://example.org/> .
+ex:Book rdfs:subClassOf ex:Publication .
+ex:doi1 a ex:Book .
+ex:doi2 a ex:Book .
+`
+
+func TestRunLoadAgainstEndpoint(t *testing.T) {
+	g, err := graph.ParseString(loadGraph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(httpapi.New(g, map[string]string{"ex": "http://example.org/"}))
+	defer srv.Close()
+
+	res, err := runLoad(loadConfig{
+		BaseURL:     srv.URL,
+		Concurrency: 4,
+		Requests:    40,
+		Query:       `q(x) :- x rdf:type <http://example.org/Publication>`,
+		Strategy:    "ref-gcov",
+		Timeout:     10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("%d errors", res.Errors)
+	}
+	if len(res.Latencies) != 40 {
+		t.Fatalf("want 40 latencies, got %d", len(res.Latencies))
+	}
+	if res.Answers != 2 {
+		t.Fatalf("answers = %d, want 2", res.Answers)
+	}
+	report := res.Report()
+	for _, want := range []string{"req/s", "p50", "p99"} {
+		if !strings.Contains(report, want) {
+			t.Fatalf("report missing %q:\n%s", want, report)
+		}
+	}
+}
+
+func TestRunLoadPreflightFailure(t *testing.T) {
+	_, err := runLoad(loadConfig{
+		BaseURL:     "http://127.0.0.1:1",
+		Concurrency: 2,
+		Requests:    10,
+		Query:       "q(x) :- x p y",
+		Timeout:     500 * time.Millisecond,
+	})
+	if err == nil || !strings.Contains(err.Error(), "preflight") {
+		t.Fatalf("want preflight error, got %v", err)
+	}
+}
+
+func TestRunLoadValidation(t *testing.T) {
+	if _, err := runLoad(loadConfig{Concurrency: 0, Requests: 5}); err == nil {
+		t.Fatal("zero concurrency must error")
+	}
+	if _, err := runLoad(loadConfig{Concurrency: 2, Requests: 0}); err == nil {
+		t.Fatal("zero requests must error")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	lats := []time.Duration{5, 1, 3, 2, 4} // unsorted on purpose
+	cases := []struct {
+		p    float64
+		want time.Duration
+	}{
+		{50, 3}, {90, 5}, {99, 5}, {100, 5}, {20, 1},
+	}
+	for _, c := range cases {
+		if got := percentile(lats, c.p); got != c.want {
+			t.Errorf("p%.0f = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if percentile(nil, 50) != 0 {
+		t.Error("empty latencies must give 0")
+	}
+}

@@ -1,0 +1,41 @@
+// Command refload drives a refserve endpoint with concurrent queries and
+// reports throughput and latency percentiles — the operational face of the
+// paper's question (how expensive is reformulation-based answering under
+// load, per strategy):
+//
+//	refload -url http://localhost:8080 -c 8 -n 500 \
+//	        -query 'q(x) :- x rdf:type ub:Student' -strategy ref-gcov
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+)
+
+func main() {
+	var (
+		baseURL     = flag.String("url", "http://localhost:8080", "endpoint base URL")
+		concurrency = flag.Int("c", 4, "concurrent workers")
+		requests    = flag.Int("n", 200, "total requests")
+		queryText   = flag.String("query", `q(x, p, y) :- x p y`, "query to send")
+		strategy    = flag.String("strategy", "ref-gcov", "strategy to request")
+		timeout     = flag.Duration("timeout", 30*time.Second, "per-request timeout")
+	)
+	flag.Parse()
+
+	res, err := runLoad(loadConfig{
+		BaseURL:     *baseURL,
+		Concurrency: *concurrency,
+		Requests:    *requests,
+		Query:       *queryText,
+		Strategy:    *strategy,
+		Timeout:     *timeout,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "refload:", err)
+		os.Exit(1)
+	}
+	fmt.Print(res.Report())
+}

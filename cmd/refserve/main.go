@@ -1,0 +1,72 @@
+// Command refserve serves a graph as an RDF endpoint over HTTP (see
+// internal/httpapi for the routes):
+//
+//	refserve -scenario lubm -addr :8080
+//	refserve -data mygraph.nt
+//	curl 'localhost:8080/query?q=q(x)+:-+x+rdf:type+ub:Student'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/datasets"
+	"repro/internal/graph"
+	"repro/internal/httpapi"
+	"repro/internal/lubm"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		scenario = flag.String("scenario", "lubm", "built-in scenario: lubm, insee, ign, dblp")
+		dataFile = flag.String("data", "", "N-Triples/Turtle file to serve instead of a scenario")
+		scale    = flag.Int("scale", 1, "LUBM scale factor")
+		seed     = flag.Int64("seed", 42, "generator seed")
+		timeout  = flag.Duration("timeout", 30*time.Second, "per-query evaluation timeout")
+	)
+	flag.Parse()
+
+	var (
+		g        *graph.Graph
+		prefixes map[string]string
+		err      error
+	)
+	switch {
+	case strings.HasSuffix(*dataFile, ".snap"):
+		g, err = graph.LoadSnapshot(*dataFile)
+	case *dataFile != "":
+		g, err = graph.LoadFile(*dataFile)
+	case *scenario == "lubm":
+		p := lubm.Default()
+		p.Universities = *scale
+		g, err = lubm.NewGraph(p, *seed)
+		prefixes = map[string]string{"ub": lubm.NS}
+	default:
+		var scs []*datasets.Scenario
+		scs, err = datasets.All(datasets.Base, *seed)
+		if err == nil {
+			for _, sc := range scs {
+				if sc.Name == *scenario {
+					g, prefixes = sc.Graph, sc.Prefixes
+				}
+			}
+			if g == nil {
+				err = fmt.Errorf("unknown scenario %q", *scenario)
+			}
+		}
+	}
+	if err != nil {
+		log.Fatal("refserve: ", err)
+	}
+
+	log.Printf("loaded %d data triples, %s; warming caches…", g.DataCount(), g.Schema())
+	srv := httpapi.New(g, prefixes)
+	srv.Timeout = *timeout
+	log.Printf("serving on %s", *addr)
+	log.Fatal(http.ListenAndServe(*addr, srv))
+}

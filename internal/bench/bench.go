@@ -1,0 +1,163 @@
+// Package bench is the experiment harness: for every table, figure and
+// quantitative claim of the paper it regenerates the corresponding rows
+// (see DESIGN.md §5 for the experiment index E1–E6). Each experiment
+// returns a structured result plus a formatted table, and is exercised both
+// by cmd/refbench and by the repository's testing.B benchmarks.
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/exec"
+	"repro/internal/graph"
+	"repro/internal/lubm"
+	"repro/internal/query"
+	"repro/internal/rdf"
+)
+
+// Config parameterizes the experiments.
+type Config struct {
+	// Profile is the LUBM generation profile (default lubm.Default()).
+	Profile lubm.Profile
+	// Seed drives all generators.
+	Seed int64
+	// Timeout bounds each strategy evaluation; strategies that exceed it
+	// are reported as infeasible, mirroring the paper's "could not be
+	// evaluated" outcomes (0 = 30s).
+	Timeout time.Duration
+	// IncludeUCQ includes the full UCQ strategy in E1/E3 (slow).
+	IncludeUCQ bool
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.Profile.Universities == 0 {
+		c.Profile = lubm.Default()
+	}
+	if c.Timeout == 0 {
+		c.Timeout = 30 * time.Second
+	}
+	return c
+}
+
+// Table is a simple aligned text table.
+type Table struct {
+	Header []string
+	Rows   [][]string
+}
+
+// Add appends a row (values stringified).
+func (t *Table) Add(vals ...any) {
+	row := make([]string, len(vals))
+	for i, v := range vals {
+		switch x := v.(type) {
+		case time.Duration:
+			row[i] = formatDuration(x)
+		case float64:
+			row[i] = fmt.Sprintf("%.0f", x)
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(c)
+			for p := len(c); p < widths[i]; p++ {
+				sb.WriteByte(' ')
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	return sb.String()
+}
+
+func formatDuration(d time.Duration) string {
+	switch {
+	case d == 0:
+		return "0"
+	case d < time.Millisecond:
+		return fmt.Sprintf("%.0fµs", float64(d)/float64(time.Microsecond))
+	case d < time.Second:
+		return fmt.Sprintf("%.1fms", float64(d)/float64(time.Millisecond))
+	default:
+		return fmt.Sprintf("%.2fs", float64(d)/float64(time.Second))
+	}
+}
+
+// runStrategy answers q with strategy s under the timeout, reporting
+// infeasibility instead of failing.
+type strategyRun struct {
+	Strategy engine.Strategy
+	CQs      int
+	Rows     int
+	Prep     time.Duration
+	Eval     time.Duration
+	Err      error
+}
+
+func runStrategy(e *engine.Engine, q queryHolder, s engine.Strategy, timeout time.Duration) strategyRun {
+	e.Budget = exec.Budget{Timeout: timeout}
+	defer func() { e.Budget = exec.Budget{} }()
+	var (
+		ans *engine.Answer
+		err error
+	)
+	if s == engine.RefJUCQ {
+		ans, err = e.AnswerWithCover(q.cq, q.cover)
+	} else {
+		ans, err = e.Answer(q.cq, s)
+	}
+	if err != nil {
+		return strategyRun{Strategy: s, Err: err}
+	}
+	return strategyRun{
+		Strategy: s,
+		CQs:      ans.ReformulationCQs,
+		Rows:     ans.Rows.Len(),
+		Prep:     ans.PrepTime,
+		Eval:     ans.EvalTime,
+	}
+}
+
+type queryHolder struct {
+	cq    query.CQ
+	cover query.Cover
+}
+
+// graphFromTriples builds a graph, kept here so experiment files stay free
+// of direct graph-package imports.
+func graphFromTriples(ts []rdf.Triple) (*graph.Graph, error) {
+	return graph.FromTriples(ts)
+}

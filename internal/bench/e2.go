@@ -1,0 +1,109 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/datasets"
+	"repro/internal/engine"
+	"repro/internal/graph"
+	"repro/internal/lubm"
+)
+
+// E2Result reproduces demo step 1: per-scenario dataset statistics —
+// triple counts, schema sizes, and value distributions for the triple
+// positions and (property, object) pairs.
+type E2Result struct {
+	Sections []E2Section
+}
+
+// E2Section is the statistics block of one scenario.
+type E2Section struct {
+	Name        string
+	Triples     int
+	Schema      string
+	TopProps    Table
+	TopPairs    Table
+	DistinctSPO [3]int
+}
+
+// E2 collects statistics for the LUBM, INSEE-like, IGN-like and DBLP-like
+// scenarios.
+func E2(cfg Config) (*E2Result, error) {
+	cfg = cfg.withDefaults()
+	lg, err := lubm.NewGraph(cfg.Profile, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	graphs := []struct {
+		name string
+		g    *graph.Graph
+	}{{"lubm", lg}}
+	scs, err := datasets.All(datasets.Base, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	for _, sc := range scs {
+		graphs = append(graphs, struct {
+			name string
+			g    *graph.Graph
+		}{sc.Name, sc.Graph})
+	}
+
+	res := &E2Result{}
+	for _, item := range graphs {
+		e := engine.New(item.g)
+		st := e.Stats()
+		d := item.g.Dict()
+		sec := E2Section{
+			Name:    item.name,
+			Triples: item.g.DataCount(),
+			Schema:  item.g.Schema().String(),
+			DistinctSPO: [3]int{
+				st.DistinctSubjects(), st.DistinctProperties(), st.DistinctObjects(),
+			},
+		}
+		sec.TopProps.Header = []string{"property", "triples"}
+		for _, vc := range st.TopValues('p', 8) {
+			sec.TopProps.Add(shortIRI(d.Decode(vc.ID).Value), vc.Count)
+		}
+		sec.TopPairs.Header = []string{"property", "object", "triples"}
+		for _, pc := range st.TopPairsPO(8) {
+			sec.TopPairs.Add(shortIRI(d.Decode(pc.P).Value), shortIRI(d.Decode(pc.O).Value), pc.Count)
+		}
+		res.Sections = append(res.Sections, sec)
+	}
+	return res, nil
+}
+
+// shortIRI keeps the local name of an IRI for compact tables.
+func shortIRI(iri string) string {
+	if i := strings.LastIndexAny(iri, "#/"); i >= 0 && i < len(iri)-1 {
+		return iri[i+1:]
+	}
+	return iri
+}
+
+// String renders the report.
+func (r *E2Result) String() string {
+	var sb strings.Builder
+	sb.WriteString("E2 — dataset statistics (demo step 1)\n")
+	for _, sec := range r.Sections {
+		fmt.Fprintf(&sb, "\n[%s] %d data triples, %s, distinct s/p/o: %d/%d/%d\n",
+			sec.Name, sec.Triples, sec.Schema,
+			sec.DistinctSPO[0], sec.DistinctSPO[1], sec.DistinctSPO[2])
+		sb.WriteString("top properties:\n")
+		sb.WriteString(indent(sec.TopProps.String()))
+		sb.WriteString("top (property, object) pairs:\n")
+		sb.WriteString(indent(sec.TopPairs.String()))
+	}
+	return sb.String()
+}
+
+func indent(s string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i := range lines {
+		lines[i] = "  " + lines[i]
+	}
+	return strings.Join(lines, "\n") + "\n"
+}

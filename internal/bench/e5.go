@@ -1,0 +1,126 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/engine"
+	"repro/internal/lubm"
+	"repro/internal/rdf"
+)
+
+// E5Result reproduces demo step 4: modifying the constraints (and the
+// query) and observing the — per the paper, possibly dramatic — impact on
+// reformulation size and Ref performance.
+type E5Result struct {
+	Table Table
+}
+
+// E5 runs Example 1 against constraint variants of the LUBM ontology.
+func E5(cfg Config) (*E5Result, error) {
+	cfg = cfg.withDefaults()
+	data := lubm.Generate(cfg.Profile, cfg.Seed)
+
+	variants := []struct {
+		name   string
+		schema []rdf.Triple
+	}{
+		{"base univ-bench", lubm.OntologyTriples()},
+		{"+5 subprops per degree property", enrichDegrees(lubm.OntologyTriples(), 5)},
+		{"+10 Person subclasses", enrichClasses(lubm.OntologyTriples(), 10)},
+		{"-domain/range constraints", dropDomainRange(lubm.OntologyTriples())},
+		{"-subclass axioms", dropSubClass(lubm.OntologyTriples())},
+	}
+
+	res := &E5Result{}
+	res.Table.Header = []string{"constraint variant", "UCQ #CQs", "SCQ eval", "GCov eval", "answers"}
+	for _, v := range variants {
+		ts := append(append([]rdf.Triple(nil), v.schema...), data...)
+		g, err := graphFromTriples(ts)
+		if err != nil {
+			return nil, err
+		}
+		univ := lubm.PickExampleOneUniversity(g)
+		if univ == "" {
+			univ = "http://www.University0.edu"
+		}
+		q, err := lubm.ExampleOne(g.Dict(), univ)
+		if err != nil {
+			return nil, err
+		}
+		e := engine.New(g)
+		combos, _ := e.Reformulator().CombinationCount(q)
+		scq := runStrategy(e, queryHolder{cq: q}, engine.RefSCQ, cfg.Timeout)
+		gcov := runStrategy(e, queryHolder{cq: q}, engine.RefGCov, cfg.Timeout)
+		scqEval, gcovEval := "-", "-"
+		answers := "-"
+		if scq.Err == nil {
+			scqEval = formatDuration(scq.Eval)
+			answers = fmt.Sprint(scq.Rows)
+		}
+		if gcov.Err == nil {
+			gcovEval = formatDuration(gcov.Eval)
+			answers = fmt.Sprint(gcov.Rows)
+		}
+		res.Table.Add(v.name, combos, scqEval, gcovEval, answers)
+	}
+	return res, nil
+}
+
+// enrichDegrees adds n fresh subproperties under masters- and
+// doctoralDegreeFrom (the atoms t3/t4 of Example 1), multiplying the UCQ
+// size.
+func enrichDegrees(schema []rdf.Triple, n int) []rdf.Triple {
+	out := append([]rdf.Triple(nil), schema...)
+	for _, parent := range []string{"mastersDegreeFrom", "doctoralDegreeFrom"} {
+		for i := 0; i < n; i++ {
+			sub := rdf.NewIRI(fmt.Sprintf("%s%sVariant%d", lubm.NS, parent, i))
+			out = append(out, rdf.NewTriple(sub, rdf.SubPropertyOf, lubm.Prop(parent)))
+		}
+	}
+	return out
+}
+
+// enrichClasses adds n fresh subclasses under Person, growing the
+// class-variable atoms t1/t2.
+func enrichClasses(schema []rdf.Triple, n int) []rdf.Triple {
+	out := append([]rdf.Triple(nil), schema...)
+	for i := 0; i < n; i++ {
+		sub := rdf.NewIRI(fmt.Sprintf("%sPersonKind%d", lubm.NS, i))
+		out = append(out, rdf.NewTriple(sub, rdf.SubClassOf, lubm.Class("Person")))
+	}
+	return out
+}
+
+// dropDomainRange removes every domain and range constraint (leaving
+// subsumption only — note this changes the complete answers too).
+func dropDomainRange(schema []rdf.Triple) []rdf.Triple {
+	var out []rdf.Triple
+	for _, t := range schema {
+		if t.P == rdf.Domain || t.P == rdf.Range {
+			continue
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+// dropSubClass removes every subclass axiom.
+func dropSubClass(schema []rdf.Triple) []rdf.Triple {
+	var out []rdf.Triple
+	for _, t := range schema {
+		if t.P == rdf.SubClassOf {
+			continue
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+// String renders the report.
+func (r *E5Result) String() string {
+	var sb strings.Builder
+	sb.WriteString("E5 — constraint modification impact (demo step 4), query: Example 1\n")
+	sb.WriteString(r.Table.String())
+	return sb.String()
+}

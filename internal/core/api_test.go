@@ -1,0 +1,126 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/graph"
+	"repro/internal/query"
+	"repro/internal/stats"
+	"repro/internal/storage"
+)
+
+func TestCountCQDedups(t *testing.T) {
+	g := mustGraph(t, bookGraph)
+	d := g.Dict()
+	r := NewReformulator(g.Schema())
+	q, err := query.ParseRuleWithPrefixes(d, map[string]string{"ex": "http://example.org/"},
+		`q(x) :- x rdf:type ex:Publication`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := r.CountCQ(q)
+	u := r.ReformulateCQ(q)
+	if count != len(u.CQs) {
+		t.Fatalf("CountCQ %d != materialized %d", count, len(u.CQs))
+	}
+	total, _ := r.CombinationCount(q)
+	if count > total {
+		t.Fatalf("deduped count %d exceeds combination count %d", count, total)
+	}
+}
+
+func TestReformulateSCQIsSingletonCover(t *testing.T) {
+	g := mustGraph(t, bookGraph)
+	d := g.Dict()
+	r := NewReformulator(g.Schema())
+	q, err := query.ParseRuleWithPrefixes(d, map[string]string{"ex": "http://example.org/"},
+		`q(x, y) :- x rdf:type ex:Publication, x ex:hasAuthor y`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := r.ReformulateSCQ(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(j.Fragments) != 2 {
+		t.Fatalf("SCQ must have one fragment per atom, got %d", len(j.Fragments))
+	}
+	for i, f := range j.Fragments {
+		if len(f.AtomIndexes) != 1 || f.AtomIndexes[0] != i {
+			t.Fatalf("fragment %d is not a singleton: %v", i, f.AtomIndexes)
+		}
+	}
+}
+
+func TestFormatExplored(t *testing.T) {
+	explored := []Explored{
+		{Cover: query.Cover{{0}, {1}}, Cost: 10, Card: 5, Adopted: true},
+		{Cover: query.Cover{{0, 1}}, Cost: 20, Card: 5},
+		{Cover: query.Cover{{0, 1}}, Pruned: true, Reason: "too big"},
+	}
+	out := FormatExplored(explored)
+	for _, want := range []string{"adopted", "tried", "pruned", "too big"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in %s", want, out)
+		}
+	}
+}
+
+func TestGCovRecordsPrunes(t *testing.T) {
+	g := mustGraph(t, bookGraph)
+	d := g.Dict()
+	r := NewReformulator(g.Schema())
+	q, err := query.ParseRuleWithPrefixes(d, map[string]string{"ex": "http://example.org/"},
+		`q(x) :- x rdf:type ex:Publication, x rdf:type ex:Book`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With a tiny bound, merging the two atoms (3×2=6 CQs) is pruned.
+	res, err := GCov(r, modelFor(g), q, GCovOptions{MaxFragmentCQs: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pruned := false
+	for _, e := range res.Explored {
+		if e.Pruned {
+			pruned = true
+		}
+	}
+	if !pruned {
+		t.Fatal("expected a pruned candidate under the tight bound")
+	}
+}
+
+func TestGCovRejectsInvalidQuery(t *testing.T) {
+	g := mustGraph(t, bookGraph)
+	r := NewReformulator(g.Schema())
+	if _, err := GCov(r, modelFor(g), query.CQ{}, GCovOptions{}); err == nil {
+		t.Fatal("empty query must be rejected")
+	}
+}
+
+func TestGCovKeepSubsumed(t *testing.T) {
+	g := mustGraph(t, bookGraph)
+	d := g.Dict()
+	r := NewReformulator(g.Schema())
+	q, err := query.ParseRuleWithPrefixes(d, map[string]string{"ex": "http://example.org/"},
+		`q(x) :- x rdf:type ex:Publication, x ex:hasTitle y, x ex:publishedIn z`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := GCov(r, modelFor(g), q, GCovOptions{KeepSubsumed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Cover.Validate(3); err != nil {
+		t.Fatalf("invalid cover: %v", err)
+	}
+}
+
+// modelFor builds a cost model over a graph's store and statistics.
+func modelFor(g *graph.Graph) *cost.Model {
+	st := storage.Build(g.Dict(), g.AllTriples())
+	return cost.NewModel(stats.Collect(st))
+}

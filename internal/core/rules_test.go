@@ -1,0 +1,248 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dict"
+	"repro/internal/graph"
+	"repro/internal/query"
+	"repro/internal/rdf"
+)
+
+// rulesGraph exercises every rule family with known counts:
+// classes: A ⊑ B ⊑ C (strict pairs: A⊑B, A⊑C, B⊑C)
+// properties: p1 ⊑ p2; p2 ←d B; p2 ←r C (p1 inherits both).
+const rulesGraph = `
+@prefix ex: <http://example.org/> .
+ex:A rdfs:subClassOf ex:B .
+ex:B rdfs:subClassOf ex:C .
+ex:p1 rdfs:subPropertyOf ex:p2 .
+ex:p2 rdfs:domain ex:B .
+ex:p2 rdfs:range ex:C .
+`
+
+func rulesFixture(t *testing.T) (*graph.Graph, *Reformulator, *dict.Dict) {
+	t.Helper()
+	g, err := graph.ParseString(rulesGraph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, NewReformulator(g.Schema()), g.Dict()
+}
+
+func atomOf(t *testing.T, d *dict.Dict, s, p, o string) query.Atom {
+	t.Helper()
+	mk := func(token string) query.Arg {
+		if strings.HasPrefix(token, "?") {
+			return query.Variable(token[1:])
+		}
+		switch token {
+		case "a":
+			return query.Constant(d.Encode(rdf.Type))
+		default:
+			return query.Constant(d.Encode(rdf.NewIRI("http://example.org/" + token)))
+		}
+	}
+	return query.Atom{S: mk(s), P: mk(p), O: mk(o)}
+}
+
+// keysOf renders reformulations compactly for assertions.
+func keysOf(t *testing.T, d *dict.Dict, refs []AtomRef) map[string]bool {
+	t.Helper()
+	out := map[string]bool{}
+	for _, ar := range refs {
+		var parts []string
+		parts = append(parts, query.FormatAtom(d, ar.Atom))
+		for k, v := range ar.Binding {
+			parts = append(parts, k+"→"+d.Decode(v).Value)
+		}
+		out[strings.Join(parts, " | ")] = true
+	}
+	return out
+}
+
+func TestRule1SubClassChain(t *testing.T) {
+	_, r, d := rulesFixture(t)
+	// (x τ C): identity + subclasses A, B + range producers (p2 ←r C,
+	// inherited by p1) + B's domain producers reached through the
+	// recursion on (x τ B).
+	refs := r.AtomReformulations(atomOf(t, d, "?x", "a", "C"), 0)
+	if len(refs) != 7 {
+		t.Fatalf("want 7 reformulations (id, τA, τB, rng p1/p2, dom p1/p2 via B), got %d:\n%v",
+			len(refs), keysOf(t, d, refs))
+	}
+}
+
+func TestRule2DomainProducers(t *testing.T) {
+	_, r, d := rulesFixture(t)
+	// (x τ B): identity + τA + domain producers p2 and p1 (inherited).
+	refs := r.AtomReformulations(atomOf(t, d, "?x", "a", "B"), 0)
+	if len(refs) != 4 {
+		t.Fatalf("want 4 reformulations, got %d:\n%v", len(refs), keysOf(t, d, refs))
+	}
+	keys := keysOf(t, d, refs)
+	found := false
+	for k := range keys {
+		if strings.Contains(k, "p1") && strings.Contains(k, "_f0") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("inherited domain producer p1 missing:\n%v", keys)
+	}
+}
+
+func TestRule3RangeFreshVarPosition(t *testing.T) {
+	_, r, d := rulesFixture(t)
+	refs := r.AtomReformulations(atomOf(t, d, "?x", "a", "C"), 3)
+	// Range rules put the fresh variable in subject position, namespaced
+	// by the atom index.
+	foundSubjectFresh := false
+	for _, ar := range refs {
+		if ar.Atom.S.IsVar() && ar.Atom.S.Var == "_f3" {
+			if !ar.Atom.O.IsVar() || ar.Atom.O.Var != "x" {
+				t.Fatalf("range producer must keep the original subject as object: %v",
+					query.FormatAtom(d, ar.Atom))
+			}
+			foundSubjectFresh = true
+		}
+	}
+	if !foundSubjectFresh {
+		t.Fatal("no range producer with fresh subject found")
+	}
+}
+
+func TestRule4SubProperty(t *testing.T) {
+	_, r, d := rulesFixture(t)
+	refs := r.AtomReformulations(atomOf(t, d, "?x", "p2", "?y"), 0)
+	if len(refs) != 2 { // identity + p1
+		t.Fatalf("want 2 reformulations, got %d", len(refs))
+	}
+	// p1 has no subproperties: identity only.
+	refs = r.AtomReformulations(atomOf(t, d, "?x", "p1", "?y"), 0)
+	if len(refs) != 1 {
+		t.Fatalf("p1 should only have the identity, got %d", len(refs))
+	}
+}
+
+func TestRules5to7ClassVariableBindings(t *testing.T) {
+	_, r, d := rulesFixture(t)
+	refs := r.AtomReformulations(atomOf(t, d, "?x", "a", "?u"), 0)
+	// identity
+	// + subclass pairs: (A,B) (A,C) (B,C)          → 3 with u bound
+	// + domain producers: u→B via p1, p2           → 2
+	// + the same producers under u→C (recursion:
+	//   a p-triple types its subject B ⊑ C)        → 2
+	// + range producers:  u→C via p1, p2           → 2
+	if len(refs) != 10 {
+		t.Fatalf("want 10 reformulations, got %d:\n%v", len(refs), keysOf(t, d, refs))
+	}
+	// Every non-identity entry binds u.
+	for i, ar := range refs {
+		if i == 0 {
+			continue
+		}
+		if _, ok := ar.Binding["u"]; !ok {
+			t.Fatalf("entry %d misses the class binding: %v", i, keysOf(t, d, refs[i:i+1]))
+		}
+	}
+}
+
+func TestRules8to11PropertyVariableBindings(t *testing.T) {
+	_, r, d := rulesFixture(t)
+	refs := r.AtomReformulations(atomOf(t, d, "?x", "?p", "?o"), 0)
+	// identity
+	// + subproperty pairs: (p1 ⊏ p2)               → 1 (p→p2)
+	// + τ-producers with o bound to the class:
+	//   subclass pairs (A,B) (A,C) (B,C)           → 3 (p→τ, o→super)
+	//   domain o→B via p1, p2                      → 2
+	//   the same producers under o→C (recursion)   → 2
+	//   range  o→C via p1, p2                      → 2
+	if len(refs) != 11 {
+		t.Fatalf("want 11 reformulations, got %d:\n%v", len(refs), keysOf(t, d, refs))
+	}
+	typeBindings := 0
+	for _, ar := range refs {
+		if v, ok := ar.Binding["p"]; ok && d.Decode(v).Value == rdf.TypeIRI {
+			typeBindings++
+			if _, ok := ar.Binding["o"]; !ok {
+				t.Fatal("τ-binding must also bind the object to the entailed class")
+			}
+		}
+	}
+	if typeBindings != 9 {
+		t.Fatalf("want 9 τ-bindings, got %d", typeBindings)
+	}
+}
+
+func TestRulesPropertyVarBoundObject(t *testing.T) {
+	_, r, d := rulesFixture(t)
+	// (x ?p C): identity + subprop pair (p→p2, body p1) + τ producers for
+	// class C: subclasses A,B + range p1,p2 + B's domain producers
+	// reached through B ⊑ C (recursion).
+	refs := r.AtomReformulations(atomOf(t, d, "?x", "?p", "C"), 0)
+	if len(refs) != 8 {
+		t.Fatalf("want 8 reformulations, got %d:\n%v", len(refs), keysOf(t, d, refs))
+	}
+}
+
+func TestRulesSelfLoopPropertyVariable(t *testing.T) {
+	_, r, d := rulesFixture(t)
+	// (x ?p ?p): the τ rules cannot fire (p would need to be both τ and a
+	// class); only identity + subproperty rules remain.
+	refs := r.AtomReformulations(query.Atom{
+		S: query.Variable("x"), P: query.Variable("p"), O: query.Variable("p"),
+	}, 0)
+	for _, ar := range refs {
+		if v, ok := ar.Binding["p"]; ok && d.Decode(v).Value == rdf.TypeIRI {
+			t.Fatal("τ-binding must not fire when property and object variables coincide")
+		}
+	}
+}
+
+func TestRulesSchemaAtomHasNoReformulations(t *testing.T) {
+	_, r, d := rulesFixture(t)
+	sc := query.Atom{
+		S: query.Variable("x"),
+		P: query.Constant(d.Encode(rdf.SubClassOf)),
+		O: query.Constant(d.Encode(rdf.NewIRI("http://example.org/C"))),
+	}
+	refs := r.AtomReformulations(sc, 0)
+	if len(refs) != 1 {
+		t.Fatalf("schema atoms answer against the closed schema; want identity only, got %d", len(refs))
+	}
+}
+
+func TestIncompleteModeDropsDomainRangeRules(t *testing.T) {
+	g, _, d := rulesFixture(t)
+	inc := NewIncompleteReformulator(g.Schema())
+	refs := inc.AtomReformulations(atomOf(t, d, "?x", "a", "B"), 0)
+	// identity + τA only: the two domain producers are gone.
+	if len(refs) != 2 {
+		t.Fatalf("incomplete mode: want 2 reformulations, got %d:\n%v", len(refs), keysOf(t, d, refs))
+	}
+}
+
+func TestFreshVariableNamespacing(t *testing.T) {
+	_, r, d := rulesFixture(t)
+	a := atomOf(t, d, "?x", "a", "B")
+	refs0 := r.AtomReformulations(a, 0)
+	refs7 := r.AtomReformulations(a, 7)
+	has := func(refs []AtomRef, name string) bool {
+		for _, ar := range refs {
+			for _, arg := range ar.Atom.Args() {
+				if arg.IsVar() && arg.Var == name {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	if !has(refs0, "_f0") || has(refs0, "_f7") {
+		t.Fatal("atom 0 must use _f0")
+	}
+	if !has(refs7, "_f7") || has(refs7, "_f0") {
+		t.Fatal("atom 7 must use _f7")
+	}
+}

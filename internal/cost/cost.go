@@ -1,0 +1,240 @@
+// Package cost implements the cost estimation function c of the paper (§4):
+// given a JUCQ (or CQ/UCQ), it returns the estimated cost of evaluating it
+// through the store, computed from database-textbook formulas over the
+// collected statistics (scan extents, hash-join build/probe costs, and
+// join output cardinalities under the independence and containment-of-value
+// assumptions). GCov searches the cover space with this function.
+package cost
+
+import (
+	"repro/internal/query"
+	"repro/internal/stats"
+)
+
+// Weights of the cost components. The absolute scale is irrelevant (GCov
+// only compares costs); the ratios mirror a main-memory RDBMS: probing an
+// index costs a few comparisons, scanning and materializing a tuple costs
+// one unit, hashing a build tuple costs about two.
+const (
+	CScan  = 1.0 // per tuple scanned and materialized
+	CProbe = 6.0 // per index lookup in a nested-loop join
+	CBuild = 2.0 // per tuple inserted in a hash table
+	COut   = 1.0 // per tuple produced by a join
+)
+
+// Estimate describes one (sub)query: estimated evaluation cost, output
+// cardinality, and per-variable distinct-value counts (the V(R, a) of the
+// textbook formulas).
+type Estimate struct {
+	Cost float64
+	Card float64
+	V    map[string]float64
+}
+
+// Model estimates evaluation costs from statistics.
+type Model struct {
+	st *stats.Stats
+}
+
+// NewModel returns a cost model over the statistics.
+func NewModel(st *stats.Stats) *Model { return &Model{st: st} }
+
+// Atom estimates a single triple-pattern scan.
+func (m *Model) Atom(a query.Atom) Estimate {
+	pat := a.Pattern()
+	card := m.st.PatternCard(pat)
+	est := Estimate{Cost: CScan * card, Card: card, V: map[string]float64{}}
+	for i, arg := range [3]query.Arg{a.S, a.P, a.O} {
+		if !arg.IsVar() {
+			continue
+		}
+		pos := [3]byte{'s', 'p', 'o'}[i]
+		v := m.st.DistinctVar(pat, pos)
+		if old, ok := est.V[arg.Var]; !ok || v < old {
+			est.V[arg.Var] = v
+		}
+	}
+	return est
+}
+
+// CQ estimates a conjunctive query, simulating the executor's greedy plan:
+// start from the most selective atom, then join connected atoms first,
+// choosing index-nested-loop when the running result is small relative to
+// the next atom's extent (the executor's own policy) and hash join
+// otherwise.
+func (m *Model) CQ(q query.CQ) Estimate {
+	atoms := q.Atoms
+	if len(atoms) == 0 {
+		return Estimate{}
+	}
+	ests := make([]Estimate, len(atoms))
+	for i, a := range atoms {
+		ests[i] = m.Atom(a)
+	}
+	remaining := make([]int, len(atoms))
+	for i := range remaining {
+		remaining[i] = i
+	}
+	start := 0
+	for i := range remaining {
+		if ests[remaining[i]].Card < ests[remaining[start]].Card {
+			start = i
+		}
+	}
+	cur := ests[remaining[start]]
+	cur.Cost = CScan * cur.Card
+	remaining = append(remaining[:start], remaining[start+1:]...)
+	total := cur.Cost
+	for len(remaining) > 0 {
+		best, bestConnected := -1, false
+		for i, ai := range remaining {
+			connected := sharesVar(ests[ai].V, cur.V)
+			switch {
+			case best == -1,
+				connected && !bestConnected,
+				connected == bestConnected && ests[ai].Card < ests[remaining[best]].Card:
+				best, bestConnected = i, connected
+			}
+		}
+		ai := remaining[best]
+		remaining = append(remaining[:best], remaining[best+1:]...)
+		next := ests[ai]
+		out := joinEstimate(cur, next)
+		if bestConnected && preferINLJ(cur.Card, next.Card) {
+			total += CProbe*cur.Card + COut*out.Card
+		} else {
+			total += CScan*next.Card + CBuild*minF(cur.Card, next.Card) + COut*out.Card
+		}
+		cur = out
+	}
+	cur.Cost = total
+	return cur
+}
+
+// preferINLJ mirrors exec.Evaluator's choice so estimates track the actual
+// plans.
+func preferINLJ(curRows, extent float64) bool {
+	return curRows*8 < extent || curRows <= 64
+}
+
+// UCQ estimates a union: costs and cardinalities add up (set-semantics
+// dedup can only shrink the result; the upper bound keeps the model
+// simple and monotone).
+func (m *Model) UCQ(u query.UCQ) Estimate {
+	out := Estimate{V: map[string]float64{}}
+	for _, cq := range u.CQs {
+		e := m.CQ(cq)
+		out.Cost += e.Cost
+		out.Card += e.Card
+		for v, n := range e.V {
+			out.V[v] += n
+		}
+	}
+	for v := range out.V {
+		if out.V[v] > out.Card {
+			out.V[v] = out.Card
+		}
+	}
+	return out
+}
+
+// JUCQ estimates a join of fragment UCQs: per-fragment costs plus a greedy
+// hash-join simulation over the fragment results (fragment relations are
+// materialized, so nested-loop probing is not available to them).
+func (m *Model) JUCQ(j query.JUCQ) Estimate {
+	if len(j.Fragments) == 0 {
+		return Estimate{}
+	}
+	frags := make([]Estimate, len(j.Fragments))
+	for i, f := range j.Fragments {
+		frags[i] = m.UCQ(f.UCQ)
+	}
+	return m.JoinFragments(frags)
+}
+
+// JoinFragments combines precomputed fragment estimates into the JUCQ
+// estimate; GCov uses it to re-price candidate covers without
+// re-estimating cached fragments.
+func (m *Model) JoinFragments(frags []Estimate) Estimate {
+	if len(frags) == 0 {
+		return Estimate{}
+	}
+	frags = append([]Estimate(nil), frags...)
+	total := 0.0
+	for _, f := range frags {
+		total += f.Cost
+	}
+	cur := frags[0]
+	rest := frags[1:]
+	for len(rest) > 0 {
+		best, bestConnected := -1, false
+		for i, f := range rest {
+			connected := sharesVar(f.V, cur.V)
+			switch {
+			case best == -1,
+				connected && !bestConnected,
+				connected == bestConnected && f.Card < rest[best].Card:
+				best, bestConnected = i, connected
+			}
+		}
+		next := rest[best]
+		rest = append(rest[:best], rest[best+1:]...)
+		out := joinEstimate(cur, next)
+		total += CBuild*minF(cur.Card, next.Card) + CScan*maxF(cur.Card, next.Card) + COut*out.Card
+		cur = out
+	}
+	cur.Cost = total
+	return cur
+}
+
+// joinEstimate applies the textbook join-size formula:
+// |A ⋈ B| = |A|·|B| / Π_v max(V(A,v), V(B,v)) over shared variables v.
+func joinEstimate(a, b Estimate) Estimate {
+	card := a.Card * b.Card
+	for v, va := range a.V {
+		if vb, ok := b.V[v]; ok {
+			card /= maxF(maxF(va, vb), 1)
+		}
+	}
+	out := Estimate{Card: card, V: map[string]float64{}}
+	for v, va := range a.V {
+		out.V[v] = va
+		if vb, ok := b.V[v]; ok && vb < va {
+			out.V[v] = vb
+		}
+	}
+	for v, vb := range b.V {
+		if _, ok := out.V[v]; !ok {
+			out.V[v] = vb
+		}
+	}
+	for v := range out.V {
+		if out.V[v] > out.Card {
+			out.V[v] = maxF(out.Card, 1)
+		}
+	}
+	return out
+}
+
+func sharesVar(a, b map[string]float64) bool {
+	for v := range a {
+		if _, ok := b[v]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+func minF(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxF(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

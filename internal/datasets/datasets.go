@@ -1,0 +1,373 @@
+// Package datasets provides the demo's non-LUBM scenarios (§5: "real and
+// synthetic RDF data sets, such as French statistical (INSEE) and
+// geographical (IGN) data, DBLP"): synthetic generators reproducing the
+// statistical shape of each source — hierarchy depth, constraint mix and
+// value-distribution skew — which is what drives reformulation size and
+// (sub)query cost in the demo. Each scenario bundles a graph with a small
+// query workload exercising the RDFS constraints.
+package datasets
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graph"
+	"repro/internal/query"
+	"repro/internal/rdf"
+)
+
+// Scenario is one demo dataset: a graph plus its query workload.
+type Scenario struct {
+	Name     string
+	Graph    *graph.Graph
+	Prefixes map[string]string
+	// QueryTexts in the paper's rule notation.
+	QueryTexts []string
+}
+
+// Queries parses the scenario workload.
+func (s *Scenario) Queries() ([]query.CQ, error) {
+	out := make([]query.CQ, 0, len(s.QueryTexts))
+	for i, text := range s.QueryTexts {
+		q, err := query.ParseRuleWithPrefixes(s.Graph.Dict(), s.Prefixes, text)
+		if err != nil {
+			return nil, fmt.Errorf("datasets: %s query %d: %w", s.Name, i, err)
+		}
+		out = append(out, q)
+	}
+	return out, nil
+}
+
+// Size controls generated data volume: number of top-level entities.
+type Size int
+
+// Presets.
+const (
+	Small Size = 50
+	Base  Size = 400
+)
+
+// All returns the three scenarios at the given size.
+func All(size Size, seed int64) ([]*Scenario, error) {
+	insee, err := INSEE(size, seed)
+	if err != nil {
+		return nil, err
+	}
+	ign, err := IGN(size, seed+1)
+	if err != nil {
+		return nil, err
+	}
+	dblp, err := DBLP(size, seed+2)
+	if err != nil {
+		return nil, err
+	}
+	return []*Scenario{insee, ign, dblp}, nil
+}
+
+// --- INSEE-like: statistical observations over territorial units ----------
+
+const inseeNS = "http://rdf.insee.example/def#"
+
+// INSEE builds the statistics scenario: a territorial hierarchy (regions,
+// departments, communes related by partOf) carrying statistical
+// observations; observations are typed only through the domain of their
+// measure properties, so reasoning is essential.
+func INSEE(size Size, seed int64) (*Scenario, error) {
+	r := rand.New(rand.NewSource(seed))
+	cls := func(n string) rdf.Term { return rdf.NewIRI(inseeNS + n) }
+	prop := cls
+	ent := func(kind string, i int) rdf.Term {
+		return rdf.NewIRI(fmt.Sprintf("http://rdf.insee.example/%s/%d", kind, i))
+	}
+
+	var ts []rdf.Triple
+	sub := func(a, b string) { ts = append(ts, rdf.NewTriple(cls(a), rdf.SubClassOf, cls(b))) }
+	dom := func(p, c string) { ts = append(ts, rdf.NewTriple(prop(p), rdf.Domain, cls(c))) }
+	rng := func(p, c string) { ts = append(ts, rdf.NewTriple(prop(p), rdf.Range, cls(c))) }
+	subp := func(a, b string) { ts = append(ts, rdf.NewTriple(prop(a), rdf.SubPropertyOf, prop(b))) }
+
+	// Schema: territorial hierarchy and observation classes.
+	sub("Region", "TerritorialUnit")
+	sub("Department", "TerritorialUnit")
+	sub("Commune", "TerritorialUnit")
+	sub("TerritorialUnit", "GeoResource")
+	sub("PopulationObservation", "Observation")
+	sub("EmploymentObservation", "Observation")
+	sub("HousingObservation", "Observation")
+	sub("Observation", "StatisticalResource")
+	dom("partOf", "TerritorialUnit")
+	rng("partOf", "TerritorialUnit")
+	dom("observedIn", "Observation")
+	rng("observedIn", "TerritorialUnit")
+	subp("populationOf", "observedIn")
+	subp("employmentOf", "observedIn")
+	subp("housingOf", "observedIn")
+	dom("populationOf", "PopulationObservation")
+	dom("employmentOf", "EmploymentObservation")
+	dom("housingOf", "HousingObservation")
+	dom("code", "GeoResource")
+
+	nRegions := maxI(2, int(size)/25)
+	nDeps := int(size) / 5
+	nCommunes := int(size)
+	emit := func(s, p, o rdf.Term) { ts = append(ts, rdf.NewTriple(s, p, o)) }
+
+	var deps, communes []rdf.Term
+	for i := 0; i < nRegions; i++ {
+		reg := ent("region", i)
+		emit(reg, rdf.Type, cls("Region"))
+		emit(reg, prop("code"), rdf.NewLiteral(fmt.Sprintf("R%02d", i)))
+	}
+	for i := 0; i < nDeps; i++ {
+		dep := ent("department", i)
+		deps = append(deps, dep)
+		emit(dep, rdf.Type, cls("Department"))
+		emit(dep, prop("partOf"), ent("region", r.Intn(nRegions)))
+		emit(dep, prop("code"), rdf.NewLiteral(fmt.Sprintf("D%03d", i)))
+	}
+	for i := 0; i < nCommunes; i++ {
+		com := ent("commune", i)
+		communes = append(communes, com)
+		// Communes are deliberately left untyped: their type follows
+		// from partOf's domain (TerritorialUnit), the INSEE-style
+		// incompleteness the demo exploits.
+		emit(com, prop("partOf"), deps[r.Intn(len(deps))])
+		emit(com, prop("code"), rdf.NewLiteral(fmt.Sprintf("C%05d", i)))
+	}
+	// Observations: skewed — population observations dominate.
+	obsSeq := 0
+	for _, com := range communes {
+		for k := 0; k < 1+r.Intn(3); k++ {
+			o := ent("obs", obsSeq)
+			obsSeq++
+			var measure string
+			switch {
+			case r.Intn(10) < 6:
+				measure = "populationOf"
+			case r.Intn(10) < 8:
+				measure = "employmentOf"
+			default:
+				measure = "housingOf"
+			}
+			emit(o, prop(measure), com)
+			emit(o, prop("year"), rdf.NewLiteral(fmt.Sprint(2006+r.Intn(9))))
+			emit(o, prop("value"), rdf.NewTypedLiteral(fmt.Sprint(r.Intn(100000)), rdf.XSDInteger))
+		}
+	}
+	g, err := graph.FromTriples(ts)
+	if err != nil {
+		return nil, err
+	}
+	return &Scenario{
+		Name:     "insee",
+		Graph:    g,
+		Prefixes: map[string]string{"ins": inseeNS},
+		QueryTexts: []string{
+			// Every territorial unit (requires subclass + domain/range).
+			`q(x) :- x rdf:type ins:TerritorialUnit`,
+			// Observations and their units (requires subproperty).
+			`q(o, u) :- o ins:observedIn u`,
+			// Statistical resources with year and value over a unit chain.
+			`q(o, d) :- o rdf:type ins:Observation, o ins:observedIn c, c ins:partOf d`,
+			// Population observations in departments of region 0.
+			`q(o) :- o ins:populationOf c, c ins:partOf d, d ins:partOf <http://rdf.insee.example/region/0>`,
+		},
+	}, nil
+}
+
+// --- IGN-like: geographic features --------------------------------------
+
+const ignNS = "http://rdf.ign.example/def#"
+
+// IGN builds the geographic scenario: a feature taxonomy (natural and
+// man-made) with containment and connectivity; feature typing is partly
+// implicit through property domains.
+func IGN(size Size, seed int64) (*Scenario, error) {
+	r := rand.New(rand.NewSource(seed))
+	cls := func(n string) rdf.Term { return rdf.NewIRI(ignNS + n) }
+	prop := cls
+	ent := func(kind string, i int) rdf.Term {
+		return rdf.NewIRI(fmt.Sprintf("http://rdf.ign.example/%s/%d", kind, i))
+	}
+	var ts []rdf.Triple
+	sub := func(a, b string) { ts = append(ts, rdf.NewTriple(cls(a), rdf.SubClassOf, cls(b))) }
+	dom := func(p, c string) { ts = append(ts, rdf.NewTriple(prop(p), rdf.Domain, cls(c))) }
+	rng := func(p, c string) { ts = append(ts, rdf.NewTriple(prop(p), rdf.Range, cls(c))) }
+	subp := func(a, b string) { ts = append(ts, rdf.NewTriple(prop(a), rdf.SubPropertyOf, prop(b))) }
+
+	sub("NaturalFeature", "Feature")
+	sub("ManMadeFeature", "Feature")
+	sub("River", "WaterBody")
+	sub("Lake", "WaterBody")
+	sub("WaterBody", "NaturalFeature")
+	sub("Mountain", "NaturalFeature")
+	sub("Forest", "NaturalFeature")
+	sub("Road", "ManMadeFeature")
+	sub("Highway", "Road")
+	sub("Street", "Road")
+	sub("Building", "ManMadeFeature")
+	sub("School", "Building")
+	sub("Hospital", "Building")
+	dom("locatedIn", "Feature")
+	rng("locatedIn", "AdministrativeArea")
+	dom("flowsInto", "River")
+	rng("flowsInto", "WaterBody")
+	subp("crosses", "connectsWith")
+	dom("connectsWith", "Road")
+	rng("crosses", "WaterBody")
+	dom("elevation", "NaturalFeature")
+
+	emit := func(s, p, o rdf.Term) { ts = append(ts, rdf.NewTriple(s, p, o)) }
+	nAreas := maxI(3, int(size)/20)
+	for i := 0; i < nAreas; i++ {
+		emit(ent("area", i), rdf.Type, cls("AdministrativeArea"))
+	}
+	area := func() rdf.Term { return ent("area", r.Intn(nAreas)) }
+
+	nRivers := int(size) / 4
+	for i := 0; i < nRivers; i++ {
+		riv := ent("river", i)
+		// Rivers typed implicitly through flowsInto's domain.
+		if i > 0 {
+			emit(riv, prop("flowsInto"), ent("river", r.Intn(i)))
+		} else {
+			emit(riv, rdf.Type, cls("River"))
+		}
+		emit(riv, prop("locatedIn"), area())
+	}
+	kinds := []string{"Mountain", "Forest", "Lake", "School", "Hospital"}
+	for i := 0; i < int(size); i++ {
+		k := kinds[r.Intn(len(kinds))]
+		f := ent("feature", i)
+		emit(f, rdf.Type, cls(k))
+		emit(f, prop("locatedIn"), area())
+		if k == "Mountain" {
+			emit(f, prop("elevation"), rdf.NewTypedLiteral(fmt.Sprint(500+r.Intn(4000)), rdf.XSDInteger))
+		}
+	}
+	nRoads := int(size) / 2
+	for i := 0; i < nRoads; i++ {
+		rd := ent("road", i)
+		if r.Intn(3) == 0 {
+			emit(rd, rdf.Type, cls("Highway"))
+		} else {
+			emit(rd, rdf.Type, cls("Street"))
+		}
+		emit(rd, prop("locatedIn"), area())
+		if nRivers > 0 && r.Intn(4) == 0 {
+			emit(rd, prop("crosses"), ent("river", r.Intn(nRivers)))
+		}
+	}
+	g, err := graph.FromTriples(ts)
+	if err != nil {
+		return nil, err
+	}
+	return &Scenario{
+		Name:     "ign",
+		Graph:    g,
+		Prefixes: map[string]string{"ign": ignNS},
+		QueryTexts: []string{
+			// All natural features (subclass + domain reasoning).
+			`q(x) :- x rdf:type ign:NaturalFeature`,
+			// Water bodies receiving a river (domain/range).
+			`q(x, y) :- x ign:flowsInto y, y rdf:type ign:WaterBody`,
+			// Roads connecting with something, and where (subproperty).
+			`q(x, a) :- x ign:connectsWith w, x ign:locatedIn a`,
+			// Features co-located with a hospital.
+			`q(x, a) :- x rdf:type ign:Feature, x ign:locatedIn a, h rdf:type ign:Hospital, h ign:locatedIn a`,
+		},
+	}, nil
+}
+
+// --- DBLP-like: bibliographic data ---------------------------------------
+
+const dblpNS = "http://rdf.dblp.example/def#"
+
+// DBLP builds the bibliographic scenario: a publication taxonomy with
+// authorship and citations; creator subproperties make authors Persons
+// through range reasoning.
+func DBLP(size Size, seed int64) (*Scenario, error) {
+	r := rand.New(rand.NewSource(seed))
+	cls := func(n string) rdf.Term { return rdf.NewIRI(dblpNS + n) }
+	prop := cls
+	ent := func(kind string, i int) rdf.Term {
+		return rdf.NewIRI(fmt.Sprintf("http://rdf.dblp.example/%s/%d", kind, i))
+	}
+	var ts []rdf.Triple
+	sub := func(a, b string) { ts = append(ts, rdf.NewTriple(cls(a), rdf.SubClassOf, cls(b))) }
+	dom := func(p, c string) { ts = append(ts, rdf.NewTriple(prop(p), rdf.Domain, cls(c))) }
+	rng := func(p, c string) { ts = append(ts, rdf.NewTriple(prop(p), rdf.Range, cls(c))) }
+	subp := func(a, b string) { ts = append(ts, rdf.NewTriple(prop(a), rdf.SubPropertyOf, prop(b))) }
+
+	sub("JournalPaper", "Article")
+	sub("ConferencePaper", "Article")
+	sub("WorkshopPaper", "ConferencePaper")
+	sub("Article", "Publication")
+	sub("Book", "Publication")
+	sub("PhDThesis", "Thesis")
+	sub("MastersThesis", "Thesis")
+	sub("Thesis", "Publication")
+	sub("Editor", "Person")
+	dom("creator", "Publication")
+	rng("creator", "Person")
+	subp("firstAuthor", "creator")
+	subp("editor", "creator")
+	dom("editor", "Book")
+	dom("cites", "Publication")
+	rng("cites", "Publication")
+	dom("publishedIn", "Article")
+	rng("publishedIn", "Venue")
+
+	emit := func(s, p, o rdf.Term) { ts = append(ts, rdf.NewTriple(s, p, o)) }
+	nAuthors := int(size) / 2
+	nVenues := maxI(2, int(size)/30)
+	for i := 0; i < nVenues; i++ {
+		emit(ent("venue", i), rdf.Type, cls("Venue"))
+	}
+	// Authors are never explicitly typed Person: range reasoning only.
+	kinds := []string{"JournalPaper", "ConferencePaper", "WorkshopPaper", "Book", "PhDThesis"}
+	var pubs []rdf.Term
+	for i := 0; i < int(size); i++ {
+		pub := ent("pub", i)
+		pubs = append(pubs, pub)
+		emit(pub, rdf.Type, cls(kinds[r.Intn(len(kinds))]))
+		emit(pub, prop("year"), rdf.NewLiteral(fmt.Sprint(1995+r.Intn(20))))
+		first := ent("author", r.Intn(nAuthors))
+		emit(pub, prop("firstAuthor"), first)
+		for k := r.Intn(3); k > 0; k-- {
+			emit(pub, prop("creator"), ent("author", r.Intn(nAuthors)))
+		}
+		if r.Intn(3) == 0 {
+			emit(pub, prop("publishedIn"), ent("venue", r.Intn(nVenues)))
+		}
+		for k := r.Intn(4); k > 0 && i > 0; k-- {
+			emit(pub, prop("cites"), pubs[r.Intn(i)])
+		}
+	}
+	g, err := graph.FromTriples(ts)
+	if err != nil {
+		return nil, err
+	}
+	return &Scenario{
+		Name:     "dblp",
+		Graph:    g,
+		Prefixes: map[string]string{"dblp": dblpNS},
+		QueryTexts: []string{
+			// All persons (range of creator, subproperty firstAuthor).
+			`q(x) :- x rdf:type dblp:Person`,
+			// Articles and their creators (subclass + subproperty).
+			`q(p, a) :- p rdf:type dblp:Article, p dblp:creator a`,
+			// Citations between publications of the same author.
+			`q(p, q2) :- p dblp:cites q2, p dblp:creator a, q2 dblp:creator a`,
+			// Publications of any type with venue and year.
+			`q(p, t, v) :- p rdf:type t, p dblp:publishedIn v, p dblp:year y`,
+		},
+	}, nil
+}
+
+func maxI(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

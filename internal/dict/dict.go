@@ -1,0 +1,117 @@
+// Package dict implements dictionary encoding of RDF terms: each distinct
+// term is assigned a dense integer ID, so that the triple store, the
+// executor and the statistics modules operate on fixed-size integers rather
+// than strings — the standard device of RDBMS-backed RDF stores the paper's
+// strategies are evaluated on.
+package dict
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/rdf"
+)
+
+// ID is a dictionary-encoded term identifier. IDs are dense, start at 1,
+// and are stable for the lifetime of the dictionary. 0 is reserved as the
+// invalid/absent ID.
+type ID uint32
+
+// None is the invalid ID; no term ever encodes to it.
+const None ID = 0
+
+// Dict maps RDF terms to dense IDs and back. It is safe for concurrent use.
+type Dict struct {
+	mu     sync.RWMutex
+	byKey  map[string]ID
+	terms  []rdf.Term // terms[i] is the term with ID i+1
+	frozen bool
+}
+
+// New returns an empty dictionary.
+func New() *Dict {
+	return &Dict{byKey: make(map[string]ID, 1024)}
+}
+
+// Encode returns the ID for the term, assigning a fresh one if the term is
+// new. It panics if the dictionary has been frozen and the term is unknown
+// (programming error: freezing promises no further growth).
+func (d *Dict) Encode(t rdf.Term) ID {
+	key := t.Key()
+	d.mu.RLock()
+	id, ok := d.byKey[key]
+	d.mu.RUnlock()
+	if ok {
+		return id
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if id, ok = d.byKey[key]; ok {
+		return id
+	}
+	if d.frozen {
+		panic(fmt.Sprintf("dict: encode of unknown term %s on frozen dictionary", t))
+	}
+	d.terms = append(d.terms, t)
+	id = ID(len(d.terms))
+	d.byKey[key] = id
+	return id
+}
+
+// Lookup returns the ID for the term and whether it is present, without
+// assigning new IDs.
+func (d *Dict) Lookup(t rdf.Term) (ID, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	id, ok := d.byKey[t.Key()]
+	return id, ok
+}
+
+// Decode returns the term for the ID. It panics on an unknown or invalid ID
+// (IDs are only ever produced by Encode, so an unknown ID is a programming
+// error, not an input error).
+func (d *Dict) Decode(id ID) rdf.Term {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if id == None || int(id) > len(d.terms) {
+		panic(fmt.Sprintf("dict: decode of unknown id %d (size %d)", id, len(d.terms)))
+	}
+	return d.terms[id-1]
+}
+
+// Len returns the number of distinct terms in the dictionary.
+func (d *Dict) Len() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.terms)
+}
+
+// Freeze marks the dictionary read-only: any Encode of an unknown term
+// panics. Used to catch accidental dictionary growth during query
+// evaluation.
+func (d *Dict) Freeze() {
+	d.mu.Lock()
+	d.frozen = true
+	d.mu.Unlock()
+}
+
+// EncodeIRI is shorthand for Encode(rdf.NewIRI(iri)).
+func (d *Dict) EncodeIRI(iri string) ID { return d.Encode(rdf.NewIRI(iri)) }
+
+// LookupIRI is shorthand for Lookup(rdf.NewIRI(iri)).
+func (d *Dict) LookupIRI(iri string) (ID, bool) { return d.Lookup(rdf.NewIRI(iri)) }
+
+// Triple is a dictionary-encoded triple.
+type Triple struct {
+	S, P, O ID
+}
+
+// EncodeTriple encodes all three positions of a triple.
+func (d *Dict) EncodeTriple(t rdf.Triple) Triple {
+	return Triple{S: d.Encode(t.S), P: d.Encode(t.P), O: d.Encode(t.O)}
+}
+
+// DecodeTriple decodes an encoded triple back to terms.
+func (d *Dict) DecodeTriple(t Triple) rdf.Triple {
+	return rdf.Triple{S: d.Decode(t.S), P: d.Decode(t.P), O: d.Decode(t.O)}
+}

@@ -1,0 +1,171 @@
+package dict
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rdf"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	d := New()
+	terms := []rdf.Term{
+		rdf.NewIRI("http://a"),
+		rdf.NewLiteral("x"),
+		rdf.NewLangLiteral("x", "en"),
+		rdf.NewTypedLiteral("x", rdf.XSDInteger),
+		rdf.NewBlank("b0"),
+	}
+	ids := make([]ID, len(terms))
+	for i, term := range terms {
+		ids[i] = d.Encode(term)
+	}
+	for i, term := range terms {
+		if got := d.Decode(ids[i]); got != term {
+			t.Errorf("decode(%d) = %v, want %v", ids[i], got, term)
+		}
+	}
+	if d.Len() != len(terms) {
+		t.Fatalf("Len = %d, want %d", d.Len(), len(terms))
+	}
+}
+
+func TestEncodeIdempotent(t *testing.T) {
+	d := New()
+	a := d.EncodeIRI("http://a")
+	b := d.EncodeIRI("http://a")
+	if a != b {
+		t.Fatalf("same term got two ids %d and %d", a, b)
+	}
+}
+
+func TestIDsDenseFromOne(t *testing.T) {
+	d := New()
+	for i := 0; i < 10; i++ {
+		id := d.EncodeIRI(fmt.Sprintf("http://t%d", i))
+		if id != ID(i+1) {
+			t.Fatalf("want dense id %d, got %d", i+1, id)
+		}
+	}
+}
+
+func TestLookup(t *testing.T) {
+	d := New()
+	term := rdf.NewIRI("http://a")
+	if _, ok := d.Lookup(term); ok {
+		t.Fatal("lookup of unknown term should fail")
+	}
+	id := d.Encode(term)
+	got, ok := d.Lookup(term)
+	if !ok || got != id {
+		t.Fatalf("lookup = (%d,%v), want (%d,true)", got, ok, id)
+	}
+}
+
+func TestDecodePanicsOnUnknown(t *testing.T) {
+	d := New()
+	d.EncodeIRI("http://a")
+	for _, bad := range []ID{None, 2, 99} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("decode(%d) should panic", bad)
+				}
+			}()
+			d.Decode(bad)
+		}()
+	}
+}
+
+func TestFreeze(t *testing.T) {
+	d := New()
+	id := d.EncodeIRI("http://a")
+	d.Freeze()
+	if again := d.EncodeIRI("http://a"); again != id {
+		t.Fatal("frozen dict must still encode known terms")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("encoding a new term on a frozen dict should panic")
+		}
+	}()
+	d.EncodeIRI("http://new")
+}
+
+func TestTripleRoundTrip(t *testing.T) {
+	d := New()
+	tr := rdf.NewTriple(rdf.NewIRI("s"), rdf.NewIRI("p"), rdf.NewLiteral("o"))
+	enc := d.EncodeTriple(tr)
+	if got := d.DecodeTriple(enc); got != tr {
+		t.Fatalf("round trip: %v != %v", got, tr)
+	}
+}
+
+// Property: distinct terms get distinct IDs; equal terms get equal IDs.
+func TestEncodeInjectiveQuick(t *testing.T) {
+	d := New()
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		mk := func() rdf.Term {
+			switch r.Intn(3) {
+			case 0:
+				return rdf.NewIRI(fmt.Sprintf("http://x%d", r.Intn(20)))
+			case 1:
+				return rdf.NewLiteral(fmt.Sprintf("l%d", r.Intn(20)))
+			default:
+				return rdf.NewBlank(fmt.Sprintf("b%d", r.Intn(20)))
+			}
+		}
+		a, b := mk(), mk()
+		ia, ib := d.Encode(a), d.Encode(b)
+		return (a == b) == (ia == ib)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The dictionary must be safe for concurrent encoding.
+func TestConcurrentEncode(t *testing.T) {
+	d := New()
+	var wg sync.WaitGroup
+	const workers, perWorker = 8, 200
+	ids := make([][]ID, workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		ids[w] = make([]ID, perWorker)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				ids[w][i] = d.EncodeIRI(fmt.Sprintf("http://t%d", i))
+			}
+		}()
+	}
+	wg.Wait()
+	if d.Len() != perWorker {
+		t.Fatalf("want %d distinct terms, got %d", perWorker, d.Len())
+	}
+	for w := 1; w < workers; w++ {
+		for i := 0; i < perWorker; i++ {
+			if ids[w][i] != ids[0][i] {
+				t.Fatalf("worker %d saw id %d for term %d, worker 0 saw %d", w, ids[w][i], i, ids[0][i])
+			}
+		}
+	}
+}
+
+func TestEncodeLookupIRI(t *testing.T) {
+	d := New()
+	if _, ok := d.LookupIRI("http://nope"); ok {
+		t.Fatal("unknown IRI must not resolve")
+	}
+	id := d.EncodeIRI("http://a")
+	got, ok := d.LookupIRI("http://a")
+	if !ok || got != id {
+		t.Fatalf("LookupIRI = (%d,%v), want (%d,true)", got, ok, id)
+	}
+}

@@ -1,0 +1,380 @@
+// Package engine ties the substrates together into the query answering
+// strategies the demo compares (§5): Sat (saturation), Ref with a fixed
+// UCQ or SCQ reformulation, Ref with a user-chosen cover (JUCQ), Ref with
+// the cost-based GCov cover, the fixed *incomplete* Ref of native RDF
+// platforms, and Dat (the Datalog encoding).
+package engine
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/datalog"
+	"repro/internal/exec"
+	"repro/internal/graph"
+	"repro/internal/query"
+	"repro/internal/saturation"
+	"repro/internal/stats"
+	"repro/internal/storage"
+)
+
+// Strategy names a query answering technique.
+type Strategy string
+
+// The available strategies.
+const (
+	// Sat evaluates the query directly against the saturated graph G∞.
+	Sat Strategy = "sat"
+	// RefUCQ evaluates the CQ→UCQ reformulation of [9] against the
+	// explicit data.
+	RefUCQ Strategy = "ref-ucq"
+	// RefSCQ evaluates the semi-conjunctive reformulation of [15].
+	RefSCQ Strategy = "ref-scq"
+	// RefJUCQ evaluates the JUCQ induced by a caller-chosen cover.
+	RefJUCQ Strategy = "ref-jucq"
+	// RefGCov evaluates the JUCQ of the cover selected by the greedy
+	// cost-based search (the paper's contribution).
+	RefGCov Strategy = "ref-gcov"
+	// RefIncomplete evaluates the UCQ reformulation restricted to
+	// subClassOf/subPropertyOf rules — the fixed incomplete strategy of
+	// Virtuoso/AllegroGraph per [6]. Its answers may be incomplete.
+	RefIncomplete Strategy = "ref-incomplete"
+	// Dat encodes graph, constraints and query into a Datalog program.
+	Dat Strategy = "datalog"
+)
+
+// Strategies lists every strategy in presentation order.
+var Strategies = []Strategy{Sat, RefUCQ, RefSCQ, RefJUCQ, RefGCov, RefIncomplete, Dat}
+
+// Answer is the outcome of answering one query with one strategy.
+type Answer struct {
+	Strategy Strategy
+	Rows     *exec.Relation
+	// Cover is the cover used (JUCQ-based strategies).
+	Cover query.Cover
+	// ReformulationCQs counts the CQs in the reformulation evaluated
+	// (total across fragments for JUCQ strategies; 1 for Sat/Dat).
+	ReformulationCQs int
+	// PrepTime covers reformulation / cover search / program encoding
+	// (saturation time is reported separately: it is shared across
+	// queries; see Engine.SaturationTime).
+	PrepTime time.Duration
+	// EvalTime covers evaluation proper.
+	EvalTime time.Duration
+	// Explored is GCov's explored cover space (RefGCov only).
+	Explored []core.Explored
+	// EstimatedCost is the model's estimate for the evaluated
+	// reformulation (JUCQ strategies only).
+	EstimatedCost float64
+	// CachedPlan reports that the cover came from the engine's plan cache
+	// (RefGCov only): PrepTime then excludes the cover search.
+	CachedPlan bool
+}
+
+// Engine answers queries over one graph with any strategy. It lazily
+// builds and caches the store, statistics, saturation and reformulators.
+// An Engine is not safe for concurrent use.
+type Engine struct {
+	g *graph.Graph
+
+	// Budget bounds each evaluation (zero: unlimited).
+	Budget exec.Budget
+	// Parallel enables parallel UCQ evaluation.
+	Parallel bool
+	// MaxFragmentCQs bounds per-fragment reformulation sizes for the
+	// JUCQ strategies (zero: core.DefaultMaxFragmentCQs).
+	MaxFragmentCQs int
+
+	store    *storage.Store
+	st       *stats.Stats
+	model    *cost.Model
+	ref      *core.Reformulator
+	incRef   *core.Reformulator
+	satRes   *saturation.Result
+	satStore *storage.Store
+	satStats *stats.Stats
+	satTime  time.Duration
+	plans    *planCache
+
+	// maintained is the counting-based closure backing live updates
+	// (see update.go); nil until the first Insert/DeleteData.
+	maintained *saturation.Maintained
+}
+
+// New returns an engine over the graph.
+func New(g *graph.Graph) *Engine { return &Engine{g: g, plans: newPlanCache(0)} }
+
+// Graph returns the underlying graph.
+func (e *Engine) Graph() *graph.Graph { return e.g }
+
+// Store returns the store over explicit data plus the closed schema (the
+// database Ref strategies evaluate against), building it on first use.
+func (e *Engine) Store() *storage.Store {
+	if e.store == nil {
+		e.store = storage.Build(e.g.Dict(), e.g.AllTriples())
+	}
+	return e.store
+}
+
+// Stats returns collected statistics over Store().
+func (e *Engine) Stats() *stats.Stats {
+	if e.st == nil {
+		e.st = stats.Collect(e.Store())
+	}
+	return e.st
+}
+
+// CostModel returns the cost model over Stats().
+func (e *Engine) CostModel() *cost.Model {
+	if e.model == nil {
+		e.model = cost.NewModel(e.Stats())
+	}
+	return e.model
+}
+
+// Reformulator returns the complete reformulator for the graph's schema.
+func (e *Engine) Reformulator() *core.Reformulator {
+	if e.ref == nil {
+		e.ref = core.NewReformulator(e.g.Schema())
+	}
+	return e.ref
+}
+
+// IncompleteReformulator returns the subsumption-only reformulator.
+func (e *Engine) IncompleteReformulator() *core.Reformulator {
+	if e.incRef == nil {
+		e.incRef = core.NewIncompleteReformulator(e.g.Schema())
+	}
+	return e.incRef
+}
+
+// Saturation returns the cached saturation result, computing it on first
+// use.
+func (e *Engine) Saturation() *saturation.Result {
+	if e.satRes == nil {
+		start := time.Now()
+		e.satRes = saturation.Saturate(e.g)
+		e.satTime = time.Since(start)
+	}
+	return e.satRes
+}
+
+// SaturationTime returns the wall-clock time the (first) saturation took.
+func (e *Engine) SaturationTime() time.Duration {
+	e.Saturation()
+	return e.satTime
+}
+
+// SatStore returns the store over G∞.
+func (e *Engine) SatStore() *storage.Store {
+	if e.satStore == nil {
+		e.satStore = storage.Build(e.g.Dict(), e.Saturation().Triples)
+	}
+	return e.satStore
+}
+
+// SatStats returns statistics over the saturated store.
+func (e *Engine) SatStats() *stats.Stats {
+	if e.satStats == nil {
+		e.satStats = stats.Collect(e.SatStore())
+	}
+	return e.satStats
+}
+
+func (e *Engine) evaluator(st *storage.Store, ss *stats.Stats) *exec.Evaluator {
+	ev := exec.New(st, ss)
+	ev.Budget = e.Budget
+	ev.Parallel = e.Parallel
+	return ev
+}
+
+func (e *Engine) fragmentBound() int {
+	if e.MaxFragmentCQs > 0 {
+		return e.MaxFragmentCQs
+	}
+	return core.DefaultMaxFragmentCQs
+}
+
+// Answer answers q with the given strategy; RefJUCQ requires a cover via
+// AnswerWithCover.
+func (e *Engine) Answer(q query.CQ, s Strategy) (*Answer, error) {
+	switch s {
+	case Sat:
+		return e.answerSat(q)
+	case RefUCQ:
+		return e.answerUCQ(q, e.Reformulator(), RefUCQ)
+	case RefSCQ:
+		return e.answerCover(q, query.SingletonCover(len(q.Atoms)), RefSCQ)
+	case RefGCov:
+		return e.answerGCov(q)
+	case RefIncomplete:
+		return e.answerUCQ(q, e.IncompleteReformulator(), RefIncomplete)
+	case Dat:
+		return e.answerDat(q)
+	case RefJUCQ:
+		return nil, fmt.Errorf("engine: strategy %s needs a cover; use AnswerWithCover", s)
+	default:
+		return nil, fmt.Errorf("engine: unknown strategy %q", s)
+	}
+}
+
+// AnswerWithCover answers q with the JUCQ induced by the given cover.
+func (e *Engine) AnswerWithCover(q query.CQ, cover query.Cover) (*Answer, error) {
+	return e.answerCover(q, cover, RefJUCQ)
+}
+
+func (e *Engine) answerSat(q query.CQ) (*Answer, error) {
+	st := e.SatStore()
+	ss := e.SatStats()
+	ev := e.evaluator(st, ss)
+	start := time.Now()
+	rows, err := ev.EvalCQ(query.HeadVarNames(q), q)
+	if err != nil {
+		return nil, err
+	}
+	return &Answer{Strategy: Sat, Rows: rows, ReformulationCQs: 1, EvalTime: time.Since(start)}, nil
+}
+
+func (e *Engine) answerUCQ(q query.CQ, r *core.Reformulator, s Strategy) (*Answer, error) {
+	ev := e.evaluator(e.Store(), e.Stats())
+	head := query.HeadVarNames(q)
+	prepStart := time.Now()
+	count, _ := r.CombinationCount(q)
+	prep := time.Since(prepStart)
+	start := time.Now()
+	rows, err := ev.EvalUCQStream(head, func(fn func(query.CQ) bool) {
+		r.EnumerateCQ(q, fn)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Answer{
+		Strategy: s, Rows: rows, ReformulationCQs: count,
+		PrepTime: prep, EvalTime: time.Since(start),
+	}, nil
+}
+
+func (e *Engine) answerCover(q query.CQ, cover query.Cover, s Strategy) (*Answer, error) {
+	prepStart := time.Now()
+	bound := e.fragmentBound()
+	if s == RefSCQ {
+		// The SCQ is a fixed strategy: it is built regardless of size.
+		bound = 0
+	}
+	j, err := e.Reformulator().ReformulateJUCQ(q, cover, bound)
+	if err != nil {
+		return nil, err
+	}
+	est := e.CostModel().JUCQ(j)
+	prep := time.Since(prepStart)
+	ev := e.evaluator(e.Store(), e.Stats())
+	start := time.Now()
+	rows, err := ev.EvalJUCQ(j)
+	if err != nil {
+		return nil, err
+	}
+	n := 0
+	for _, f := range j.Fragments {
+		n += len(f.UCQ.CQs)
+	}
+	return &Answer{
+		Strategy: s, Rows: rows, Cover: cover, ReformulationCQs: n,
+		PrepTime: prep, EvalTime: time.Since(start), EstimatedCost: est.Cost,
+	}, nil
+}
+
+func (e *Engine) answerGCov(q query.CQ) (*Answer, error) {
+	key := query.FormatCQ(e.g.Dict(), q)
+	prepStart := time.Now()
+	entry, cached := e.plans.get(key)
+	if !cached {
+		res, err := core.GCov(e.Reformulator(), e.CostModel(), q, core.GCovOptions{MaxFragmentCQs: e.fragmentBound()})
+		if err != nil {
+			return nil, err
+		}
+		entry = &planEntry{key: key, jucq: res.JUCQ, cover: res.Cover, cost: res.Cost, explored: res.Explored}
+		e.plans.put(entry)
+	}
+	prep := time.Since(prepStart)
+	ev := e.evaluator(e.Store(), e.Stats())
+	start := time.Now()
+	rows, err := ev.EvalJUCQ(entry.jucq)
+	if err != nil {
+		return nil, err
+	}
+	n := 0
+	for _, f := range entry.jucq.Fragments {
+		n += len(f.UCQ.CQs)
+	}
+	return &Answer{
+		Strategy: RefGCov, Rows: rows, Cover: entry.cover, ReformulationCQs: n,
+		PrepTime: prep, EvalTime: time.Since(start),
+		Explored: entry.explored, EstimatedCost: entry.cost, CachedPlan: cached,
+	}, nil
+}
+
+// PlanCacheLen reports how many GCov plans the engine currently caches.
+func (e *Engine) PlanCacheLen() int {
+	if e.plans == nil {
+		return 0
+	}
+	return e.plans.len()
+}
+
+func (e *Engine) answerDat(q query.CQ) (*Answer, error) {
+	prepStart := time.Now()
+	p := datalog.EncodeGraph(e.g)
+	if err := datalog.AddQuery(p, q); err != nil {
+		return nil, err
+	}
+	prep := time.Since(prepStart)
+	start := time.Now()
+	eng, err := datalog.Run(p)
+	if err != nil {
+		return nil, err
+	}
+	tuples := eng.Tuples(datalog.AnswerPred)
+	rows := exec.NewRelation(query.HeadVarNames(q))
+	for _, t := range tuples {
+		rows.Append(t)
+	}
+	rows.Distinct()
+	return &Answer{
+		Strategy: Dat, Rows: rows, ReformulationCQs: 1,
+		PrepTime: prep, EvalTime: time.Since(start),
+	}, nil
+}
+
+// AnswerUnion answers a union of BGPs (the full dialect of §3) with the
+// given strategy: each member is answered independently and the answers
+// are unioned with set semantics. RefJUCQ is not supported here (covers
+// are per-CQ; use AnswerWithCover on the members).
+func (e *Engine) AnswerUnion(u query.UCQ, s Strategy) (*Answer, error) {
+	if len(u.CQs) == 0 {
+		return nil, fmt.Errorf("engine: empty union")
+	}
+	if s == RefJUCQ {
+		return nil, fmt.Errorf("engine: strategy %s needs per-member covers; answer the members individually", s)
+	}
+	combined := &Answer{Strategy: s, Rows: exec.NewRelation(u.HeadNames)}
+	for _, cq := range u.CQs {
+		ans, err := e.Answer(cq, s)
+		if err != nil {
+			return nil, err
+		}
+		combined.ReformulationCQs += ans.ReformulationCQs
+		combined.PrepTime += ans.PrepTime
+		combined.EvalTime += ans.EvalTime
+		for i := 0; i < ans.Rows.Len(); i++ {
+			if ans.Rows.Width() == 0 {
+				combined.Rows.AppendEmpty()
+			} else {
+				combined.Rows.Append(ans.Rows.Row(i))
+			}
+		}
+	}
+	combined.Rows.Distinct()
+	return combined, nil
+}

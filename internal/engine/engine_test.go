@@ -1,0 +1,495 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/exec"
+	"repro/internal/graph"
+	"repro/internal/query"
+	"repro/internal/rdf"
+	"repro/internal/testutil"
+)
+
+const bookGraph = `
+@prefix ex: <http://example.org/> .
+ex:Book rdfs:subClassOf ex:Publication .
+ex:writtenBy rdfs:subPropertyOf ex:hasAuthor .
+ex:writtenBy rdfs:domain ex:Book .
+ex:writtenBy rdfs:range ex:Person .
+ex:doi1 a ex:Book .
+ex:doi1 ex:writtenBy _:b1 .
+ex:doi1 ex:hasTitle "El Aleph" .
+_:b1 ex:hasName "J. L. Borges" .
+ex:doi1 ex:publishedIn "1949" .
+`
+
+func mustEngine(t *testing.T) (*Engine, *graph.Graph) {
+	t.Helper()
+	g, err := graph.ParseString(bookGraph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(g), g
+}
+
+func mustQuery(t *testing.T, g *graph.Graph, text string) query.CQ {
+	t.Helper()
+	q, err := query.ParseRuleWithPrefixes(g.Dict(), map[string]string{"ex": "http://example.org/"}, text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+// Every complete strategy must return the same answers on the paper's §3
+// example query.
+func TestAllCompleteStrategiesAgree(t *testing.T) {
+	e, g := mustEngine(t)
+	q := mustQuery(t, g, `q(x3) :- x1 ex:hasAuthor x2, x2 ex:hasName x3, x1 x4 "1949"`)
+	want, err := e.Answer(q, Sat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Rows.Len() != 1 {
+		t.Fatalf("sat answer count %d, want 1", want.Rows.Len())
+	}
+	for _, s := range []Strategy{RefUCQ, RefSCQ, RefGCov, Dat} {
+		got, err := e.Answer(q, s)
+		if err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		if !got.Rows.Equal(want.Rows) {
+			t.Fatalf("%s: %d rows != sat %d rows", s, got.Rows.Len(), want.Rows.Len())
+		}
+	}
+	got, err := e.AnswerWithCover(q, query.Cover{{0, 1}, {2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Rows.Equal(want.Rows) {
+		t.Fatal("user cover disagrees")
+	}
+}
+
+func TestAnswerMetadata(t *testing.T) {
+	e, g := mustEngine(t)
+	q := mustQuery(t, g, `q(x) :- x rdf:type ex:Publication`)
+	a, err := e.Answer(q, RefGCov)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Strategy != RefGCov || a.ReformulationCQs == 0 || a.Cover == nil {
+		t.Fatalf("metadata missing: %+v", a)
+	}
+	if len(a.Explored) == 0 {
+		t.Fatal("GCov must report its explored space")
+	}
+	if a.EstimatedCost <= 0 {
+		t.Fatal("GCov must report the model estimate")
+	}
+}
+
+func TestUnknownStrategy(t *testing.T) {
+	e, g := mustEngine(t)
+	q := mustQuery(t, g, `q(x) :- x rdf:type ex:Book`)
+	if _, err := e.Answer(q, Strategy("nope")); err == nil {
+		t.Fatal("unknown strategy must error")
+	}
+	if _, err := e.Answer(q, RefJUCQ); err == nil {
+		t.Fatal("RefJUCQ without cover must error")
+	}
+}
+
+func TestInvalidCover(t *testing.T) {
+	e, g := mustEngine(t)
+	q := mustQuery(t, g, `q(x) :- x rdf:type ex:Book, x ex:hasTitle y`)
+	if _, err := e.AnswerWithCover(q, query.Cover{{0}}); err == nil {
+		t.Fatal("incomplete cover must be rejected")
+	}
+}
+
+func TestSaturationCached(t *testing.T) {
+	e, _ := mustEngine(t)
+	first := e.Saturation()
+	second := e.Saturation()
+	if first != second {
+		t.Fatal("saturation must be cached")
+	}
+	if e.SaturationTime() < 0 {
+		t.Fatal("bogus saturation time")
+	}
+}
+
+func TestBudgetPropagates(t *testing.T) {
+	e, g := mustEngine(t)
+	e.Budget = exec.Budget{Timeout: time.Nanosecond}
+	q := mustQuery(t, g, `q(x) :- x rdf:type ex:Publication, x ex:hasTitle y`)
+	_, err := e.Answer(q, RefUCQ)
+	if !errors.Is(err, exec.ErrBudgetExceeded) {
+		t.Fatalf("want budget error, got %v", err)
+	}
+}
+
+func TestMaxFragmentCQs(t *testing.T) {
+	e, g := mustEngine(t)
+	e.MaxFragmentCQs = 1
+	q := mustQuery(t, g, `q(x) :- x rdf:type ex:Publication, x ex:hasTitle y`)
+	// Publication has 3 reformulations > bound 1: GCov must still work
+	// (singleton fragments pruned? no — singleton fragments of size 3
+	// exceed 1, so GCov errors: acceptable contract, check it).
+	if _, err := e.Answer(q, RefGCov); err == nil {
+		t.Fatal("fragment bound below singleton size must error")
+	}
+	// The fixed SCQ strategy ignores the bound.
+	if _, err := e.Answer(q, RefSCQ); err != nil {
+		t.Fatalf("SCQ must ignore the fragment bound: %v", err)
+	}
+}
+
+// TestStrategiesAgreeRandom is the cross-strategy integration property:
+// on random scenarios and queries, Sat, RefUCQ, RefSCQ, RefGCov and Dat
+// agree; RefIncomplete is always a subset.
+func TestStrategiesAgreeRandom(t *testing.T) {
+	iters := 30
+	if testing.Short() {
+		iters = 8
+	}
+	for seed := 0; seed < iters; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(9000 + seed)))
+			sc, err := testutil.RandomScenario(rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			e := New(sc.Graph)
+			for qi := 0; qi < 3; qi++ {
+				q := sc.RandomQuery(rng)
+				want, err := e.Answer(q, Sat)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, s := range []Strategy{RefUCQ, RefSCQ, RefGCov, Dat} {
+					got, err := e.Answer(q, s)
+					if err != nil {
+						t.Fatalf("%s: %v", s, err)
+					}
+					if !got.Rows.Equal(want.Rows) {
+						t.Fatalf("query %s: %s %d rows != sat %d rows",
+							query.FormatCQ(sc.Graph.Dict(), q), s, got.Rows.Len(), want.Rows.Len())
+					}
+				}
+				inc, err := e.Answer(q, RefIncomplete)
+				if err != nil {
+					t.Fatalf("incomplete: %v", err)
+				}
+				if inc.Rows.Len() > want.Rows.Len() {
+					t.Fatalf("incomplete Ref returned MORE answers (%d) than complete (%d)",
+						inc.Rows.Len(), want.Rows.Len())
+				}
+			}
+		})
+	}
+}
+
+func TestBooleanQueryAllStrategies(t *testing.T) {
+	e, g := mustEngine(t)
+	q := mustQuery(t, g, `q() :- x rdf:type ex:Person`)
+	for _, s := range []Strategy{Sat, RefUCQ, RefSCQ, RefGCov, Dat} {
+		a, err := e.Answer(q, s)
+		if err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		if a.Rows.Len() != 1 {
+			t.Fatalf("%s: boolean true expected, got %d rows", s, a.Rows.Len())
+		}
+	}
+}
+
+func TestLazyAccessors(t *testing.T) {
+	e, _ := mustEngine(t)
+	if e.Store() == nil || e.Stats() == nil || e.CostModel() == nil ||
+		e.Reformulator() == nil || e.IncompleteReformulator() == nil ||
+		e.SatStore() == nil || e.SatStats() == nil {
+		t.Fatal("accessors must build on demand")
+	}
+	if e.Store() != e.Store() {
+		t.Fatal("store must be cached")
+	}
+	if e.Graph() == nil {
+		t.Fatal("graph accessor nil")
+	}
+}
+
+func TestGCovPlanCache(t *testing.T) {
+	e, g := mustEngine(t)
+	q := mustQuery(t, g, `q(x) :- x rdf:type ex:Publication, x ex:hasTitle y`)
+	first, err := e.Answer(q, RefGCov)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.CachedPlan {
+		t.Fatal("first execution cannot be cached")
+	}
+	second, err := e.Answer(q, RefGCov)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.CachedPlan {
+		t.Fatal("second execution must hit the plan cache")
+	}
+	if !second.Rows.Equal(first.Rows) {
+		t.Fatal("cached plan changed answers")
+	}
+	if e.PlanCacheLen() != 1 {
+		t.Fatalf("cache size %d, want 1", e.PlanCacheLen())
+	}
+	// A different constant is a different plan.
+	q2 := mustQuery(t, g, `q(x) :- x rdf:type ex:Book, x ex:hasTitle y`)
+	if _, err := e.Answer(q2, RefGCov); err != nil {
+		t.Fatal(err)
+	}
+	if e.PlanCacheLen() != 2 {
+		t.Fatalf("cache size %d, want 2", e.PlanCacheLen())
+	}
+}
+
+func TestPlanCacheEviction(t *testing.T) {
+	c := newPlanCache(2)
+	for _, k := range []string{"a", "b", "c"} {
+		c.put(&planEntry{key: k})
+	}
+	if c.len() != 2 {
+		t.Fatalf("len %d, want 2", c.len())
+	}
+	if _, ok := c.get("a"); ok {
+		t.Fatal("oldest entry must be evicted")
+	}
+	if _, ok := c.get("c"); !ok {
+		t.Fatal("newest entry must remain")
+	}
+	// Re-putting an existing key refreshes rather than duplicates.
+	c.put(&planEntry{key: "c"})
+	if c.len() != 2 {
+		t.Fatalf("len %d after refresh, want 2", c.len())
+	}
+	// LRU order: touching b keeps it when d arrives.
+	c.get("b")
+	c.put(&planEntry{key: "d"})
+	if _, ok := c.get("b"); !ok {
+		t.Fatal("recently used entry must survive")
+	}
+	if _, ok := c.get("c"); ok {
+		t.Fatal("least recently used entry must be evicted")
+	}
+}
+
+func TestAnswerUnion(t *testing.T) {
+	e, g := mustEngine(t)
+	d := g.Dict()
+	u, err := query.ParseSPARQLUnion(d, `
+PREFIX ex: <http://example.org/>
+SELECT ?x WHERE {
+  { ?x a ex:Person } UNION { ?x a ex:Publication }
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(u.CQs) != 2 {
+		t.Fatalf("want 2 members, got %d", len(u.CQs))
+	}
+	want := -1
+	for _, s := range []Strategy{Sat, RefUCQ, RefSCQ, RefGCov, Dat} {
+		ans, err := e.AnswerUnion(u, s)
+		if err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		if want == -1 {
+			want = ans.Rows.Len()
+		} else if ans.Rows.Len() != want {
+			t.Fatalf("%s: %d rows, others %d", s, ans.Rows.Len(), want)
+		}
+	}
+	// _:b1 (Person via range) + doi1 (Publication via subclass) = 2.
+	if want != 2 {
+		t.Fatalf("union answers = %d, want 2", want)
+	}
+	if _, err := e.AnswerUnion(query.UCQ{}, Sat); err == nil {
+		t.Fatal("empty union must error")
+	}
+	if _, err := e.AnswerUnion(u, RefJUCQ); err == nil {
+		t.Fatal("RefJUCQ must be rejected for unions")
+	}
+}
+
+func TestAnswerUnionDeduplicates(t *testing.T) {
+	e, g := mustEngine(t)
+	u, err := query.ParseSPARQLUnion(g.Dict(), `
+PREFIX ex: <http://example.org/>
+SELECT ?x WHERE { { ?x a ex:Book } UNION { ?x a ex:Publication } }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans, err := e.AnswerUnion(u, RefGCov)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// doi1 matches both branches; it must appear once.
+	if ans.Rows.Len() != 1 {
+		t.Fatalf("want 1 distinct answer, got %d", ans.Rows.Len())
+	}
+}
+
+// TestLiveUpdates: after interleaved inserts and deletes, every strategy
+// on the updated engine agrees with a fresh engine built over the same
+// final data.
+func TestLiveUpdates(t *testing.T) {
+	e, g := mustEngine(t)
+	q := mustQuery(t, g, `q(x) :- x rdf:type ex:Person`)
+
+	// Warm every cache first so invalidation is actually exercised.
+	for _, s := range []Strategy{Sat, RefGCov, Dat} {
+		if _, err := e.Answer(q, s); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	ex := func(n string) rdf.Term { return rdf.NewIRI("http://example.org/" + n) }
+	// Insert: a second book written by a new person.
+	insert := []rdf.Triple{
+		rdf.NewTriple(ex("doi2"), ex("writtenBy"), ex("cortazar")),
+	}
+	if err := e.InsertData(insert); err != nil {
+		t.Fatal(err)
+	}
+	after, err := e.Answer(q, RefGCov)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Rows.Len() != 2 {
+		t.Fatalf("after insert: want 2 Persons, got %d", after.Rows.Len())
+	}
+	satAfter, err := e.Answer(q, Sat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !satAfter.Rows.Equal(after.Rows) {
+		t.Fatalf("sat (%d) and ref (%d) disagree after insert", satAfter.Rows.Len(), after.Rows.Len())
+	}
+
+	// Delete the original writtenBy: _:b1 stops being a Person.
+	removed, err := e.DeleteData([]rdf.Triple{
+		rdf.NewTriple(ex("doi1"), ex("writtenBy"), rdf.NewBlank("b1")),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 1 {
+		t.Fatalf("removed %d, want 1", removed)
+	}
+	final, err := e.Answer(q, Sat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Rows.Len() != 1 {
+		t.Fatalf("after delete: want 1 Person, got %d", final.Rows.Len())
+	}
+
+	// Cross-check against a fresh engine over the same final data.
+	fresh := New(e.Graph())
+	for _, s := range []Strategy{Sat, RefSCQ, RefGCov, Dat} {
+		a, err := e.Answer(q, s)
+		if err != nil {
+			t.Fatalf("updated engine %s: %v", s, err)
+		}
+		b, err := fresh.Answer(q, s)
+		if err != nil {
+			t.Fatalf("fresh engine %s: %v", s, err)
+		}
+		if !a.Rows.Equal(b.Rows) {
+			t.Fatalf("%s: updated %d rows != fresh %d rows", s, a.Rows.Len(), b.Rows.Len())
+		}
+	}
+}
+
+func TestDeleteUnknownTriples(t *testing.T) {
+	e, _ := mustEngine(t)
+	removed, err := e.DeleteData([]rdf.Triple{
+		rdf.NewTriple(rdf.NewIRI("http://nope/s"), rdf.NewIRI("http://nope/p"), rdf.NewIRI("http://nope/o")),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 0 {
+		t.Fatalf("removed %d, want 0", removed)
+	}
+}
+
+func TestUpdateRejectsSchemaTriples(t *testing.T) {
+	e, _ := mustEngine(t)
+	bad := []rdf.Triple{rdf.NewTriple(rdf.NewIRI("http://c"), rdf.SubClassOf, rdf.NewIRI("http://d"))}
+	if err := e.InsertData(bad); err == nil {
+		t.Fatal("schema insert must be rejected")
+	}
+	if _, err := e.DeleteData(bad); err == nil {
+		t.Fatal("schema delete must be rejected")
+	}
+}
+
+// TestLiveUpdatesRandom: random interleavings of inserts and deletes keep
+// the updated engine in agreement with a fresh engine over the same data.
+func TestLiveUpdatesRandom(t *testing.T) {
+	iters := 15
+	if testing.Short() {
+		iters = 4
+	}
+	for seed := 0; seed < iters; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(12000 + seed)))
+			sc, err := testutil.RandomScenario(rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			e := New(sc.Graph)
+			q := sc.RandomQuery(rng)
+			if _, err := e.Answer(q, RefGCov); err != nil {
+				t.Fatal(err)
+			}
+			decoded := sc.Graph.DecodedData()
+			if len(decoded) == 0 {
+				t.Skip("empty scenario")
+			}
+			for step := 0; step < 10; step++ {
+				tr := decoded[rng.Intn(len(decoded))]
+				if rng.Intn(2) == 0 {
+					if _, err := e.DeleteData([]rdf.Triple{tr}); err != nil {
+						t.Fatal(err)
+					}
+				} else {
+					if err := e.InsertData([]rdf.Triple{tr}); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			fresh := New(e.Graph())
+			for _, s := range []Strategy{Sat, RefGCov, Dat} {
+				a, err := e.Answer(q, s)
+				if err != nil {
+					t.Fatalf("%s: %v", s, err)
+				}
+				b, err := fresh.Answer(q, s)
+				if err != nil {
+					t.Fatalf("fresh %s: %v", s, err)
+				}
+				if !a.Rows.Equal(b.Rows) {
+					t.Fatalf("%s: updated %d rows != fresh %d rows", s, a.Rows.Len(), b.Rows.Len())
+				}
+			}
+		})
+	}
+}

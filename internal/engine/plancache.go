@@ -1,0 +1,75 @@
+package engine
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/query"
+)
+
+// planCache memoizes GCov outcomes per query text (prepared-statement
+// style): the cover search costs tens of milliseconds — paid once, not per
+// execution. Keys are the exact formatted query (constants included);
+// renamed variants miss, which only costs a fresh search. The cache is
+// invalidated implicitly by being per-Engine: constraint changes require a
+// new graph, hence a new engine.
+// The cache is safe for concurrent use: engines sharing warmed caches
+// (e.g. per-request shallow copies in the HTTP endpoint) share it too.
+type planCache struct {
+	mu       sync.Mutex
+	capacity int
+	order    *list.List // front = most recent; values are *planEntry
+	byKey    map[string]*list.Element
+}
+
+type planEntry struct {
+	key      string
+	jucq     query.JUCQ
+	cover    query.Cover
+	cost     float64
+	explored []core.Explored
+}
+
+// defaultPlanCacheSize bounds the number of cached covers per engine.
+const defaultPlanCacheSize = 128
+
+func newPlanCache(capacity int) *planCache {
+	if capacity <= 0 {
+		capacity = defaultPlanCacheSize
+	}
+	return &planCache{capacity: capacity, order: list.New(), byKey: map[string]*list.Element{}}
+}
+
+func (c *planCache) get(key string) (*planEntry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*planEntry), true
+}
+
+func (c *planCache) put(e *planEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[e.key]; ok {
+		el.Value = e
+		c.order.MoveToFront(el)
+		return
+	}
+	c.byKey[e.key] = c.order.PushFront(e)
+	for c.order.Len() > c.capacity {
+		last := c.order.Back()
+		c.order.Remove(last)
+		delete(c.byKey, last.Value.(*planEntry).key)
+	}
+}
+
+func (c *planCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

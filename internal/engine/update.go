@@ -1,0 +1,76 @@
+package engine
+
+import (
+	"repro/internal/dict"
+	"repro/internal/rdf"
+	"repro/internal/saturation"
+)
+
+// Live updates. The paper's §1 charges Sat with maintenance cost after
+// changes; this file implements both sides of that ledger in the engine:
+// Ref-side caches are simply rebuilt from the new data (dropping the store
+// and statistics), while the Sat side is maintained *incrementally* with
+// the counting-based closure — the entailed triple set never has to be
+// re-derived from scratch.
+
+// maintainedClosure lazily materializes the counting-based closure used to
+// refresh satRes after updates.
+func (e *Engine) maintainedClosure() *saturation.Maintained {
+	if e.maintained == nil {
+		e.maintained = saturation.NewMaintained(e.g)
+	}
+	return e.maintained
+}
+
+// InsertData adds instance triples and refreshes the engine: the explicit
+// store and statistics are invalidated (rebuilt lazily on next use), the
+// saturated side is maintained incrementally, and cached GCov plans are
+// dropped (their cost estimates refer to outdated statistics).
+func (e *Engine) InsertData(ts []rdf.Triple) error {
+	m := e.maintainedClosure() // build on pre-update data
+	if err := e.g.AddData(ts); err != nil {
+		return err
+	}
+	enc := make([]dict.Triple, 0, len(ts))
+	for _, t := range ts {
+		enc = append(enc, e.g.Dict().EncodeTriple(t))
+	}
+	m.Insert(enc)
+	e.invalidateAfterUpdate()
+	return nil
+}
+
+// DeleteData removes instance triples (absent ones are ignored) and
+// refreshes the engine like InsertData; it returns how many triples were
+// actually removed.
+func (e *Engine) DeleteData(ts []rdf.Triple) (int, error) {
+	m := e.maintainedClosure()
+	removed, err := e.g.RemoveData(ts)
+	if err != nil {
+		return 0, err
+	}
+	enc := make([]dict.Triple, 0, len(ts))
+	for _, t := range ts {
+		enc = append(enc, e.g.Dict().EncodeTriple(t))
+	}
+	m.Delete(enc)
+	e.invalidateAfterUpdate()
+	return removed, nil
+}
+
+// invalidateAfterUpdate drops data-dependent caches and refreshes the
+// saturation result from the maintained closure.
+func (e *Engine) invalidateAfterUpdate() {
+	e.store = nil
+	e.st = nil
+	e.model = nil
+	e.satStore = nil
+	e.satStats = nil
+	e.plans = newPlanCache(0)
+	closure := e.maintained.Triples()
+	e.satRes = &saturation.Result{
+		Triples:     closure,
+		DataTriples: e.g.DataCount(),
+		Derived:     len(closure) - e.g.DataCount() - len(e.g.Schema().Triples()),
+	}
+}

@@ -1,0 +1,700 @@
+package exec
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/dict"
+	"repro/internal/query"
+	"repro/internal/stats"
+	"repro/internal/storage"
+)
+
+// ErrBudgetExceeded is returned when an evaluation exceeds the configured
+// resource budget — the executor's analogue of the paper's "could not be
+// evaluated in our experimental setting" outcome for huge reformulations.
+var ErrBudgetExceeded = errors.New("exec: evaluation budget exceeded")
+
+// Budget bounds an evaluation. Zero values mean unlimited.
+type Budget struct {
+	// MaxRows caps the size of any single materialized intermediate
+	// relation.
+	MaxRows int
+	// Timeout caps wall-clock evaluation time.
+	Timeout time.Duration
+}
+
+// Evaluator evaluates CQs, UCQs and JUCQs against one store. Conjunctive
+// bodies are evaluated with a greedy plan mixing index-nested-loop joins
+// (when the running result is small relative to the next atom's extent —
+// what a cost-based RDBMS picks for the paper's selective cover fragments)
+// and hash joins.
+type Evaluator struct {
+	st    *storage.Store
+	stats *stats.Stats
+
+	// Budget bounds every evaluation started afterwards.
+	Budget Budget
+	// Parallel enables concurrent evaluation of UCQ branches.
+	Parallel bool
+	// ForceHashJoins disables index-nested-loop joins, materializing and
+	// hashing every atom instead — the ablation knob quantifying how much
+	// of the cover strategies' win comes from selective index probing.
+	ForceHashJoins bool
+	// Join selects the algorithm for materialized joins (hash by
+	// default; merge sorts both sides — the second ablation knob).
+	Join JoinAlgorithm
+	// Trace, when non-nil, records per-operator cardinalities (demo step
+	// 3 introspection). Tracing disables parallelism.
+	Trace *Trace
+}
+
+// Trace records what an evaluation did.
+type Trace struct {
+	Scans []ScanInfo
+	Joins []JoinInfo
+	CQs   int
+}
+
+// ScanInfo records one index scan.
+type ScanInfo struct {
+	Atom string
+	Rows int
+}
+
+// JoinInfo records one join step.
+type JoinInfo struct {
+	Method     string // "inlj", "hash" or "cross"
+	SharedVars []string
+	LeftRows   int
+	RightRows  int // -1 for INLJ (the right side is probed, not materialized)
+	OutRows    int
+}
+
+// New returns an evaluator over the store with the given statistics
+// (statistics drive join ordering; they may be nil, in which case plans
+// fall back to left-to-right atom order).
+func New(st *storage.Store, s *stats.Stats) *Evaluator {
+	return &Evaluator{st: st, stats: s}
+}
+
+// Store returns the evaluator's store.
+func (e *Evaluator) Store() *storage.Store { return e.st }
+
+type deadline struct {
+	at    time.Time
+	check bool
+}
+
+func (e *Evaluator) newDeadline() deadline {
+	if e.Budget.Timeout <= 0 {
+		return deadline{}
+	}
+	return deadline{at: time.Now().Add(e.Budget.Timeout), check: true}
+}
+
+func (d deadline) exceeded() bool { return d.check && time.Now().After(d.at) }
+
+func (e *Evaluator) checkRows(n int) error {
+	if e.Budget.MaxRows > 0 && n > e.Budget.MaxRows {
+		return fmt.Errorf("%w: intermediate relation of %d rows exceeds cap %d", ErrBudgetExceeded, n, e.Budget.MaxRows)
+	}
+	return nil
+}
+
+// EvalCQ evaluates one conjunctive query and returns its distinct answers
+// over the CQ's head (column names follow headNames, which must align with
+// q.Head).
+func (e *Evaluator) EvalCQ(headNames []string, q query.CQ) (*Relation, error) {
+	dl := e.newDeadline()
+	return e.evalCQ(headNames, q, dl)
+}
+
+func (e *Evaluator) evalCQ(headNames []string, q query.CQ, dl deadline) (*Relation, error) {
+	body, err := e.evalBody(q.Atoms, dl)
+	if err != nil {
+		return nil, err
+	}
+	out, err := e.projectHead(headNames, q.Head, body)
+	if err != nil {
+		return nil, err
+	}
+	out.Distinct()
+	return out, nil
+}
+
+// evalBody evaluates the join of all atoms and returns a relation over all
+// body variables.
+func (e *Evaluator) evalBody(atoms []query.Atom, dl deadline) (*Relation, error) {
+	if len(atoms) == 0 {
+		return nil, errors.New("exec: empty BGP")
+	}
+	est := make([]float64, len(atoms))
+	for i, a := range atoms {
+		if e.stats != nil {
+			est[i] = e.stats.PatternCard(a.Pattern())
+		} else {
+			est[i] = float64(len(atoms) - i) // left-to-right fallback
+		}
+	}
+	remaining := make([]int, len(atoms))
+	for i := range remaining {
+		remaining[i] = i
+	}
+	// Start from the most selective atom.
+	start := 0
+	for i := range remaining {
+		if est[remaining[i]] < est[remaining[start]] {
+			start = i
+		}
+	}
+	first := remaining[start]
+	remaining = append(remaining[:start], remaining[start+1:]...)
+	cur, err := e.scanAtom(atoms[first])
+	if err != nil {
+		return nil, err
+	}
+	for len(remaining) > 0 {
+		if dl.exceeded() {
+			return nil, fmt.Errorf("%w: timeout", ErrBudgetExceeded)
+		}
+		// Pick the next atom: prefer ones sharing a variable with the
+		// current result, then lowest estimated extent.
+		best, bestConnected := -1, false
+		for i, ai := range remaining {
+			connected := atomSharesVar(atoms[ai], cur.Vars)
+			switch {
+			case best == -1,
+				connected && !bestConnected,
+				connected == bestConnected && est[ai] < est[remaining[best]]:
+				best, bestConnected = i, connected
+			}
+		}
+		ai := remaining[best]
+		remaining = append(remaining[:best], remaining[best+1:]...)
+		atom := atoms[ai]
+		if bestConnected && e.preferINLJ(cur.Len(), est[ai]) {
+			cur, err = e.indexJoin(cur, atom)
+		} else {
+			var right *Relation
+			right, err = e.scanAtom(atom)
+			if err != nil {
+				return nil, err
+			}
+			cur, err = e.materializedJoin(cur, right)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	return cur, nil
+}
+
+// preferINLJ decides index-nested-loop vs. materialize-and-hash: probing
+// costs ~|cur|·log N per lookup; hashing costs the atom's full extent.
+func (e *Evaluator) preferINLJ(curRows int, extent float64) bool {
+	if e.ForceHashJoins {
+		return false
+	}
+	return float64(curRows)*8 < extent || curRows <= 64
+}
+
+// scanAtom materializes one triple pattern into a relation over the atom's
+// distinct variables, enforcing repeated-variable equality.
+func (e *Evaluator) scanAtom(a query.Atom) (*Relation, error) {
+	args := a.Args()
+	var vars []string
+	varPos := map[string][]int{}
+	for i, arg := range args {
+		if arg.IsVar() {
+			if len(varPos[arg.Var]) == 0 {
+				vars = append(vars, arg.Var)
+			}
+			varPos[arg.Var] = append(varPos[arg.Var], i)
+		}
+	}
+	rel := NewRelation(vars)
+	row := make([]dict.ID, len(vars))
+	violated := false
+	e.st.Each(a.Pattern(), func(t dict.Triple) bool {
+		trip := [3]dict.ID{t.S, t.P, t.O}
+		for vi, v := range vars {
+			positions := varPos[v]
+			row[vi] = trip[positions[0]]
+			for _, p := range positions[1:] {
+				if trip[p] != row[vi] {
+					goto skip
+				}
+			}
+		}
+		if len(row) == 0 {
+			rel.AppendEmpty()
+		} else {
+			rel.Append(row)
+		}
+		if e.Budget.MaxRows > 0 && rel.Len() > e.Budget.MaxRows {
+			violated = true
+			return false
+		}
+	skip:
+		return true
+	})
+	if violated {
+		return nil, fmt.Errorf("%w: scan of %d+ rows exceeds cap %d", ErrBudgetExceeded, rel.Len(), e.Budget.MaxRows)
+	}
+	if e.Trace != nil {
+		e.Trace.Scans = append(e.Trace.Scans, ScanInfo{Atom: fmt.Sprintf("%v", a), Rows: rel.Len()})
+	}
+	return rel, nil
+}
+
+// indexJoin extends each row of cur with the atom's matches, looking the
+// atom up in the store with the row's bindings applied (index nested-loop
+// join).
+func (e *Evaluator) indexJoin(cur *Relation, a query.Atom) (*Relation, error) {
+	args := a.Args()
+	// For each position: constant, bound variable (column index in cur),
+	// or free variable.
+	type pos struct {
+		constant dict.ID // dict.None if variable
+		col      int     // column in cur, -1 if free or constant
+		outIdx   int     // index among new output columns, -1 otherwise
+	}
+	var positions [3]pos
+	newVarIdx := map[string]int{}
+	var newVars []string
+	for i, arg := range args {
+		if !arg.IsVar() {
+			positions[i] = pos{constant: arg.ID, col: -1, outIdx: -1}
+			continue
+		}
+		if c := cur.ColumnIndex(arg.Var); c != -1 {
+			positions[i] = pos{col: c, outIdx: -1}
+			continue
+		}
+		idx, ok := newVarIdx[arg.Var]
+		if !ok {
+			idx = len(newVars)
+			newVarIdx[arg.Var] = idx
+			newVars = append(newVars, arg.Var)
+		}
+		positions[i] = pos{col: -1, outIdx: idx}
+	}
+	outVars := append(append([]string(nil), cur.Vars...), newVars...)
+	out := NewRelation(outVars)
+	outRow := make([]dict.ID, len(outVars))
+	var budgetErr error
+	for i := 0; i < cur.Len(); i++ {
+		row := cur.Row(i)
+		var pat storage.Pattern
+		if positions[0].constant != dict.None {
+			pat.S = positions[0].constant
+		} else if positions[0].col != -1 {
+			pat.S = row[positions[0].col]
+		}
+		if positions[1].constant != dict.None {
+			pat.P = positions[1].constant
+		} else if positions[1].col != -1 {
+			pat.P = row[positions[1].col]
+		}
+		if positions[2].constant != dict.None {
+			pat.O = positions[2].constant
+		} else if positions[2].col != -1 {
+			pat.O = row[positions[2].col]
+		}
+		e.st.Each(pat, func(t dict.Triple) bool {
+			trip := [3]dict.ID{t.S, t.P, t.O}
+			copy(outRow, row)
+			// Fill free variables, checking repeated occurrences agree.
+			for k := 0; k < 3; k++ {
+				if positions[k].outIdx == -1 {
+					continue
+				}
+				oi := len(row) + positions[k].outIdx
+				v := trip[k]
+				// If this output var was already set by an earlier
+				// position of this same atom, require equality.
+				set := false
+				for k2 := 0; k2 < k; k2++ {
+					if positions[k2].outIdx == positions[k].outIdx {
+						set = true
+						break
+					}
+				}
+				if set {
+					if outRow[oi] != v {
+						return true
+					}
+				} else {
+					outRow[oi] = v
+				}
+			}
+			out.Append(outRow)
+			if e.Budget.MaxRows > 0 && out.Len() > e.Budget.MaxRows {
+				budgetErr = fmt.Errorf("%w: join result exceeds cap %d", ErrBudgetExceeded, e.Budget.MaxRows)
+				return false
+			}
+			return true
+		})
+		if budgetErr != nil {
+			return nil, budgetErr
+		}
+	}
+	if e.Trace != nil {
+		e.Trace.Joins = append(e.Trace.Joins, JoinInfo{
+			Method: "inlj", SharedVars: boundVars(a, cur.Vars),
+			LeftRows: cur.Len(), RightRows: -1, OutRows: out.Len(),
+		})
+	}
+	return out, nil
+}
+
+// hashJoin joins two relations on their shared variables (cross product
+// when none), building on the smaller side.
+func (e *Evaluator) hashJoin(l, r *Relation) (*Relation, error) {
+	shared := sharedVars(l.Vars, r.Vars)
+	build, probe := l, r
+	if r.Len() < l.Len() {
+		build, probe = r, l
+	}
+	bIdx := make([]int, len(shared))
+	pIdx := make([]int, len(shared))
+	for i, v := range shared {
+		bIdx[i] = build.ColumnIndex(v)
+		pIdx[i] = probe.ColumnIndex(v)
+	}
+	// Output columns: all of probe's, then build's non-shared.
+	var extraCols []int
+	outVars := append([]string(nil), probe.Vars...)
+	for i, v := range build.Vars {
+		if probe.ColumnIndex(v) == -1 {
+			outVars = append(outVars, v)
+			extraCols = append(extraCols, i)
+		}
+	}
+	out := NewRelation(outVars)
+
+	table := make(map[string][]int32, build.Len())
+	key := make([]byte, 0, len(shared)*4)
+	keyRow := make([]dict.ID, len(shared))
+	for i := 0; i < build.Len(); i++ {
+		row := build.Row(i)
+		for k, c := range bIdx {
+			keyRow[k] = row[c]
+		}
+		key = rowKey(key[:0], keyRow)
+		table[string(key)] = append(table[string(key)], int32(i))
+	}
+	outRow := make([]dict.ID, len(outVars))
+	for i := 0; i < probe.Len(); i++ {
+		prow := probe.Row(i)
+		for k, c := range pIdx {
+			keyRow[k] = prow[c]
+		}
+		key = rowKey(key[:0], keyRow)
+		for _, bi := range table[string(key)] {
+			brow := build.Row(int(bi))
+			copy(outRow, prow)
+			for j, c := range extraCols {
+				outRow[len(prow)+j] = brow[c]
+			}
+			if len(outRow) == 0 {
+				out.AppendEmpty()
+			} else {
+				out.Append(outRow)
+			}
+			if err := e.checkRows(out.Len()); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if e.Trace != nil {
+		method := "hash"
+		if len(shared) == 0 {
+			method = "cross"
+		}
+		e.Trace.Joins = append(e.Trace.Joins, JoinInfo{
+			Method: method, SharedVars: shared,
+			LeftRows: l.Len(), RightRows: r.Len(), OutRows: out.Len(),
+		})
+	}
+	return out, nil
+}
+
+// projectHead projects the body relation onto the head arguments; head
+// constants (introduced by reformulation bindings) become constant columns.
+func (e *Evaluator) projectHead(headNames []string, head []query.Arg, body *Relation) (*Relation, error) {
+	if len(headNames) != len(head) {
+		return nil, fmt.Errorf("exec: head has %d args, expected %d names", len(head), len(headNames))
+	}
+	sources := make([]int, len(head))
+	consts := map[int]dict.ID{}
+	for i, h := range head {
+		if h.IsVar() {
+			c := body.ColumnIndex(h.Var)
+			if c == -1 {
+				return nil, fmt.Errorf("exec: head variable %s missing from body", h.Var)
+			}
+			sources[i] = c
+		} else {
+			consts[i] = h.ID
+		}
+	}
+	return body.Project(headNames, sources, consts), nil
+}
+
+// EvalUCQ evaluates a union of CQs with set semantics.
+func (e *Evaluator) EvalUCQ(u query.UCQ) (*Relation, error) {
+	if len(u.CQs) == 0 {
+		return NewRelation(u.HeadNames), nil
+	}
+	if e.Parallel && e.Trace == nil && len(u.CQs) >= 8 {
+		return e.evalUCQParallel(u)
+	}
+	out := NewRelation(u.HeadNames)
+	dl := e.newDeadline()
+	done := 0
+	for _, cq := range u.CQs {
+		if dl.exceeded() {
+			return nil, fmt.Errorf("%w: timeout after %d/%d CQs", ErrBudgetExceeded, done, len(u.CQs))
+		}
+		r, err := e.evalCQ(u.HeadNames, cq, dl)
+		if err != nil {
+			return nil, err
+		}
+		done++
+		if e.Trace != nil {
+			e.Trace.CQs++
+		}
+		appendRelation(out, r)
+		if err := e.checkRows(out.Len()); err != nil {
+			return nil, err
+		}
+	}
+	out.Distinct()
+	return out, nil
+}
+
+// EvalUCQStream evaluates the CQs produced by a streaming enumeration
+// (used when the UCQ is too large to materialize); enumerate must call its
+// argument once per CQ and stop when it returns false.
+func (e *Evaluator) EvalUCQStream(headNames []string, enumerate func(func(query.CQ) bool)) (*Relation, error) {
+	out := NewRelation(headNames)
+	dl := e.newDeadline()
+	var evalErr error
+	done := 0
+	enumerate(func(cq query.CQ) bool {
+		if dl.exceeded() {
+			evalErr = fmt.Errorf("%w: timeout after %d CQs", ErrBudgetExceeded, done)
+			return false
+		}
+		r, err := e.evalCQ(headNames, cq, dl)
+		if err != nil {
+			evalErr = err
+			return false
+		}
+		done++
+		appendRelation(out, r)
+		if err := e.checkRows(out.Len()); err != nil {
+			evalErr = err
+			return false
+		}
+		return true
+	})
+	if evalErr != nil {
+		return nil, evalErr
+	}
+	out.Distinct()
+	return out, nil
+}
+
+func (e *Evaluator) evalUCQParallel(u query.UCQ) (*Relation, error) {
+	nw := runtime.GOMAXPROCS(0)
+	if nw > len(u.CQs) {
+		nw = len(u.CQs)
+	}
+	var (
+		mu    sync.Mutex
+		out   = NewRelation(u.HeadNames)
+		first error
+		idx   int
+	)
+	dl := e.newDeadline()
+	var wg sync.WaitGroup
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				if first != nil || idx >= len(u.CQs) {
+					mu.Unlock()
+					return
+				}
+				cq := u.CQs[idx]
+				idx++
+				mu.Unlock()
+				if dl.exceeded() {
+					mu.Lock()
+					if first == nil {
+						first = fmt.Errorf("%w: timeout", ErrBudgetExceeded)
+					}
+					mu.Unlock()
+					return
+				}
+				// Workers share the budget but each evaluates whole CQs.
+				sub := &Evaluator{st: e.st, stats: e.stats, Budget: e.Budget, ForceHashJoins: e.ForceHashJoins, Join: e.Join}
+				r, err := sub.EvalCQ(u.HeadNames, cq)
+				mu.Lock()
+				if err != nil && first == nil {
+					first = err
+				}
+				if err == nil && first == nil {
+					appendRelation(out, r)
+					if berr := e.checkRows(out.Len()); berr != nil && first == nil {
+						first = berr
+					}
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if first != nil {
+		return nil, first
+	}
+	out.Distinct()
+	return out, nil
+}
+
+// EvalJUCQ evaluates a join of UCQs: each fragment's UCQ is evaluated
+// (concurrently when Parallel is set — fragments are independent) and the
+// fragment results are joined, then projected on the head.
+func (e *Evaluator) EvalJUCQ(j query.JUCQ) (*Relation, error) {
+	if len(j.Fragments) == 0 {
+		return nil, errors.New("exec: JUCQ without fragments")
+	}
+	dl := e.newDeadline()
+	rels := make([]*Relation, len(j.Fragments))
+	if e.Parallel && e.Trace == nil && len(j.Fragments) > 1 {
+		var wg sync.WaitGroup
+		errs := make([]error, len(j.Fragments))
+		for i, f := range j.Fragments {
+			i, f := i, f
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				sub := &Evaluator{st: e.st, stats: e.stats, Budget: e.Budget,
+					ForceHashJoins: e.ForceHashJoins, Join: e.Join, Parallel: false}
+				rels[i], errs[i] = sub.EvalUCQ(f.UCQ)
+			}()
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		for i, f := range j.Fragments {
+			if dl.exceeded() {
+				return nil, fmt.Errorf("%w: timeout", ErrBudgetExceeded)
+			}
+			r, err := e.EvalUCQ(f.UCQ)
+			if err != nil {
+				return nil, err
+			}
+			rels[i] = r
+		}
+	}
+	cur := rels[0]
+	remaining := append([]*Relation(nil), rels[1:]...)
+	for len(remaining) > 0 {
+		best, bestConnected := -1, false
+		for i, r := range remaining {
+			connected := len(sharedVars(cur.Vars, r.Vars)) > 0
+			if best == -1 ||
+				(connected && !bestConnected) ||
+				(connected == bestConnected && r.Len() < remaining[best].Len()) {
+				best, bestConnected = i, connected
+			}
+		}
+		next := remaining[best]
+		remaining = append(remaining[:best], remaining[best+1:]...)
+		joined, err := e.materializedJoin(cur, next)
+		if err != nil {
+			return nil, err
+		}
+		cur = joined
+	}
+	head := make([]query.Arg, len(j.HeadNames))
+	for i, n := range j.HeadNames {
+		head[i] = query.Variable(n)
+	}
+	out, err := e.projectHead(j.HeadNames, head, cur)
+	if err != nil {
+		return nil, err
+	}
+	out.Distinct()
+	return out, nil
+}
+
+// --- helpers ---------------------------------------------------------------
+
+func sharedVars(a, b []string) []string {
+	var out []string
+	for _, v := range a {
+		for _, w := range b {
+			if v == w {
+				out = append(out, v)
+				break
+			}
+		}
+	}
+	return out
+}
+
+func atomSharesVar(a query.Atom, vars []string) bool {
+	for _, arg := range a.Args() {
+		if !arg.IsVar() {
+			continue
+		}
+		for _, v := range vars {
+			if v == arg.Var {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func boundVars(a query.Atom, vars []string) []string {
+	var out []string
+	for _, arg := range a.Args() {
+		if !arg.IsVar() {
+			continue
+		}
+		for _, v := range vars {
+			if v == arg.Var {
+				out = append(out, v)
+				break
+			}
+		}
+	}
+	return out
+}
+
+func appendRelation(dst, src *Relation) {
+	if dst.width == 0 {
+		if src.rows > 0 {
+			dst.AppendEmpty()
+		}
+		return
+	}
+	for i := 0; i < src.Len(); i++ {
+		dst.Append(src.Row(i))
+	}
+}

@@ -1,0 +1,542 @@
+package exec
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/dict"
+	"repro/internal/graph"
+	"repro/internal/query"
+	"repro/internal/stats"
+	"repro/internal/storage"
+)
+
+// tinyStore builds a store from (s,p,o) integer triples.
+func tinyStore(triples [][3]dict.ID) (*storage.Store, *stats.Stats) {
+	ts := make([]dict.Triple, len(triples))
+	for i, t := range triples {
+		ts[i] = dict.Triple{S: t[0], P: t[1], O: t[2]}
+	}
+	st := storage.Build(dict.New(), ts)
+	return st, stats.Collect(st)
+}
+
+func v(n string) query.Arg   { return query.Variable(n) }
+func c(id dict.ID) query.Arg { return query.Constant(id) }
+
+func TestEvalSingleAtom(t *testing.T) {
+	st, ss := tinyStore([][3]dict.ID{{1, 10, 2}, {3, 10, 4}, {5, 11, 6}})
+	e := New(st, ss)
+	q := query.CQ{Head: []query.Arg{v("x"), v("y")}, Atoms: []query.Atom{{S: v("x"), P: c(10), O: v("y")}}}
+	r, err := e.EvalCQ([]string{"x", "y"}, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 2 {
+		t.Fatalf("want 2 rows, got %d", r.Len())
+	}
+}
+
+func TestEvalRepeatedVariable(t *testing.T) {
+	st, ss := tinyStore([][3]dict.ID{{1, 10, 1}, {2, 10, 3}})
+	e := New(st, ss)
+	q := query.CQ{Head: []query.Arg{v("x")}, Atoms: []query.Atom{{S: v("x"), P: c(10), O: v("x")}}}
+	r, err := e.EvalCQ([]string{"x"}, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 1 || r.Row(0)[0] != 1 {
+		t.Fatalf("self-loop match wrong: %d rows", r.Len())
+	}
+}
+
+func TestEvalJoin(t *testing.T) {
+	st, ss := tinyStore([][3]dict.ID{
+		{1, 10, 2}, {2, 11, 3}, {4, 10, 5}, {5, 11, 6}, {7, 10, 8},
+	})
+	e := New(st, ss)
+	q := query.CQ{
+		Head: []query.Arg{v("x"), v("z")},
+		Atoms: []query.Atom{
+			{S: v("x"), P: c(10), O: v("y")},
+			{S: v("y"), P: c(11), O: v("z")},
+		},
+	}
+	r, err := e.EvalCQ([]string{"x", "z"}, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 2 {
+		t.Fatalf("want 2 rows, got %d", r.Len())
+	}
+}
+
+func TestEvalCrossProduct(t *testing.T) {
+	st, ss := tinyStore([][3]dict.ID{{1, 10, 2}, {3, 11, 4}, {5, 11, 6}})
+	e := New(st, ss)
+	q := query.CQ{
+		Head: []query.Arg{v("x"), v("u")},
+		Atoms: []query.Atom{
+			{S: v("x"), P: c(10), O: v("y")},
+			{S: v("u"), P: c(11), O: v("w")},
+		},
+	}
+	r, err := e.EvalCQ([]string{"x", "u"}, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 2 { // 1 × 2
+		t.Fatalf("want 2 rows, got %d", r.Len())
+	}
+}
+
+func TestEvalConstantHead(t *testing.T) {
+	st, ss := tinyStore([][3]dict.ID{{1, 10, 2}})
+	e := New(st, ss)
+	q := query.CQ{
+		Head:  []query.Arg{v("x"), c(99)},
+		Atoms: []query.Atom{{S: v("x"), P: c(10), O: v("y")}},
+	}
+	r, err := e.EvalCQ([]string{"x", "u"}, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 1 || r.Row(0)[1] != 99 {
+		t.Fatalf("constant head column wrong: %+v", r)
+	}
+}
+
+func TestEvalBooleanQuery(t *testing.T) {
+	st, ss := tinyStore([][3]dict.ID{{1, 10, 2}})
+	e := New(st, ss)
+	q := query.CQ{Atoms: []query.Atom{{S: v("x"), P: c(10), O: v("y")}}}
+	r, err := e.EvalCQ(nil, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 1 || r.Width() != 0 {
+		t.Fatalf("boolean true should give one empty row, got %d x %d", r.Len(), r.Width())
+	}
+	q2 := query.CQ{Atoms: []query.Atom{{S: v("x"), P: c(99), O: v("y")}}}
+	r2, err := e.EvalCQ(nil, q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Len() != 0 {
+		t.Fatal("boolean false should give zero rows")
+	}
+}
+
+func TestEvalUCQUnionDistinct(t *testing.T) {
+	st, ss := tinyStore([][3]dict.ID{{1, 10, 2}, {1, 11, 2}})
+	e := New(st, ss)
+	u := query.UCQ{
+		HeadNames: []string{"x"},
+		CQs: []query.CQ{
+			{Head: []query.Arg{v("x")}, Atoms: []query.Atom{{S: v("x"), P: c(10), O: v("y")}}},
+			{Head: []query.Arg{v("x")}, Atoms: []query.Atom{{S: v("x"), P: c(11), O: v("y")}}},
+		},
+	}
+	r, err := e.EvalUCQ(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 1 {
+		t.Fatalf("set semantics: want 1 distinct row, got %d", r.Len())
+	}
+}
+
+func TestBudgetMaxRows(t *testing.T) {
+	var ts [][3]dict.ID
+	for i := dict.ID(1); i <= 100; i++ {
+		ts = append(ts, [3]dict.ID{i, 200, i + 1000})
+	}
+	st, ss := tinyStore(ts)
+	e := New(st, ss)
+	e.Budget = Budget{MaxRows: 10}
+	q := query.CQ{Head: []query.Arg{v("x")}, Atoms: []query.Atom{{S: v("x"), P: c(200), O: v("y")}}}
+	_, err := e.EvalCQ([]string{"x"}, q)
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("want ErrBudgetExceeded, got %v", err)
+	}
+}
+
+func TestBudgetTimeout(t *testing.T) {
+	var ts [][3]dict.ID
+	for i := dict.ID(1); i <= 50; i++ {
+		ts = append(ts, [3]dict.ID{i, 200, i})
+	}
+	st, ss := tinyStore(ts)
+	e := New(st, ss)
+	e.Budget = Budget{Timeout: time.Nanosecond}
+	var cqs []query.CQ
+	for i := 0; i < 100; i++ {
+		cqs = append(cqs, query.CQ{Head: []query.Arg{v("x")}, Atoms: []query.Atom{{S: v("x"), P: c(200), O: v("y")}}})
+	}
+	_, err := e.EvalUCQ(query.UCQ{HeadNames: []string{"x"}, CQs: cqs})
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("want timeout, got %v", err)
+	}
+}
+
+func TestParallelUCQMatchesSerial(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	var ts [][3]dict.ID
+	for i := 0; i < 500; i++ {
+		ts = append(ts, [3]dict.ID{dict.ID(1 + r.Intn(40)), dict.ID(200 + r.Intn(4)), dict.ID(1 + r.Intn(40))})
+	}
+	st, ss := tinyStore(ts)
+	var cqs []query.CQ
+	for p := dict.ID(200); p < 204; p++ {
+		for q := dict.ID(200); q < 204; q++ {
+			cqs = append(cqs, query.CQ{
+				Head: []query.Arg{v("x"), v("z")},
+				Atoms: []query.Atom{
+					{S: v("x"), P: c(p), O: v("y")},
+					{S: v("y"), P: c(q), O: v("z")},
+				},
+			})
+		}
+	}
+	u := query.UCQ{HeadNames: []string{"x", "z"}, CQs: cqs}
+	serial := New(st, ss)
+	want, err := serial.EvalUCQ(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par := New(st, ss)
+	par.Parallel = true
+	got, err := par.EvalUCQ(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Fatalf("parallel %d rows != serial %d rows", got.Len(), want.Len())
+	}
+}
+
+func TestTraceRecordsOperators(t *testing.T) {
+	st, ss := tinyStore([][3]dict.ID{{1, 10, 2}, {2, 11, 3}})
+	e := New(st, ss)
+	e.Trace = &Trace{}
+	q := query.CQ{
+		Head: []query.Arg{v("x")},
+		Atoms: []query.Atom{
+			{S: v("x"), P: c(10), O: v("y")},
+			{S: v("y"), P: c(11), O: v("z")},
+		},
+	}
+	if _, err := e.EvalCQ([]string{"x"}, q); err != nil {
+		t.Fatal(err)
+	}
+	if len(e.Trace.Scans) == 0 || len(e.Trace.Joins) == 0 {
+		t.Fatalf("trace empty: %+v", e.Trace)
+	}
+}
+
+func TestRelationDistinctAndEqual(t *testing.T) {
+	r := NewRelation([]string{"a", "b"})
+	r.Append([]dict.ID{1, 2})
+	r.Append([]dict.ID{1, 2})
+	r.Append([]dict.ID{3, 4})
+	r.Distinct()
+	if r.Len() != 2 {
+		t.Fatalf("distinct: want 2, got %d", r.Len())
+	}
+	o := NewRelation([]string{"a", "b"})
+	o.Append([]dict.ID{3, 4})
+	o.Append([]dict.ID{1, 2})
+	if !r.Equal(o) {
+		t.Fatal("order-insensitive equality failed")
+	}
+	o.Append([]dict.ID{9, 9})
+	if r.Equal(o) {
+		t.Fatal("different sets must not be equal")
+	}
+	if r.Equal(NewRelation([]string{"a"})) {
+		t.Fatal("different widths must not be equal")
+	}
+}
+
+func TestRelationSortRows(t *testing.T) {
+	r := NewRelation([]string{"a"})
+	r.Append([]dict.ID{3})
+	r.Append([]dict.ID{1})
+	r.Append([]dict.ID{2})
+	r.SortRows()
+	for i, want := range []dict.ID{1, 2, 3} {
+		if r.Row(i)[0] != want {
+			t.Fatalf("row %d = %d, want %d", i, r.Row(i)[0], want)
+		}
+	}
+}
+
+// Property-like: a 3-atom chain query evaluated with our planner matches a
+// brute-force nested-loop evaluation on random graphs.
+func TestEvalMatchesBruteForce(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		var raw [][3]dict.ID
+		n := 5 + r.Intn(60)
+		for i := 0; i < n; i++ {
+			raw = append(raw, [3]dict.ID{
+				dict.ID(1 + r.Intn(10)), dict.ID(100 + r.Intn(3)), dict.ID(1 + r.Intn(10)),
+			})
+		}
+		st, ss := tinyStore(raw)
+		e := New(st, ss)
+		p1, p2, p3 := dict.ID(100), dict.ID(101), dict.ID(102)
+		q := query.CQ{
+			Head: []query.Arg{v("x"), v("w")},
+			Atoms: []query.Atom{
+				{S: v("x"), P: c(p1), O: v("y")},
+				{S: v("y"), P: c(p2), O: v("z")},
+				{S: v("z"), P: c(p3), O: v("w")},
+			},
+		}
+		got, err := e.EvalCQ([]string{"x", "w"}, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := map[[2]dict.ID]bool{}
+		for _, a := range raw {
+			if a[1] != p1 {
+				continue
+			}
+			for _, b := range raw {
+				if b[1] != p2 || b[0] != a[2] {
+					continue
+				}
+				for _, cc := range raw {
+					if cc[1] != p3 || cc[0] != b[2] {
+						continue
+					}
+					want[[2]dict.ID{a[0], cc[2]}] = true
+				}
+			}
+		}
+		if got.Len() != len(want) {
+			t.Fatalf("seed %d: got %d rows, want %d", seed, got.Len(), len(want))
+		}
+		for i := 0; i < got.Len(); i++ {
+			row := got.Row(i)
+			if !want[[2]dict.ID{row[0], row[1]}] {
+				t.Fatalf("seed %d: unexpected row %v", seed, row)
+			}
+		}
+	}
+}
+
+func TestEvalJUCQ(t *testing.T) {
+	// Two fragments sharing variable y.
+	st, ss := tinyStore([][3]dict.ID{
+		{1, 10, 2}, {2, 11, 3}, {4, 10, 5}, {6, 11, 7},
+	})
+	e := New(st, ss)
+	f1 := query.Fragment{
+		AtomIndexes: []int{0},
+		UCQ: query.UCQ{HeadNames: []string{"x", "y"}, CQs: []query.CQ{
+			{Head: []query.Arg{v("x"), v("y")}, Atoms: []query.Atom{{S: v("x"), P: c(10), O: v("y")}}},
+		}},
+	}
+	f2 := query.Fragment{
+		AtomIndexes: []int{1},
+		UCQ: query.UCQ{HeadNames: []string{"y", "z"}, CQs: []query.CQ{
+			{Head: []query.Arg{v("y"), v("z")}, Atoms: []query.Atom{{S: v("y"), P: c(11), O: v("z")}}},
+		}},
+	}
+	j := query.JUCQ{HeadNames: []string{"x", "z"}, Fragments: []query.Fragment{f1, f2}}
+	r, err := e.EvalJUCQ(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 1 || r.Row(0)[0] != 1 || r.Row(0)[1] != 3 {
+		t.Fatalf("JUCQ join wrong: %d rows", r.Len())
+	}
+}
+
+func TestEvalErrors(t *testing.T) {
+	st, ss := tinyStore([][3]dict.ID{{1, 10, 2}})
+	e := New(st, ss)
+	if _, err := e.EvalCQ(nil, query.CQ{}); err == nil {
+		t.Fatal("empty body must error")
+	}
+	// Head variable missing from body.
+	q := query.CQ{Head: []query.Arg{v("missing")}, Atoms: []query.Atom{{S: v("x"), P: c(10), O: v("y")}}}
+	if _, err := e.EvalCQ([]string{"missing"}, q); err == nil {
+		t.Fatal("unsafe head must error")
+	}
+	// Mismatched head name count.
+	if _, err := e.EvalCQ([]string{"a", "b"}, query.CQ{Head: []query.Arg{v("x")}, Atoms: []query.Atom{{S: v("x"), P: c(10), O: v("y")}}}); err == nil {
+		t.Fatal("head arity mismatch must error")
+	}
+	if _, err := e.EvalJUCQ(query.JUCQ{}); err == nil {
+		t.Fatal("JUCQ without fragments must error")
+	}
+}
+
+func TestEvalStreamBudget(t *testing.T) {
+	st, ss := tinyStore([][3]dict.ID{{1, 10, 2}})
+	e := New(st, ss)
+	e.Budget = Budget{MaxRows: 1000}
+	got, err := e.EvalUCQStream([]string{"x"}, func(fn func(query.CQ) bool) {
+		for i := 0; i < 5; i++ {
+			if !fn(query.CQ{Head: []query.Arg{v("x")}, Atoms: []query.Atom{{S: v("x"), P: c(10), O: v("y")}}}) {
+				return
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 1 {
+		t.Fatalf("stream eval: want 1 distinct row, got %d", got.Len())
+	}
+}
+
+// Evaluation against a real parsed graph, for integration confidence.
+func TestEvalAgainstParsedGraph(t *testing.T) {
+	g, err := graph.ParseString(`
+@prefix ex: <http://example.org/> .
+ex:a ex:knows ex:b .
+ex:b ex:knows ex:c .
+ex:c ex:knows ex:a .
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := storage.Build(g.Dict(), g.AllTriples())
+	e := New(st, stats.Collect(st))
+	q, err := query.ParseRuleWithPrefixes(g.Dict(), map[string]string{"ex": "http://example.org/"},
+		`q(x) :- x ex:knows y, y ex:knows z, z ex:knows x`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := e.EvalCQ(query.HeadVarNames(q), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 3 {
+		t.Fatalf("triangle query: want 3 rows, got %d", r.Len())
+	}
+}
+
+func TestRelationProjectPanicsOnWidthMismatch(t *testing.T) {
+	r := NewRelation([]string{"a"})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Append with wrong width must panic")
+		}
+	}()
+	r.Append([]dict.ID{1, 2})
+}
+
+func TestRelationString(t *testing.T) {
+	r := NewRelation([]string{"a", "b"})
+	r.Append([]dict.ID{1, 2})
+	if s := r.String(); s == "" || !containsAll(s, "a", "b", "1 rows") {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func containsAll(s string, subs ...string) bool {
+	for _, sub := range subs {
+		if !strings.Contains(s, sub) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestEvalUCQWithProvenance(t *testing.T) {
+	st, ss := tinyStore([][3]dict.ID{{1, 10, 2}, {1, 11, 2}, {3, 11, 4}})
+	e := New(st, ss)
+	u := query.UCQ{
+		HeadNames: []string{"x"},
+		CQs: []query.CQ{
+			{Head: []query.Arg{v("x")}, Atoms: []query.Atom{{S: v("x"), P: c(10), O: v("y")}}},
+			{Head: []query.Arg{v("x")}, Atoms: []query.Atom{{S: v("x"), P: c(11), O: v("y")}}},
+		},
+	}
+	rows, prov, err := e.EvalUCQWithProvenance(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Len() != 2 || len(prov) != 2 {
+		t.Fatalf("rows %d prov %d, want 2 and 2", rows.Len(), len(prov))
+	}
+	byVal := map[dict.ID][]int{}
+	for i := 0; i < rows.Len(); i++ {
+		byVal[rows.Row(i)[0]] = prov[i]
+	}
+	// Subject 1 matches both members; subject 3 only the second.
+	if len(byVal[1]) != 2 || byVal[1][0] != 0 || byVal[1][1] != 1 {
+		t.Fatalf("provenance of 1: %v", byVal[1])
+	}
+	if len(byVal[3]) != 1 || byVal[3][0] != 1 {
+		t.Fatalf("provenance of 3: %v", byVal[3])
+	}
+	// Provenance agrees with plain union evaluation.
+	plain, err := e.EvalUCQ(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rows.Equal(plain) {
+		t.Fatal("provenance evaluation changed answers")
+	}
+}
+
+func TestEvalUCQWithProvenanceBoolean(t *testing.T) {
+	st, ss := tinyStore([][3]dict.ID{{1, 10, 2}})
+	e := New(st, ss)
+	u := query.UCQ{CQs: []query.CQ{
+		{Atoms: []query.Atom{{S: v("x"), P: c(10), O: v("y")}}},
+		{Atoms: []query.Atom{{S: v("x"), P: c(99), O: v("y")}}},
+		{Atoms: []query.Atom{{S: v("x"), P: c(10), O: c(2)}}},
+	}}
+	rows, prov, err := e.EvalUCQWithProvenance(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Len() != 1 || len(prov) != 1 {
+		t.Fatalf("boolean: rows %d prov %d", rows.Len(), len(prov))
+	}
+	if len(prov[0]) != 2 || prov[0][0] != 0 || prov[0][1] != 2 {
+		t.Fatalf("boolean provenance: %v", prov[0])
+	}
+}
+
+func TestEvalJUCQParallelMatchesSerial(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	var ts [][3]dict.ID
+	for i := 0; i < 400; i++ {
+		ts = append(ts, [3]dict.ID{dict.ID(1 + r.Intn(30)), dict.ID(200 + r.Intn(3)), dict.ID(1 + r.Intn(30))})
+	}
+	st, ss := tinyStore(ts)
+	mkFrag := func(p dict.ID, a, b string) query.Fragment {
+		return query.Fragment{UCQ: query.UCQ{HeadNames: []string{a, b}, CQs: []query.CQ{
+			{Head: []query.Arg{v(a), v(b)}, Atoms: []query.Atom{{S: v(a), P: c(p), O: v(b)}}},
+		}}}
+	}
+	j := query.JUCQ{
+		HeadNames: []string{"x", "z"},
+		Fragments: []query.Fragment{mkFrag(200, "x", "y"), mkFrag(201, "y", "z"), mkFrag(202, "x", "w")},
+	}
+	serial := New(st, ss)
+	want, err := serial.EvalJUCQ(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par := New(st, ss)
+	par.Parallel = true
+	got, err := par.EvalJUCQ(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Fatalf("parallel JUCQ %d rows != serial %d rows", got.Len(), want.Len())
+	}
+}

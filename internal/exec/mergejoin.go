@@ -1,0 +1,137 @@
+package exec
+
+import (
+	"sort"
+
+	"repro/internal/dict"
+)
+
+// JoinAlgorithm selects how materialized relations are joined (fragment
+// joins and non-INLJ atom joins). INLJ decisions are orthogonal (see
+// ForceHashJoins).
+type JoinAlgorithm int
+
+const (
+	// JoinHash (default) builds a hash table on the smaller side.
+	JoinHash JoinAlgorithm = iota
+	// JoinMerge sorts both sides on the shared columns and merges — the
+	// classic RDBMS alternative; ablation knob for the join design choice.
+	JoinMerge
+)
+
+// mergeJoin joins two materialized relations on their shared variables by
+// sorting both on the join key and merging equal-key groups. Falls back to
+// the hash join when there is no shared variable (a cross product gains
+// nothing from sorting).
+func (e *Evaluator) mergeJoin(l, r *Relation) (*Relation, error) {
+	shared := sharedVars(l.Vars, r.Vars)
+	if len(shared) == 0 {
+		return e.hashJoin(l, r)
+	}
+	lIdx := make([]int, len(shared))
+	rIdx := make([]int, len(shared))
+	for i, v := range shared {
+		lIdx[i] = l.ColumnIndex(v)
+		rIdx[i] = r.ColumnIndex(v)
+	}
+	lOrder := sortedOrder(l, lIdx)
+	rOrder := sortedOrder(r, rIdx)
+
+	// Output columns: all of l's, then r's non-shared.
+	outVars := append([]string(nil), l.Vars...)
+	var extraCols []int
+	for i, v := range r.Vars {
+		if l.ColumnIndex(v) == -1 {
+			outVars = append(outVars, v)
+			extraCols = append(extraCols, i)
+		}
+	}
+	out := NewRelation(outVars)
+	outRow := make([]dict.ID, len(outVars))
+
+	cmpKeys := func(lr, rr []dict.ID) int {
+		for k := range shared {
+			a, b := lr[lIdx[k]], rr[rIdx[k]]
+			if a != b {
+				if a < b {
+					return -1
+				}
+				return 1
+			}
+		}
+		return 0
+	}
+	li, ri := 0, 0
+	for li < l.Len() && ri < r.Len() {
+		lr := l.Row(lOrder[li])
+		rr := r.Row(rOrder[ri])
+		switch cmpKeys(lr, rr) {
+		case -1:
+			li++
+		case 1:
+			ri++
+		default:
+			// Find the extent of the equal-key group on both sides.
+			lEnd := li + 1
+			for lEnd < l.Len() && cmpKeys(l.Row(lOrder[lEnd]), rr) == 0 {
+				lEnd++
+			}
+			rEnd := ri + 1
+			for rEnd < r.Len() && cmpKeys(lr, r.Row(rOrder[rEnd])) == 0 {
+				rEnd++
+			}
+			for a := li; a < lEnd; a++ {
+				la := l.Row(lOrder[a])
+				for b := ri; b < rEnd; b++ {
+					rb := r.Row(rOrder[b])
+					copy(outRow, la)
+					for j, c := range extraCols {
+						outRow[len(la)+j] = rb[c]
+					}
+					if len(outRow) == 0 {
+						out.AppendEmpty()
+					} else {
+						out.Append(outRow)
+					}
+					if err := e.checkRows(out.Len()); err != nil {
+						return nil, err
+					}
+				}
+			}
+			li, ri = lEnd, rEnd
+		}
+	}
+	if e.Trace != nil {
+		e.Trace.Joins = append(e.Trace.Joins, JoinInfo{
+			Method: "merge", SharedVars: shared,
+			LeftRows: l.Len(), RightRows: r.Len(), OutRows: out.Len(),
+		})
+	}
+	return out, nil
+}
+
+// sortedOrder returns row indexes of rel ordered by the given columns.
+func sortedOrder(rel *Relation, cols []int) []int {
+	order := make([]int, rel.Len())
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ra, rb := rel.Row(order[a]), rel.Row(order[b])
+		for _, c := range cols {
+			if ra[c] != rb[c] {
+				return ra[c] < rb[c]
+			}
+		}
+		return false
+	})
+	return order
+}
+
+// materializedJoin dispatches on the configured join algorithm.
+func (e *Evaluator) materializedJoin(l, r *Relation) (*Relation, error) {
+	if e.Join == JoinMerge {
+		return e.mergeJoin(l, r)
+	}
+	return e.hashJoin(l, r)
+}

@@ -1,0 +1,51 @@
+package exec
+
+import (
+	"fmt"
+
+	"repro/internal/query"
+)
+
+// EvalUCQWithProvenance evaluates a union like EvalUCQ but additionally
+// reports, for every distinct answer row, which member CQs produced it —
+// the demo-style explanation of *why* an implicit answer exists (each
+// non-identity member corresponds to a chain of constraint applications).
+// provenance[i] lists the 0-based indexes into u.CQs for row i of the
+// result, in ascending order.
+func (e *Evaluator) EvalUCQWithProvenance(u query.UCQ) (*Relation, [][]int, error) {
+	out := NewRelation(u.HeadNames)
+	var provenance [][]int
+	seen := map[string]int{} // row key -> row index in out
+	dl := e.newDeadline()
+	key := make([]byte, 0, 16)
+	for ci, cq := range u.CQs {
+		if dl.exceeded() {
+			return nil, nil, fmt.Errorf("%w: timeout after %d/%d CQs", ErrBudgetExceeded, ci, len(u.CQs))
+		}
+		r, err := e.evalCQ(u.HeadNames, cq, dl)
+		if err != nil {
+			return nil, nil, err
+		}
+		for i := 0; i < r.Len(); i++ {
+			row := r.Row(i)
+			key = rowKey(key[:0], row)
+			if idx, ok := seen[string(key)]; ok {
+				provenance[idx] = append(provenance[idx], ci)
+				continue
+			}
+			seen[string(key)] = out.Len()
+			if len(row) == 0 {
+				out.AppendEmpty()
+			} else {
+				out.Append(row)
+			}
+			provenance = append(provenance, []int{ci})
+			if err := e.checkRows(out.Len()); err != nil {
+				return nil, nil, err
+			}
+		}
+		// Boolean queries have zero-width rows that all share one key;
+		// handle them through the same map using the empty key.
+	}
+	return out, provenance, nil
+}

@@ -1,0 +1,200 @@
+// Package exec implements the relational executor the reformulated queries
+// run on: materialized relations over dictionary IDs, index scans, hash
+// joins, unions with set semantics, and projections. It corresponds to the
+// RDBMS evaluation layer of the paper's experiments, and exposes the
+// per-(sub)query cardinalities the demo's step 3 inspects.
+package exec
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/dict"
+)
+
+// Relation is a materialized table of dictionary IDs: column names plus
+// row-major data. Stride == len(Vars); a relation with no columns (boolean
+// query) tracks its row count explicitly.
+type Relation struct {
+	Vars  []string
+	data  []dict.ID
+	rows  int
+	width int
+}
+
+// NewRelation returns an empty relation with the given columns.
+func NewRelation(vars []string) *Relation {
+	return &Relation{Vars: vars, width: len(vars)}
+}
+
+// Width returns the number of columns.
+func (r *Relation) Width() int { return r.width }
+
+// Len returns the number of rows.
+func (r *Relation) Len() int { return r.rows }
+
+// Row returns the i-th row as a slice view; callers must not mutate it.
+func (r *Relation) Row(i int) []dict.ID {
+	return r.data[i*r.width : (i+1)*r.width]
+}
+
+// Append adds one row (copied).
+func (r *Relation) Append(row []dict.ID) {
+	if len(row) != r.width {
+		panic(fmt.Sprintf("exec: row width %d != relation width %d", len(row), r.width))
+	}
+	r.data = append(r.data, row...)
+	r.rows++
+}
+
+// AppendEmpty adds one zero-width row (for boolean results).
+func (r *Relation) AppendEmpty() {
+	if r.width != 0 {
+		panic("exec: AppendEmpty on non-empty-width relation")
+	}
+	r.rows++
+}
+
+// ColumnIndex returns the index of the named column, or -1.
+func (r *Relation) ColumnIndex(name string) int {
+	for i, v := range r.Vars {
+		if v == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Distinct removes duplicate rows in place, preserving first occurrences.
+func (r *Relation) Distinct() {
+	if r.width == 0 {
+		if r.rows > 1 {
+			r.rows = 1
+		}
+		return
+	}
+	if r.rows < 2 {
+		return
+	}
+	seen := make(map[string]bool, r.rows)
+	key := make([]byte, 0, r.width*4)
+	out := r.data[:0]
+	kept := 0
+	for i := 0; i < r.rows; i++ {
+		row := r.Row(i)
+		key = rowKey(key[:0], row)
+		if seen[string(key)] {
+			continue
+		}
+		seen[string(key)] = true
+		out = append(out, row...)
+		kept++
+	}
+	r.data = out
+	r.rows = kept
+}
+
+// Project returns a new relation with the given output columns; each output
+// column is either an existing column name or a constant (via consts, keyed
+// by output position). outNames gives the result's column names.
+func (r *Relation) Project(outNames []string, sources []int, consts map[int]dict.ID) *Relation {
+	out := NewRelation(outNames)
+	row := make([]dict.ID, len(outNames))
+	for i := 0; i < r.rows; i++ {
+		src := r.Row(i)
+		for j := range outNames {
+			if c, ok := consts[j]; ok {
+				row[j] = c
+			} else {
+				row[j] = src[sources[j]]
+			}
+		}
+		if len(row) == 0 {
+			out.AppendEmpty()
+		} else {
+			out.Append(row)
+		}
+	}
+	return out
+}
+
+// SortRows orders rows lexicographically, for deterministic output.
+func (r *Relation) SortRows() {
+	if r.rows < 2 || r.width == 0 {
+		return
+	}
+	idx := make([]int, r.rows)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		ra, rb := r.Row(idx[a]), r.Row(idx[b])
+		for k := 0; k < r.width; k++ {
+			if ra[k] != rb[k] {
+				return ra[k] < rb[k]
+			}
+		}
+		return false
+	})
+	sorted := make([]dict.ID, 0, len(r.data))
+	for _, i := range idx {
+		sorted = append(sorted, r.Row(i)...)
+	}
+	r.data = sorted
+}
+
+// Equal reports whether two relations hold the same row *sets* over the
+// same columns (order-insensitive); used by tests comparing strategies.
+func (r *Relation) Equal(o *Relation) bool {
+	if r.width != o.width || len(r.Vars) != len(o.Vars) {
+		return false
+	}
+	for i := range r.Vars {
+		if r.Vars[i] != o.Vars[i] {
+			return false
+		}
+	}
+	set := make(map[string]int, r.rows)
+	key := make([]byte, 0, r.width*4)
+	for i := 0; i < r.rows; i++ {
+		key = rowKey(key[:0], r.Row(i))
+		set[string(key)] = 1
+	}
+	oset := make(map[string]int, o.rows)
+	for i := 0; i < o.rows; i++ {
+		key = rowKey(key[:0], o.Row(i))
+		oset[string(key)] = 1
+	}
+	if len(set) != len(oset) {
+		return false
+	}
+	for k := range set {
+		if oset[k] == 0 {
+			return false
+		}
+	}
+	if r.width == 0 {
+		return (r.rows > 0) == (o.rows > 0)
+	}
+	return true
+}
+
+// String renders the relation (sorted) for debugging, decoding IDs with d
+// when non-nil.
+func (r *Relation) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "(%s) %d rows", strings.Join(r.Vars, ", "), r.rows)
+	return sb.String()
+}
+
+// rowKey encodes a row into dst as a byte key.
+func rowKey(dst []byte, row []dict.ID) []byte {
+	for _, id := range row {
+		var buf [4]byte
+		binary.LittleEndian.PutUint32(buf[:], uint32(id))
+		dst = append(dst, buf[:]...)
+	}
+	return dst
+}

@@ -1,0 +1,148 @@
+// Package federation implements the §1 deployment that motivates
+// reformulation: Semantic Web data split across independent RDF endpoints.
+// Implicit facts can follow from a triple in one source and a constraint
+// in another, the sources are read-only (no way to saturate them), and the
+// complete distributed closure is not computable source by source — so a
+// mediator fetches the sources' *explicit* triples, merges them into one
+// graph, and answers queries by reformulation.
+package federation
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/graph"
+	"repro/internal/ntriples"
+	"repro/internal/rdf"
+)
+
+// Source is one federated RDF source. Dump returns its explicit triples
+// (data plus constraint triples), exactly what a real endpoint exports —
+// never the saturation.
+type Source interface {
+	Name() string
+	Dump() ([]rdf.Triple, error)
+}
+
+// LocalSource serves triples from memory (an in-process endpoint).
+type LocalSource struct {
+	SourceName string
+	Triples    []rdf.Triple
+}
+
+// Name implements Source.
+func (s *LocalSource) Name() string { return s.SourceName }
+
+// Dump implements Source.
+func (s *LocalSource) Dump() ([]rdf.Triple, error) {
+	return append([]rdf.Triple(nil), s.Triples...), nil
+}
+
+// GraphSource exposes an existing graph as a source.
+type GraphSource struct {
+	SourceName string
+	Graph      *graph.Graph
+}
+
+// Name implements Source.
+func (s *GraphSource) Name() string { return s.SourceName }
+
+// Dump implements Source.
+func (s *GraphSource) Dump() ([]rdf.Triple, error) {
+	d := s.Graph.Dict()
+	all := s.Graph.AllTriples()
+	out := make([]rdf.Triple, len(all))
+	for i, t := range all {
+		out[i] = d.DecodeTriple(t)
+	}
+	return out, nil
+}
+
+// HTTPSource fetches a remote endpoint's /dump route (see
+// internal/httpapi).
+type HTTPSource struct {
+	SourceName string
+	// BaseURL of the endpoint, e.g. "http://host:8080".
+	BaseURL string
+	// Client defaults to a client with a 30s timeout.
+	Client *http.Client
+}
+
+// Name implements Source.
+func (s *HTTPSource) Name() string { return s.SourceName }
+
+// Dump implements Source.
+func (s *HTTPSource) Dump() ([]rdf.Triple, error) {
+	client := s.Client
+	if client == nil {
+		client = &http.Client{Timeout: 30 * time.Second}
+	}
+	resp, err := client.Get(s.BaseURL + "/dump")
+	if err != nil {
+		return nil, fmt.Errorf("federation: source %s: %w", s.SourceName, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, fmt.Errorf("federation: source %s: status %d: %s", s.SourceName, resp.StatusCode, body)
+	}
+	ts, err := ntriples.ParseAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("federation: source %s: %w", s.SourceName, err)
+	}
+	return ts, nil
+}
+
+// Mediator merges sources and answers over the union.
+type Mediator struct {
+	sources []Source
+	// PerSource records how many triples each source contributed on the
+	// last Build, keyed by source name.
+	PerSource map[string]int
+}
+
+// NewMediator returns a mediator over the sources.
+func NewMediator(sources ...Source) *Mediator {
+	return &Mediator{sources: sources}
+}
+
+// Build fetches every source and assembles the merged graph: the union of
+// explicit triples, with the union schema closed mediator-side. Duplicate
+// triples across sources collapse (RDF set semantics).
+func (m *Mediator) Build() (*graph.Graph, error) {
+	if len(m.sources) == 0 {
+		return nil, fmt.Errorf("federation: no sources")
+	}
+	m.PerSource = map[string]int{}
+	var all []rdf.Triple
+	for _, src := range m.sources {
+		ts, err := src.Dump()
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := m.PerSource[src.Name()]; dup {
+			return nil, fmt.Errorf("federation: duplicate source name %q", src.Name())
+		}
+		m.PerSource[src.Name()] = len(ts)
+		all = append(all, ts...)
+	}
+	g, err := graph.FromTriples(rdf.DedupTriples(all))
+	if err != nil {
+		return nil, fmt.Errorf("federation: merged sources are inconsistent: %w", err)
+	}
+	return g, nil
+}
+
+// Engine builds the merged graph and returns a strategy engine over it —
+// typically used with the Ref strategies, since Sat-style materialization
+// cannot be pushed back into the read-only sources.
+func (m *Mediator) Engine() (*engine.Engine, error) {
+	g, err := m.Build()
+	if err != nil {
+		return nil, err
+	}
+	return engine.New(g), nil
+}

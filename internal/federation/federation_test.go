@@ -1,0 +1,193 @@
+package federation
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/graph"
+	"repro/internal/httpapi"
+	"repro/internal/ntriples"
+	"repro/internal/query"
+	"repro/internal/rdf"
+)
+
+// Endpoint A publishes facts, endpoint B the ontology: the implicit
+// Person/Publication typing only exists over the union (§1).
+const factsSource = `
+@prefix ex: <http://example.org/> .
+ex:doi1 ex:writtenBy ex:borges .
+ex:doi2 ex:writtenBy ex:cortazar .
+`
+
+const ontologySource = `
+@prefix ex: <http://example.org/> .
+ex:Book      rdfs:subClassOf    ex:Publication .
+ex:writtenBy rdfs:subPropertyOf ex:hasAuthor .
+ex:writtenBy rdfs:domain        ex:Book .
+ex:writtenBy rdfs:range         ex:Person .
+ex:doi2 a ex:Book .
+`
+
+func mustTriples(t *testing.T, text string) []rdf.Triple {
+	t.Helper()
+	ts, err := ntriples.ParseString(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ts
+}
+
+func TestMediatorCrossSourceEntailment(t *testing.T) {
+	med := NewMediator(
+		&LocalSource{SourceName: "facts", Triples: mustTriples(t, factsSource)},
+		&LocalSource{SourceName: "ontology", Triples: mustTriples(t, ontologySource)},
+	)
+	e, err := med.Engine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := query.ParseRuleWithPrefixes(e.Graph().Dict(),
+		map[string]string{"ex": "http://example.org/"}, `q(x) :- x rdf:type ex:Person`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans, err := e.Answer(q, engine.RefGCov)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Rows.Len() != 2 {
+		t.Fatalf("cross-source entailment: want 2 Persons, got %d", ans.Rows.Len())
+	}
+	// Neither source alone entails them.
+	for _, text := range []string{factsSource, ontologySource} {
+		g, err := graph.ParseString(text)
+		if err != nil {
+			t.Fatal(err)
+		}
+		solo := engine.New(g)
+		qSolo, err := query.ParseRuleWithPrefixes(g.Dict(),
+			map[string]string{"ex": "http://example.org/"}, `q(x) :- x rdf:type ex:Person`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := solo.Answer(qSolo, engine.RefGCov)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Rows.Len() != 0 {
+			t.Fatalf("a single source should entail no Persons, got %d", a.Rows.Len())
+		}
+	}
+	if med.PerSource["facts"] == 0 || med.PerSource["ontology"] == 0 {
+		t.Fatalf("per-source accounting missing: %v", med.PerSource)
+	}
+}
+
+func TestMediatorOverHTTP(t *testing.T) {
+	mkEndpoint := func(text string) *httptest.Server {
+		g, err := graph.ParseString(text)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := httptest.NewServer(httpapi.New(g, nil))
+		t.Cleanup(srv.Close)
+		return srv
+	}
+	a := mkEndpoint(factsSource)
+	b := mkEndpoint(ontologySource)
+
+	med := NewMediator(
+		&HTTPSource{SourceName: "facts", BaseURL: a.URL},
+		&HTTPSource{SourceName: "ontology", BaseURL: b.URL},
+	)
+	e, err := med.Engine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := query.ParseRuleWithPrefixes(e.Graph().Dict(),
+		map[string]string{"ex": "http://example.org/"}, `q(x, y) :- x ex:hasAuthor y`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans, err := e.Answer(q, engine.RefGCov)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Rows.Len() != 2 {
+		t.Fatalf("want 2 authorship rows over HTTP federation, got %d", ans.Rows.Len())
+	}
+}
+
+func TestMediatorErrors(t *testing.T) {
+	if _, err := NewMediator().Build(); err == nil {
+		t.Fatal("empty mediator must error")
+	}
+	dup := NewMediator(
+		&LocalSource{SourceName: "x", Triples: mustTriples(t, factsSource)},
+		&LocalSource{SourceName: "x", Triples: mustTriples(t, ontologySource)},
+	)
+	if _, err := dup.Build(); err == nil {
+		t.Fatal("duplicate source names must error")
+	}
+}
+
+func TestHTTPSourceFailures(t *testing.T) {
+	down := &HTTPSource{SourceName: "down", BaseURL: "http://127.0.0.1:1"}
+	if _, err := down.Dump(); err == nil {
+		t.Fatal("unreachable endpoint must error")
+	}
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		http.Error(w, "nope", http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+	bad := &HTTPSource{SourceName: "bad", BaseURL: srv.URL}
+	if _, err := bad.Dump(); err == nil || !strings.Contains(err.Error(), "status 500") {
+		t.Fatalf("500 must surface: %v", err)
+	}
+	garbled := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Write([]byte("<broken ntriples"))
+	}))
+	defer garbled.Close()
+	g := &HTTPSource{SourceName: "garbled", BaseURL: garbled.URL}
+	if _, err := g.Dump(); err == nil {
+		t.Fatal("garbled dump must error")
+	}
+}
+
+func TestGraphSource(t *testing.T) {
+	g, err := graph.ParseString(ontologySource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := &GraphSource{SourceName: "g", Graph: g}
+	ts, err := src.Dump()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The dump includes the closed schema (4 constraints) plus the data
+	// triple.
+	if len(ts) != 5 {
+		t.Fatalf("dump size %d, want 5", len(ts))
+	}
+	// Merging a source with itself is idempotent.
+	med := NewMediator(src)
+	merged, err := med.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.DataCount() != g.DataCount() {
+		t.Fatalf("self-merge changed data: %d vs %d", merged.DataCount(), g.DataCount())
+	}
+}
+
+func TestMediatorConflictingSchema(t *testing.T) {
+	// A source constraining a built-in must be rejected at merge time.
+	bad := mustTriples(t, `<http://p> <http://www.w3.org/2000/01/rdf-schema#subPropertyOf> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> .`)
+	med := NewMediator(&LocalSource{SourceName: "bad", Triples: bad})
+	if _, err := med.Build(); err == nil {
+		t.Fatal("invalid merged schema must error")
+	}
+}

@@ -1,0 +1,41 @@
+package graph
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadSnapshot: arbitrary bytes must never panic the snapshot reader;
+// anything accepted must round-trip.
+func FuzzReadSnapshot(f *testing.F) {
+	g, err := ParseString(sample)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := g.WriteSnapshot(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte(""))
+	f.Add([]byte("repro-rdf-snapshot-v1\n"))
+	f.Add([]byte("repro-rdf-snapshot-v1\ngarbage"))
+	f.Add(buf.Bytes()[:len(buf.Bytes())/2])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		back, err := ReadSnapshot(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := back.WriteSnapshot(&out); err != nil {
+			t.Fatalf("accepted snapshot cannot be re-written: %v", err)
+		}
+		again, err := ReadSnapshot(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("re-written snapshot rejected: %v", err)
+		}
+		if again.DataCount() != back.DataCount() {
+			t.Fatal("round trip changed data count")
+		}
+	})
+}

@@ -1,0 +1,131 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/dict"
+	"repro/internal/rdf"
+	"repro/internal/schema"
+)
+
+// snapshotMagic versions the on-disk snapshot format.
+const snapshotMagic = "repro-rdf-snapshot-v1\n"
+
+// snapshot is the gob payload: the dictionary's term table (IDs are the
+// 1-based positions) plus encoded data and closed-schema triples. Reloads
+// rebuild the same IDs, so stores and statistics computed after a reload
+// match the original exactly.
+type snapshot struct {
+	Terms  []rdf.Term
+	Data   []dict.Triple
+	Schema []dict.Triple
+}
+
+// WriteSnapshot serializes the graph (dictionary, data, closed schema).
+func (g *Graph) WriteSnapshot(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.WriteString(snapshotMagic); err != nil {
+		return err
+	}
+	snap := snapshot{
+		Data:   g.data,
+		Schema: g.schema.Triples(),
+	}
+	snap.Terms = make([]rdf.Term, g.d.Len())
+	for i := range snap.Terms {
+		snap.Terms[i] = g.d.Decode(dict.ID(i + 1))
+	}
+	if err := gob.NewEncoder(bw).Encode(&snap); err != nil {
+		return fmt.Errorf("graph: snapshot encode: %w", err)
+	}
+	return bw.Flush()
+}
+
+// SaveSnapshot writes the snapshot to a file (atomically via a temp file in
+// the same directory).
+func (g *Graph) SaveSnapshot(path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := g.WriteSnapshot(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// ReadSnapshot reconstructs a graph from a snapshot stream. The rebuilt
+// dictionary assigns the identical IDs, and re-closing the (already
+// closed) schema is idempotent, so the result is indistinguishable from
+// the original.
+func ReadSnapshot(r io.Reader) (*Graph, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	magic := make([]byte, len(snapshotMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("graph: snapshot header: %w", err)
+	}
+	if string(magic) != snapshotMagic {
+		return nil, fmt.Errorf("graph: not a snapshot (bad magic %q)", string(magic))
+	}
+	var snap snapshot
+	if err := gob.NewDecoder(br).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("graph: snapshot decode: %w", err)
+	}
+	d := dict.New()
+	for i, term := range snap.Terms {
+		if !term.Valid() {
+			return nil, fmt.Errorf("graph: snapshot term %d invalid: %#v", i+1, term)
+		}
+		if id := d.Encode(term); id != dict.ID(i+1) {
+			return nil, fmt.Errorf("graph: snapshot term table has duplicates (term %d)", i+1)
+		}
+	}
+	n := dict.ID(len(snap.Terms))
+	checkTriple := func(t dict.Triple, what string) error {
+		if t.S == dict.None || t.P == dict.None || t.O == dict.None ||
+			t.S > n || t.P > n || t.O > n {
+			return fmt.Errorf("graph: snapshot %s triple references unknown id: %+v", what, t)
+		}
+		return nil
+	}
+	b := schema.NewBuilder(d)
+	for _, t := range snap.Schema {
+		if err := checkTriple(t, "schema"); err != nil {
+			return nil, err
+		}
+		decoded := d.DecodeTriple(t)
+		if !b.AddTriple(decoded) {
+			return nil, fmt.Errorf("graph: snapshot schema triple is not a constraint: %s", decoded)
+		}
+	}
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	for _, t := range snap.Data {
+		if err := checkTriple(t, "data"); err != nil {
+			return nil, err
+		}
+	}
+	return &Graph{d: d, schema: b.Close(), data: sortDedup(snap.Data)}, nil
+}
+
+// LoadSnapshot reads a snapshot file.
+func LoadSnapshot(path string) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadSnapshot(f)
+}

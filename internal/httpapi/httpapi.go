@@ -1,0 +1,387 @@
+// Package httpapi exposes a graph as an RDF endpoint over HTTP — the
+// deployment setting of §1 (Linked Open Data sources answering remote
+// queries), with the reformulation machinery server-side:
+//
+//	GET  /            endpoint summary (triples, schema, strategies)
+//	GET  /healthz     liveness
+//	GET  /stats       demo step 1 statistics (JSON)
+//	POST /query       answer a query (JSON body, see QueryRequest)
+//	GET  /query?q=…   same, query string (strategy, limit optional)
+//	POST /explain     reformulation sizes + GCov cover space (JSON)
+//
+// All handlers are read-only and safe for concurrent use once the engine
+// caches are warm (the server warms them at construction).
+package httpapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/exec"
+	"repro/internal/graph"
+	"repro/internal/ntriples"
+	"repro/internal/query"
+	"repro/internal/rdf"
+	"repro/internal/stats"
+)
+
+// Server is the HTTP endpoint over one graph.
+type Server struct {
+	g        *graph.Graph
+	eng      *engine.Engine
+	prefixes map[string]string
+	mux      *http.ServeMux
+	// Timeout bounds each evaluation.
+	Timeout time.Duration
+	// MaxAnswerRows caps the rows serialized per response (0 = 10000).
+	MaxAnswerRows int
+}
+
+// New builds a server over the graph; prefixes apply to rule-notation
+// queries. Engine caches (store, statistics, saturation) are built eagerly
+// so concurrent requests only read.
+func New(g *graph.Graph, prefixes map[string]string) *Server {
+	s := &Server{
+		g:        g,
+		eng:      engine.New(g),
+		prefixes: prefixes,
+		mux:      http.NewServeMux(),
+		Timeout:  30 * time.Second,
+	}
+	s.eng.Store()
+	s.eng.Stats()
+	s.eng.SatStore()
+	s.eng.SatStats()
+	s.eng.Reformulator()
+	s.eng.IncompleteReformulator()
+	s.eng.CostModel()
+
+	s.mux.HandleFunc("/", s.handleRoot)
+	s.mux.HandleFunc("/healthz", s.handleHealth)
+	s.mux.HandleFunc("/stats", s.handleStats)
+	s.mux.HandleFunc("/query", s.handleQuery)
+	s.mux.HandleFunc("/explain", s.handleExplain)
+	s.mux.HandleFunc("/dump", s.handleDump)
+	return s
+}
+
+// handleDump streams the endpoint's triples (data plus direct constraint
+// triples) as N-Triples — the export a federation mediator ingests. Like
+// real endpoints, the dump is *not* saturated: entailed triples are the
+// consumer's problem (§1).
+func (s *Server) handleDump(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/n-triples")
+	d := s.g.Dict()
+	all := s.g.AllTriples()
+	decoded := make([]rdf.Triple, len(all))
+	for i, t := range all {
+		decoded[i] = d.DecodeTriple(t)
+	}
+	_ = ntriples.Write(w, decoded)
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// --- payloads ----------------------------------------------------------------
+
+// QueryRequest is the /query input.
+type QueryRequest struct {
+	// Query in rule or SPARQL notation.
+	Query string `json:"query"`
+	// Strategy (default ref-gcov).
+	Strategy string `json:"strategy,omitempty"`
+	// Cover for strategy ref-jucq: fragments of 0-based atom indexes.
+	Cover [][]int `json:"cover,omitempty"`
+	// Limit caps returned rows (0 = server default).
+	Limit int `json:"limit,omitempty"`
+}
+
+// QueryResponse is the /query output.
+type QueryResponse struct {
+	Columns   []string   `json:"columns"`
+	Rows      [][]string `json:"rows"`
+	Total     int        `json:"total"`
+	Truncated bool       `json:"truncated,omitempty"`
+	Meta      MetaJSON   `json:"meta"`
+}
+
+// MetaJSON mirrors engine.Answer metadata.
+type MetaJSON struct {
+	Strategy         string  `json:"strategy"`
+	Cover            string  `json:"cover,omitempty"`
+	ReformulationCQs int     `json:"reformulationCQs"`
+	PrepMillis       float64 `json:"prepMillis"`
+	EvalMillis       float64 `json:"evalMillis"`
+	EstimatedCost    float64 `json:"estimatedCost,omitempty"`
+}
+
+// ExplainResponse is the /explain output.
+type ExplainResponse struct {
+	Query       string         `json:"query"`
+	UCQSize     int            `json:"ucqSize"`
+	PerAtom     []int          `json:"perAtom"`
+	GCovCover   string         `json:"gcovCover"`
+	GCovCost    float64        `json:"gcovCost"`
+	Explored    []ExploredJSON `json:"explored"`
+	AnswerCount int            `json:"answerCount"`
+}
+
+// ExploredJSON is one explored cover.
+type ExploredJSON struct {
+	Cover   string  `json:"cover"`
+	Cost    float64 `json:"cost,omitempty"`
+	Card    float64 `json:"card,omitempty"`
+	Adopted bool    `json:"adopted,omitempty"`
+	Pruned  bool    `json:"pruned,omitempty"`
+	Reason  string  `json:"reason,omitempty"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// --- handlers ----------------------------------------------------------------
+
+func (s *Server) handleRoot(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	strategies := make([]string, len(engine.Strategies))
+	for i, st := range engine.Strategies {
+		strategies[i] = string(st)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"service":     "repro RDF endpoint (reformulation-based query answering)",
+		"dataTriples": s.g.DataCount(),
+		"schema":      s.g.Schema().String(),
+		"strategies":  strategies,
+		"endpoints":   []string{"/healthz", "/stats", "/query", "/explain"},
+	})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	st := s.eng.Stats()
+	d := s.g.Dict()
+	type valueCount struct {
+		Value string `json:"value"`
+		Count int    `json:"count"`
+	}
+	top := func(vcs []stats.ValueCount) []valueCount {
+		out := make([]valueCount, len(vcs))
+		for i, vc := range vcs {
+			out[i] = valueCount{Value: d.Decode(vc.ID).String(), Count: vc.Count}
+		}
+		return out
+	}
+	pairs := make([]map[string]any, 0, 10)
+	for _, pc := range st.TopPairsPO(10) {
+		pairs = append(pairs, map[string]any{
+			"property": d.Decode(pc.P).String(),
+			"object":   d.Decode(pc.O).String(),
+			"count":    pc.Count,
+		})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"triples":            st.N(),
+		"distinctSubjects":   st.DistinctSubjects(),
+		"distinctProperties": st.DistinctProperties(),
+		"distinctObjects":    st.DistinctObjects(),
+		"topProperties":      top(st.TopValues('p', 10)),
+		"topPairs":           pairs,
+	})
+}
+
+func (s *Server) parseRequest(r *http.Request) (QueryRequest, error) {
+	var req QueryRequest
+	switch r.Method {
+	case http.MethodGet:
+		req.Query = r.URL.Query().Get("q")
+		if req.Query == "" {
+			req.Query = r.URL.Query().Get("query")
+		}
+		req.Strategy = r.URL.Query().Get("strategy")
+		if lim := r.URL.Query().Get("limit"); lim != "" {
+			n, err := strconv.Atoi(lim)
+			if err != nil {
+				return req, fmt.Errorf("bad limit %q", lim)
+			}
+			req.Limit = n
+		}
+	case http.MethodPost:
+		dec := json.NewDecoder(r.Body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			return req, fmt.Errorf("bad JSON body: %v", err)
+		}
+	default:
+		return req, fmt.Errorf("method %s not allowed", r.Method)
+	}
+	if strings.TrimSpace(req.Query) == "" {
+		return req, fmt.Errorf("missing query")
+	}
+	return req, nil
+}
+
+func (s *Server) parseCQ(text string) (query.CQ, error) {
+	upper := strings.ToUpper(strings.TrimSpace(text))
+	if strings.HasPrefix(upper, "SELECT") || strings.HasPrefix(upper, "PREFIX") {
+		return query.ParseSPARQL(s.g.Dict(), text)
+	}
+	return query.ParseRuleWithPrefixes(s.g.Dict(), s.prefixes, text)
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	req, err := s.parseRequest(r)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
+		return
+	}
+	strategy := engine.Strategy(req.Strategy)
+	if req.Strategy == "" {
+		strategy = engine.RefGCov
+	}
+	// Each request gets its own engine view sharing the warmed caches;
+	// Budget is per-request state, so shallow-copy the engine.
+	eng := *s.eng
+	eng.Budget = exec.Budget{Timeout: s.Timeout}
+	var ans *engine.Answer
+	upper := strings.ToUpper(req.Query)
+	if (strings.HasPrefix(strings.TrimSpace(upper), "SELECT") || strings.HasPrefix(strings.TrimSpace(upper), "PREFIX")) &&
+		strings.Contains(upper, "UNION") {
+		u, uerr := query.ParseSPARQLUnion(s.g.Dict(), req.Query)
+		if uerr != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{uerr.Error()})
+			return
+		}
+		ans, err = eng.AnswerUnion(u, strategy)
+	} else {
+		q, perr := s.parseCQ(req.Query)
+		if perr != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{perr.Error()})
+			return
+		}
+		if strategy == engine.RefJUCQ {
+			cover := make(query.Cover, len(req.Cover))
+			for i, f := range req.Cover {
+				cover[i] = append([]int(nil), f...)
+			}
+			ans, err = eng.AnswerWithCover(q, cover)
+		} else {
+			ans, err = eng.Answer(q, strategy)
+		}
+	}
+	if err != nil {
+		status := http.StatusUnprocessableEntity
+		writeJSON(w, status, errorResponse{err.Error()})
+		return
+	}
+	limit := req.Limit
+	if limit <= 0 {
+		limit = s.MaxAnswerRows
+		if limit <= 0 {
+			limit = 10000
+		}
+	}
+	d := s.g.Dict()
+	ans.Rows.SortRows()
+	resp := QueryResponse{
+		Columns: ans.Rows.Vars,
+		Total:   ans.Rows.Len(),
+		Meta: MetaJSON{
+			Strategy:         string(ans.Strategy),
+			Cover:            coverString(ans.Cover),
+			ReformulationCQs: ans.ReformulationCQs,
+			PrepMillis:       float64(ans.PrepTime) / float64(time.Millisecond),
+			EvalMillis:       float64(ans.EvalTime) / float64(time.Millisecond),
+			EstimatedCost:    ans.EstimatedCost,
+		},
+	}
+	if resp.Columns == nil {
+		resp.Columns = []string{}
+	}
+	n := ans.Rows.Len()
+	if n > limit {
+		n = limit
+		resp.Truncated = true
+	}
+	resp.Rows = make([][]string, 0, n)
+	for i := 0; i < n; i++ {
+		row := ans.Rows.Row(i)
+		out := make([]string, len(row))
+		for j, id := range row {
+			out[j] = d.Decode(id).String()
+		}
+		resp.Rows = append(resp.Rows, out)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	req, err := s.parseRequest(r)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
+		return
+	}
+	q, err := s.parseCQ(req.Query)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
+		return
+	}
+	eng := *s.eng
+	eng.Budget = exec.Budget{Timeout: s.Timeout}
+	total, per := eng.Reformulator().CombinationCount(q)
+	res, err := core.GCov(eng.Reformulator(), eng.CostModel(), q, core.GCovOptions{})
+	if err != nil {
+		writeJSON(w, http.StatusUnprocessableEntity, errorResponse{err.Error()})
+		return
+	}
+	ev := exec.New(eng.Store(), eng.Stats())
+	ev.Budget = exec.Budget{Timeout: s.Timeout}
+	rows, err := ev.EvalJUCQ(res.JUCQ)
+	if err != nil {
+		writeJSON(w, http.StatusUnprocessableEntity, errorResponse{err.Error()})
+		return
+	}
+	resp := ExplainResponse{
+		Query:       query.FormatCQ(s.g.Dict(), q),
+		UCQSize:     total,
+		PerAtom:     per,
+		GCovCover:   res.Cover.String(),
+		GCovCost:    res.Cost,
+		AnswerCount: rows.Len(),
+	}
+	for _, e := range res.Explored {
+		resp.Explored = append(resp.Explored, ExploredJSON{
+			Cover: e.Cover.String(), Cost: e.Cost, Card: e.Card,
+			Adopted: e.Adopted, Pruned: e.Pruned, Reason: e.Reason,
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func coverString(c query.Cover) string {
+	if c == nil {
+		return ""
+	}
+	return c.String()
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

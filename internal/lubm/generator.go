@@ -1,0 +1,295 @@
+package lubm
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graph"
+	"repro/internal/rdf"
+)
+
+// Profile controls the shape of the generated data; ranges follow the LUBM
+// specification, scaled down by the Mini preset for unit tests.
+type Profile struct {
+	// Universities fully generated (the LUBM scale factor).
+	Universities int
+	// DeptMin/DeptMax departments per university.
+	DeptMin, DeptMax int
+	// ExternalUniversities is the pool of degree-granting universities
+	// referenced by degreeFrom triples (the real generator references
+	// ~1000 mostly-ungenerated universities; this drives the selectivity
+	// of Example 1's mastersDegreeFrom atom).
+	ExternalUniversities int
+	// Faculty per department, by rank.
+	FullProfMin, FullProfMax     int
+	AssocProfMin, AssocProfMax   int
+	AssistProfMin, AssistProfMax int
+	LecturerMin, LecturerMax     int
+	// Students per faculty member.
+	UndergradPerFacultyMin, UndergradPerFacultyMax int
+	GradPerFacultyMin, GradPerFacultyMax           int
+	// Courses taken.
+	UndergradCoursesMin, UndergradCoursesMax int
+	GradCoursesMin, GradCoursesMax           int
+	// Publications per professor.
+	PubsMin, PubsMax int
+	// Research groups per department.
+	ResearchGroupMin, ResearchGroupMax int
+}
+
+// Default is the LUBM(1)-like profile (~100K triples at 1 university).
+func Default() Profile {
+	return Profile{
+		Universities: 1,
+		DeptMin:      15,
+		DeptMax:      25,
+		// The real generator references ~1000 universities; at paper
+		// scale (100M triples) every university is referenced thousands
+		// of times. Scaled to 100 here so Example 1 keeps a non-empty,
+		// selective answer at LUBM(1) size (join density preserved).
+		ExternalUniversities: 100,
+		FullProfMin:          7, FullProfMax: 10,
+		AssocProfMin: 10, AssocProfMax: 14,
+		AssistProfMin: 8, AssistProfMax: 11,
+		LecturerMin: 5, LecturerMax: 7,
+		UndergradPerFacultyMin: 8, UndergradPerFacultyMax: 14,
+		GradPerFacultyMin: 3, GradPerFacultyMax: 4,
+		UndergradCoursesMin: 2, UndergradCoursesMax: 4,
+		GradCoursesMin: 1, GradCoursesMax: 3,
+		PubsMin: 3, PubsMax: 10,
+		ResearchGroupMin: 10, ResearchGroupMax: 20,
+	}
+}
+
+// Mini is a drastically reduced profile for unit tests (~2K triples).
+func Mini() Profile {
+	return Profile{
+		Universities:         1,
+		DeptMin:              2,
+		DeptMax:              3,
+		ExternalUniversities: 10,
+		FullProfMin:          1, FullProfMax: 2,
+		AssocProfMin: 1, AssocProfMax: 2,
+		AssistProfMin: 1, AssistProfMax: 2,
+		LecturerMin: 1, LecturerMax: 1,
+		UndergradPerFacultyMin: 2, UndergradPerFacultyMax: 3,
+		GradPerFacultyMin: 1, GradPerFacultyMax: 2,
+		UndergradCoursesMin: 1, UndergradCoursesMax: 2,
+		GradCoursesMin: 1, GradCoursesMax: 2,
+		PubsMin: 1, PubsMax: 3,
+		ResearchGroupMin: 2, ResearchGroupMax: 3,
+	}
+}
+
+// UniversityIRI returns the IRI of university k (generated or external).
+func UniversityIRI(k int) rdf.Term {
+	return rdf.NewIRI(fmt.Sprintf("http://www.University%d.edu", k))
+}
+
+// DeptIRI returns the IRI of department j of university k.
+func DeptIRI(k, j int) rdf.Term {
+	return rdf.NewIRI(fmt.Sprintf("http://www.Department%d.University%d.edu", j, k))
+}
+
+func deptEntity(k, j int, kind string, i int) rdf.Term {
+	return rdf.NewIRI(fmt.Sprintf("http://www.Department%d.University%d.edu/%s%d", j, k, kind, i))
+}
+
+// Generate produces the LUBM triples (data only; combine with
+// OntologyTriples for a full graph) deterministically from the seed.
+func Generate(p Profile, seed int64) []rdf.Triple {
+	r := rand.New(rand.NewSource(seed))
+	g := &generator{p: p, r: r}
+	for u := 0; u < p.Universities; u++ {
+		g.university(u)
+	}
+	return g.out
+}
+
+// NewGraph builds the complete LUBM graph (ontology + generated data).
+func NewGraph(p Profile, seed int64) (*graph.Graph, error) {
+	ts := OntologyTriples()
+	ts = append(ts, Generate(p, seed)...)
+	return graph.FromTriples(ts)
+}
+
+type generator struct {
+	p   Profile
+	r   *rand.Rand
+	out []rdf.Triple
+}
+
+func (g *generator) emit(s, p, o rdf.Term) {
+	g.out = append(g.out, rdf.NewTriple(s, p, o))
+}
+
+func (g *generator) typed(s rdf.Term, class string) {
+	g.emit(s, rdf.Type, Class(class))
+}
+
+func (g *generator) between(lo, hi int) int {
+	if hi <= lo {
+		return lo
+	}
+	return lo + g.r.Intn(hi-lo+1)
+}
+
+// externalUniversity picks a degree-granting university IRI.
+func (g *generator) externalUniversity() rdf.Term {
+	return UniversityIRI(g.r.Intn(maxInt(g.p.ExternalUniversities, 1)))
+}
+
+func (g *generator) university(u int) {
+	univ := UniversityIRI(u)
+	g.typed(univ, "University")
+	g.emit(univ, Prop("name"), rdf.NewLiteral(fmt.Sprintf("University%d", u)))
+	nDept := g.between(g.p.DeptMin, g.p.DeptMax)
+	for j := 0; j < nDept; j++ {
+		g.department(u, j)
+	}
+}
+
+func (g *generator) department(u, j int) {
+	dept := DeptIRI(u, j)
+	univ := UniversityIRI(u)
+	g.typed(dept, "Department")
+	g.emit(dept, Prop("subOrganizationOf"), univ)
+	g.emit(dept, Prop("name"), rdf.NewLiteral(fmt.Sprintf("Department%d", j)))
+
+	type facultyMember struct {
+		iri  rdf.Term
+		rank string
+	}
+	var faculty []facultyMember
+	mkFaculty := func(rank string, n int) {
+		for i := 0; i < n; i++ {
+			f := deptEntity(u, j, rank, i)
+			g.typed(f, rank)
+			g.emit(f, Prop("worksFor"), dept)
+			g.emit(f, Prop("name"), rdf.NewLiteral(fmt.Sprintf("%s%d", rank, i)))
+			g.emit(f, Prop("emailAddress"), rdf.NewLiteral(fmt.Sprintf("%s%d@Department%d.University%d.edu", rank, i, j, u)))
+			g.emit(f, Prop("telephone"), rdf.NewLiteral("xxx-xxx-xxxx"))
+			g.emit(f, Prop("researchInterest"), rdf.NewLiteral(fmt.Sprintf("Research%d", g.r.Intn(30))))
+			g.emit(f, Prop("undergraduateDegreeFrom"), g.externalUniversity())
+			g.emit(f, Prop("mastersDegreeFrom"), g.externalUniversity())
+			g.emit(f, Prop("doctoralDegreeFrom"), g.externalUniversity())
+			faculty = append(faculty, facultyMember{iri: f, rank: rank})
+		}
+	}
+	mkFaculty("FullProfessor", g.between(g.p.FullProfMin, g.p.FullProfMax))
+	mkFaculty("AssociateProfessor", g.between(g.p.AssocProfMin, g.p.AssocProfMax))
+	mkFaculty("AssistantProfessor", g.between(g.p.AssistProfMin, g.p.AssistProfMax))
+	mkFaculty("Lecturer", g.between(g.p.LecturerMin, g.p.LecturerMax))
+
+	// The first full professor heads the department.
+	if len(faculty) > 0 {
+		g.emit(faculty[0].iri, Prop("headOf"), dept)
+	}
+
+	// Courses: each faculty member teaches 1-2 courses of each level.
+	var courses, gradCourses []rdf.Term
+	courseSeq, gradSeq := 0, 0
+	for _, f := range faculty {
+		for n := g.between(1, 2); n > 0; n-- {
+			c := deptEntity(u, j, "Course", courseSeq)
+			courseSeq++
+			g.typed(c, "Course")
+			g.emit(f.iri, Prop("teacherOf"), c)
+			courses = append(courses, c)
+		}
+		for n := g.between(1, 2); n > 0; n-- {
+			c := deptEntity(u, j, "GraduateCourse", gradSeq)
+			gradSeq++
+			g.typed(c, "GraduateCourse")
+			g.emit(f.iri, Prop("teacherOf"), c)
+			gradCourses = append(gradCourses, c)
+		}
+	}
+
+	// Research groups.
+	for i := 0; i < g.between(g.p.ResearchGroupMin, g.p.ResearchGroupMax); i++ {
+		rg := deptEntity(u, j, "ResearchGroup", i)
+		g.typed(rg, "ResearchGroup")
+		g.emit(rg, Prop("subOrganizationOf"), dept)
+	}
+
+	// Professors (not lecturers) publish.
+	pubSeq := 0
+	var professors []rdf.Term
+	for _, f := range faculty {
+		if f.rank == "Lecturer" {
+			continue
+		}
+		professors = append(professors, f.iri)
+		for n := g.between(g.p.PubsMin, g.p.PubsMax); n > 0; n-- {
+			pub := deptEntity(u, j, "Publication", pubSeq)
+			pubSeq++
+			g.typed(pub, pubClass(g.r))
+			g.emit(pub, Prop("publicationAuthor"), f.iri)
+			g.emit(pub, Prop("name"), rdf.NewLiteral(fmt.Sprintf("Publication%d", pubSeq)))
+		}
+	}
+
+	// Graduate students.
+	gradSeqN := 0
+	nGrad := len(faculty) * g.between(g.p.GradPerFacultyMin, g.p.GradPerFacultyMax)
+	for i := 0; i < nGrad; i++ {
+		s := deptEntity(u, j, "GraduateStudent", gradSeqN)
+		gradSeqN++
+		g.typed(s, "GraduateStudent")
+		g.emit(s, Prop("memberOf"), dept)
+		g.emit(s, Prop("name"), rdf.NewLiteral(fmt.Sprintf("GraduateStudent%d", i)))
+		g.emit(s, Prop("emailAddress"), rdf.NewLiteral(fmt.Sprintf("gs%d@Department%d.University%d.edu", i, j, u)))
+		g.emit(s, Prop("undergraduateDegreeFrom"), g.externalUniversity())
+		if len(professors) > 0 {
+			g.emit(s, Prop("advisor"), professors[g.r.Intn(len(professors))])
+		}
+		for n := g.between(g.p.GradCoursesMin, g.p.GradCoursesMax); n > 0 && len(gradCourses) > 0; n-- {
+			g.emit(s, Prop("takesCourse"), gradCourses[g.r.Intn(len(gradCourses))])
+		}
+		switch {
+		case g.r.Intn(5) == 0 && len(courses) > 0:
+			g.typed(s, "TeachingAssistant")
+			g.emit(s, Prop("teachingAssistantOf"), courses[g.r.Intn(len(courses))])
+		case g.r.Intn(4) == 0:
+			g.typed(s, "ResearchAssistant")
+		}
+	}
+
+	// Undergraduate students.
+	nUndergrad := len(faculty) * g.between(g.p.UndergradPerFacultyMin, g.p.UndergradPerFacultyMax)
+	for i := 0; i < nUndergrad; i++ {
+		s := deptEntity(u, j, "UndergraduateStudent", i)
+		g.typed(s, "UndergraduateStudent")
+		g.emit(s, Prop("memberOf"), dept)
+		g.emit(s, Prop("name"), rdf.NewLiteral(fmt.Sprintf("UndergraduateStudent%d", i)))
+		for n := g.between(g.p.UndergradCoursesMin, g.p.UndergradCoursesMax); n > 0 && len(courses) > 0; n-- {
+			g.emit(s, Prop("takesCourse"), courses[g.r.Intn(len(courses))])
+		}
+		if g.r.Intn(5) == 0 && len(professors) > 0 {
+			g.emit(s, Prop("advisor"), professors[g.r.Intn(len(professors))])
+		}
+	}
+}
+
+func pubClass(r *rand.Rand) string {
+	switch r.Intn(6) {
+	case 0:
+		return "JournalArticle"
+	case 1:
+		return "ConferencePaper"
+	case 2:
+		return "TechnicalReport"
+	case 3:
+		return "Book"
+	default:
+		return "Article"
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,158 @@
+// Package lubm provides the LUBM benchmark scenario of the paper's Example
+// 1: the univ-bench ontology projected onto the RDFS constraints of the
+// database fragment, a deterministic scaled data generator, the 14 LUBM
+// queries, and the 6-atom query of Example 1.
+//
+// Deviations from the original univ-bench.owl, all documented here, follow
+// the usual RDFS projection: OWL equivalences become subclass edges in the
+// useful direction (e.g. Chair ⊑ Professor, GraduateStudent ⊑ Student),
+// inverse properties are dropped, and transitivity of subOrganizationOf is
+// ignored. takesCourse is given domain Student — the RDFS reading of
+// LUBM's "Student ≡ Person taking courses" — which is what makes several
+// LUBM queries require reasoning.
+package lubm
+
+import (
+	"repro/internal/rdf"
+)
+
+// NS is the univ-bench ontology namespace.
+const NS = "http://swat.cse.lehigh.edu/onto/univ-bench.owl#"
+
+// Class names of the ontology.
+var classNames = []string{
+	// Organizations.
+	"Organization", "University", "Department", "Institute", "Program", "ResearchGroup",
+	// People.
+	"Person", "Employee", "Faculty", "Professor",
+	"AssistantProfessor", "AssociateProfessor", "FullProfessor", "VisitingProfessor",
+	"Chair", "Dean", "Director",
+	"Lecturer", "PostDoc",
+	"AdministrativeStaff", "ClericalStaff", "SystemsStaff",
+	"Student", "UndergraduateStudent", "GraduateStudent",
+	"TeachingAssistant", "ResearchAssistant",
+	// Publications.
+	"Publication", "Article", "ConferencePaper", "JournalArticle", "TechnicalReport",
+	"Book", "Manual", "Software", "Specification", "UnofficialPublication",
+	// Work.
+	"Work", "Course", "GraduateCourse", "Research", "Schedule",
+}
+
+// subClassEdges are the direct subclass axioms (sub, super).
+var subClassEdges = [][2]string{
+	{"University", "Organization"},
+	{"Department", "Organization"},
+	{"Institute", "Organization"},
+	{"Program", "Organization"},
+	{"ResearchGroup", "Organization"},
+
+	{"Employee", "Person"},
+	{"Faculty", "Employee"},
+	{"Professor", "Faculty"},
+	{"AssistantProfessor", "Professor"},
+	{"AssociateProfessor", "Professor"},
+	{"FullProfessor", "Professor"},
+	{"VisitingProfessor", "Professor"},
+	{"Chair", "Professor"},
+	{"Dean", "Professor"},
+	{"Lecturer", "Faculty"},
+	{"PostDoc", "Faculty"},
+	{"AdministrativeStaff", "Employee"},
+	{"ClericalStaff", "AdministrativeStaff"},
+	{"SystemsStaff", "AdministrativeStaff"},
+	{"Director", "Person"},
+	{"Student", "Person"},
+	{"UndergraduateStudent", "Student"},
+	{"GraduateStudent", "Student"},
+	{"TeachingAssistant", "Person"},
+	{"ResearchAssistant", "Person"},
+
+	{"Article", "Publication"},
+	{"ConferencePaper", "Article"},
+	{"JournalArticle", "Article"},
+	{"TechnicalReport", "Article"},
+	{"Book", "Publication"},
+	{"Manual", "Publication"},
+	{"Software", "Publication"},
+	{"Specification", "Publication"},
+	{"UnofficialPublication", "Publication"},
+
+	{"Course", "Work"},
+	{"GraduateCourse", "Course"},
+	{"Research", "Work"},
+}
+
+// property describes one ontology property with optional subPropertyOf,
+// domain and range (empty string = none).
+type property struct {
+	name   string
+	subOf  string
+	domain string
+	rng    string
+}
+
+var properties = []property{
+	{name: "memberOf", domain: "Person", rng: "Organization"},
+	{name: "worksFor", subOf: "memberOf", domain: "Employee", rng: "Organization"},
+	{name: "headOf", subOf: "worksFor"},
+	{name: "degreeFrom", domain: "Person", rng: "University"},
+	{name: "undergraduateDegreeFrom", subOf: "degreeFrom"},
+	{name: "mastersDegreeFrom", subOf: "degreeFrom"},
+	{name: "doctoralDegreeFrom", subOf: "degreeFrom"},
+	{name: "advisor", domain: "Person", rng: "Professor"},
+	{name: "takesCourse", domain: "Student", rng: "Course"},
+	{name: "teacherOf", domain: "Faculty", rng: "Course"},
+	{name: "teachingAssistantOf", domain: "TeachingAssistant", rng: "Course"},
+	{name: "researchAssistantOf", domain: "ResearchAssistant", rng: "ResearchGroup"},
+	{name: "publicationAuthor", domain: "Publication", rng: "Person"},
+	{name: "publicationResearch", domain: "Publication", rng: "Research"},
+	{name: "orgPublication", domain: "Organization", rng: "Publication"},
+	{name: "researchProject", domain: "ResearchGroup", rng: "Research"},
+	{name: "subOrganizationOf", domain: "Organization", rng: "Organization"},
+	{name: "affiliatedOrganizationOf", domain: "Organization", rng: "Organization"},
+	{name: "affiliateOf", domain: "Organization", rng: "Person"},
+	{name: "hasAlumnus", domain: "University", rng: "Person"},
+	{name: "softwareDocumentation", domain: "Software"},
+	{name: "listedCourse", domain: "Schedule", rng: "Course"},
+	// Datatype properties (no range class).
+	{name: "name"},
+	{name: "emailAddress", domain: "Person"},
+	{name: "telephone", domain: "Person"},
+	{name: "title", domain: "Person"},
+	{name: "age", domain: "Person"},
+	{name: "researchInterest"},
+	{name: "officeNumber"},
+	{name: "publicationDate"},
+	{name: "softwareVersion"},
+}
+
+// Class returns the IRI term of a univ-bench class.
+func Class(name string) rdf.Term { return rdf.NewIRI(NS + name) }
+
+// Prop returns the IRI term of a univ-bench property.
+func Prop(name string) rdf.Term { return rdf.NewIRI(NS + name) }
+
+// OntologyTriples returns the RDFS projection of univ-bench as schema
+// triples.
+func OntologyTriples() []rdf.Triple {
+	var out []rdf.Triple
+	for _, e := range subClassEdges {
+		out = append(out, rdf.NewTriple(Class(e[0]), rdf.SubClassOf, Class(e[1])))
+	}
+	for _, p := range properties {
+		t := Prop(p.name)
+		if p.subOf != "" {
+			out = append(out, rdf.NewTriple(t, rdf.SubPropertyOf, Prop(p.subOf)))
+		}
+		if p.domain != "" {
+			out = append(out, rdf.NewTriple(t, rdf.Domain, Class(p.domain)))
+		}
+		if p.rng != "" {
+			out = append(out, rdf.NewTriple(t, rdf.Range, Class(p.rng)))
+		}
+	}
+	return out
+}
+
+// ClassNames returns the class vocabulary (copy).
+func ClassNames() []string { return append([]string(nil), classNames...) }

@@ -1,0 +1,106 @@
+package lubm
+
+import (
+	"fmt"
+
+	"repro/internal/dict"
+	"repro/internal/query"
+)
+
+// NamedQuery is one benchmark query in the paper's rule notation.
+type NamedQuery struct {
+	Name string
+	Text string
+	// Info documents RDFS-projection deviations from the original OWL
+	// query, where applicable.
+	Info string
+}
+
+// prefixes used by the query texts.
+var queryPrefixes = map[string]string{"ub": NS}
+
+// QueryTexts returns the 14 LUBM queries (RDFS projection) phrased against
+// university u, department j. Deviations from the OWL originals are noted
+// per query; they follow the same projection as the ontology (see package
+// comment).
+func QueryTexts(u, j int) []NamedQuery {
+	dept := fmt.Sprintf("<http://www.Department%d.University%d.edu>", j, u)
+	univ := fmt.Sprintf("<http://www.University%d.edu>", u)
+	entity := func(kind string, i int) string {
+		return fmt.Sprintf("<http://www.Department%d.University%d.edu/%s%d>", j, u, kind, i)
+	}
+	return []NamedQuery{
+		{Name: "Q1", Text: fmt.Sprintf(
+			`q(x) :- x rdf:type ub:GraduateStudent, x ub:takesCourse %s`, entity("GraduateCourse", 0))},
+		{Name: "Q2", Text: `q(x, y, z) :- x rdf:type ub:GraduateStudent, y rdf:type ub:University, z rdf:type ub:Department, x ub:memberOf z, z ub:subOrganizationOf y, x ub:undergraduateDegreeFrom y`},
+		{Name: "Q3", Text: fmt.Sprintf(
+			`q(x) :- x rdf:type ub:Publication, x ub:publicationAuthor %s`, entity("AssistantProfessor", 0))},
+		{Name: "Q4", Text: fmt.Sprintf(
+			`q(x, n, e, t) :- x rdf:type ub:Professor, x ub:worksFor %s, x ub:name n, x ub:emailAddress e, x ub:telephone t`, dept)},
+		{Name: "Q5", Text: fmt.Sprintf(
+			`q(x) :- x rdf:type ub:Person, x ub:memberOf %s`, dept)},
+		{Name: "Q6", Text: `q(x) :- x rdf:type ub:Student`},
+		{Name: "Q7", Text: fmt.Sprintf(
+			`q(x, y) :- x rdf:type ub:Student, y rdf:type ub:Course, x ub:takesCourse y, %s ub:teacherOf y`, entity("AssociateProfessor", 0))},
+		{Name: "Q8", Text: fmt.Sprintf(
+			`q(x, y, e) :- x rdf:type ub:Student, y rdf:type ub:Department, x ub:memberOf y, y ub:subOrganizationOf %s, x ub:emailAddress e`, univ)},
+		{Name: "Q9", Text: `q(x, y, z) :- x rdf:type ub:Student, y rdf:type ub:Faculty, z rdf:type ub:Course, x ub:advisor y, y ub:teacherOf z, x ub:takesCourse z`},
+		{Name: "Q10", Text: fmt.Sprintf(
+			`q(x) :- x rdf:type ub:Student, x ub:takesCourse %s`, entity("GraduateCourse", 0))},
+		{Name: "Q11", Text: fmt.Sprintf(
+			`q(x) :- x rdf:type ub:ResearchGroup, x ub:subOrganizationOf y, y ub:subOrganizationOf %s`, univ),
+			Info: "subOrganizationOf transitivity (OWL) unrolled into a two-hop join (RDFS has no transitive properties)"},
+		{Name: "Q12", Text: fmt.Sprintf(
+			`q(x, y) :- y rdf:type ub:Department, x ub:headOf y, y ub:subOrganizationOf %s`, univ),
+			Info: "Chair ≡ Person ∩ headOf.Department (OWL) expressed through the headOf atom"},
+		{Name: "Q13", Text: fmt.Sprintf(
+			`q(x) :- x rdf:type ub:Person, x ub:degreeFrom %s`, univ),
+			Info: "hasAlumnus (OWL inverse of degreeFrom) replaced by degreeFrom, answered through subproperty reasoning"},
+		{Name: "Q14", Text: `q(x) :- x rdf:type ub:UndergraduateStudent`},
+	}
+}
+
+// ParsedQuery pairs a query name with its parsed form.
+type ParsedQuery struct {
+	Name string
+	Info string
+	CQ   query.CQ
+}
+
+// ParseQueries parses the 14 queries against the dictionary.
+func ParseQueries(d *dict.Dict, u, j int) ([]ParsedQuery, error) {
+	var out []ParsedQuery
+	for _, nq := range QueryTexts(u, j) {
+		cq, err := query.ParseRuleWithPrefixes(d, queryPrefixes, nq.Text)
+		if err != nil {
+			return nil, fmt.Errorf("lubm: %s: %w", nq.Name, err)
+		}
+		out = append(out, ParsedQuery{Name: nq.Name, Info: nq.Info, CQ: cq})
+	}
+	return out, nil
+}
+
+// ExampleOneText returns the paper's Example 1 query (§4) phrased against
+// the given degree-granting university IRI (the paper uses
+// http://www.Univ532.edu on LUBM; any university of the external pool
+// works):
+//
+//	q(x, u, y, v, z) :- x rdf:type u, y rdf:type v,
+//	    x ub:mastersDegreeFrom U, y ub:doctoralDegreeFrom U,
+//	    x ub:memberOf z, y ub:memberOf z
+func ExampleOneText(univIRI string) string {
+	return fmt.Sprintf(
+		`q(x, u, y, v, z) :- x rdf:type u, y rdf:type v, x ub:mastersDegreeFrom <%s>, y ub:doctoralDegreeFrom <%s>, x ub:memberOf z, y ub:memberOf z`,
+		univIRI, univIRI)
+}
+
+// ExampleOne parses the Example 1 query.
+func ExampleOne(d *dict.Dict, univIRI string) (query.CQ, error) {
+	return query.ParseRuleWithPrefixes(d, queryPrefixes, ExampleOneText(univIRI))
+}
+
+// ExampleOneCover returns the paper's hand-picked cover q” =
+// {t1,t3} {t3,t5} {t2,t4} {t4,t6} (1-based atom numbering as in §4).
+func ExampleOneCover() query.Cover {
+	return query.Cover{{0, 2}, {2, 4}, {1, 3}, {3, 5}}
+}

@@ -1,0 +1,49 @@
+package ntriples
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzParse: the parser must never panic, and anything it accepts must
+// survive a serialize → reparse round trip.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"<http://s> <http://p> <http://o> .",
+		`<http://s> <http://p> "lit"@en .`,
+		`<http://s> <http://p> "1"^^<http://www.w3.org/2001/XMLSchema#integer> .`,
+		"_:b0 <http://p> _:b1 .",
+		"@prefix ex: <http://example.org/> .\nex:s a ex:C ; ex:p ex:o1 , ex:o2 .",
+		"# comment\n@base <http://b/> .\n<rel> <http://p> 42 .",
+		`<http://s> <http://p> "esc\"aped\nA" .`,
+		"<http://s> <http://p> true .",
+		"<broken",
+		`"lit" <http://p> <http://o> .`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		ts, err := ParseString(input)
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, ts); err != nil {
+			t.Fatalf("serialize accepted triples: %v", err)
+		}
+		back, err := ParseAll(&buf)
+		if err != nil {
+			t.Fatalf("reparse of serialized output failed: %v\noutput: %q", err, buf.String())
+		}
+		if len(back) != len(ts) {
+			t.Fatalf("round trip changed count: %d -> %d", len(ts), len(back))
+		}
+		for i := range ts {
+			if ts[i] != back[i] {
+				t.Fatalf("round trip changed triple %d: %v -> %v", i, ts[i], back[i])
+			}
+		}
+	})
+}

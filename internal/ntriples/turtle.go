@@ -1,0 +1,136 @@
+package ntriples
+
+import (
+	"bufio"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/rdf"
+)
+
+// WriteTurtle serializes triples in compact Turtle: @prefix declarations,
+// prefixed names, subjects grouped with ";" and objects with ",", and the
+// "a" keyword for rdf:type. prefixes maps prefix → namespace IRI; the
+// well-known rdf/rdfs/xsd prefixes are always available. The output parses
+// back with this package's parser to exactly the same triple set.
+func WriteTurtle(w io.Writer, ts []rdf.Triple, prefixes map[string]string) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+
+	table := map[string]string{}
+	for k, v := range rdf.WellKnownPrefixes {
+		table[k] = v
+	}
+	for k, v := range prefixes {
+		table[k] = v
+	}
+	// Longest-namespace-first matching for deterministic abbreviation.
+	type ns struct{ prefix, iri string }
+	nss := make([]ns, 0, len(table))
+	for k, v := range table {
+		nss = append(nss, ns{k, v})
+	}
+	sort.Slice(nss, func(i, j int) bool {
+		if len(nss[i].iri) != len(nss[j].iri) {
+			return len(nss[i].iri) > len(nss[j].iri)
+		}
+		return nss[i].prefix < nss[j].prefix
+	})
+	used := map[string]bool{}
+	render := func(t rdf.Term, isPredicate bool) string {
+		if isPredicate && t == rdf.Type {
+			return "a"
+		}
+		if t.Kind == rdf.IRI {
+			for _, n := range nss {
+				if strings.HasPrefix(t.Value, n.iri) {
+					local := t.Value[len(n.iri):]
+					if isLocalName(local) {
+						used[n.prefix] = true
+						return n.prefix + ":" + local
+					}
+				}
+			}
+		}
+		return t.String()
+	}
+
+	// Group triples by subject, keeping per-subject predicate grouping;
+	// render to a buffer first so only used prefixes are declared.
+	sorted := append([]rdf.Triple(nil), ts...)
+	rdf.SortTriples(sorted)
+
+	var body strings.Builder
+	for i := 0; i < len(sorted); {
+		j := i
+		for j < len(sorted) && sorted[j].S == sorted[i].S {
+			j++
+		}
+		subj := render(sorted[i].S, false)
+		body.WriteString(subj)
+		// Within the subject group, triples are already sorted by
+		// predicate then object.
+		k := i
+		firstPred := true
+		for k < j {
+			l := k
+			for l < j && sorted[l].P == sorted[k].P {
+				l++
+			}
+			if firstPred {
+				body.WriteByte(' ')
+				firstPred = false
+			} else {
+				body.WriteString(" ;\n    ")
+			}
+			body.WriteString(render(sorted[k].P, true))
+			for m := k; m < l; m++ {
+				if m > k {
+					body.WriteString(" ,")
+				}
+				body.WriteByte(' ')
+				body.WriteString(render(sorted[m].O, false))
+			}
+			k = l
+		}
+		body.WriteString(" .\n")
+		i = j
+	}
+
+	// Emit the used prefix declarations, sorted.
+	var names []string
+	for p := range used {
+		names = append(names, p)
+	}
+	sort.Strings(names)
+	for _, p := range names {
+		if _, err := bw.WriteString("@prefix " + p + ": <" + table[p] + "> .\n"); err != nil {
+			return err
+		}
+	}
+	if len(names) > 0 {
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	if _, err := bw.WriteString(body.String()); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// isLocalName reports whether the string is safe as the local part of a
+// prefixed name under this package's parser (letters, digits, _, -).
+func isLocalName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_', r == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,104 @@
+package ntriples
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/rdf"
+)
+
+func TestWriteTurtleGroupsAndAbbreviates(t *testing.T) {
+	ts, err := ParseString(`
+@prefix ex: <http://example.org/> .
+ex:s a ex:C .
+ex:s ex:p ex:o1 .
+ex:s ex:p ex:o2 .
+ex:t ex:q "v" .
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteTurtle(&buf, ts, map[string]string{"ex": "http://example.org/"}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "@prefix ex:") {
+		t.Fatalf("prefix declaration missing:\n%s", out)
+	}
+	if !strings.Contains(out, "a ex:C") {
+		t.Fatalf(`"a" keyword missing:`+"\n%s", out)
+	}
+	if strings.Count(out, "ex:s") != 1 {
+		t.Fatalf("subject grouping missing (ex:s appears %d times):\n%s",
+			strings.Count(out, "ex:s"), out)
+	}
+	if !strings.Contains(out, ",") || !strings.Contains(out, ";") {
+		t.Fatalf("object/predicate abbreviations missing:\n%s", out)
+	}
+}
+
+func TestWriteTurtleOmitsUnusedPrefixes(t *testing.T) {
+	ts, err := ParseString(`<http://x/s> <http://x/p> <http://x/o> .`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteTurtle(&buf, ts, map[string]string{"ex": "http://example.org/"}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "@prefix") {
+		t.Fatalf("unused prefixes must be omitted:\n%s", buf.String())
+	}
+}
+
+// Property: Turtle output parses back to exactly the same triple set.
+func TestWriteTurtleRoundTripRandom(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		ts := randomTriples(r)
+		// Add some prefixed-name-friendly triples too.
+		for i := 0; i < r.Intn(10); i++ {
+			ts = append(ts, rdf.NewTriple(
+				rdf.NewIRI("http://example.org/e"+string(rune('a'+r.Intn(5)))),
+				rdf.NewIRI("http://example.org/p"+string(rune('a'+r.Intn(3)))),
+				rdf.NewIRI("http://example.org/o"+string(rune('a'+r.Intn(5))))))
+		}
+		want := rdf.DedupTriples(append([]rdf.Triple(nil), ts...))
+		var buf bytes.Buffer
+		if err := WriteTurtle(&buf, want, map[string]string{"ex": "http://example.org/"}); err != nil {
+			t.Fatalf("seed %d: write: %v", seed, err)
+		}
+		back, err := ParseAll(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("seed %d: reparse: %v\noutput:\n%s", seed, err, buf.String())
+		}
+		got := rdf.DedupTriples(back)
+		if len(got) != len(want) {
+			t.Fatalf("seed %d: %d triples != %d\noutput:\n%s", seed, len(got), len(want), buf.String())
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("seed %d: triple %d: %v != %v", seed, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestIsLocalName(t *testing.T) {
+	cases := map[string]bool{
+		"abc":     true,
+		"a_b-1":   true,
+		"":        false,
+		"a.b":     false,
+		"a/b":     false,
+		"España1": false, // non-ASCII kept unabbreviated for parser safety
+	}
+	for in, want := range cases {
+		if got := isLocalName(in); got != want {
+			t.Errorf("isLocalName(%q) = %v, want %v", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package query
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dict"
+)
+
+func TestFormatUCQ(t *testing.T) {
+	d := dict.New()
+	p := d.EncodeIRI("http://p")
+	mk := func(v string) CQ {
+		return NewCQ([]string{"x"}, []Atom{{S: Variable("x"), P: Constant(p), O: Variable(v)}})
+	}
+	u := UCQ{HeadNames: []string{"x"}, CQs: []CQ{mk("y"), mk("z")}}
+	out := FormatUCQ(d, u, 0)
+	if !strings.Contains(out, "2 CQs") || strings.Count(out, "∪") != 2 {
+		t.Fatalf("format: %s", out)
+	}
+	// Limit elides the tail.
+	limited := FormatUCQ(d, u, 1)
+	if !strings.Contains(limited, "1 more") {
+		t.Fatalf("limited format: %s", limited)
+	}
+}
+
+func TestFormatJUCQ(t *testing.T) {
+	d := dict.New()
+	p := d.EncodeIRI("http://p")
+	cq := NewCQ([]string{"x"}, []Atom{{S: Variable("x"), P: Constant(p), O: Variable("y")}})
+	j := JUCQ{
+		HeadNames: []string{"x"},
+		Cover:     Cover{{0}},
+		Fragments: []Fragment{{
+			AtomIndexes: []int{0},
+			CQ:          cq,
+			UCQ:         UCQ{HeadNames: []string{"x"}, CQs: []CQ{cq}},
+		}},
+	}
+	out := FormatJUCQ(d, j)
+	if !strings.Contains(out, "fragment 1") || !strings.Contains(out, "|UCQ|=1") {
+		t.Fatalf("format: %s", out)
+	}
+}
+
+func TestFormatArgAndAtom(t *testing.T) {
+	d := dict.New()
+	id := d.EncodeIRI("http://x")
+	if FormatArg(d, Variable("v")) != "v" {
+		t.Fatal("variable format")
+	}
+	if FormatArg(d, Constant(id)) != "<http://x>" {
+		t.Fatal("constant format")
+	}
+	atom := Atom{S: Variable("s"), P: Constant(id), O: Variable("o")}
+	if FormatAtom(d, atom) != "s <http://x> o" {
+		t.Fatalf("atom format: %s", FormatAtom(d, atom))
+	}
+}
+
+func TestParseErrorMessage(t *testing.T) {
+	d := dict.New()
+	_, err := ParseSPARQL(d, "SELECT")
+	pe, ok := err.(*ParseError)
+	if !ok {
+		t.Fatalf("want *ParseError, got %T", err)
+	}
+	if !strings.Contains(pe.Error(), "offset") {
+		t.Fatalf("message: %s", pe.Error())
+	}
+}
+
+func TestCoverCloneIndependence(t *testing.T) {
+	c := Cover{{0, 1}, {2}}
+	cl := c.Clone()
+	cl[0][0] = 99
+	if c[0][0] == 99 {
+		t.Fatal("Clone must deep-copy")
+	}
+}
+
+func TestCQCloneIndependence(t *testing.T) {
+	d := dict.New()
+	p := d.EncodeIRI("http://p")
+	q := NewCQ([]string{"x"}, []Atom{{S: Variable("x"), P: Constant(p), O: Variable("y")}})
+	cl := q.Clone()
+	cl.Atoms[0].S = Variable("zzz")
+	if q.Atoms[0].S.Var == "zzz" {
+		t.Fatal("Clone must deep-copy atoms")
+	}
+}

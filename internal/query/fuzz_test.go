@@ -1,0 +1,64 @@
+package query
+
+import (
+	"testing"
+
+	"repro/internal/dict"
+)
+
+// FuzzParseSPARQL: no panics; accepted queries are valid.
+func FuzzParseSPARQL(f *testing.F) {
+	seeds := []string{
+		"",
+		"SELECT ?x WHERE { ?x a <http://C> }",
+		"PREFIX ub: <http://u#>\nSELECT ?x ?y WHERE { ?x ub:p ?y . ?y a ub:C }",
+		"SELECT * WHERE { ?x <http://p> \"v\"@en ; <http://q> 42 , true }",
+		"SELECT DISTINCT $x WHERE { $x rdf:type <http://C> . }",
+		"SELECT ?x WHERE { ?x ?p ?o }",
+		"SELECT ?x WHERE { ?x a <http://C> } trailing",
+		"SELECT ?x WHERE { ?x <http://p> \"unterminated }",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		d := dict.New()
+		q, err := ParseSPARQL(d, input)
+		if err != nil {
+			return
+		}
+		if err := q.Validate(); err != nil {
+			t.Fatalf("accepted query is invalid: %v\ninput: %q", err, input)
+		}
+		// Formatting must not panic either.
+		_ = FormatCQ(d, q)
+		_ = q.CanonicalKey()
+	})
+}
+
+// FuzzParseRule: no panics; accepted queries are valid.
+func FuzzParseRule(f *testing.F) {
+	seeds := []string{
+		"",
+		"q(x) :- x rdf:type <http://C>",
+		"q(x, y) :- x <http://p> y, y <http://q> \"v\"",
+		"q() :- x p y",
+		"q(x) :- x rdf:type c, c rdfs:subClassOf <http://D>",
+		"q(w) :- x p y",
+		"q(x :- x p y",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		d := dict.New()
+		q, err := ParseRule(d, input)
+		if err != nil {
+			return
+		}
+		if err := q.Validate(); err != nil {
+			t.Fatalf("accepted query is invalid: %v\ninput: %q", err, input)
+		}
+		_ = FormatCQ(d, q)
+	})
+}

@@ -1,0 +1,431 @@
+package query
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dict"
+	"repro/internal/rdf"
+)
+
+func TestParseSPARQLBasic(t *testing.T) {
+	d := dict.New()
+	q, err := ParseSPARQL(d, `
+PREFIX ub: <http://ub#>
+SELECT ?x ?y WHERE {
+  ?x rdf:type ub:Student .
+  ?x ub:memberOf ?y
+}`)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if len(q.Head) != 2 || q.Head[0].Var != "x" || q.Head[1].Var != "y" {
+		t.Fatalf("head wrong: %+v", q.Head)
+	}
+	if len(q.Atoms) != 2 {
+		t.Fatalf("want 2 atoms, got %d", len(q.Atoms))
+	}
+	if d.Decode(q.Atoms[0].P.ID).Value != rdf.TypeIRI {
+		t.Fatal("rdf:type not expanded")
+	}
+	if d.Decode(q.Atoms[1].P.ID).Value != "http://ub#memberOf" {
+		t.Fatal("prefix not expanded")
+	}
+}
+
+func TestParseSPARQLFeatures(t *testing.T) {
+	d := dict.New()
+	cases := []struct {
+		name, text string
+		atoms      int
+		headLen    int
+	}{
+		{"a-keyword", `SELECT ?x WHERE { ?x a <http://C> }`, 1, 1},
+		{"star", `SELECT * WHERE { ?x <http://p> ?y }`, 1, 2},
+		{"distinct", `SELECT DISTINCT ?x WHERE { ?x <http://p> "v" }`, 1, 1},
+		{"semicolon", `SELECT ?x WHERE { ?x a <http://C> ; <http://p> ?y . }`, 2, 1},
+		{"comma", `SELECT ?x WHERE { ?x <http://p> "a" , "b" }`, 2, 1},
+		{"literal-typed", `SELECT ?x WHERE { ?x <http://p> "1"^^xsd:integer }`, 1, 1},
+		{"literal-lang", `SELECT ?x WHERE { ?x <http://p> "hi"@en }`, 1, 1},
+		{"integer", `SELECT ?x WHERE { ?x <http://p> 42 }`, 1, 1},
+		{"dollar-var", `SELECT $x WHERE { $x a <http://C> }`, 1, 1},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			q, err := ParseSPARQL(d, c.text)
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			if len(q.Atoms) != c.atoms || len(q.Head) != c.headLen {
+				t.Fatalf("atoms=%d head=%d, want %d and %d", len(q.Atoms), len(q.Head), c.atoms, c.headLen)
+			}
+		})
+	}
+}
+
+func TestParseSPARQLErrors(t *testing.T) {
+	d := dict.New()
+	cases := []string{
+		``,
+		`SELECT WHERE { ?x a <http://C> }`,
+		`SELECT ?x { ?x a <http://C> `,
+		`SELECT ?x WHERE { ?y a <http://C> }`, // head var not in body
+		`SELECT ?x WHERE { }`,
+		`SELECT ?x WHERE { ?x foo:bar ?y }`, // undeclared prefix
+		`SELECT ?x WHERE { ?x a <http://C> } trailing`,
+		`SELECT ?_f1 WHERE { ?_f1 a <http://C> }`, // reserved prefix
+		`SELECT ?x WHERE { x a <http://C> }`,      // bare name in SPARQL
+	}
+	for _, text := range cases {
+		if _, err := ParseSPARQL(d, text); err == nil {
+			t.Errorf("parse of %q should fail", text)
+		}
+	}
+}
+
+func TestParseRule(t *testing.T) {
+	d := dict.New()
+	q, err := ParseRule(d, `q(x, u) :- x rdf:type u, x <http://ub#memberOf> z`)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if len(q.Head) != 2 || len(q.Atoms) != 2 {
+		t.Fatalf("shape wrong: %+v", q)
+	}
+	if !q.Atoms[0].O.IsVar() || q.Atoms[0].O.Var != "u" {
+		t.Fatal("bare names must be variables in rule notation")
+	}
+	if !q.Atoms[1].S.IsVar() || q.Atoms[1].S.Var != "x" {
+		t.Fatal("subject variable wrong")
+	}
+}
+
+func TestParseRuleBoolean(t *testing.T) {
+	d := dict.New()
+	q, err := ParseRule(d, `q() :- x <http://p> y`)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if len(q.Head) != 0 {
+		t.Fatal("boolean query must have empty head")
+	}
+}
+
+func TestParseRuleErrors(t *testing.T) {
+	d := dict.New()
+	for _, text := range []string{
+		`q(x) :- `,
+		`q(x) x <http://p> y`,
+		`(x) :- x <http://p> y`,
+		`q(w) :- x <http://p> y`, // unsafe head
+		`q(_f1) :- _f1 <http://p> y`,
+	} {
+		if _, err := ParseRule(d, text); err == nil {
+			t.Errorf("parse of %q should fail", text)
+		}
+	}
+}
+
+func TestSubstitute(t *testing.T) {
+	d := dict.New()
+	c := d.EncodeIRI("http://C")
+	q := NewCQ([]string{"x"}, []Atom{
+		{S: Variable("x"), P: Variable("p"), O: Variable("y")},
+	})
+	got := q.Substitute(map[string]Arg{"p": Constant(c), "y": Variable("z")})
+	if got.Atoms[0].P.ID != c || got.Atoms[0].O.Var != "z" {
+		t.Fatalf("substitution wrong: %+v", got.Atoms[0])
+	}
+	if got.Head[0].Var != "x" {
+		t.Fatal("untouched head var changed")
+	}
+	// Original must be unchanged (immutability).
+	if q.Atoms[0].P.Var != "p" {
+		t.Fatal("substitute mutated the receiver")
+	}
+}
+
+func TestCanonicalKeyRenamingInvariant(t *testing.T) {
+	d := dict.New()
+	p := d.EncodeIRI("http://p")
+	mk := func(a, b string) CQ {
+		return NewCQ([]string{a}, []Atom{
+			{S: Variable(a), P: Constant(p), O: Variable(b)},
+			{S: Variable(b), P: Constant(p), O: Variable(a)},
+		})
+	}
+	q1, q2 := mk("x", "y"), mk("u", "v")
+	if q1.CanonicalKey() != q2.CanonicalKey() {
+		t.Fatal("renamed CQs must share canonical keys")
+	}
+	q3 := NewCQ([]string{"x"}, []Atom{
+		{S: Variable("y"), P: Constant(p), O: Variable("x")},
+		{S: Variable("x"), P: Constant(p), O: Variable("y")},
+	})
+	if q1.CanonicalKey() != q3.CanonicalKey() {
+		t.Fatal("atom order must not affect canonical keys")
+	}
+	q4 := mk("x", "x")
+	if q1.CanonicalKey() == q4.CanonicalKey() {
+		t.Fatal("distinct structures must not collide")
+	}
+}
+
+func TestUCQDedup(t *testing.T) {
+	d := dict.New()
+	p := d.EncodeIRI("http://p")
+	mk := func(v string) CQ {
+		return NewCQ([]string{"x"}, []Atom{{S: Variable("x"), P: Constant(p), O: Variable(v)}})
+	}
+	u := UCQ{HeadNames: []string{"x"}, CQs: []CQ{mk("y"), mk("z"), mk("y")}}
+	u.Dedup()
+	if len(u.CQs) != 1 {
+		t.Fatalf("want 1 distinct CQ, got %d", len(u.CQs))
+	}
+}
+
+func TestCoverValidate(t *testing.T) {
+	cases := []struct {
+		c  Cover
+		n  int
+		ok bool
+	}{
+		{Cover{{0}, {1}}, 2, true},
+		{Cover{{0, 1}}, 2, true},
+		{Cover{{0, 1}, {1}}, 2, true}, // overlap allowed
+		{Cover{{0}}, 2, false},        // atom 1 uncovered
+		{Cover{{0}, {}}, 1, false},    // empty fragment
+		{Cover{{0, 0}}, 1, false},     // not strictly sorted
+		{Cover{{1, 0}}, 2, false},     // unsorted
+		{Cover{{0, 5}}, 2, false},     // out of range
+	}
+	for i, c := range cases {
+		err := c.c.Validate(c.n)
+		if (err == nil) != c.ok {
+			t.Errorf("case %d: Validate = %v, want ok=%v", i, err, c.ok)
+		}
+	}
+}
+
+func TestCoverKeyOrderInsensitive(t *testing.T) {
+	a := Cover{{0, 1}, {2}}
+	b := Cover{{2}, {0, 1}}
+	if a.Key() != b.Key() {
+		t.Fatal("cover key must ignore fragment order")
+	}
+	c := Cover{{0}, {1, 2}}
+	if a.Key() == c.Key() {
+		t.Fatal("different covers must not collide")
+	}
+}
+
+func TestSingletonAndOneBlockCovers(t *testing.T) {
+	s := SingletonCover(3)
+	if len(s) != 3 || s.Validate(3) != nil {
+		t.Fatalf("singleton cover wrong: %v", s)
+	}
+	o := OneBlockCover(3)
+	if len(o) != 1 || len(o[0]) != 3 || o.Validate(3) != nil {
+		t.Fatalf("one-block cover wrong: %v", o)
+	}
+}
+
+func TestFragmentCQHeads(t *testing.T) {
+	d := dict.New()
+	p := d.EncodeIRI("http://p")
+	typ := d.EncodeIRI(rdf.TypeIRI)
+	c := d.EncodeIRI("http://C")
+	// q(x) :- x τ C (t0), x p y (t1), y p z (t2)
+	q := NewCQ([]string{"x"}, []Atom{
+		{S: Variable("x"), P: Constant(typ), O: Constant(c)},
+		{S: Variable("x"), P: Constant(p), O: Variable("y")},
+		{S: Variable("y"), P: Constant(p), O: Variable("z")},
+	})
+	// Fragment {t0}: head must expose x (query head + shared).
+	f0 := FragmentCQ(q, []int{0})
+	if len(f0.Head) != 1 || f0.Head[0].Var != "x" {
+		t.Fatalf("fragment {t0} head = %v", f0.Head)
+	}
+	// Fragment {t1}: head must expose x and y (shared with t0/t2, head).
+	f1 := FragmentCQ(q, []int{1})
+	if len(f1.Head) != 2 {
+		t.Fatalf("fragment {t1} head = %v", f1.Head)
+	}
+	// Fragment {t2}: y shared, z local and non-head → only y exposed.
+	f2 := FragmentCQ(q, []int{2})
+	if len(f2.Head) != 1 || f2.Head[0].Var != "y" {
+		t.Fatalf("fragment {t2} head = %v", f2.Head)
+	}
+	// Whole-query fragment: only head var x exposed.
+	fall := FragmentCQ(q, []int{0, 1, 2})
+	if len(fall.Head) != 1 || fall.Head[0].Var != "x" {
+		t.Fatalf("one-block fragment head = %v", fall.Head)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := (CQ{Head: []Arg{Variable("x")}}).Validate(); err == nil {
+		t.Fatal("empty body must be invalid")
+	}
+	d := dict.New()
+	p := d.EncodeIRI("http://p")
+	q := CQ{Head: []Arg{Variable("w")}, Atoms: []Atom{{S: Variable("x"), P: Constant(p), O: Variable("y")}}}
+	if err := q.Validate(); err == nil {
+		t.Fatal("unsafe head must be invalid")
+	}
+}
+
+func TestFormatCQ(t *testing.T) {
+	d := dict.New()
+	q, err := ParseRule(d, `q(x) :- x rdf:type <http://C>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := FormatCQ(d, q)
+	if !strings.Contains(s, "q(x)") || !strings.Contains(s, "<http://C>") {
+		t.Fatalf("format wrong: %s", s)
+	}
+}
+
+// Property: CanonicalKey is invariant under random variable renaming.
+func TestCanonicalKeyQuick(t *testing.T) {
+	d := dict.New()
+	p1 := d.EncodeIRI("http://p1")
+	p2 := d.EncodeIRI("http://p2")
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		names := []string{"x", "y", "z", "w"}
+		n := 1 + r.Intn(3)
+		var atoms []Atom
+		for i := 0; i < n; i++ {
+			props := []Arg{Constant(p1), Constant(p2)}
+			atoms = append(atoms, Atom{
+				S: Variable(names[r.Intn(len(names))]),
+				P: props[r.Intn(2)],
+				O: Variable(names[r.Intn(len(names))]),
+			})
+		}
+		q := CQ{Atoms: atoms}
+		if vs := q.Vars(); len(vs) > 0 {
+			q.Head = []Arg{Variable(vs[0])}
+		}
+		// Rename every variable consistently.
+		ren := map[string]Arg{}
+		for i, v := range q.Vars() {
+			ren[v] = Variable(names[(i+2)%len(names)] + "_r")
+		}
+		q2 := q.Substitute(ren)
+		return q.CanonicalKey() == q2.CanonicalKey()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseSPARQLUnion(t *testing.T) {
+	d := dict.New()
+	u, err := ParseSPARQLUnion(d, `
+PREFIX ex: <http://e/>
+SELECT ?x WHERE {
+  { ?x a ex:A . ?x ex:p ?y } UNION { ?x a ex:B } UNION { ?x ex:q ?z }
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(u.CQs) != 3 || len(u.HeadNames) != 1 || u.HeadNames[0] != "x" {
+		t.Fatalf("shape: %d members, head %v", len(u.CQs), u.HeadNames)
+	}
+	if len(u.CQs[0].Atoms) != 2 || len(u.CQs[1].Atoms) != 1 {
+		t.Fatal("branch bodies wrong")
+	}
+}
+
+func TestParseSPARQLUnionPlainBGP(t *testing.T) {
+	d := dict.New()
+	u, err := ParseSPARQLUnion(d, `SELECT ?x WHERE { ?x a <http://C> }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(u.CQs) != 1 {
+		t.Fatalf("plain BGP should give a 1-member union, got %d", len(u.CQs))
+	}
+}
+
+func TestParseSPARQLUnionStar(t *testing.T) {
+	d := dict.New()
+	u, err := ParseSPARQLUnion(d, `
+SELECT * WHERE { { ?x <http://p> ?y } UNION { ?x <http://q> ?z } }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only x occurs in every branch.
+	if len(u.HeadNames) != 1 || u.HeadNames[0] != "x" {
+		t.Fatalf("star head: %v", u.HeadNames)
+	}
+}
+
+func TestParseSPARQLUnionErrors(t *testing.T) {
+	d := dict.New()
+	cases := []string{
+		// Head var y missing from the second branch.
+		`SELECT ?y WHERE { { ?x <http://p> ?y } UNION { ?x <http://q> ?z } }`,
+		// Unterminated group.
+		`SELECT ?x WHERE { { ?x <http://p> ?y } UNION { ?x <http://q> ?z }`,
+		// No variable common to all branches under *.
+		`SELECT * WHERE { { ?x <http://p> ?y } UNION { ?a <http://q> ?b } }`,
+		// Trailing input.
+		`SELECT ?x WHERE { { ?x <http://p> ?y } } extra`,
+	}
+	for _, text := range cases {
+		if _, err := ParseSPARQLUnion(d, text); err == nil {
+			t.Errorf("parse of %q should fail", text)
+		}
+	}
+}
+
+func TestAtomPattern(t *testing.T) {
+	d := dict.New()
+	p := d.EncodeIRI("http://p")
+	o := d.EncodeIRI("http://o")
+	a := Atom{S: Variable("x"), P: Constant(p), O: Constant(o)}
+	pat := a.Pattern()
+	if pat.S != 0 || pat.P != p || pat.O != o {
+		t.Fatalf("pattern: %+v", pat)
+	}
+}
+
+func TestUCQSizeAndAtoms(t *testing.T) {
+	d := dict.New()
+	p := d.EncodeIRI("http://p")
+	cq := NewCQ([]string{"x"}, []Atom{
+		{S: Variable("x"), P: Constant(p), O: Variable("y")},
+		{S: Variable("y"), P: Constant(p), O: Variable("z")},
+	})
+	u := UCQ{HeadNames: []string{"x"}, CQs: []CQ{cq, cq}}
+	if u.Size() != 2 || u.Atoms() != 4 {
+		t.Fatalf("Size=%d Atoms=%d", u.Size(), u.Atoms())
+	}
+}
+
+func TestHeadVarNames(t *testing.T) {
+	d := dict.New()
+	c := d.EncodeIRI("http://c")
+	q := CQ{Head: []Arg{Variable("x"), Constant(c), Variable("y")}}
+	got := HeadVarNames(q)
+	if len(got) != 2 || got[0] != "x" || got[1] != "y" {
+		t.Fatalf("HeadVarNames = %v", got)
+	}
+}
+
+func TestParseRuleWithPrefixesInPackage(t *testing.T) {
+	d := dict.New()
+	q, err := ParseRuleWithPrefixes(d, map[string]string{"ex": "http://e/"}, `q(x) :- x ex:p y`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Decode(q.Atoms[0].P.ID).Value != "http://e/p" {
+		t.Fatal("custom prefix not applied")
+	}
+}

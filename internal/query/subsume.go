@@ -1,0 +1,117 @@
+package query
+
+// CQ subsumption and UCQ minimization. A member CQ of a union is redundant
+// when another member subsumes it: every answer it produces is already
+// produced by the subsumer, so dropping it cannot change the union's
+// answers (set semantics). Reformulation outputs are deduplicated up to
+// renaming but can still contain such semantically redundant members;
+// Minimize removes them.
+
+// Subsumes reports whether `general` subsumes `specific`: there is a
+// homomorphism h from general's terms to specific's terms that maps each
+// atom of general onto an atom of specific, is the identity on constants,
+// and maps general's head onto specific's head positionally. Then every
+// answer of specific (on any graph) is an answer of general.
+func Subsumes(general, specific CQ) bool {
+	if len(general.Head) != len(specific.Head) {
+		return false
+	}
+	h := map[string]Arg{}
+	// Seed the homomorphism with the head correspondence.
+	for i, ga := range general.Head {
+		sa := specific.Head[i]
+		if !ga.IsVar() {
+			if sa.IsVar() || sa.ID != ga.ID {
+				return false
+			}
+			continue
+		}
+		if prev, ok := h[ga.Var]; ok {
+			if prev != sa {
+				return false
+			}
+			continue
+		}
+		h[ga.Var] = sa
+	}
+	return extendHom(general.Atoms, specific.Atoms, h)
+}
+
+// extendHom tries to map every remaining atom of general into some atom of
+// specific, extending the partial homomorphism h by backtracking.
+func extendHom(general, specific []Atom, h map[string]Arg) bool {
+	if len(general) == 0 {
+		return true
+	}
+	atom := general[0]
+	for _, target := range specific {
+		var bound []string
+		ok := true
+		for i, ga := range atom.Args() {
+			sa := target.Args()[i]
+			if !ga.IsVar() {
+				if sa.IsVar() || sa.ID != ga.ID {
+					ok = false
+					break
+				}
+				continue
+			}
+			if prev, exists := h[ga.Var]; exists {
+				if prev != sa {
+					ok = false
+					break
+				}
+				continue
+			}
+			h[ga.Var] = sa
+			bound = append(bound, ga.Var)
+		}
+		if ok && extendHom(general[1:], specific, h) {
+			return true
+		}
+		for _, v := range bound {
+			delete(h, v)
+		}
+	}
+	return false
+}
+
+// Minimize removes members subsumed by other members, returning how many
+// were dropped. Mutual subsumption (semantic equivalence not caught by the
+// syntactic dedup) keeps the earlier member. Quadratic in the number of
+// members; intended for fragment-sized unions.
+func (u *UCQ) Minimize() int {
+	n := len(u.CQs)
+	if n < 2 {
+		return 0
+	}
+	removed := make([]bool, n)
+	for i := 0; i < n; i++ {
+		if removed[i] {
+			continue
+		}
+		for j := 0; j < n; j++ {
+			if i == j || removed[j] {
+				continue
+			}
+			if Subsumes(u.CQs[i], u.CQs[j]) {
+				// If they subsume each other, keep the smaller index.
+				if j < i && Subsumes(u.CQs[j], u.CQs[i]) {
+					continue
+				}
+				removed[j] = true
+			}
+		}
+	}
+	out := u.CQs[:0]
+	dropped := 0
+	for i, q := range u.CQs {
+		if removed[i] {
+			dropped++
+			continue
+		}
+		out = append(out, q)
+	}
+	u.CQs = out
+	return dropped
+}

@@ -1,0 +1,138 @@
+package query
+
+import (
+	"testing"
+
+	"repro/internal/dict"
+)
+
+func subsumeFixture() (*dict.Dict, dict.ID, dict.ID, dict.ID) {
+	d := dict.New()
+	return d, d.EncodeIRI("http://p"), d.EncodeIRI("http://q"), d.EncodeIRI("http://c")
+}
+
+func TestSubsumesBasic(t *testing.T) {
+	_, p, q, c := subsumeFixture()
+
+	// general: q(x) :- x p y   specific: q(x) :- x p y, x q z
+	general := NewCQ([]string{"x"}, []Atom{{S: Variable("x"), P: Constant(p), O: Variable("y")}})
+	specific := NewCQ([]string{"x"}, []Atom{
+		{S: Variable("x"), P: Constant(p), O: Variable("y")},
+		{S: Variable("x"), P: Constant(q), O: Variable("z")},
+	})
+	if !Subsumes(general, specific) {
+		t.Fatal("fewer atoms must subsume a superset body")
+	}
+	if Subsumes(specific, general) {
+		t.Fatal("the superset body must not subsume back")
+	}
+
+	// Constant mismatch blocks the homomorphism.
+	gc := NewCQ([]string{"x"}, []Atom{{S: Variable("x"), P: Constant(p), O: Constant(c)}})
+	if Subsumes(gc, general) {
+		t.Fatal("constant object cannot map to a variable")
+	}
+	// But a variable can map to a constant.
+	if !Subsumes(general, gc) {
+		t.Fatal("variable object must map onto the constant")
+	}
+}
+
+func TestSubsumesHeadDiscipline(t *testing.T) {
+	_, p, _, c := subsumeFixture()
+	a := NewCQ([]string{"x"}, []Atom{{S: Variable("x"), P: Constant(p), O: Variable("y")}})
+	b := NewCQ([]string{"y"}, []Atom{{S: Variable("x"), P: Constant(p), O: Variable("y")}})
+	// Same bodies, different head positions: a's head maps x→(b's head)
+	// y, but then the atom requires x→x — contradiction.
+	if Subsumes(a, b) {
+		t.Fatal("head correspondence must be enforced")
+	}
+	// Constant head on the specific side.
+	spec := CQ{Head: []Arg{Constant(c)}, Atoms: []Atom{{S: Constant(c), P: Constant(p), O: Variable("y")}}}
+	gen := NewCQ([]string{"x"}, []Atom{{S: Variable("x"), P: Constant(p), O: Variable("y")}})
+	if !Subsumes(gen, spec) {
+		t.Fatal("head variable must map onto head constant")
+	}
+	if Subsumes(spec, gen) {
+		t.Fatal("head constant cannot map onto head variable")
+	}
+	// Arity mismatch.
+	if Subsumes(NewCQ([]string{"x", "y"}, gen.Atoms), gen) {
+		t.Fatal("different head arity cannot subsume")
+	}
+}
+
+func TestSubsumesRenamedEquivalent(t *testing.T) {
+	_, p, _, _ := subsumeFixture()
+	a := NewCQ([]string{"x"}, []Atom{{S: Variable("x"), P: Constant(p), O: Variable("y")}})
+	b := NewCQ([]string{"x"}, []Atom{{S: Variable("x"), P: Constant(p), O: Variable("z")}})
+	if !Subsumes(a, b) || !Subsumes(b, a) {
+		t.Fatal("renamed copies must subsume each other")
+	}
+}
+
+func TestSubsumesFoldingVariables(t *testing.T) {
+	_, p, _, _ := subsumeFixture()
+	// general: x p y, y p z (path of 2)  specific: x p x (self loop)
+	general := NewCQ([]string{"x"}, []Atom{
+		{S: Variable("x"), P: Constant(p), O: Variable("y")},
+		{S: Variable("y"), P: Constant(p), O: Variable("z")},
+	})
+	loop := NewCQ([]string{"x"}, []Atom{{S: Variable("x"), P: Constant(p), O: Variable("x")}})
+	if !Subsumes(general, loop) {
+		t.Fatal("the path query folds onto the self loop (x,y,z → x)")
+	}
+	if Subsumes(loop, general) {
+		t.Fatal("the self loop requires an actual loop in the specific body")
+	}
+}
+
+func TestMinimizeDropsRedundantMembers(t *testing.T) {
+	_, p, q, _ := subsumeFixture()
+	broad := NewCQ([]string{"x"}, []Atom{{S: Variable("x"), P: Constant(p), O: Variable("y")}})
+	narrow := NewCQ([]string{"x"}, []Atom{
+		{S: Variable("x"), P: Constant(p), O: Variable("y")},
+		{S: Variable("x"), P: Constant(q), O: Variable("z")},
+	})
+	other := NewCQ([]string{"x"}, []Atom{{S: Variable("x"), P: Constant(q), O: Variable("y")}})
+	u := UCQ{HeadNames: []string{"x"}, CQs: []CQ{narrow, broad, other}}
+	dropped := u.Minimize()
+	if dropped != 1 || len(u.CQs) != 2 {
+		t.Fatalf("want 1 dropped, got %d (left %d)", dropped, len(u.CQs))
+	}
+	// The broad member survives, the narrow one is gone.
+	for _, cq := range u.CQs {
+		if len(cq.Atoms) == 2 {
+			t.Fatal("subsumed member survived")
+		}
+	}
+}
+
+func TestMinimizeKeepsOneOfEquivalentPair(t *testing.T) {
+	_, p, _, _ := subsumeFixture()
+	a := NewCQ([]string{"x"}, []Atom{{S: Variable("x"), P: Constant(p), O: Variable("y")}})
+	// Same query with a redundant duplicated atom (semantically equal).
+	b := NewCQ([]string{"x"}, []Atom{
+		{S: Variable("x"), P: Constant(p), O: Variable("y")},
+		{S: Variable("x"), P: Constant(p), O: Variable("w")},
+	})
+	u := UCQ{HeadNames: []string{"x"}, CQs: []CQ{a, b}}
+	if dropped := u.Minimize(); dropped != 1 || len(u.CQs) != 1 {
+		t.Fatalf("want one survivor, dropped=%d left=%d", dropped, len(u.CQs))
+	}
+	if len(u.CQs[0].Atoms) != 1 {
+		t.Fatal("the earlier (and smaller) member must survive")
+	}
+}
+
+func TestMinimizeEmptyAndSingleton(t *testing.T) {
+	u := UCQ{}
+	if u.Minimize() != 0 {
+		t.Fatal("empty union")
+	}
+	_, p, _, _ := subsumeFixture()
+	u2 := UCQ{CQs: []CQ{NewCQ([]string{"x"}, []Atom{{S: Variable("x"), P: Constant(p), O: Variable("y")}})}}
+	if u2.Minimize() != 0 || len(u2.CQs) != 1 {
+		t.Fatal("singleton union must be untouched")
+	}
+}

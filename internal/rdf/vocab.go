@@ -1,0 +1,66 @@
+package rdf
+
+// Well-known namespaces and the vocabulary the database fragment of RDF
+// relies on (Figure 1 of the paper): rdf:type for class assertions, and the
+// four RDFS constraint properties.
+const (
+	// RDFNS is the rdf: namespace prefix IRI.
+	RDFNS = "http://www.w3.org/1999/02/22-rdf-syntax-ns#"
+	// RDFSNS is the rdfs: namespace prefix IRI.
+	RDFSNS = "http://www.w3.org/2000/01/rdf-schema#"
+	// XSDNS is the xsd: namespace prefix IRI.
+	XSDNS = "http://www.w3.org/2001/XMLSchema#"
+
+	// TypeIRI is rdf:type, used in class assertions "s rdf:type o".
+	TypeIRI = RDFNS + "type"
+	// SubClassOfIRI is rdfs:subClassOf (s ⊑sc o under OWA).
+	SubClassOfIRI = RDFSNS + "subClassOf"
+	// SubPropertyOfIRI is rdfs:subPropertyOf (s ⊑sp o).
+	SubPropertyOfIRI = RDFSNS + "subPropertyOf"
+	// DomainIRI is rdfs:domain (Π_domain(s) ⊆ o).
+	DomainIRI = RDFSNS + "domain"
+	// RangeIRI is rdfs:range (Π_range(s) ⊆ o).
+	RangeIRI = RDFSNS + "range"
+	// ClassIRI is rdfs:Class.
+	ClassIRI = RDFSNS + "Class"
+	// PropertyIRI is rdf:Property.
+	PropertyIRI = RDFNS + "Property"
+	// LabelIRI is rdfs:label.
+	LabelIRI = RDFSNS + "label"
+	// XSDString is xsd:string.
+	XSDString = XSDNS + "string"
+	// XSDInteger is xsd:integer.
+	XSDInteger = XSDNS + "integer"
+)
+
+// Pre-built terms for the built-in vocabulary.
+var (
+	Type          = NewIRI(TypeIRI)
+	SubClassOf    = NewIRI(SubClassOfIRI)
+	SubPropertyOf = NewIRI(SubPropertyOfIRI)
+	Domain        = NewIRI(DomainIRI)
+	Range         = NewIRI(RangeIRI)
+)
+
+// IsSchemaProperty reports whether the IRI is one of the four RDFS
+// constraint properties of Figure 1 (bottom).
+func IsSchemaProperty(iri string) bool {
+	switch iri {
+	case SubClassOfIRI, SubPropertyOfIRI, DomainIRI, RangeIRI:
+		return true
+	}
+	return false
+}
+
+// IsSchemaTriple reports whether the triple declares an RDFS constraint.
+func IsSchemaTriple(t Triple) bool {
+	return t.P.Kind == IRI && IsSchemaProperty(t.P.Value)
+}
+
+// WellKnownPrefixes maps conventional prefixes to their namespace IRIs; the
+// parsers and formatters use it as the default prefix table.
+var WellKnownPrefixes = map[string]string{
+	"rdf":  RDFNS,
+	"rdfs": RDFSNS,
+	"xsd":  XSDNS,
+}

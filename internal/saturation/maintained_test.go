@@ -1,0 +1,194 @@
+package saturation
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dict"
+	"repro/internal/graph"
+	"repro/internal/rdf"
+	"repro/internal/testutil"
+)
+
+// TestMaintainedMatchesRecompute: after any random sequence of inserts and
+// deletes, the maintained closure equals saturating the surviving data
+// from scratch.
+func TestMaintainedMatchesRecompute(t *testing.T) {
+	iters := 60
+	if testing.Short() {
+		iters = 15
+	}
+	for seed := 0; seed < iters; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(3000 + seed)))
+			sc, err := testutil.RandomScenario(rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			g := sc.Graph
+			m := NewMaintained(g)
+
+			// Live set mirrors the maintained explicit triples.
+			live := map[dict.Triple]bool{}
+			for _, tr := range g.Data() {
+				live[tr] = true
+			}
+			pool := append([]dict.Triple(nil), g.Data()...)
+
+			for step := 0; step < 20; step++ {
+				if len(pool) == 0 {
+					break
+				}
+				tr := pool[rng.Intn(len(pool))]
+				if rng.Intn(2) == 0 {
+					m.Delete([]dict.Triple{tr})
+					delete(live, tr)
+				} else {
+					m.Insert([]dict.Triple{tr})
+					live[tr] = true
+				}
+			}
+
+			// Recompute from scratch over the surviving data.
+			surviving := make([]rdf.Triple, 0, len(live))
+			for tr := range live {
+				surviving = append(surviving, g.Dict().DecodeTriple(tr))
+			}
+			var schemaTriples []rdf.Triple
+			for _, tr := range sc.Raw {
+				if rdf.IsSchemaTriple(tr) {
+					schemaTriples = append(schemaTriples, tr)
+				}
+			}
+			g2, err := graph.FromTriples(append(schemaTriples, surviving...))
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := Saturate(g2)
+
+			// Compare as decoded string sets (different dictionaries).
+			toSet := func(d *dict.Dict, ts []dict.Triple) map[string]bool {
+				out := map[string]bool{}
+				for _, tr := range ts {
+					out[d.DecodeTriple(tr).String()] = true
+				}
+				return out
+			}
+			got := toSet(g.Dict(), m.Triples())
+			exp := toSet(g2.Dict(), want.Triples)
+			if len(got) != len(exp) {
+				t.Fatalf("maintained %d triples != recomputed %d", len(got), len(exp))
+			}
+			for k := range exp {
+				if !got[k] {
+					t.Fatalf("maintained closure missing %s", k)
+				}
+			}
+		})
+	}
+}
+
+func TestMaintainedDeleteRetractsDerived(t *testing.T) {
+	g, err := graph.ParseString(`
+@prefix ex: <http://example.org/> .
+ex:writtenBy rdfs:range ex:Person .
+ex:doi1 ex:writtenBy ex:borges .
+ex:doi2 ex:writtenBy ex:borges .
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := g.Dict()
+	m := NewMaintained(g)
+	person := dict.Triple{
+		S: mustID(t, d, rdf.NewIRI("http://example.org/borges")),
+		P: d.EncodeIRI(rdf.TypeIRI),
+		O: mustID(t, d, rdf.NewIRI("http://example.org/Person")),
+	}
+	if !m.Contains(person) {
+		t.Fatal("borges must be a Person while a writtenBy triple exists")
+	}
+	data := g.Data()
+	// Delete one of the two derivations: still a Person.
+	m.Delete(data[:1])
+	if !m.Contains(person) {
+		t.Fatal("one derivation remains; Person must persist")
+	}
+	// Delete the second: retracted.
+	m.Delete(data[1:])
+	if m.Contains(person) {
+		t.Fatal("no derivation remains; Person must be retracted")
+	}
+	if m.ExplicitCount() != 0 {
+		t.Fatalf("explicit count %d, want 0", m.ExplicitCount())
+	}
+}
+
+func TestMaintainedIdempotentOps(t *testing.T) {
+	g, err := graph.ParseString(`
+@prefix ex: <http://example.org/> .
+ex:p rdfs:domain ex:C .
+ex:a ex:p ex:b .
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMaintained(g)
+	before := len(m.Triples())
+	m.Insert(g.Data()) // duplicate insert
+	if len(m.Triples()) != before {
+		t.Fatal("duplicate insert changed the closure")
+	}
+	m.Delete(g.Data())
+	m.Delete(g.Data()) // double delete
+	if got := len(m.Triples()); got != len(g.Schema().Triples()) {
+		t.Fatalf("after full delete only schema should remain, got %d triples", got)
+	}
+}
+
+func TestMaintainedExplicitTripleAlsoDerived(t *testing.T) {
+	// The type triple is both explicit and derivable via the domain; it
+	// must survive deleting either source alone.
+	g, err := graph.ParseString(`
+@prefix ex: <http://example.org/> .
+ex:p rdfs:domain ex:C .
+ex:a ex:p ex:b .
+ex:a rdf:type ex:C .
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := g.Dict()
+	m := NewMaintained(g)
+	typeTriple := dict.Triple{
+		S: mustID(t, d, rdf.NewIRI("http://example.org/a")),
+		P: d.EncodeIRI(rdf.TypeIRI),
+		O: mustID(t, d, rdf.NewIRI("http://example.org/C")),
+	}
+	// Delete the explicit type assertion: domain derivation remains.
+	m.Delete([]dict.Triple{typeTriple})
+	if !m.Contains(typeTriple) {
+		t.Fatal("type triple still derivable via the domain constraint")
+	}
+	// Delete the property triple too: gone.
+	propTriple := dict.Triple{
+		S: typeTriple.S,
+		P: mustID(t, d, rdf.NewIRI("http://example.org/p")),
+		O: mustID(t, d, rdf.NewIRI("http://example.org/b")),
+	}
+	m.Delete([]dict.Triple{propTriple})
+	if m.Contains(typeTriple) {
+		t.Fatal("type triple must be retracted with its last derivation")
+	}
+}
+
+func mustID(t *testing.T, d *dict.Dict, term rdf.Term) dict.ID {
+	t.Helper()
+	id, ok := d.Lookup(term)
+	if !ok {
+		t.Fatalf("term %s not in dictionary", term)
+	}
+	return id
+}

@@ -1,0 +1,195 @@
+// Package saturation implements Sat, the saturation-based query answering
+// technique of the paper (§1, §3): it materializes the closure G∞ of an RDF
+// graph by applying the RDFS immediate-entailment rules to fixpoint, so
+// queries can then be evaluated directly against G∞, ignoring constraints.
+//
+// Because the schema is kept closed (see package schema) and may not
+// constrain the built-in vocabulary, every entailed instance triple is a
+// one-step consequence of exactly one data triple plus the closed schema.
+// Saturate exploits this with a single pass over the data; NaiveSaturate is
+// the straightforward fixpoint used as a cross-checking oracle in tests,
+// and the same linearity is what makes incremental maintenance (Increment)
+// proportional to the inserted batch.
+package saturation
+
+import (
+	"sort"
+
+	"repro/internal/dict"
+	"repro/internal/graph"
+	"repro/internal/rdf"
+	"repro/internal/schema"
+)
+
+// Result holds the outcome of a saturation.
+type Result struct {
+	// Triples is G∞: data, entailed instance triples, and the closed
+	// schema, sorted and deduplicated.
+	Triples []dict.Triple
+	// DataTriples is the number of explicit instance triples.
+	DataTriples int
+	// Derived is the number of entailed triples added beyond the explicit
+	// data and closed schema.
+	Derived int
+}
+
+// Saturate computes G∞ for the graph in a single pass over the data.
+func Saturate(g *graph.Graph) *Result {
+	s := g.Schema()
+	typeID := g.Dict().EncodeIRI(rdf.TypeIRI)
+
+	data := g.Data()
+	out := make([]dict.Triple, 0, len(data)*2)
+	out = append(out, data...)
+	for _, t := range data {
+		deriveOne(s, typeID, t, func(d dict.Triple) {
+			out = append(out, d)
+		})
+	}
+	out = append(out, s.Triples()...)
+	out = sortDedupTriples(out)
+	return &Result{
+		Triples:     out,
+		DataTriples: len(data),
+		Derived:     len(out) - len(data) - len(s.Triples()),
+	}
+}
+
+// deriveOne emits every triple entailed (in any number of steps) by the
+// single data triple t together with the closed schema.
+func deriveOne(s *schema.Schema, typeID dict.ID, t dict.Triple, emit func(dict.Triple)) {
+	if t.P == typeID {
+		for _, sup := range s.SuperClasses(t.O) {
+			emit(dict.Triple{S: t.S, P: typeID, O: sup})
+		}
+		return
+	}
+	for _, sup := range s.SuperProperties(t.P) {
+		emit(dict.Triple{S: t.S, P: sup, O: t.O})
+	}
+	for _, c := range s.DomainClosure(t.P) {
+		emit(dict.Triple{S: t.S, P: typeID, O: c})
+	}
+	for _, c := range s.RangeClosure(t.P) {
+		emit(dict.Triple{S: t.O, P: typeID, O: c})
+	}
+}
+
+// Increment extends a previous saturation with a batch of new data triples,
+// returning the new closure. Thanks to the linearity of RDFS instance
+// rules (each entailed triple depends on one data triple plus the schema),
+// only the batch needs deriving; the cost is independent of |G|. This is
+// the maintenance-cost comparison point of experiment E6.
+func Increment(g *graph.Graph, prev *Result, batch []dict.Triple) *Result {
+	s := g.Schema()
+	typeID := g.Dict().EncodeIRI(rdf.TypeIRI)
+	out := make([]dict.Triple, 0, len(prev.Triples)+len(batch)*2)
+	out = append(out, prev.Triples...)
+	out = append(out, batch...)
+	for _, t := range batch {
+		deriveOne(s, typeID, t, func(d dict.Triple) {
+			out = append(out, d)
+		})
+	}
+	out = sortDedupTriples(out)
+	return &Result{
+		Triples:     out,
+		DataTriples: prev.DataTriples + len(batch),
+		Derived:     len(out) - (prev.DataTriples + len(batch)) - len(s.Triples()),
+	}
+}
+
+// NaiveSaturate is the reference implementation: it applies the RDFS
+// immediate-entailment rules (rdfs2, rdfs3, rdfs5, rdfs7, rdfs9, rdfs11,
+// plus downward domain/range inheritance through ⊑sp) to fixpoint over the
+// full triple set (data plus direct schema triples). It is quadratic and
+// only used to cross-check Saturate in tests.
+func NaiveSaturate(d *dict.Dict, triples []dict.Triple) []dict.Triple {
+	typeID := d.EncodeIRI(rdf.TypeIRI)
+	scID := d.EncodeIRI(rdf.SubClassOfIRI)
+	spID := d.EncodeIRI(rdf.SubPropertyOfIRI)
+	domID := d.EncodeIRI(rdf.DomainIRI)
+	rngID := d.EncodeIRI(rdf.RangeIRI)
+
+	set := make(map[dict.Triple]bool, len(triples)*2)
+	var all []dict.Triple
+	add := func(t dict.Triple) {
+		if !set[t] {
+			set[t] = true
+			all = append(all, t)
+		}
+	}
+	for _, t := range triples {
+		add(t)
+	}
+	for changed := true; changed; {
+		changed = false
+		n := len(all)
+		for i := 0; i < n; i++ {
+			a := all[i]
+			for j := 0; j < len(all); j++ {
+				b := all[j]
+				for _, derived := range immediate(a, b, typeID, scID, spID, domID, rngID) {
+					if !set[derived] {
+						add(derived)
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	return sortDedupTriples(all)
+}
+
+// immediate applies every binary immediate-entailment rule to the ordered
+// pair (a, b) and returns the derived triples.
+func immediate(a, b dict.Triple, typeID, scID, spID, domID, rngID dict.ID) []dict.Triple {
+	var out []dict.Triple
+	// rdfs11: (a: c1 ⊑sc c2), (b: c2 ⊑sc c3) → c1 ⊑sc c3
+	if a.P == scID && b.P == scID && a.O == b.S {
+		out = append(out, dict.Triple{S: a.S, P: scID, O: b.O})
+	}
+	// rdfs5: subproperty transitivity
+	if a.P == spID && b.P == spID && a.O == b.S {
+		out = append(out, dict.Triple{S: a.S, P: spID, O: b.O})
+	}
+	// rdfs9: (a: s τ c1), (b: c1 ⊑sc c2) → s τ c2
+	if a.P == typeID && b.P == scID && a.O == b.S {
+		out = append(out, dict.Triple{S: a.S, P: typeID, O: b.O})
+	}
+	// rdfs7: (a: s p1 o), (b: p1 ⊑sp p2) → s p2 o
+	if b.P == spID && a.P == b.S {
+		out = append(out, dict.Triple{S: a.S, P: b.O, O: a.O})
+	}
+	// rdfs2: (a: s p o), (b: p ←d c) → s τ c
+	if b.P == domID && a.P == b.S {
+		out = append(out, dict.Triple{S: a.S, P: typeID, O: b.O})
+	}
+	// rdfs3: (a: s p o), (b: p ←r c) → o τ c
+	if b.P == rngID && a.P == b.S {
+		out = append(out, dict.Triple{S: a.O, P: typeID, O: b.O})
+	}
+	// domain inheritance: (a: p1 ⊑sp p2), (b: p2 ←d c) → p1 ←d c
+	if a.P == spID && b.P == domID && a.O == b.S {
+		out = append(out, dict.Triple{S: a.S, P: domID, O: b.O})
+	}
+	// range inheritance
+	if a.P == spID && b.P == rngID && a.O == b.S {
+		out = append(out, dict.Triple{S: a.S, P: rngID, O: b.O})
+	}
+	return out
+}
+
+func sortDedupTriples(ts []dict.Triple) []dict.Triple {
+	if len(ts) < 2 {
+		return ts
+	}
+	sort.Slice(ts, func(i, j int) bool { return graph.CompareTriples(ts[i], ts[j]) < 0 })
+	out := ts[:1]
+	for _, t := range ts[1:] {
+		if t != out[len(out)-1] {
+			out = append(out, t)
+		}
+	}
+	return out
+}

@@ -1,0 +1,467 @@
+// Package schema represents the RDF Schema constraints of the database
+// fragment (Figure 1, bottom, of the paper): subClassOf (⊑sc),
+// subPropertyOf (⊑sp), domain (←d) and range (←r), interpreted under the
+// open-world assumption.
+//
+// The schema is kept *closed*: the transitive closures of ⊑sc and ⊑sp are
+// maintained, and domain/range constraints are inherited downward through
+// ⊑sp. Closing the schema is cheap (schemas are tiny compared to the data)
+// and is the standard device of the DB fragment: schema-level query atoms
+// are answered directly against the closed schema, since transitive closure
+// is not expressible as a UCQ.
+package schema
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dict"
+	"repro/internal/rdf"
+)
+
+// Schema holds the closed RDFS constraints of a graph, dictionary-encoded.
+type Schema struct {
+	d *dict.Dict
+
+	// Closed, strict relations (the key never appears in its own slice
+	// unless the input schema contains a cycle, in which case members of
+	// the cycle are mutual strict sub/super entries).
+	subClassUp   map[dict.ID][]dict.ID // class  -> strict superclasses
+	subClassDown map[dict.ID][]dict.ID // class  -> strict subclasses
+	subPropUp    map[dict.ID][]dict.ID // prop   -> strict superproperties
+	subPropDown  map[dict.ID][]dict.ID // prop   -> strict subproperties
+
+	// Direct constraints plus downward inheritance through ⊑sp: if
+	// p ⊑sp p' and p' ←d c then p ←d c.
+	domains map[dict.ID][]dict.ID // property -> domain classes
+	ranges  map[dict.ID][]dict.ID // property -> range classes
+
+	// Reverse maps used by the reformulation rules (2), (3), (6), (7),
+	// (10), (11): class -> properties having it as (inherited) domain or
+	// range.
+	domainsRev map[dict.ID][]dict.ID
+	rangesRev  map[dict.ID][]dict.ID
+
+	// Saturation closures: class set entailed for the subject (resp.
+	// object) of any p-triple, i.e. domain classes lifted upward through
+	// ⊑sc. Precomputed so saturation is a single pass over the data.
+	domainUp map[dict.ID][]dict.ID
+	rangeUp  map[dict.ID][]dict.ID
+
+	classes    []dict.ID // sorted
+	properties []dict.ID // sorted
+	classSet   map[dict.ID]bool
+	propSet    map[dict.ID]bool
+
+	triples []dict.Triple // the closed schema triples, sorted
+}
+
+// Dict returns the dictionary the schema is encoded against.
+func (s *Schema) Dict() *dict.Dict { return s.d }
+
+// Builder accumulates schema constraints before closing them.
+type Builder struct {
+	d          *dict.Dict
+	subClass   map[dict.ID][]dict.ID
+	subProp    map[dict.ID][]dict.ID
+	domains    map[dict.ID][]dict.ID
+	ranges     map[dict.ID][]dict.ID
+	classes    map[dict.ID]bool
+	properties map[dict.ID]bool
+}
+
+// NewBuilder returns an empty schema builder encoding against d.
+func NewBuilder(d *dict.Dict) *Builder {
+	return &Builder{
+		d:          d,
+		subClass:   map[dict.ID][]dict.ID{},
+		subProp:    map[dict.ID][]dict.ID{},
+		domains:    map[dict.ID][]dict.ID{},
+		ranges:     map[dict.ID][]dict.ID{},
+		classes:    map[dict.ID]bool{},
+		properties: map[dict.ID]bool{},
+	}
+}
+
+// SubClass declares sub ⊑sc super.
+func (b *Builder) SubClass(sub, super rdf.Term) *Builder {
+	s, o := b.d.Encode(sub), b.d.Encode(super)
+	b.subClass[s] = append(b.subClass[s], o)
+	b.classes[s], b.classes[o] = true, true
+	return b
+}
+
+// SubProperty declares sub ⊑sp super.
+func (b *Builder) SubProperty(sub, super rdf.Term) *Builder {
+	s, o := b.d.Encode(sub), b.d.Encode(super)
+	b.subProp[s] = append(b.subProp[s], o)
+	b.properties[s], b.properties[o] = true, true
+	return b
+}
+
+// Domain declares p ←d c.
+func (b *Builder) Domain(p, c rdf.Term) *Builder {
+	pi, ci := b.d.Encode(p), b.d.Encode(c)
+	b.domains[pi] = append(b.domains[pi], ci)
+	b.properties[pi], b.classes[ci] = true, true
+	return b
+}
+
+// Range declares p ←r c.
+func (b *Builder) Range(p, c rdf.Term) *Builder {
+	pi, ci := b.d.Encode(p), b.d.Encode(c)
+	b.ranges[pi] = append(b.ranges[pi], ci)
+	b.properties[pi], b.classes[ci] = true, true
+	return b
+}
+
+// DeclareClass registers a class with no constraints (from an explicit
+// "c rdf:type rdfs:Class" declaration).
+func (b *Builder) DeclareClass(c rdf.Term) *Builder {
+	b.classes[b.d.Encode(c)] = true
+	return b
+}
+
+// DeclareProperty registers a property with no constraints.
+func (b *Builder) DeclareProperty(p rdf.Term) *Builder {
+	b.properties[b.d.Encode(p)] = true
+	return b
+}
+
+// AddTriple ingests one RDFS constraint triple; it reports whether the
+// triple was a schema triple (and therefore consumed).
+func (b *Builder) AddTriple(t rdf.Triple) bool {
+	if t.P.Kind != rdf.IRI {
+		return false
+	}
+	switch t.P.Value {
+	case rdf.SubClassOfIRI:
+		b.SubClass(t.S, t.O)
+	case rdf.SubPropertyOfIRI:
+		b.SubProperty(t.S, t.O)
+	case rdf.DomainIRI:
+		b.Domain(t.S, t.O)
+	case rdf.RangeIRI:
+		b.Range(t.S, t.O)
+	case rdf.TypeIRI:
+		if t.O.Kind == rdf.IRI && t.O.Value == rdf.ClassIRI {
+			b.DeclareClass(t.S)
+			return true
+		}
+		if t.O.Kind == rdf.IRI && t.O.Value == rdf.PropertyIRI {
+			b.DeclareProperty(t.S)
+			return true
+		}
+		return false
+	default:
+		return false
+	}
+	return true
+}
+
+// Validate rejects schemas that constrain the built-in RDF/RDFS vocabulary
+// (e.g. declaring a subproperty of rdf:type, or a domain for
+// rdfs:subClassOf). The database fragment treats the built-ins as
+// non-extensible; allowing such constraints would break the schema/data
+// stratification that makes single-pass saturation and UCQ reformulation
+// complete.
+func (b *Builder) Validate() error {
+	for _, iri := range []string{rdf.TypeIRI, rdf.SubClassOfIRI, rdf.SubPropertyOfIRI, rdf.DomainIRI, rdf.RangeIRI} {
+		id, ok := b.d.LookupIRI(iri)
+		if !ok {
+			continue
+		}
+		if b.properties[id] {
+			return fmt.Errorf("schema: built-in %s may not be constrained as a property", iri)
+		}
+		if b.classes[id] {
+			return fmt.Errorf("schema: built-in %s may not be used as a class", iri)
+		}
+	}
+	return nil
+}
+
+// Close computes the schema closure and returns the immutable Schema.
+func (b *Builder) Close() *Schema {
+	s := &Schema{
+		d:          b.d,
+		domains:    map[dict.ID][]dict.ID{},
+		ranges:     map[dict.ID][]dict.ID{},
+		domainsRev: map[dict.ID][]dict.ID{},
+		rangesRev:  map[dict.ID][]dict.ID{},
+		domainUp:   map[dict.ID][]dict.ID{},
+		rangeUp:    map[dict.ID][]dict.ID{},
+		classSet:   map[dict.ID]bool{},
+		propSet:    map[dict.ID]bool{},
+	}
+	s.subClassUp = transitiveClosure(b.subClass)
+	s.subClassDown = invert(s.subClassUp)
+	s.subPropUp = transitiveClosure(b.subProp)
+	s.subPropDown = invert(s.subPropUp)
+
+	for c := range b.classes {
+		s.classSet[c] = true
+	}
+	for p := range b.properties {
+		s.propSet[p] = true
+	}
+
+	// Domains/ranges with downward inheritance through ⊑sp.
+	for p := range b.properties {
+		ds := idSet{}
+		rs := idSet{}
+		ds.addAll(b.domains[p])
+		rs.addAll(b.ranges[p])
+		for _, sup := range s.subPropUp[p] {
+			ds.addAll(b.domains[sup])
+			rs.addAll(b.ranges[sup])
+		}
+		if len(ds) > 0 {
+			s.domains[p] = ds.sorted()
+		}
+		if len(rs) > 0 {
+			s.ranges[p] = rs.sorted()
+		}
+	}
+	for p, cs := range s.domains {
+		for _, c := range cs {
+			s.domainsRev[c] = append(s.domainsRev[c], p)
+		}
+	}
+	for p, cs := range s.ranges {
+		for _, c := range cs {
+			s.rangesRev[c] = append(s.rangesRev[c], p)
+		}
+	}
+	for _, m := range []map[dict.ID][]dict.ID{s.domainsRev, s.rangesRev} {
+		for c := range m {
+			sortIDs(m[c])
+		}
+	}
+
+	// Saturation closures: lift domain/range classes upward through ⊑sc.
+	for p, cs := range s.domains {
+		up := idSet{}
+		for _, c := range cs {
+			up.add(c)
+			up.addAll(s.subClassUp[c])
+		}
+		s.domainUp[p] = up.sorted()
+	}
+	for p, cs := range s.ranges {
+		up := idSet{}
+		for _, c := range cs {
+			up.add(c)
+			up.addAll(s.subClassUp[c])
+		}
+		s.rangeUp[p] = up.sorted()
+	}
+
+	s.classes = keysSorted(s.classSet)
+	s.properties = keysSorted(s.propSet)
+	s.buildTriples()
+	return s
+}
+
+// buildTriples materializes the closed schema as encoded triples so it can
+// be stored alongside the data and queried.
+func (s *Schema) buildTriples() {
+	sub := s.d.Encode(rdf.SubClassOf)
+	subp := s.d.Encode(rdf.SubPropertyOf)
+	dom := s.d.Encode(rdf.Domain)
+	rng := s.d.Encode(rdf.Range)
+	var out []dict.Triple
+	for c, sups := range s.subClassUp {
+		for _, sup := range sups {
+			out = append(out, dict.Triple{S: c, P: sub, O: sup})
+		}
+	}
+	for p, sups := range s.subPropUp {
+		for _, sup := range sups {
+			out = append(out, dict.Triple{S: p, P: subp, O: sup})
+		}
+	}
+	for p, cs := range s.domains {
+		for _, c := range cs {
+			out = append(out, dict.Triple{S: p, P: dom, O: c})
+		}
+	}
+	for p, cs := range s.ranges {
+		for _, c := range cs {
+			out = append(out, dict.Triple{S: p, P: rng, O: c})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.S != b.S {
+			return a.S < b.S
+		}
+		if a.P != b.P {
+			return a.P < b.P
+		}
+		return a.O < b.O
+	})
+	s.triples = out
+}
+
+// --- accessors -----------------------------------------------------------
+
+// SuperClasses returns the strict superclasses of c in the closure.
+func (s *Schema) SuperClasses(c dict.ID) []dict.ID { return s.subClassUp[c] }
+
+// SubClasses returns the strict subclasses of c in the closure.
+func (s *Schema) SubClasses(c dict.ID) []dict.ID { return s.subClassDown[c] }
+
+// SuperProperties returns the strict superproperties of p in the closure.
+func (s *Schema) SuperProperties(p dict.ID) []dict.ID { return s.subPropUp[p] }
+
+// SubProperties returns the strict subproperties of p in the closure.
+func (s *Schema) SubProperties(p dict.ID) []dict.ID { return s.subPropDown[p] }
+
+// Domains returns the (inherited) domain classes of property p.
+func (s *Schema) Domains(p dict.ID) []dict.ID { return s.domains[p] }
+
+// Ranges returns the (inherited) range classes of property p.
+func (s *Schema) Ranges(p dict.ID) []dict.ID { return s.ranges[p] }
+
+// PropertiesWithDomain returns the properties whose (inherited) domain
+// includes class c.
+func (s *Schema) PropertiesWithDomain(c dict.ID) []dict.ID { return s.domainsRev[c] }
+
+// PropertiesWithRange returns the properties whose (inherited) range
+// includes class c.
+func (s *Schema) PropertiesWithRange(c dict.ID) []dict.ID { return s.rangesRev[c] }
+
+// DomainClosure returns every class c such that any triple (x p y) entails
+// (x rdf:type c): inherited domains lifted upward through ⊑sc.
+func (s *Schema) DomainClosure(p dict.ID) []dict.ID { return s.domainUp[p] }
+
+// RangeClosure returns every class c such that any triple (x p y) entails
+// (y rdf:type c).
+func (s *Schema) RangeClosure(p dict.ID) []dict.ID { return s.rangeUp[p] }
+
+// IsSubClass reports whether sub ⊑sc super holds strictly in the closure.
+func (s *Schema) IsSubClass(sub, super dict.ID) bool {
+	return containsID(s.subClassUp[sub], super)
+}
+
+// IsSubProperty reports whether sub ⊑sp super holds strictly in the closure.
+func (s *Schema) IsSubProperty(sub, super dict.ID) bool {
+	return containsID(s.subPropUp[sub], super)
+}
+
+// Classes returns the sorted set of classes known to the schema.
+func (s *Schema) Classes() []dict.ID { return s.classes }
+
+// Properties returns the sorted set of properties known to the schema.
+func (s *Schema) Properties() []dict.ID { return s.properties }
+
+// IsClass reports whether c is a class of the schema.
+func (s *Schema) IsClass(c dict.ID) bool { return s.classSet[c] }
+
+// IsProperty reports whether p is a property of the schema.
+func (s *Schema) IsProperty(p dict.ID) bool { return s.propSet[p] }
+
+// Triples returns the closed schema as encoded triples, sorted.
+func (s *Schema) Triples() []dict.Triple { return s.triples }
+
+// Size returns counts used in statistics and reports: number of classes,
+// properties, strict subclass pairs, strict subproperty pairs, domain and
+// range constraints (after inheritance).
+func (s *Schema) Size() (classes, properties, subClassPairs, subPropPairs, domainCount, rangeCount int) {
+	classes = len(s.classes)
+	properties = len(s.properties)
+	for _, v := range s.subClassUp {
+		subClassPairs += len(v)
+	}
+	for _, v := range s.subPropUp {
+		subPropPairs += len(v)
+	}
+	for _, v := range s.domains {
+		domainCount += len(v)
+	}
+	for _, v := range s.ranges {
+		rangeCount += len(v)
+	}
+	return
+}
+
+// String summarizes the schema sizes.
+func (s *Schema) String() string {
+	c, p, sc, sp, d, r := s.Size()
+	return fmt.Sprintf("schema{classes:%d properties:%d ⊑sc:%d ⊑sp:%d dom:%d rng:%d}", c, p, sc, sp, d, r)
+}
+
+// --- helpers ---------------------------------------------------------------
+
+type idSet map[dict.ID]bool
+
+func (s idSet) add(id dict.ID) { s[id] = true }
+func (s idSet) addAll(ids []dict.ID) {
+	for _, id := range ids {
+		s[id] = true
+	}
+}
+func (s idSet) sorted() []dict.ID { return keysSorted(s) }
+
+func keysSorted(m map[dict.ID]bool) []dict.ID {
+	out := make([]dict.ID, 0, len(m))
+	for id := range m {
+		out = append(out, id)
+	}
+	sortIDs(out)
+	return out
+}
+
+func sortIDs(ids []dict.ID) {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+}
+
+func containsID(ids []dict.ID, id dict.ID) bool {
+	i := sort.Search(len(ids), func(i int) bool { return ids[i] >= id })
+	return i < len(ids) && ids[i] == id
+}
+
+// transitiveClosure computes, for every node, the set of nodes strictly
+// reachable through the edge relation (excluding the node itself unless it
+// lies on a cycle). Schemas are small, so a DFS per node is fine.
+func transitiveClosure(edges map[dict.ID][]dict.ID) map[dict.ID][]dict.ID {
+	out := make(map[dict.ID][]dict.ID, len(edges))
+	for start := range edges {
+		reach := idSet{}
+		stack := append([]dict.ID(nil), edges[start]...)
+		for len(stack) > 0 {
+			n := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if n == start || reach[n] {
+				if n == start && !reach[n] {
+					// Cycle through start: include it, per RDFS
+					// semantics the classes are mutually entailed.
+					reach[n] = true
+					stack = append(stack, edges[n]...)
+				}
+				continue
+			}
+			reach[n] = true
+			stack = append(stack, edges[n]...)
+		}
+		delete(reach, start) // strictness: start excluded even on cycles
+		if len(reach) > 0 {
+			out[start] = reach.sorted()
+		}
+	}
+	return out
+}
+
+func invert(m map[dict.ID][]dict.ID) map[dict.ID][]dict.ID {
+	out := make(map[dict.ID][]dict.ID, len(m))
+	for from, tos := range m {
+		for _, to := range tos {
+			out[to] = append(out[to], from)
+		}
+	}
+	for k := range out {
+		sortIDs(out[k])
+	}
+	return out
+}

@@ -1,0 +1,256 @@
+package schema
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dict"
+	"repro/internal/rdf"
+)
+
+func iri(s string) rdf.Term { return rdf.NewIRI("http://x/" + s) }
+
+func build(t *testing.T, f func(b *Builder)) (*Schema, *dict.Dict) {
+	t.Helper()
+	d := dict.New()
+	b := NewBuilder(d)
+	f(b)
+	if err := b.Validate(); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	return b.Close(), d
+}
+
+func TestSubClassTransitiveClosure(t *testing.T) {
+	s, d := build(t, func(b *Builder) {
+		b.SubClass(iri("A"), iri("B"))
+		b.SubClass(iri("B"), iri("C"))
+		b.SubClass(iri("C"), iri("D"))
+	})
+	a, _ := d.Lookup(iri("A"))
+	dd, _ := d.Lookup(iri("D"))
+	if got := len(s.SuperClasses(a)); got != 3 {
+		t.Fatalf("A should have 3 superclasses, got %d", got)
+	}
+	if got := len(s.SubClasses(dd)); got != 3 {
+		t.Fatalf("D should have 3 subclasses, got %d", got)
+	}
+	b, _ := d.Lookup(iri("B"))
+	if !s.IsSubClass(a, b) || s.IsSubClass(b, a) {
+		t.Fatal("IsSubClass wrong")
+	}
+	if s.IsSubClass(a, a) {
+		t.Fatal("strictness: A ⊑ A must be false")
+	}
+}
+
+func TestSubClassCycle(t *testing.T) {
+	s, d := build(t, func(b *Builder) {
+		b.SubClass(iri("A"), iri("B"))
+		b.SubClass(iri("B"), iri("A"))
+		b.SubClass(iri("B"), iri("C"))
+	})
+	a, _ := d.Lookup(iri("A"))
+	b, _ := d.Lookup(iri("B"))
+	c, _ := d.Lookup(iri("C"))
+	if !s.IsSubClass(a, b) || !s.IsSubClass(b, a) {
+		t.Fatal("cycle members must be mutual subclasses")
+	}
+	if !s.IsSubClass(a, c) || !s.IsSubClass(b, c) {
+		t.Fatal("closure must pass through the cycle")
+	}
+	if s.IsSubClass(a, a) {
+		t.Fatal("self-subclass excluded even on cycles")
+	}
+}
+
+func TestDomainRangeInheritance(t *testing.T) {
+	// p1 ⊑sp p2 ⊑sp p3; p3 has domain C and range D: both inherit down.
+	s, d := build(t, func(b *Builder) {
+		b.SubProperty(iri("p1"), iri("p2"))
+		b.SubProperty(iri("p2"), iri("p3"))
+		b.Domain(iri("p3"), iri("C"))
+		b.Range(iri("p3"), iri("D"))
+	})
+	p1, _ := d.Lookup(iri("p1"))
+	c, _ := d.Lookup(iri("C"))
+	dd, _ := d.Lookup(iri("D"))
+	if got := s.Domains(p1); len(got) != 1 || got[0] != c {
+		t.Fatalf("p1 must inherit domain C, got %v", got)
+	}
+	if got := s.Ranges(p1); len(got) != 1 || got[0] != dd {
+		t.Fatalf("p1 must inherit range D, got %v", got)
+	}
+	if got := s.PropertiesWithDomain(c); len(got) != 3 {
+		t.Fatalf("C should be the domain of 3 properties, got %v", got)
+	}
+}
+
+func TestDomainClosureLiftsThroughSubclass(t *testing.T) {
+	s, d := build(t, func(b *Builder) {
+		b.Domain(iri("p"), iri("C"))
+		b.SubClass(iri("C"), iri("Top"))
+	})
+	p, _ := d.Lookup(iri("p"))
+	top, _ := d.Lookup(iri("Top"))
+	found := false
+	for _, c := range s.DomainClosure(p) {
+		if c == top {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("DomainClosure must lift through subClassOf")
+	}
+	// But the reformulation-facing reverse map must NOT lift.
+	if got := s.PropertiesWithDomain(top); len(got) != 0 {
+		t.Fatalf("PropertiesWithDomain(Top) must be direct-only, got %v", got)
+	}
+}
+
+func TestSchemaTriplesMaterializeClosure(t *testing.T) {
+	s, d := build(t, func(b *Builder) {
+		b.SubClass(iri("A"), iri("B"))
+		b.SubClass(iri("B"), iri("C"))
+	})
+	sc, _ := d.Lookup(rdf.SubClassOf)
+	a, _ := d.Lookup(iri("A"))
+	c, _ := d.Lookup(iri("C"))
+	found := false
+	for _, tr := range s.Triples() {
+		if tr == (dict.Triple{S: a, P: sc, O: c}) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("closed schema triples must include the transitive edge A ⊑ C")
+	}
+	if len(s.Triples()) != 3 {
+		t.Fatalf("want 3 closed triples, got %d", len(s.Triples()))
+	}
+}
+
+func TestBuilderAddTriple(t *testing.T) {
+	d := dict.New()
+	b := NewBuilder(d)
+	cases := []struct {
+		tr     rdf.Triple
+		schema bool
+	}{
+		{rdf.NewTriple(iri("A"), rdf.SubClassOf, iri("B")), true},
+		{rdf.NewTriple(iri("p"), rdf.SubPropertyOf, iri("q")), true},
+		{rdf.NewTriple(iri("p"), rdf.Domain, iri("A")), true},
+		{rdf.NewTriple(iri("p"), rdf.Range, iri("A")), true},
+		{rdf.NewTriple(iri("A"), rdf.Type, rdf.NewIRI(rdf.ClassIRI)), true},
+		{rdf.NewTriple(iri("p"), rdf.Type, rdf.NewIRI(rdf.PropertyIRI)), true},
+		{rdf.NewTriple(iri("e"), rdf.Type, iri("A")), false},
+		{rdf.NewTriple(iri("e"), iri("p"), iri("f")), false},
+	}
+	for _, c := range cases {
+		if got := b.AddTriple(c.tr); got != c.schema {
+			t.Errorf("AddTriple(%v) = %v, want %v", c.tr, got, c.schema)
+		}
+	}
+	s := b.Close()
+	cl, pr, _, _, _, _ := s.Size()
+	if cl != 2 { // A, B
+		t.Fatalf("want 2 classes, got %d", cl)
+	}
+	if pr != 2 { // p and q (the rdf:Property declaration of p is not new)
+		t.Fatalf("want 2 properties, got %d: %v", pr, s.Properties())
+	}
+}
+
+func TestValidateRejectsBuiltinConstraints(t *testing.T) {
+	cases := []func(b *Builder){
+		func(b *Builder) { b.SubProperty(rdf.NewIRI(rdf.TypeIRI), iri("p")) },
+		func(b *Builder) { b.SubProperty(iri("p"), rdf.NewIRI(rdf.TypeIRI)) },
+		func(b *Builder) { b.Domain(rdf.NewIRI(rdf.SubClassOfIRI), iri("C")) },
+		func(b *Builder) { b.SubClass(iri("C"), rdf.NewIRI(rdf.TypeIRI)) },
+		func(b *Builder) { b.Range(rdf.NewIRI(rdf.RangeIRI), iri("C")) },
+	}
+	for i, f := range cases {
+		b := NewBuilder(dict.New())
+		f(b)
+		if err := b.Validate(); err == nil {
+			t.Errorf("case %d: constraining a built-in must be rejected", i)
+		}
+	}
+}
+
+// Property: the closure is transitively closed — for random acyclic edge
+// sets, A ⊑ B and B ⊑ C imply A ⊑ C.
+func TestClosureTransitivity(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := dict.New()
+		b := NewBuilder(d)
+		n := 3 + r.Intn(7)
+		var cls []rdf.Term
+		for i := 0; i < n; i++ {
+			cls = append(cls, iri(fmt.Sprintf("C%d", i)))
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if r.Intn(3) == 0 {
+					b.SubClass(cls[i], cls[j])
+				}
+			}
+		}
+		s := b.Close()
+		ids := make([]dict.ID, n)
+		for i, c := range cls {
+			ids[i], _ = d.Lookup(c)
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				for k := 0; k < n; k++ {
+					if ids[i] != 0 && ids[j] != 0 && ids[k] != 0 &&
+						s.IsSubClass(ids[i], ids[j]) && s.IsSubClass(ids[j], ids[k]) &&
+						!s.IsSubClass(ids[i], ids[k]) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSizeAndString(t *testing.T) {
+	s, _ := build(t, func(b *Builder) {
+		b.SubClass(iri("A"), iri("B"))
+		b.Domain(iri("p"), iri("A"))
+		b.Range(iri("p"), iri("B"))
+	})
+	c, p, sc, sp, dom, rng := s.Size()
+	if c != 2 || p != 1 || sc != 1 || sp != 0 || dom != 1 || rng != 1 {
+		t.Fatalf("Size = %d %d %d %d %d %d", c, p, sc, sp, dom, rng)
+	}
+	if s.String() == "" {
+		t.Fatal("String empty")
+	}
+}
+
+func TestEmptySchema(t *testing.T) {
+	s, _ := build(t, func(b *Builder) {})
+	if len(s.Classes()) != 0 || len(s.Properties()) != 0 || len(s.Triples()) != 0 {
+		t.Fatal("empty builder must produce empty schema")
+	}
+	if s.IsSubClass(1, 2) || len(s.DomainClosure(3)) != 0 {
+		t.Fatal("lookups on empty schema must be empty")
+	}
+}
+
+func TestSchemaDictAccessor(t *testing.T) {
+	d := dict.New()
+	s := NewBuilder(d).Close()
+	if s.Dict() != d {
+		t.Fatal("Dict accessor must return the builder's dictionary")
+	}
+}

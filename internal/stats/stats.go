@@ -1,0 +1,280 @@
+// Package stats collects the database statistics the paper's demo exposes
+// (step 1: value distributions for subject, property and object, and for
+// attribute pairs) and provides the cardinality estimates the cost model
+// (§4, "database textbook formulas") is computed from.
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/dict"
+	"repro/internal/storage"
+)
+
+// PropertyStats holds per-property statistics: the number of triples with
+// that property, and the numbers of distinct subjects and objects among
+// them.
+type PropertyStats struct {
+	Count     int
+	DistinctS int
+	DistinctO int
+}
+
+// ValueCount pairs a dictionary ID with its number of occurrences.
+type ValueCount struct {
+	ID    dict.ID
+	Count int
+}
+
+// PairCount counts occurrences of a (property, object) pair.
+type PairCount struct {
+	P, O  dict.ID
+	Count int
+}
+
+// Stats holds collected statistics over one store.
+type Stats struct {
+	store *storage.Store
+	n     int
+
+	props map[dict.ID]PropertyStats
+
+	distinctS int
+	distinctP int
+	distinctO int
+}
+
+// Collect scans the store once per index and gathers statistics.
+func Collect(st *storage.Store) *Stats {
+	s := &Stats{store: st, n: st.Len(), props: map[dict.ID]PropertyStats{}}
+
+	// Per-property stats: the POS index is contiguous per property and
+	// sorted by object within it, so distinct objects are a run count; a
+	// set is needed for distinct subjects.
+	var (
+		cur      dict.ID
+		have     bool
+		count    int
+		distO    int
+		lastO    dict.ID
+		firstO   bool
+		subjects map[dict.ID]bool
+	)
+	flush := func() {
+		if have {
+			s.props[cur] = PropertyStats{Count: count, DistinctS: len(subjects), DistinctO: distO}
+		}
+	}
+	for _, t := range posIndex(st) {
+		if !have || t.P != cur {
+			flush()
+			cur, have = t.P, true
+			count, distO, firstO = 0, 0, true
+			subjects = map[dict.ID]bool{}
+		}
+		count++
+		if firstO || t.O != lastO {
+			distO++
+			lastO, firstO = t.O, false
+		}
+		subjects[t.S] = true
+	}
+	flush()
+
+	s.distinctS = st.DistinctInPosition(storage.Pattern{}, 's')
+	s.distinctP = len(s.props)
+	s.distinctO = st.DistinctInPosition(storage.Pattern{}, 'o')
+	return s
+}
+
+// posIndex exposes the POS-ordered triples for one sequential pass; the
+// store keeps them sorted by (P,O,S).
+func posIndex(st *storage.Store) []dict.Triple {
+	out := make([]dict.Triple, 0, st.Len())
+	// Iterate properties in ascending ID order via pattern scans would be
+	// wasteful; the unfiltered Each walks SPO order, so re-sort locally.
+	out = append(out, st.Triples()...)
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.P != b.P {
+			return a.P < b.P
+		}
+		if a.O != b.O {
+			return a.O < b.O
+		}
+		return a.S < b.S
+	})
+	return out
+}
+
+// N returns the number of triples in the store.
+func (s *Stats) N() int { return s.n }
+
+// DistinctSubjects returns the number of distinct subjects in the store.
+func (s *Stats) DistinctSubjects() int { return s.distinctS }
+
+// DistinctProperties returns the number of distinct properties.
+func (s *Stats) DistinctProperties() int { return s.distinctP }
+
+// DistinctObjects returns the number of distinct objects.
+func (s *Stats) DistinctObjects() int { return s.distinctO }
+
+// Property returns the statistics for property p.
+func (s *Stats) Property(p dict.ID) (PropertyStats, bool) {
+	ps, ok := s.props[p]
+	return ps, ok
+}
+
+// PatternCard estimates the number of triples matching the pattern. All
+// prefix-contiguous shapes use exact index counts (the idealized-histogram
+// limit of the textbook model); the (s,?,o) shape uses the independence
+// assumption card(s)·card(o)/N.
+func (s *Stats) PatternCard(pat storage.Pattern) float64 {
+	if s.n == 0 {
+		return 0
+	}
+	sB, pB, oB := pat.S != dict.None, pat.P != dict.None, pat.O != dict.None
+	if sB && !pB && oB {
+		cs := float64(s.store.Count(storage.Pattern{S: pat.S}))
+		co := float64(s.store.Count(storage.Pattern{O: pat.O}))
+		return cs * co / float64(s.n)
+	}
+	return float64(s.store.Count(pat))
+}
+
+// DistinctVar estimates the number of distinct values appearing in the
+// given position ('s', 'p' or 'o') of the triples matching the pattern;
+// this is the V(R, a) quantity of textbook join-size formulas.
+func (s *Stats) DistinctVar(pat storage.Pattern, pos byte) float64 {
+	card := s.PatternCard(pat)
+	if card == 0 {
+		return 0
+	}
+	bound := func(b byte) bool {
+		switch b {
+		case 's':
+			return pat.S != dict.None
+		case 'p':
+			return pat.P != dict.None
+		default:
+			return pat.O != dict.None
+		}
+	}
+	if bound(pos) {
+		return 1
+	}
+	var v float64
+	if pat.P != dict.None {
+		ps := s.props[pat.P]
+		switch pos {
+		case 's':
+			v = float64(ps.DistinctS)
+		case 'o':
+			v = float64(ps.DistinctO)
+		default:
+			v = 1
+		}
+		// If another position is also bound, each matching triple tends
+		// to contribute a distinct value: cap by card (below).
+	} else {
+		switch pos {
+		case 's':
+			v = float64(s.distinctS)
+		case 'p':
+			v = float64(s.distinctP)
+		default:
+			v = float64(s.distinctO)
+		}
+	}
+	if v > card {
+		v = card
+	}
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
+// --- distributions (demo step 1) -------------------------------------------
+
+// TopValues returns the k most frequent values in the given position
+// ('s', 'p' or 'o'), most frequent first; ties break on ascending ID.
+func (s *Stats) TopValues(pos byte, k int) []ValueCount {
+	counts := map[dict.ID]int{}
+	s.store.Each(storage.Pattern{}, func(t dict.Triple) bool {
+		switch pos {
+		case 's':
+			counts[t.S]++
+		case 'p':
+			counts[t.P]++
+		default:
+			counts[t.O]++
+		}
+		return true
+	})
+	return topK(counts, k)
+}
+
+// TopPairsPO returns the k most frequent (property, object) pairs — the
+// "attribute pair" distribution of demo step 1 (dominated in practice by
+// (rdf:type, class) pairs, i.e. class cardinalities).
+func (s *Stats) TopPairsPO(k int) []PairCount {
+	type key struct{ p, o dict.ID }
+	counts := map[key]int{}
+	s.store.Each(storage.Pattern{}, func(t dict.Triple) bool {
+		counts[key{t.P, t.O}]++
+		return true
+	})
+	out := make([]PairCount, 0, len(counts))
+	for k2, c := range counts {
+		out = append(out, PairCount{P: k2.p, O: k2.o, Count: c})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		if out[i].P != out[j].P {
+			return out[i].P < out[j].P
+		}
+		return out[i].O < out[j].O
+	})
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+func topK(counts map[dict.ID]int, k int) []ValueCount {
+	out := make([]ValueCount, 0, len(counts))
+	for id, c := range counts {
+		out = append(out, ValueCount{ID: id, Count: c})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].ID < out[j].ID
+	})
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// Summary renders a human-readable statistics report (demo step 1).
+func (s *Stats) Summary(d *dict.Dict, k int) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "triples: %d, distinct subjects: %d, properties: %d, objects: %d\n",
+		s.n, s.distinctS, s.distinctP, s.distinctO)
+	sb.WriteString("top properties:\n")
+	for _, vc := range s.TopValues('p', k) {
+		fmt.Fprintf(&sb, "  %-60s %d\n", d.Decode(vc.ID), vc.Count)
+	}
+	sb.WriteString("top (property, object) pairs:\n")
+	for _, pc := range s.TopPairsPO(k) {
+		fmt.Fprintf(&sb, "  %s %s: %d\n", d.Decode(pc.P), d.Decode(pc.O), pc.Count)
+	}
+	return sb.String()
+}
