@@ -4,14 +4,24 @@
 //	refserve -scenario lubm -addr :8080
 //	refserve -data mygraph.nt
 //	curl 'localhost:8080/query?q=q(x)+:-+x+rdf:type+ub:Student'
+//	curl localhost:8080/metrics
+//
+// On SIGINT/SIGTERM the server drains: the base context is canceled so
+// in-flight evaluations abort at their next operator checkpoint, then the
+// listener shuts down within the grace period.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/datasets"
@@ -22,12 +32,14 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8080", "listen address")
-		scenario = flag.String("scenario", "lubm", "built-in scenario: lubm, insee, ign, dblp")
-		dataFile = flag.String("data", "", "N-Triples/Turtle file to serve instead of a scenario")
-		scale    = flag.Int("scale", 1, "LUBM scale factor")
-		seed     = flag.Int64("seed", 42, "generator seed")
-		timeout  = flag.Duration("timeout", 30*time.Second, "per-query evaluation timeout")
+		addr      = flag.String("addr", ":8080", "listen address")
+		scenario  = flag.String("scenario", "lubm", "built-in scenario: lubm, insee, ign, dblp")
+		dataFile  = flag.String("data", "", "N-Triples/Turtle file to serve instead of a scenario")
+		scale     = flag.Int("scale", 1, "LUBM scale factor")
+		seed      = flag.Int64("seed", 42, "generator seed")
+		timeout   = flag.Duration("timeout", 30*time.Second, "per-query evaluation timeout")
+		slowQuery = flag.Duration("slow-query", 500*time.Millisecond, "slow-query log threshold (0 disables)")
+		grace     = flag.Duration("grace", 5*time.Second, "shutdown grace period")
 	)
 	flag.Parse()
 
@@ -67,6 +79,32 @@ func main() {
 	log.Printf("loaded %d data triples, %s; warming caches…", g.DataCount(), g.Schema())
 	srv := httpapi.New(g, prefixes)
 	srv.Timeout = *timeout
+	srv.SlowQueryThreshold = *slowQuery
+	if *slowQuery == 0 {
+		srv.SlowQueryThreshold = -1
+	}
+
+	// ctx is canceled on SIGINT/SIGTERM; it is also every request's base
+	// context, so canceling it aborts in-flight evaluations.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	hs := &http.Server{
+		Addr:        *addr,
+		Handler:     srv,
+		BaseContext: func(net.Listener) context.Context { return ctx },
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
 	log.Printf("serving on %s", *addr)
-	log.Fatal(http.ListenAndServe(*addr, srv))
+	select {
+	case err := <-errc:
+		log.Fatal("refserve: ", err)
+	case <-ctx.Done():
+	}
+	log.Printf("shutting down (grace %s)…", *grace)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("refserve: shutdown: %v", err)
+	}
 }

@@ -1,0 +1,90 @@
+package engine
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// Concurrent Answer calls through per-request shallow copies of one
+// engine must be safe: the copies share the warmed reformulation caches,
+// the plan cache and the metrics registry (the same sharing the HTTP
+// endpoint relies on). Run under -race.
+func TestConcurrentAnswerSharedCaches(t *testing.T) {
+	e, g := mustEngine(t)
+	e.Metrics = metrics.NewRegistry()
+	q := mustQuery(t, g, "q(x,y) :- x ex:hasAuthor z, z ex:hasName y")
+
+	// Warm lazily-built state once so the copies only read it.
+	if _, err := e.Answer(q, RefGCov); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 4; j++ {
+				eng := *e // per-request shallow copy, as httpapi does
+				eng.Budget.Timeout = 30 * time.Second
+				strategies := []Strategy{Sat, RefUCQ, RefSCQ, RefGCov}
+				s := strategies[(i+j)%len(strategies)]
+				ans, err := eng.AnswerContext(context.Background(), q, s)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if ans.Rows.Len() != 1 {
+					errs <- errWrongRows(s, ans.Rows.Len())
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	snap := e.Metrics.Snapshot()
+	if snap.Counters["engine.queries"] == 0 {
+		t.Fatal("shared metrics registry recorded no queries")
+	}
+}
+
+type wrongRowsError struct {
+	s Strategy
+	n int
+}
+
+func (e wrongRowsError) Error() string {
+	return "strategy " + string(e.s) + ": wrong row count"
+}
+
+func errWrongRows(s Strategy, n int) error { return wrongRowsError{s, n} }
+
+// AnswerContext with an expired context surfaces a budget/cancellation
+// error and records it in the registry.
+func TestAnswerContextCanceled(t *testing.T) {
+	e, g := mustEngine(t)
+	e.Metrics = metrics.NewRegistry()
+	q := mustQuery(t, g, "q(x) :- x rdf:type ex:Publication")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.AnswerContext(ctx, q, RefUCQ); err == nil {
+		t.Fatal("want error from canceled context, got nil")
+	}
+	snap := e.Metrics.Snapshot()
+	if snap.Counters["engine.canceled"] == 0 {
+		t.Fatalf("engine.canceled not recorded: %+v", snap.Counters)
+	}
+	if snap.Counters["engine.errors"] == 0 {
+		t.Fatalf("engine.errors not recorded: %+v", snap.Counters)
+	}
+}

@@ -6,6 +6,8 @@
 package engine
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"time"
 
@@ -14,6 +16,7 @@ import (
 	"repro/internal/datalog"
 	"repro/internal/exec"
 	"repro/internal/graph"
+	"repro/internal/metrics"
 	"repro/internal/query"
 	"repro/internal/saturation"
 	"repro/internal/stats"
@@ -86,6 +89,11 @@ type Engine struct {
 	// MaxFragmentCQs bounds per-fragment reformulation sizes for the
 	// JUCQ strategies (zero: core.DefaultMaxFragmentCQs).
 	MaxFragmentCQs int
+	// Metrics, when non-nil, receives per-strategy query counts and
+	// latency histograms, reformulation sizes, plan-cache traffic and
+	// executor row counters. The registry is safe to share across the
+	// per-request engine copies the HTTP layer makes.
+	Metrics *metrics.Registry
 
 	store    *storage.Store
 	st       *stats.Stats
@@ -187,6 +195,7 @@ func (e *Engine) evaluator(st *storage.Store, ss *stats.Stats) *exec.Evaluator {
 	ev := exec.New(st, ss)
 	ev.Budget = e.Budget
 	ev.Parallel = e.Parallel
+	ev.Metrics = e.Metrics
 	return ev
 }
 
@@ -200,19 +209,34 @@ func (e *Engine) fragmentBound() int {
 // Answer answers q with the given strategy; RefJUCQ requires a cover via
 // AnswerWithCover.
 func (e *Engine) Answer(q query.CQ, s Strategy) (*Answer, error) {
+	return e.AnswerContext(context.Background(), q, s)
+}
+
+// AnswerContext is Answer bounded by ctx: cancellation (client disconnect,
+// server shutdown) aborts the evaluation mid-operator with an error
+// wrapping exec.ErrCanceled. The context and the Budget's timeout are
+// checked together at every operator checkpoint.
+func (e *Engine) AnswerContext(ctx context.Context, q query.CQ, s Strategy) (*Answer, error) {
+	start := time.Now()
+	ans, err := e.answer(ctx, q, s)
+	e.observe(s, start, ans, err)
+	return ans, err
+}
+
+func (e *Engine) answer(ctx context.Context, q query.CQ, s Strategy) (*Answer, error) {
 	switch s {
 	case Sat:
-		return e.answerSat(q)
+		return e.answerSat(ctx, q)
 	case RefUCQ:
-		return e.answerUCQ(q, e.Reformulator(), RefUCQ)
+		return e.answerUCQ(ctx, q, e.Reformulator(), RefUCQ)
 	case RefSCQ:
-		return e.answerCover(q, query.SingletonCover(len(q.Atoms)), RefSCQ)
+		return e.answerCover(ctx, q, query.SingletonCover(len(q.Atoms)), RefSCQ)
 	case RefGCov:
-		return e.answerGCov(q)
+		return e.answerGCov(ctx, q)
 	case RefIncomplete:
-		return e.answerUCQ(q, e.IncompleteReformulator(), RefIncomplete)
+		return e.answerUCQ(ctx, q, e.IncompleteReformulator(), RefIncomplete)
 	case Dat:
-		return e.answerDat(q)
+		return e.answerDat(ctx, q)
 	case RefJUCQ:
 		return nil, fmt.Errorf("engine: strategy %s needs a cover; use AnswerWithCover", s)
 	default:
@@ -222,29 +246,69 @@ func (e *Engine) Answer(q query.CQ, s Strategy) (*Answer, error) {
 
 // AnswerWithCover answers q with the JUCQ induced by the given cover.
 func (e *Engine) AnswerWithCover(q query.CQ, cover query.Cover) (*Answer, error) {
-	return e.answerCover(q, cover, RefJUCQ)
+	return e.AnswerWithCoverContext(context.Background(), q, cover)
 }
 
-func (e *Engine) answerSat(q query.CQ) (*Answer, error) {
+// AnswerWithCoverContext is AnswerWithCover bounded by ctx.
+func (e *Engine) AnswerWithCoverContext(ctx context.Context, q query.CQ, cover query.Cover) (*Answer, error) {
+	start := time.Now()
+	ans, err := e.answerCover(ctx, q, cover, RefJUCQ)
+	e.observe(RefJUCQ, start, ans, err)
+	return ans, err
+}
+
+// observe records one answered (or failed) query into the metrics
+// registry; a no-op without one.
+func (e *Engine) observe(s Strategy, start time.Time, ans *Answer, err error) {
+	m := e.Metrics
+	if m == nil {
+		return
+	}
+	m.Counter("engine.queries").Inc()
+	m.Counter("engine.queries." + string(s)).Inc()
+	m.Histogram("engine.latency_ms." + string(s)).
+		Observe(float64(time.Since(start)) / float64(time.Millisecond))
+	if err != nil {
+		m.Counter("engine.errors").Inc()
+		switch {
+		case errors.Is(err, exec.ErrBudgetExceeded):
+			m.Counter("engine.budget_exceeded").Inc()
+		case errors.Is(err, exec.ErrCanceled):
+			m.Counter("engine.canceled").Inc()
+		}
+		return
+	}
+	m.Histogram("engine.reformulation_cqs", metrics.DefaultSizeBuckets...).
+		Observe(float64(ans.ReformulationCQs))
+	if s == RefGCov {
+		if ans.CachedPlan {
+			m.Counter("engine.plancache.hits").Inc()
+		} else {
+			m.Counter("engine.plancache.misses").Inc()
+		}
+	}
+}
+
+func (e *Engine) answerSat(ctx context.Context, q query.CQ) (*Answer, error) {
 	st := e.SatStore()
 	ss := e.SatStats()
 	ev := e.evaluator(st, ss)
 	start := time.Now()
-	rows, err := ev.EvalCQ(query.HeadVarNames(q), q)
+	rows, err := ev.EvalCQContext(ctx, query.HeadVarNames(q), q)
 	if err != nil {
 		return nil, err
 	}
 	return &Answer{Strategy: Sat, Rows: rows, ReformulationCQs: 1, EvalTime: time.Since(start)}, nil
 }
 
-func (e *Engine) answerUCQ(q query.CQ, r *core.Reformulator, s Strategy) (*Answer, error) {
+func (e *Engine) answerUCQ(ctx context.Context, q query.CQ, r *core.Reformulator, s Strategy) (*Answer, error) {
 	ev := e.evaluator(e.Store(), e.Stats())
 	head := query.HeadVarNames(q)
 	prepStart := time.Now()
 	count, _ := r.CombinationCount(q)
 	prep := time.Since(prepStart)
 	start := time.Now()
-	rows, err := ev.EvalUCQStream(head, func(fn func(query.CQ) bool) {
+	rows, err := ev.EvalUCQStreamContext(ctx, head, func(fn func(query.CQ) bool) {
 		r.EnumerateCQ(q, fn)
 	})
 	if err != nil {
@@ -256,7 +320,7 @@ func (e *Engine) answerUCQ(q query.CQ, r *core.Reformulator, s Strategy) (*Answe
 	}, nil
 }
 
-func (e *Engine) answerCover(q query.CQ, cover query.Cover, s Strategy) (*Answer, error) {
+func (e *Engine) answerCover(ctx context.Context, q query.CQ, cover query.Cover, s Strategy) (*Answer, error) {
 	prepStart := time.Now()
 	bound := e.fragmentBound()
 	if s == RefSCQ {
@@ -271,7 +335,7 @@ func (e *Engine) answerCover(q query.CQ, cover query.Cover, s Strategy) (*Answer
 	prep := time.Since(prepStart)
 	ev := e.evaluator(e.Store(), e.Stats())
 	start := time.Now()
-	rows, err := ev.EvalJUCQ(j)
+	rows, err := ev.EvalJUCQContext(ctx, j)
 	if err != nil {
 		return nil, err
 	}
@@ -285,7 +349,7 @@ func (e *Engine) answerCover(q query.CQ, cover query.Cover, s Strategy) (*Answer
 	}, nil
 }
 
-func (e *Engine) answerGCov(q query.CQ) (*Answer, error) {
+func (e *Engine) answerGCov(ctx context.Context, q query.CQ) (*Answer, error) {
 	key := query.FormatCQ(e.g.Dict(), q)
 	prepStart := time.Now()
 	entry, cached := e.plans.get(key)
@@ -295,12 +359,13 @@ func (e *Engine) answerGCov(q query.CQ) (*Answer, error) {
 			return nil, err
 		}
 		entry = &planEntry{key: key, jucq: res.JUCQ, cover: res.Cover, cost: res.Cost, explored: res.Explored}
-		e.plans.put(entry)
+		evicted := e.plans.put(entry)
+		e.Metrics.Counter("engine.plancache.evictions").Add(int64(evicted))
 	}
 	prep := time.Since(prepStart)
 	ev := e.evaluator(e.Store(), e.Stats())
 	start := time.Now()
-	rows, err := ev.EvalJUCQ(entry.jucq)
+	rows, err := ev.EvalJUCQContext(ctx, entry.jucq)
 	if err != nil {
 		return nil, err
 	}
@@ -323,7 +388,12 @@ func (e *Engine) PlanCacheLen() int {
 	return e.plans.len()
 }
 
-func (e *Engine) answerDat(q query.CQ) (*Answer, error) {
+func (e *Engine) answerDat(ctx context.Context, q query.CQ) (*Answer, error) {
+	// The Datalog engine runs to fixpoint without interior checkpoints;
+	// honor cancellation at least at the boundary.
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("%w: %v", exec.ErrCanceled, err)
+	}
 	prepStart := time.Now()
 	p := datalog.EncodeGraph(e.g)
 	if err := datalog.AddQuery(p, q); err != nil {
@@ -352,6 +422,12 @@ func (e *Engine) answerDat(q query.CQ) (*Answer, error) {
 // are unioned with set semantics. RefJUCQ is not supported here (covers
 // are per-CQ; use AnswerWithCover on the members).
 func (e *Engine) AnswerUnion(u query.UCQ, s Strategy) (*Answer, error) {
+	return e.AnswerUnionContext(context.Background(), u, s)
+}
+
+// AnswerUnionContext is AnswerUnion bounded by ctx; every member query is
+// answered (and individually metered) under the same context.
+func (e *Engine) AnswerUnionContext(ctx context.Context, u query.UCQ, s Strategy) (*Answer, error) {
 	if len(u.CQs) == 0 {
 		return nil, fmt.Errorf("engine: empty union")
 	}
@@ -360,7 +436,7 @@ func (e *Engine) AnswerUnion(u query.UCQ, s Strategy) (*Answer, error) {
 	}
 	combined := &Answer{Strategy: s, Rows: exec.NewRelation(u.HeadNames)}
 	for _, cq := range u.CQs {
-		ans, err := e.Answer(cq, s)
+		ans, err := e.AnswerContext(ctx, cq, s)
 		if err != nil {
 			return nil, err
 		}

@@ -52,20 +52,25 @@ func (c *planCache) get(key string) (*planEntry, bool) {
 	return el.Value.(*planEntry), true
 }
 
-func (c *planCache) put(e *planEntry) {
+// put inserts or refreshes an entry and returns how many entries were
+// evicted to make room (feeds the plan-cache eviction counter).
+func (c *planCache) put(e *planEntry) int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.byKey[e.key]; ok {
 		el.Value = e
 		c.order.MoveToFront(el)
-		return
+		return 0
 	}
 	c.byKey[e.key] = c.order.PushFront(e)
+	evicted := 0
 	for c.order.Len() > c.capacity {
 		last := c.order.Back()
 		c.order.Remove(last)
 		delete(c.byKey, last.Value.(*planEntry).key)
+		evicted++
 	}
+	return evicted
 }
 
 func (c *planCache) len() int {

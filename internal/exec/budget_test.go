@@ -1,0 +1,209 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/dict"
+	"repro/internal/query"
+)
+
+// crossStore builds a store where predicates 10 and 11 each have n
+// subjects, so the body {x 10 y, z 11 w} is an n×n cross product —
+// expensive to evaluate, cheap to build.
+func crossStore(n int) [][3]dict.ID {
+	ts := make([][3]dict.ID, 0, 2*n)
+	for i := 0; i < n; i++ {
+		ts = append(ts,
+			[3]dict.ID{dict.ID(100 + i), 10, dict.ID(100000 + i)},
+			[3]dict.ID{dict.ID(200000 + i), 11, dict.ID(300000 + i)},
+		)
+	}
+	return ts
+}
+
+func crossCQ() query.CQ {
+	return query.CQ{
+		Head: []query.Arg{v("x"), v("z")},
+		Atoms: []query.Atom{
+			{S: v("x"), P: c(10), O: v("y")},
+			{S: v("z"), P: c(11), O: v("w")},
+		},
+	}
+}
+
+// Regression for the headline bug: parallel UCQ workers used to restart
+// Budget.Timeout per CQ (fresh sub-Evaluator → EvalCQ → fresh deadline),
+// so a union of N CQs effectively got N budgets. The deadline must be set
+// once for the whole union and shared by every worker.
+func TestParallelUCQSharedTimeout(t *testing.T) {
+	st, ss := tinyStore(crossStore(400))
+	u := query.UCQ{HeadNames: []string{"x", "z"}}
+	for i := 0; i < 8; i++ {
+		u.CQs = append(u.CQs, crossCQ())
+	}
+
+	// Unbudgeted serial baseline: how long the real work takes.
+	base := New(st, ss)
+	start := time.Now()
+	if _, err := base.EvalUCQ(u); err != nil {
+		t.Fatalf("unbudgeted baseline failed: %v", err)
+	}
+	baseline := time.Since(start)
+
+	e := New(st, ss)
+	e.Parallel = true
+	e.Budget.Timeout = time.Millisecond
+	start = time.Now()
+	_, err := e.EvalUCQ(u)
+	elapsed := time.Since(start)
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("want ErrBudgetExceeded, got %v", err)
+	}
+	// With a shared deadline the whole union aborts almost immediately;
+	// with per-CQ restarts it would run each CQ to completion. Allow a
+	// wide margin for scheduling noise and the race detector.
+	if elapsed > baseline/2+100*time.Millisecond {
+		t.Fatalf("budgeted eval took %v (baseline %v): deadline looks restarted per CQ", elapsed, baseline)
+	}
+}
+
+// The serial UCQ loop shares the same guard — one budget for the union.
+func TestSerialUCQSharedTimeout(t *testing.T) {
+	st, ss := tinyStore(crossStore(800))
+	u := query.UCQ{HeadNames: []string{"x", "z"}, CQs: []query.CQ{crossCQ(), crossCQ()}}
+	e := New(st, ss)
+	e.Budget.Timeout = time.Millisecond
+	start := time.Now()
+	_, err := e.EvalUCQ(u)
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("want ErrBudgetExceeded, got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("budgeted serial UCQ took %v", elapsed)
+	}
+}
+
+// Regression for the same defect in EvalJUCQ: each fragment's UCQ used to
+// be evaluated with a fresh deadline (serial and parallel paths alike), so
+// a 2-fragment JUCQ with timeout T could run for ~2T. It must fail in ≈T.
+func TestJUCQSharedTimeout(t *testing.T) {
+	st, ss := tinyStore(crossStore(800))
+	frag := func() query.Fragment {
+		return query.Fragment{UCQ: query.UCQ{HeadNames: []string{"x"}, CQs: []query.CQ{{
+			Head: []query.Arg{v("x")},
+			Atoms: []query.Atom{
+				{S: v("x"), P: c(10), O: v("y")},
+				{S: v("z"), P: c(11), O: v("w")},
+			},
+		}}}}
+	}
+	j := query.JUCQ{HeadNames: []string{"x"}, Fragments: []query.Fragment{frag(), frag()}}
+
+	base := New(st, ss)
+	start := time.Now()
+	if _, err := base.EvalJUCQ(j); err != nil {
+		t.Fatalf("unbudgeted baseline failed: %v", err)
+	}
+	baseline := time.Since(start)
+
+	for _, parallel := range []bool{false, true} {
+		e := New(st, ss)
+		e.Parallel = parallel
+		e.Budget.Timeout = time.Millisecond
+		start = time.Now()
+		_, err := e.EvalJUCQ(j)
+		elapsed := time.Since(start)
+		if !errors.Is(err, ErrBudgetExceeded) {
+			t.Fatalf("parallel=%v: want ErrBudgetExceeded, got %v", parallel, err)
+		}
+		if elapsed > baseline/2+100*time.Millisecond {
+			t.Fatalf("parallel=%v: budgeted JUCQ took %v (baseline %v): deadline looks restarted per fragment", parallel, elapsed, baseline)
+		}
+	}
+}
+
+// A canceled context aborts evaluation before any work happens.
+func TestEvalCQContextPreCanceled(t *testing.T) {
+	st, ss := tinyStore(crossStore(10))
+	e := New(st, ss)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.EvalCQContext(ctx, []string{"x", "z"}, crossCQ()); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("want ErrCanceled, got %v", err)
+	}
+}
+
+// Canceling mid-flight stops a long evaluation at the next operator
+// checkpoint instead of running the scan to completion.
+func TestCancelMidEval(t *testing.T) {
+	st, ss := tinyStore(crossStore(800))
+
+	base := New(st, ss)
+	start := time.Now()
+	if _, err := base.EvalCQ([]string{"x", "z"}, crossCQ()); err != nil {
+		t.Fatalf("unbudgeted baseline failed: %v", err)
+	}
+	baseline := time.Since(start)
+
+	e := New(st, ss)
+	ctx, cancel := context.WithCancel(context.Background())
+	timer := time.AfterFunc(time.Millisecond, cancel)
+	defer timer.Stop()
+	start = time.Now()
+	_, err := e.EvalCQContext(ctx, []string{"x", "z"}, crossCQ())
+	elapsed := time.Since(start)
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("want ErrCanceled, got %v", err)
+	}
+	if elapsed > baseline/2+100*time.Millisecond {
+		t.Fatalf("canceled eval took %v (baseline %v): cancellation not checked mid-operator", elapsed, baseline)
+	}
+}
+
+// A context deadline is a budget signal, not an abandonment: it maps to
+// ErrBudgetExceeded so callers see one error for "out of time".
+func TestContextDeadlineMapsToBudgetError(t *testing.T) {
+	st, ss := tinyStore(crossStore(10))
+	e := New(st, ss)
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	if _, err := e.EvalCQContext(ctx, []string{"x", "z"}, crossCQ()); !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("want ErrBudgetExceeded, got %v", err)
+	}
+}
+
+// Parallel UCQ and JUCQ evaluation with budgets must be race-free:
+// workers share one guard (ctx + absolute deadline + atomic tally).
+// Run under -race.
+func TestParallelBudgetedEvalRace(t *testing.T) {
+	st, ss := tinyStore(crossStore(64))
+	u := query.UCQ{HeadNames: []string{"x", "z"}}
+	for i := 0; i < 12; i++ {
+		u.CQs = append(u.CQs, crossCQ())
+	}
+	for i := 0; i < 4; i++ {
+		e := New(st, ss)
+		e.Parallel = true
+		e.Budget.Timeout = 30 * time.Second
+		r, err := e.EvalUCQ(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Len() != 64*64 {
+			t.Fatalf("want %d rows, got %d", 64*64, r.Len())
+		}
+	}
+	frag := query.Fragment{UCQ: query.UCQ{HeadNames: []string{"x", "z"}, CQs: []query.CQ{crossCQ()}}}
+	j := query.JUCQ{HeadNames: []string{"x", "z"}, Fragments: []query.Fragment{frag, frag}}
+	for i := 0; i < 4; i++ {
+		e := New(st, ss)
+		e.Parallel = true
+		e.Budget.Timeout = 30 * time.Second
+		if _, err := e.EvalJUCQ(j); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,13 +1,16 @@
 package exec
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/dict"
+	"repro/internal/metrics"
 	"repro/internal/query"
 	"repro/internal/stats"
 	"repro/internal/storage"
@@ -18,12 +21,19 @@ import (
 // evaluated in our experimental setting" outcome for huge reformulations.
 var ErrBudgetExceeded = errors.New("exec: evaluation budget exceeded")
 
+// ErrCanceled is returned when the caller's context is canceled mid-flight
+// (client disconnect, server shutdown). It is distinct from
+// ErrBudgetExceeded: the evaluation was abandoned, not over budget.
+var ErrCanceled = errors.New("exec: evaluation canceled")
+
 // Budget bounds an evaluation. Zero values mean unlimited.
 type Budget struct {
 	// MaxRows caps the size of any single materialized intermediate
 	// relation.
 	MaxRows int
-	// Timeout caps wall-clock evaluation time.
+	// Timeout caps wall-clock evaluation time. The deadline is set once
+	// per top-level Eval* call and shared by every sub-evaluation it
+	// spawns (serial or parallel): a UCQ of N CQs gets one budget, not N.
 	Timeout time.Duration
 }
 
@@ -50,6 +60,10 @@ type Evaluator struct {
 	// Trace, when non-nil, records per-operator cardinalities (demo step
 	// 3 introspection). Tracing disables parallelism.
 	Trace *Trace
+	// Metrics, when non-nil, receives executor counters (rows scanned /
+	// joined / unioned, parallel worker utilization). Safe to share
+	// across evaluators and goroutines.
+	Metrics *metrics.Registry
 }
 
 // Trace records what an evaluation did.
@@ -84,19 +98,88 @@ func New(st *storage.Store, s *stats.Stats) *Evaluator {
 // Store returns the evaluator's store.
 func (e *Evaluator) Store() *storage.Store { return e.st }
 
-type deadline struct {
+// checkEvery is how many rows an operator processes between guard checks;
+// it bounds how stale a timeout/cancellation can go inside a single scan
+// or join (a power of two so the check is a mask).
+const checkEvery = 4096
+
+// tally accumulates executor row counts for one top-level evaluation;
+// atomics because parallel sub-evaluations share it. Flushed into the
+// metrics registry once per evaluation, keeping registry traffic off the
+// per-row path.
+type tally struct {
+	scanned atomic.Int64
+	joined  atomic.Int64
+	unioned atomic.Int64
+}
+
+// guard is the unified early-stop check every operator polls: the budget's
+// wall-clock deadline plus caller cancellation. One guard is created per
+// top-level Eval* call and threaded — by value, its fields immutable — into
+// every sub-evaluation, serial or parallel, so the whole evaluation shares
+// one deadline and one cancellation signal.
+type guard struct {
+	ctx   context.Context // nil: not cancellable
 	at    time.Time
-	check bool
+	timed bool
+	t     *tally // nil: metrics disabled
 }
 
-func (e *Evaluator) newDeadline() deadline {
-	if e.Budget.Timeout <= 0 {
-		return deadline{}
+func (e *Evaluator) newGuard(ctx context.Context) guard {
+	g := guard{ctx: ctx}
+	if e.Budget.Timeout > 0 {
+		g.at = time.Now().Add(e.Budget.Timeout)
+		g.timed = true
 	}
-	return deadline{at: time.Now().Add(e.Budget.Timeout), check: true}
+	if e.Metrics != nil {
+		g.t = &tally{}
+	}
+	return g
 }
 
-func (d deadline) exceeded() bool { return d.check && time.Now().After(d.at) }
+// err reports why the evaluation must stop, or nil to continue.
+func (g guard) err() error {
+	if g.ctx != nil {
+		if err := g.ctx.Err(); err != nil {
+			if errors.Is(err, context.DeadlineExceeded) {
+				return fmt.Errorf("%w: context deadline exceeded", ErrBudgetExceeded)
+			}
+			return fmt.Errorf("%w: %v", ErrCanceled, err)
+		}
+	}
+	if g.timed && time.Now().After(g.at) {
+		return fmt.Errorf("%w: timeout", ErrBudgetExceeded)
+	}
+	return nil
+}
+
+func (g guard) addScanned(n int) {
+	if g.t != nil {
+		g.t.scanned.Add(int64(n))
+	}
+}
+
+func (g guard) addJoined(n int) {
+	if g.t != nil {
+		g.t.joined.Add(int64(n))
+	}
+}
+
+func (g guard) addUnioned(n int) {
+	if g.t != nil {
+		g.t.unioned.Add(int64(n))
+	}
+}
+
+// flush publishes the tally; called once when a top-level Eval* returns.
+func (g guard) flush(m *metrics.Registry) {
+	if g.t == nil || m == nil {
+		return
+	}
+	m.Counter("exec.rows_scanned").Add(g.t.scanned.Load())
+	m.Counter("exec.rows_joined").Add(g.t.joined.Load())
+	m.Counter("exec.rows_unioned").Add(g.t.unioned.Load())
+}
 
 func (e *Evaluator) checkRows(n int) error {
 	if e.Budget.MaxRows > 0 && n > e.Budget.MaxRows {
@@ -109,12 +192,20 @@ func (e *Evaluator) checkRows(n int) error {
 // over the CQ's head (column names follow headNames, which must align with
 // q.Head).
 func (e *Evaluator) EvalCQ(headNames []string, q query.CQ) (*Relation, error) {
-	dl := e.newDeadline()
-	return e.evalCQ(headNames, q, dl)
+	return e.EvalCQContext(context.Background(), headNames, q)
 }
 
-func (e *Evaluator) evalCQ(headNames []string, q query.CQ, dl deadline) (*Relation, error) {
-	body, err := e.evalBody(q.Atoms, dl)
+// EvalCQContext is EvalCQ bounded by ctx: cancellation aborts the
+// evaluation at the next operator checkpoint (at most checkEvery rows
+// away) with an error wrapping ErrCanceled.
+func (e *Evaluator) EvalCQContext(ctx context.Context, headNames []string, q query.CQ) (*Relation, error) {
+	g := e.newGuard(ctx)
+	defer g.flush(e.Metrics)
+	return e.evalCQ(headNames, q, g)
+}
+
+func (e *Evaluator) evalCQ(headNames []string, q query.CQ, g guard) (*Relation, error) {
+	body, err := e.evalBody(q.Atoms, g)
 	if err != nil {
 		return nil, err
 	}
@@ -128,7 +219,7 @@ func (e *Evaluator) evalCQ(headNames []string, q query.CQ, dl deadline) (*Relati
 
 // evalBody evaluates the join of all atoms and returns a relation over all
 // body variables.
-func (e *Evaluator) evalBody(atoms []query.Atom, dl deadline) (*Relation, error) {
+func (e *Evaluator) evalBody(atoms []query.Atom, g guard) (*Relation, error) {
 	if len(atoms) == 0 {
 		return nil, errors.New("exec: empty BGP")
 	}
@@ -153,13 +244,13 @@ func (e *Evaluator) evalBody(atoms []query.Atom, dl deadline) (*Relation, error)
 	}
 	first := remaining[start]
 	remaining = append(remaining[:start], remaining[start+1:]...)
-	cur, err := e.scanAtom(atoms[first])
+	cur, err := e.scanAtom(atoms[first], g)
 	if err != nil {
 		return nil, err
 	}
 	for len(remaining) > 0 {
-		if dl.exceeded() {
-			return nil, fmt.Errorf("%w: timeout", ErrBudgetExceeded)
+		if err := g.err(); err != nil {
+			return nil, err
 		}
 		// Pick the next atom: prefer ones sharing a variable with the
 		// current result, then lowest estimated extent.
@@ -177,14 +268,14 @@ func (e *Evaluator) evalBody(atoms []query.Atom, dl deadline) (*Relation, error)
 		remaining = append(remaining[:best], remaining[best+1:]...)
 		atom := atoms[ai]
 		if bestConnected && e.preferINLJ(cur.Len(), est[ai]) {
-			cur, err = e.indexJoin(cur, atom)
+			cur, err = e.indexJoin(cur, atom, g)
 		} else {
 			var right *Relation
-			right, err = e.scanAtom(atom)
+			right, err = e.scanAtom(atom, g)
 			if err != nil {
 				return nil, err
 			}
-			cur, err = e.materializedJoin(cur, right)
+			cur, err = e.materializedJoin(cur, right, g)
 		}
 		if err != nil {
 			return nil, err
@@ -204,7 +295,7 @@ func (e *Evaluator) preferINLJ(curRows int, extent float64) bool {
 
 // scanAtom materializes one triple pattern into a relation over the atom's
 // distinct variables, enforcing repeated-variable equality.
-func (e *Evaluator) scanAtom(a query.Atom) (*Relation, error) {
+func (e *Evaluator) scanAtom(a query.Atom, g guard) (*Relation, error) {
 	args := a.Args()
 	var vars []string
 	varPos := map[string][]int{}
@@ -218,8 +309,16 @@ func (e *Evaluator) scanAtom(a query.Atom) (*Relation, error) {
 	}
 	rel := NewRelation(vars)
 	row := make([]dict.ID, len(vars))
-	violated := false
+	var stopErr error
+	steps := 0
 	e.st.Each(a.Pattern(), func(t dict.Triple) bool {
+		steps++
+		if steps&(checkEvery-1) == 0 {
+			if err := g.err(); err != nil {
+				stopErr = err
+				return false
+			}
+		}
 		trip := [3]dict.ID{t.S, t.P, t.O}
 		for vi, v := range vars {
 			positions := varPos[v]
@@ -236,15 +335,16 @@ func (e *Evaluator) scanAtom(a query.Atom) (*Relation, error) {
 			rel.Append(row)
 		}
 		if e.Budget.MaxRows > 0 && rel.Len() > e.Budget.MaxRows {
-			violated = true
+			stopErr = fmt.Errorf("%w: scan of %d+ rows exceeds cap %d", ErrBudgetExceeded, rel.Len(), e.Budget.MaxRows)
 			return false
 		}
 	skip:
 		return true
 	})
-	if violated {
-		return nil, fmt.Errorf("%w: scan of %d+ rows exceeds cap %d", ErrBudgetExceeded, rel.Len(), e.Budget.MaxRows)
+	if stopErr != nil {
+		return nil, stopErr
 	}
+	g.addScanned(rel.Len())
 	if e.Trace != nil {
 		e.Trace.Scans = append(e.Trace.Scans, ScanInfo{Atom: fmt.Sprintf("%v", a), Rows: rel.Len()})
 	}
@@ -254,7 +354,7 @@ func (e *Evaluator) scanAtom(a query.Atom) (*Relation, error) {
 // indexJoin extends each row of cur with the atom's matches, looking the
 // atom up in the store with the row's bindings applied (index nested-loop
 // join).
-func (e *Evaluator) indexJoin(cur *Relation, a query.Atom) (*Relation, error) {
+func (e *Evaluator) indexJoin(cur *Relation, a query.Atom, g guard) (*Relation, error) {
 	args := a.Args()
 	// For each position: constant, bound variable (column index in cur),
 	// or free variable.
@@ -286,8 +386,15 @@ func (e *Evaluator) indexJoin(cur *Relation, a query.Atom) (*Relation, error) {
 	outVars := append(append([]string(nil), cur.Vars...), newVars...)
 	out := NewRelation(outVars)
 	outRow := make([]dict.ID, len(outVars))
-	var budgetErr error
+	var stopErr error
+	steps := 0
 	for i := 0; i < cur.Len(); i++ {
+		steps++
+		if steps&(checkEvery-1) == 0 {
+			if err := g.err(); err != nil {
+				return nil, err
+			}
+		}
 		row := cur.Row(i)
 		var pat storage.Pattern
 		if positions[0].constant != dict.None {
@@ -306,6 +413,13 @@ func (e *Evaluator) indexJoin(cur *Relation, a query.Atom) (*Relation, error) {
 			pat.O = row[positions[2].col]
 		}
 		e.st.Each(pat, func(t dict.Triple) bool {
+			steps++
+			if steps&(checkEvery-1) == 0 {
+				if err := g.err(); err != nil {
+					stopErr = err
+					return false
+				}
+			}
 			trip := [3]dict.ID{t.S, t.P, t.O}
 			copy(outRow, row)
 			// Fill free variables, checking repeated occurrences agree.
@@ -334,15 +448,16 @@ func (e *Evaluator) indexJoin(cur *Relation, a query.Atom) (*Relation, error) {
 			}
 			out.Append(outRow)
 			if e.Budget.MaxRows > 0 && out.Len() > e.Budget.MaxRows {
-				budgetErr = fmt.Errorf("%w: join result exceeds cap %d", ErrBudgetExceeded, e.Budget.MaxRows)
+				stopErr = fmt.Errorf("%w: join result exceeds cap %d", ErrBudgetExceeded, e.Budget.MaxRows)
 				return false
 			}
 			return true
 		})
-		if budgetErr != nil {
-			return nil, budgetErr
+		if stopErr != nil {
+			return nil, stopErr
 		}
 	}
+	g.addJoined(out.Len())
 	if e.Trace != nil {
 		e.Trace.Joins = append(e.Trace.Joins, JoinInfo{
 			Method: "inlj", SharedVars: boundVars(a, cur.Vars),
@@ -354,7 +469,7 @@ func (e *Evaluator) indexJoin(cur *Relation, a query.Atom) (*Relation, error) {
 
 // hashJoin joins two relations on their shared variables (cross product
 // when none), building on the smaller side.
-func (e *Evaluator) hashJoin(l, r *Relation) (*Relation, error) {
+func (e *Evaluator) hashJoin(l, r *Relation, g guard) (*Relation, error) {
 	shared := sharedVars(l.Vars, r.Vars)
 	build, probe := l, r
 	if r.Len() < l.Len() {
@@ -389,13 +504,26 @@ func (e *Evaluator) hashJoin(l, r *Relation) (*Relation, error) {
 		table[string(key)] = append(table[string(key)], int32(i))
 	}
 	outRow := make([]dict.ID, len(outVars))
+	steps := 0
 	for i := 0; i < probe.Len(); i++ {
+		steps++
+		if steps&(checkEvery-1) == 0 {
+			if err := g.err(); err != nil {
+				return nil, err
+			}
+		}
 		prow := probe.Row(i)
 		for k, c := range pIdx {
 			keyRow[k] = prow[c]
 		}
 		key = rowKey(key[:0], keyRow)
 		for _, bi := range table[string(key)] {
+			steps++
+			if steps&(checkEvery-1) == 0 {
+				if err := g.err(); err != nil {
+					return nil, err
+				}
+			}
 			brow := build.Row(int(bi))
 			copy(outRow, prow)
 			for j, c := range extraCols {
@@ -411,6 +539,7 @@ func (e *Evaluator) hashJoin(l, r *Relation) (*Relation, error) {
 			}
 		}
 	}
+	g.addJoined(out.Len())
 	if e.Trace != nil {
 		method := "hash"
 		if len(shared) == 0 {
@@ -448,20 +577,36 @@ func (e *Evaluator) projectHead(headNames []string, head []query.Arg, body *Rela
 
 // EvalUCQ evaluates a union of CQs with set semantics.
 func (e *Evaluator) EvalUCQ(u query.UCQ) (*Relation, error) {
+	return e.EvalUCQContext(context.Background(), u)
+}
+
+// EvalUCQContext is EvalUCQ bounded by ctx. The whole union — serial or
+// parallel — shares one deadline and one cancellation signal.
+func (e *Evaluator) EvalUCQContext(ctx context.Context, u query.UCQ) (*Relation, error) {
+	if len(u.CQs) == 0 {
+		return NewRelation(u.HeadNames), nil
+	}
+	g := e.newGuard(ctx)
+	defer g.flush(e.Metrics)
+	return e.evalUCQ(u, g)
+}
+
+// evalUCQ evaluates the union under an existing guard — the entry point
+// JUCQ fragments use so that fragments never restart the deadline.
+func (e *Evaluator) evalUCQ(u query.UCQ, g guard) (*Relation, error) {
 	if len(u.CQs) == 0 {
 		return NewRelation(u.HeadNames), nil
 	}
 	if e.Parallel && e.Trace == nil && len(u.CQs) >= 8 {
-		return e.evalUCQParallel(u)
+		return e.evalUCQParallel(u, g)
 	}
 	out := NewRelation(u.HeadNames)
-	dl := e.newDeadline()
 	done := 0
 	for _, cq := range u.CQs {
-		if dl.exceeded() {
-			return nil, fmt.Errorf("%w: timeout after %d/%d CQs", ErrBudgetExceeded, done, len(u.CQs))
+		if err := g.err(); err != nil {
+			return nil, fmt.Errorf("%w (after %d/%d CQs)", err, done, len(u.CQs))
 		}
-		r, err := e.evalCQ(u.HeadNames, cq, dl)
+		r, err := e.evalCQ(u.HeadNames, cq, g)
 		if err != nil {
 			return nil, err
 		}
@@ -470,6 +615,7 @@ func (e *Evaluator) EvalUCQ(u query.UCQ) (*Relation, error) {
 			e.Trace.CQs++
 		}
 		appendRelation(out, r)
+		g.addUnioned(r.Len())
 		if err := e.checkRows(out.Len()); err != nil {
 			return nil, err
 		}
@@ -482,22 +628,29 @@ func (e *Evaluator) EvalUCQ(u query.UCQ) (*Relation, error) {
 // (used when the UCQ is too large to materialize); enumerate must call its
 // argument once per CQ and stop when it returns false.
 func (e *Evaluator) EvalUCQStream(headNames []string, enumerate func(func(query.CQ) bool)) (*Relation, error) {
+	return e.EvalUCQStreamContext(context.Background(), headNames, enumerate)
+}
+
+// EvalUCQStreamContext is EvalUCQStream bounded by ctx.
+func (e *Evaluator) EvalUCQStreamContext(ctx context.Context, headNames []string, enumerate func(func(query.CQ) bool)) (*Relation, error) {
+	g := e.newGuard(ctx)
+	defer g.flush(e.Metrics)
 	out := NewRelation(headNames)
-	dl := e.newDeadline()
 	var evalErr error
 	done := 0
 	enumerate(func(cq query.CQ) bool {
-		if dl.exceeded() {
-			evalErr = fmt.Errorf("%w: timeout after %d CQs", ErrBudgetExceeded, done)
+		if err := g.err(); err != nil {
+			evalErr = fmt.Errorf("%w (after %d CQs)", err, done)
 			return false
 		}
-		r, err := e.evalCQ(headNames, cq, dl)
+		r, err := e.evalCQ(headNames, cq, g)
 		if err != nil {
 			evalErr = err
 			return false
 		}
 		done++
 		appendRelation(out, r)
+		g.addUnioned(r.Len())
 		if err := e.checkRows(out.Len()); err != nil {
 			evalErr = err
 			return false
@@ -511,23 +664,27 @@ func (e *Evaluator) EvalUCQStream(headNames []string, enumerate func(func(query.
 	return out, nil
 }
 
-func (e *Evaluator) evalUCQParallel(u query.UCQ) (*Relation, error) {
+func (e *Evaluator) evalUCQParallel(u query.UCQ, g guard) (*Relation, error) {
 	nw := runtime.GOMAXPROCS(0)
 	if nw > len(u.CQs) {
 		nw = len(u.CQs)
 	}
+	e.Metrics.Counter("exec.parallel_evals").Inc()
+	e.Metrics.Histogram("exec.parallel_workers", 1, 2, 4, 8, 16, 32, 64).Observe(float64(nw))
+	busy := e.Metrics.Gauge("exec.parallel_workers_busy")
 	var (
 		mu    sync.Mutex
 		out   = NewRelation(u.HeadNames)
 		first error
 		idx   int
 	)
-	dl := e.newDeadline()
 	var wg sync.WaitGroup
 	for w := 0; w < nw; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			busy.Add(1)
+			defer busy.Add(-1)
 			for {
 				mu.Lock()
 				if first != nil || idx >= len(u.CQs) {
@@ -537,23 +694,26 @@ func (e *Evaluator) evalUCQParallel(u query.UCQ) (*Relation, error) {
 				cq := u.CQs[idx]
 				idx++
 				mu.Unlock()
-				if dl.exceeded() {
+				if err := g.err(); err != nil {
 					mu.Lock()
 					if first == nil {
-						first = fmt.Errorf("%w: timeout", ErrBudgetExceeded)
+						first = err
 					}
 					mu.Unlock()
 					return
 				}
-				// Workers share the budget but each evaluates whole CQs.
+				// Workers evaluate whole CQs, but every sub-evaluation
+				// runs under the caller's guard: the union shares one
+				// deadline instead of restarting Budget.Timeout per CQ.
 				sub := &Evaluator{st: e.st, stats: e.stats, Budget: e.Budget, ForceHashJoins: e.ForceHashJoins, Join: e.Join}
-				r, err := sub.EvalCQ(u.HeadNames, cq)
+				r, err := sub.evalCQ(u.HeadNames, cq, g)
 				mu.Lock()
 				if err != nil && first == nil {
 					first = err
 				}
 				if err == nil && first == nil {
 					appendRelation(out, r)
+					g.addUnioned(r.Len())
 					if berr := e.checkRows(out.Len()); berr != nil && first == nil {
 						first = berr
 					}
@@ -574,10 +734,18 @@ func (e *Evaluator) evalUCQParallel(u query.UCQ) (*Relation, error) {
 // (concurrently when Parallel is set — fragments are independent) and the
 // fragment results are joined, then projected on the head.
 func (e *Evaluator) EvalJUCQ(j query.JUCQ) (*Relation, error) {
+	return e.EvalJUCQContext(context.Background(), j)
+}
+
+// EvalJUCQContext is EvalJUCQ bounded by ctx. All fragments — serial or
+// parallel — share one deadline: a JUCQ of N fragments gets one
+// Budget.Timeout, not N.
+func (e *Evaluator) EvalJUCQContext(ctx context.Context, j query.JUCQ) (*Relation, error) {
 	if len(j.Fragments) == 0 {
 		return nil, errors.New("exec: JUCQ without fragments")
 	}
-	dl := e.newDeadline()
+	g := e.newGuard(ctx)
+	defer g.flush(e.Metrics)
 	rels := make([]*Relation, len(j.Fragments))
 	if e.Parallel && e.Trace == nil && len(j.Fragments) > 1 {
 		var wg sync.WaitGroup
@@ -589,7 +757,7 @@ func (e *Evaluator) EvalJUCQ(j query.JUCQ) (*Relation, error) {
 				defer wg.Done()
 				sub := &Evaluator{st: e.st, stats: e.stats, Budget: e.Budget,
 					ForceHashJoins: e.ForceHashJoins, Join: e.Join, Parallel: false}
-				rels[i], errs[i] = sub.EvalUCQ(f.UCQ)
+				rels[i], errs[i] = sub.evalUCQ(f.UCQ, g)
 			}()
 		}
 		wg.Wait()
@@ -600,10 +768,10 @@ func (e *Evaluator) EvalJUCQ(j query.JUCQ) (*Relation, error) {
 		}
 	} else {
 		for i, f := range j.Fragments {
-			if dl.exceeded() {
-				return nil, fmt.Errorf("%w: timeout", ErrBudgetExceeded)
+			if err := g.err(); err != nil {
+				return nil, err
 			}
-			r, err := e.EvalUCQ(f.UCQ)
+			r, err := e.evalUCQ(f.UCQ, g)
 			if err != nil {
 				return nil, err
 			}
@@ -613,6 +781,9 @@ func (e *Evaluator) EvalJUCQ(j query.JUCQ) (*Relation, error) {
 	cur := rels[0]
 	remaining := append([]*Relation(nil), rels[1:]...)
 	for len(remaining) > 0 {
+		if err := g.err(); err != nil {
+			return nil, err
+		}
 		best, bestConnected := -1, false
 		for i, r := range remaining {
 			connected := len(sharedVars(cur.Vars, r.Vars)) > 0
@@ -624,7 +795,7 @@ func (e *Evaluator) EvalJUCQ(j query.JUCQ) (*Relation, error) {
 		}
 		next := remaining[best]
 		remaining = append(remaining[:best], remaining[best+1:]...)
-		joined, err := e.materializedJoin(cur, next)
+		joined, err := e.materializedJoin(cur, next, g)
 		if err != nil {
 			return nil, err
 		}

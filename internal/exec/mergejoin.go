@@ -23,10 +23,10 @@ const (
 // sorting both on the join key and merging equal-key groups. Falls back to
 // the hash join when there is no shared variable (a cross product gains
 // nothing from sorting).
-func (e *Evaluator) mergeJoin(l, r *Relation) (*Relation, error) {
+func (e *Evaluator) mergeJoin(l, r *Relation, g guard) (*Relation, error) {
 	shared := sharedVars(l.Vars, r.Vars)
 	if len(shared) == 0 {
-		return e.hashJoin(l, r)
+		return e.hashJoin(l, r, g)
 	}
 	lIdx := make([]int, len(shared))
 	rIdx := make([]int, len(shared))
@@ -62,7 +62,14 @@ func (e *Evaluator) mergeJoin(l, r *Relation) (*Relation, error) {
 		return 0
 	}
 	li, ri := 0, 0
+	steps := 0
 	for li < l.Len() && ri < r.Len() {
+		steps++
+		if steps&(checkEvery-1) == 0 {
+			if err := g.err(); err != nil {
+				return nil, err
+			}
+		}
 		lr := l.Row(lOrder[li])
 		rr := r.Row(rOrder[ri])
 		switch cmpKeys(lr, rr) {
@@ -83,6 +90,12 @@ func (e *Evaluator) mergeJoin(l, r *Relation) (*Relation, error) {
 			for a := li; a < lEnd; a++ {
 				la := l.Row(lOrder[a])
 				for b := ri; b < rEnd; b++ {
+					steps++
+					if steps&(checkEvery-1) == 0 {
+						if err := g.err(); err != nil {
+							return nil, err
+						}
+					}
 					rb := r.Row(rOrder[b])
 					copy(outRow, la)
 					for j, c := range extraCols {
@@ -101,6 +114,7 @@ func (e *Evaluator) mergeJoin(l, r *Relation) (*Relation, error) {
 			li, ri = lEnd, rEnd
 		}
 	}
+	g.addJoined(out.Len())
 	if e.Trace != nil {
 		e.Trace.Joins = append(e.Trace.Joins, JoinInfo{
 			Method: "merge", SharedVars: shared,
@@ -129,9 +143,9 @@ func sortedOrder(rel *Relation, cols []int) []int {
 }
 
 // materializedJoin dispatches on the configured join algorithm.
-func (e *Evaluator) materializedJoin(l, r *Relation) (*Relation, error) {
+func (e *Evaluator) materializedJoin(l, r *Relation, g guard) (*Relation, error) {
 	if e.Join == JoinMerge {
-		return e.mergeJoin(l, r)
+		return e.mergeJoin(l, r, g)
 	}
-	return e.hashJoin(l, r)
+	return e.hashJoin(l, r, g)
 }

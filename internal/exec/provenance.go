@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/query"
@@ -16,13 +17,14 @@ func (e *Evaluator) EvalUCQWithProvenance(u query.UCQ) (*Relation, [][]int, erro
 	out := NewRelation(u.HeadNames)
 	var provenance [][]int
 	seen := map[string]int{} // row key -> row index in out
-	dl := e.newDeadline()
+	g := e.newGuard(context.Background())
+	defer g.flush(e.Metrics)
 	key := make([]byte, 0, 16)
 	for ci, cq := range u.CQs {
-		if dl.exceeded() {
-			return nil, nil, fmt.Errorf("%w: timeout after %d/%d CQs", ErrBudgetExceeded, ci, len(u.CQs))
+		if err := g.err(); err != nil {
+			return nil, nil, fmt.Errorf("%w (after %d/%d CQs)", err, ci, len(u.CQs))
 		}
-		r, err := e.evalCQ(u.HeadNames, cq, dl)
+		r, err := e.evalCQ(u.HeadNames, cq, g)
 		if err != nil {
 			return nil, nil, err
 		}

@@ -8,6 +8,7 @@
 package federation
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"net/http"
@@ -25,6 +26,14 @@ import (
 type Source interface {
 	Name() string
 	Dump() ([]rdf.Triple, error)
+}
+
+// ContextSource is a Source whose fetch can be bounded by a context
+// (timeout, mediator shutdown). Sources over the network should implement
+// it; Mediator.BuildContext uses it when available.
+type ContextSource interface {
+	Source
+	DumpContext(ctx context.Context) ([]rdf.Triple, error)
 }
 
 // LocalSource serves triples from memory (an in-process endpoint).
@@ -76,11 +85,21 @@ func (s *HTTPSource) Name() string { return s.SourceName }
 
 // Dump implements Source.
 func (s *HTTPSource) Dump() ([]rdf.Triple, error) {
+	return s.DumpContext(context.Background())
+}
+
+// DumpContext implements ContextSource: canceling ctx aborts the fetch
+// (and, endpoint-side, the streaming dump).
+func (s *HTTPSource) DumpContext(ctx context.Context) ([]rdf.Triple, error) {
 	client := s.Client
 	if client == nil {
 		client = &http.Client{Timeout: 30 * time.Second}
 	}
-	resp, err := client.Get(s.BaseURL + "/dump")
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, s.BaseURL+"/dump", nil)
+	if err != nil {
+		return nil, fmt.Errorf("federation: source %s: %w", s.SourceName, err)
+	}
+	resp, err := client.Do(req)
 	if err != nil {
 		return nil, fmt.Errorf("federation: source %s: %w", s.SourceName, err)
 	}
@@ -102,6 +121,10 @@ type Mediator struct {
 	// PerSource records how many triples each source contributed on the
 	// last Build, keyed by source name.
 	PerSource map[string]int
+	// FetchTime records how long each source's dump took on the last
+	// Build, keyed by source name — the mediator-side observability
+	// counterpart to the endpoint's /metrics.
+	FetchTime map[string]time.Duration
 }
 
 // NewMediator returns a mediator over the sources.
@@ -113,13 +136,30 @@ func NewMediator(sources ...Source) *Mediator {
 // explicit triples, with the union schema closed mediator-side. Duplicate
 // triples across sources collapse (RDF set semantics).
 func (m *Mediator) Build() (*graph.Graph, error) {
+	return m.BuildContext(context.Background())
+}
+
+// BuildContext is Build bounded by ctx: sources implementing
+// ContextSource have their fetches canceled with it.
+func (m *Mediator) BuildContext(ctx context.Context) (*graph.Graph, error) {
 	if len(m.sources) == 0 {
 		return nil, fmt.Errorf("federation: no sources")
 	}
 	m.PerSource = map[string]int{}
+	m.FetchTime = map[string]time.Duration{}
 	var all []rdf.Triple
 	for _, src := range m.sources {
-		ts, err := src.Dump()
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("federation: build canceled: %w", err)
+		}
+		start := time.Now()
+		var ts []rdf.Triple
+		var err error
+		if cs, ok := src.(ContextSource); ok {
+			ts, err = cs.DumpContext(ctx)
+		} else {
+			ts, err = src.Dump()
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -127,6 +167,7 @@ func (m *Mediator) Build() (*graph.Graph, error) {
 			return nil, fmt.Errorf("federation: duplicate source name %q", src.Name())
 		}
 		m.PerSource[src.Name()] = len(ts)
+		m.FetchTime[src.Name()] = time.Since(start)
 		all = append(all, ts...)
 	}
 	g, err := graph.FromTriples(rdf.DedupTriples(all))
@@ -140,7 +181,12 @@ func (m *Mediator) Build() (*graph.Graph, error) {
 // typically used with the Ref strategies, since Sat-style materialization
 // cannot be pushed back into the read-only sources.
 func (m *Mediator) Engine() (*engine.Engine, error) {
-	g, err := m.Build()
+	return m.EngineContext(context.Background())
+}
+
+// EngineContext is Engine bounded by ctx (see BuildContext).
+func (m *Mediator) EngineContext(ctx context.Context) (*engine.Engine, error) {
+	g, err := m.BuildContext(ctx)
 	if err != nil {
 		return nil, err
 	}

@@ -5,16 +5,23 @@
 //	GET  /            endpoint summary (triples, schema, strategies)
 //	GET  /healthz     liveness
 //	GET  /stats       demo step 1 statistics (JSON)
+//	GET  /metrics     live counters, latency histograms, slow-query log
 //	POST /query       answer a query (JSON body, see QueryRequest)
 //	GET  /query?q=…   same, query string (strategy, limit optional)
 //	POST /explain     reformulation sizes + GCov cover space (JSON)
 //
 // All handlers are read-only and safe for concurrent use once the engine
 // caches are warm (the server warms them at construction).
+//
+// Every evaluation runs under the request's context: a client disconnect
+// or server shutdown (via http.Server.BaseContext) cancels the in-flight
+// evaluation at its next operator checkpoint, and the configured Timeout
+// bounds it otherwise.
 package httpapi
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -25,9 +32,9 @@ import (
 	"repro/internal/engine"
 	"repro/internal/exec"
 	"repro/internal/graph"
+	"repro/internal/metrics"
 	"repro/internal/ntriples"
 	"repro/internal/query"
-	"repro/internal/rdf"
 	"repro/internal/stats"
 )
 
@@ -37,10 +44,16 @@ type Server struct {
 	eng      *engine.Engine
 	prefixes map[string]string
 	mux      *http.ServeMux
+	metrics  *metrics.Registry
+	slowLog  *metrics.SlowQueryLog
 	// Timeout bounds each evaluation.
 	Timeout time.Duration
 	// MaxAnswerRows caps the rows serialized per response (0 = 10000).
 	MaxAnswerRows int
+	// SlowQueryThreshold is the total request duration above which /query
+	// requests land in the slow-query log (0 = 500ms, negative =
+	// disabled). Set before serving.
+	SlowQueryThreshold time.Duration
 }
 
 // New builds a server over the graph; prefixes apply to rule-notation
@@ -52,8 +65,11 @@ func New(g *graph.Graph, prefixes map[string]string) *Server {
 		eng:      engine.New(g),
 		prefixes: prefixes,
 		mux:      http.NewServeMux(),
+		metrics:  metrics.NewRegistry(),
+		slowLog:  metrics.NewSlowQueryLog(128),
 		Timeout:  30 * time.Second,
 	}
+	s.eng.Metrics = s.metrics
 	s.eng.Store()
 	s.eng.Stats()
 	s.eng.SatStore()
@@ -65,25 +81,54 @@ func New(g *graph.Graph, prefixes map[string]string) *Server {
 	s.mux.HandleFunc("/", s.handleRoot)
 	s.mux.HandleFunc("/healthz", s.handleHealth)
 	s.mux.HandleFunc("/stats", s.handleStats)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/query", s.handleQuery)
 	s.mux.HandleFunc("/explain", s.handleExplain)
 	s.mux.HandleFunc("/dump", s.handleDump)
 	return s
 }
 
+// Metrics returns the server's registry (shared with the engine and
+// executor), for embedding callers that want their own exposition.
+func (s *Server) Metrics() *metrics.Registry { return s.metrics }
+
+func (s *Server) slowThreshold() time.Duration {
+	switch {
+	case s.SlowQueryThreshold < 0:
+		return 0 // disabled
+	case s.SlowQueryThreshold == 0:
+		return 500 * time.Millisecond
+	default:
+		return s.SlowQueryThreshold
+	}
+}
+
 // handleDump streams the endpoint's triples (data plus direct constraint
 // triples) as N-Triples — the export a federation mediator ingests. Like
 // real endpoints, the dump is *not* saturated: entailed triples are the
-// consumer's problem (§1).
-func (s *Server) handleDump(w http.ResponseWriter, _ *http.Request) {
+// consumer's problem (§1). Triples are decoded and written one at a time
+// (a large graph is never copied into a []rdf.Triple), and the first write
+// error — the consumer hung up — aborts the dump instead of silently
+// producing a truncated file.
+func (s *Server) handleDump(w http.ResponseWriter, r *http.Request) {
+	s.metrics.Counter("http.requests./dump").Inc()
 	w.Header().Set("Content-Type", "application/n-triples")
 	d := s.g.Dict()
-	all := s.g.AllTriples()
-	decoded := make([]rdf.Triple, len(all))
-	for i, t := range all {
-		decoded[i] = d.DecodeTriple(t)
+	ctx := r.Context()
+	sw := ntriples.NewWriter(w)
+	for i, t := range s.g.AllTriples() {
+		if i&1023 == 0 && ctx.Err() != nil {
+			s.metrics.Counter("http.dump_aborted").Inc()
+			return
+		}
+		if err := sw.WriteTriple(d.DecodeTriple(t)); err != nil {
+			s.metrics.Counter("http.dump_aborted").Inc()
+			return
+		}
 	}
-	_ = ntriples.Write(w, decoded)
+	if err := sw.Flush(); err != nil {
+		s.metrics.Counter("http.dump_aborted").Inc()
+	}
 }
 
 // ServeHTTP implements http.Handler.
@@ -112,13 +157,19 @@ type QueryResponse struct {
 	Meta      MetaJSON   `json:"meta"`
 }
 
-// MetaJSON mirrors engine.Answer metadata.
+// MetaJSON mirrors engine.Answer metadata plus the request's timing
+// breakdown: parse (query text → CQ), prep (reformulation / cover
+// search), eval (execution), serialize (rows → JSON strings).
 type MetaJSON struct {
 	Strategy         string  `json:"strategy"`
 	Cover            string  `json:"cover,omitempty"`
 	ReformulationCQs int     `json:"reformulationCQs"`
+	ParseMillis      float64 `json:"parseMillis"`
 	PrepMillis       float64 `json:"prepMillis"`
 	EvalMillis       float64 `json:"evalMillis"`
+	SerializeMillis  float64 `json:"serializeMillis"`
+	TotalMillis      float64 `json:"totalMillis"`
+	CachedPlan       bool    `json:"cachedPlan,omitempty"`
 	EstimatedCost    float64 `json:"estimatedCost,omitempty"`
 }
 
@@ -163,7 +214,7 @@ func (s *Server) handleRoot(w http.ResponseWriter, r *http.Request) {
 		"dataTriples": s.g.DataCount(),
 		"schema":      s.g.Schema().String(),
 		"strategies":  strategies,
-		"endpoints":   []string{"/healthz", "/stats", "/query", "/explain"},
+		"endpoints":   []string{"/healthz", "/stats", "/metrics", "/query", "/explain", "/dump"},
 	})
 }
 
@@ -243,8 +294,11 @@ func (s *Server) parseCQ(text string) (query.CQ, error) {
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	s.metrics.Counter("http.requests./query").Inc()
 	req, err := s.parseRequest(r)
 	if err != nil {
+		s.metrics.Counter("http.errors").Inc()
 		writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
 		return
 	}
@@ -252,23 +306,36 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if req.Strategy == "" {
 		strategy = engine.RefGCov
 	}
-	// Each request gets its own engine view sharing the warmed caches;
-	// Budget is per-request state, so shallow-copy the engine.
+	// Each request gets its own engine view sharing the warmed caches
+	// (and the shared plan cache + metrics registry); Budget is
+	// per-request state, so shallow-copy the engine.
 	eng := *s.eng
 	eng.Budget = exec.Budget{Timeout: s.Timeout}
-	var ans *engine.Answer
+	// The request context carries client disconnects and — when the
+	// caller wires http.Server.BaseContext — server shutdown into the
+	// evaluation.
+	ctx := r.Context()
+	var (
+		ans         *engine.Answer
+		parseMillis float64
+	)
+	parseStart := time.Now()
 	upper := strings.ToUpper(req.Query)
 	if (strings.HasPrefix(strings.TrimSpace(upper), "SELECT") || strings.HasPrefix(strings.TrimSpace(upper), "PREFIX")) &&
 		strings.Contains(upper, "UNION") {
 		u, uerr := query.ParseSPARQLUnion(s.g.Dict(), req.Query)
+		parseMillis = millisSince(parseStart)
 		if uerr != nil {
+			s.metrics.Counter("http.errors").Inc()
 			writeJSON(w, http.StatusBadRequest, errorResponse{uerr.Error()})
 			return
 		}
-		ans, err = eng.AnswerUnion(u, strategy)
+		ans, err = eng.AnswerUnionContext(ctx, u, strategy)
 	} else {
 		q, perr := s.parseCQ(req.Query)
+		parseMillis = millisSince(parseStart)
 		if perr != nil {
+			s.metrics.Counter("http.errors").Inc()
 			writeJSON(w, http.StatusBadRequest, errorResponse{perr.Error()})
 			return
 		}
@@ -277,13 +344,20 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			for i, f := range req.Cover {
 				cover[i] = append([]int(nil), f...)
 			}
-			ans, err = eng.AnswerWithCover(q, cover)
+			ans, err = eng.AnswerWithCoverContext(ctx, q, cover)
 		} else {
-			ans, err = eng.Answer(q, strategy)
+			ans, err = eng.AnswerContext(ctx, q, strategy)
 		}
 	}
 	if err != nil {
+		s.metrics.Counter("http.errors").Inc()
+		s.recordQuery(req, strategy, start, 0, err)
 		status := http.StatusUnprocessableEntity
+		if errors.Is(err, exec.ErrCanceled) {
+			// The client is gone or the server is draining; the status
+			// is mostly for logs.
+			status = http.StatusServiceUnavailable
+		}
 		writeJSON(w, status, errorResponse{err.Error()})
 		return
 	}
@@ -295,6 +369,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	d := s.g.Dict()
+	serStart := time.Now()
 	ans.Rows.SortRows()
 	resp := QueryResponse{
 		Columns: ans.Rows.Vars,
@@ -303,8 +378,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			Strategy:         string(ans.Strategy),
 			Cover:            coverString(ans.Cover),
 			ReformulationCQs: ans.ReformulationCQs,
+			ParseMillis:      parseMillis,
 			PrepMillis:       float64(ans.PrepTime) / float64(time.Millisecond),
 			EvalMillis:       float64(ans.EvalTime) / float64(time.Millisecond),
+			CachedPlan:       ans.CachedPlan,
 			EstimatedCost:    ans.EstimatedCost,
 		},
 	}
@@ -325,10 +402,67 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 		resp.Rows = append(resp.Rows, out)
 	}
+	resp.Meta.SerializeMillis = millisSince(serStart)
+	resp.Meta.TotalMillis = millisSince(start)
+	s.recordQuery(req, strategy, start, ans.Rows.Len(), nil)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func millisSince(t time.Time) float64 {
+	return float64(time.Since(t)) / float64(time.Millisecond)
+}
+
+// recordQuery feeds the request-level histogram and the slow-query log.
+func (s *Server) recordQuery(req QueryRequest, strategy engine.Strategy, start time.Time, rows int, err error) {
+	total := time.Since(start)
+	s.metrics.Histogram("http.latency_ms./query").
+		Observe(float64(total) / float64(time.Millisecond))
+	thr := s.slowThreshold()
+	if thr <= 0 || (total < thr && err == nil) {
+		return
+	}
+	q := req.Query
+	if len(q) > 512 {
+		q = q[:512] + "…"
+	}
+	entry := metrics.SlowQuery{
+		Time:     start,
+		Query:    q,
+		Strategy: string(strategy),
+		Millis:   float64(total) / float64(time.Millisecond),
+		Rows:     rows,
+	}
+	if err != nil {
+		entry.Err = err.Error()
+	}
+	s.slowLog.Add(entry)
+	s.metrics.Counter("http.slow_queries").Inc()
+}
+
+// MetricsResponse is the /metrics output: the registry snapshot plus the
+// slow-query ring buffer.
+type MetricsResponse struct {
+	metrics.Snapshot
+	SlowQueryThresholdMillis float64             `json:"slowQueryThresholdMillis"`
+	SlowQueriesTotal         int64               `json:"slowQueriesTotal"`
+	SlowQueries              []metrics.SlowQuery `json:"slowQueries"`
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	resp := MetricsResponse{
+		Snapshot:                 s.metrics.Snapshot(),
+		SlowQueryThresholdMillis: float64(s.slowThreshold()) / float64(time.Millisecond),
+		SlowQueriesTotal:         s.slowLog.Total(),
+		SlowQueries:              s.slowLog.Entries(),
+	}
+	if resp.SlowQueries == nil {
+		resp.SlowQueries = []metrics.SlowQuery{}
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	s.metrics.Counter("http.requests./explain").Inc()
 	req, err := s.parseRequest(r)
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
@@ -349,7 +483,8 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	}
 	ev := exec.New(eng.Store(), eng.Stats())
 	ev.Budget = exec.Budget{Timeout: s.Timeout}
-	rows, err := ev.EvalJUCQ(res.JUCQ)
+	ev.Metrics = s.metrics
+	rows, err := ev.EvalJUCQContext(r.Context(), res.JUCQ)
 	if err != nil {
 		writeJSON(w, http.StatusUnprocessableEntity, errorResponse{err.Error()})
 		return

@@ -1,0 +1,166 @@
+package metrics
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterAndGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("c") != c {
+		t.Fatal("same name must return same counter")
+	}
+	g := r.Gauge("g")
+	g.Set(7)
+	g.Add(-2)
+	if got := g.Value(); got != 5 {
+		t.Fatalf("gauge = %d, want 5", got)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	r.Counter("x").Inc()
+	r.Gauge("x").Set(1)
+	r.Histogram("x").Observe(1)
+	if s := r.Snapshot(); len(s.Counters) != 0 {
+		t.Fatalf("nil registry snapshot not empty: %+v", s)
+	}
+	var l *SlowQueryLog
+	l.Add(SlowQuery{})
+	if l.Entries() != nil || l.Total() != 0 {
+		t.Fatal("nil slow log must be empty")
+	}
+	var h *Histogram
+	h.Observe(3)
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("nil histogram quantile must be 0")
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram(1, 2, 5, 10, 100)
+	// 100 observations uniform over (0, 100].
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i))
+	}
+	s := h.Snapshot()
+	if s.Count != 100 || s.Min != 1 || s.Max != 100 {
+		t.Fatalf("snapshot stats wrong: %+v", s)
+	}
+	if math.Abs(s.Sum-5050) > 1e-9 {
+		t.Fatalf("sum = %v, want 5050", s.Sum)
+	}
+	// The p50 of a uniform (0,100] sample lies in the (10,100] bucket;
+	// interpolation must land well inside it.
+	if s.P50 < 10 || s.P50 > 100 {
+		t.Fatalf("p50 = %v, want within (10,100]", s.P50)
+	}
+	if s.P99 < s.P95 || s.P95 < s.P50 {
+		t.Fatalf("quantiles not monotone: %+v", s)
+	}
+	if s.P99 > 100 {
+		t.Fatalf("p99 = %v exceeds max", s.P99)
+	}
+}
+
+func TestHistogramSingleValue(t *testing.T) {
+	h := NewHistogram(1, 10, 100)
+	for i := 0; i < 50; i++ {
+		h.Observe(42)
+	}
+	s := h.Snapshot()
+	// Every quantile of a constant sample is that constant (min/max
+	// clamping, not bucket edges).
+	for _, q := range []float64{s.P50, s.P95, s.P99} {
+		if q != 42 {
+			t.Fatalf("quantile of constant sample = %v, want 42", q)
+		}
+	}
+}
+
+func TestHistogramAboveTopBucket(t *testing.T) {
+	h := NewHistogram(1, 2)
+	h.Observe(50)
+	h.Observe(70)
+	s := h.Snapshot()
+	if s.P99 > 70 || s.P99 < 50 {
+		t.Fatalf("overflow-bucket p99 = %v, want within [50,70]", s.P99)
+	}
+}
+
+func TestConcurrentIncrements(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	const workers, n = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				r.Counter("hits").Inc()
+				r.Gauge("depth").Add(1)
+				r.Histogram("lat").Observe(float64(i % 10))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("hits").Value(); got != workers*n {
+		t.Fatalf("counter = %d, want %d", got, workers*n)
+	}
+	if got := r.Histogram("lat").Snapshot().Count; got != workers*n {
+		t.Fatalf("histogram count = %d, want %d", got, workers*n)
+	}
+	snap := r.Snapshot()
+	if snap.Counters["hits"] != workers*n || snap.Gauges["depth"] != workers*n {
+		t.Fatalf("snapshot wrong: %+v", snap)
+	}
+}
+
+func TestSlowQueryLogRing(t *testing.T) {
+	l := NewSlowQueryLog(3)
+	for i := 0; i < 5; i++ {
+		l.Add(SlowQuery{Query: string(rune('a' + i)), Time: time.Unix(int64(i), 0)})
+	}
+	got := l.Entries()
+	if len(got) != 3 {
+		t.Fatalf("entries = %d, want 3", len(got))
+	}
+	// Newest first: e, d, c.
+	if got[0].Query != "e" || got[1].Query != "d" || got[2].Query != "c" {
+		t.Fatalf("order wrong: %+v", got)
+	}
+	if l.Total() != 5 {
+		t.Fatalf("total = %d, want 5", l.Total())
+	}
+}
+
+func TestSlowQueryLogConcurrent(t *testing.T) {
+	l := NewSlowQueryLog(16)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				l.Add(SlowQuery{Query: "q"})
+				l.Entries()
+			}
+		}()
+	}
+	wg.Wait()
+	if l.Total() != 400 {
+		t.Fatalf("total = %d, want 400", l.Total())
+	}
+	if len(l.Entries()) != 16 {
+		t.Fatalf("retained = %d, want 16", len(l.Entries()))
+	}
+}

@@ -1,0 +1,86 @@
+package metrics
+
+import (
+	"sync"
+	"time"
+)
+
+// SlowQuery is one slow-query log entry.
+type SlowQuery struct {
+	Time     time.Time `json:"time"`
+	Query    string    `json:"query"`
+	Strategy string    `json:"strategy,omitempty"`
+	Millis   float64   `json:"millis"`
+	Rows     int       `json:"rows,omitempty"`
+	Err      string    `json:"error,omitempty"`
+}
+
+// SlowQueryLog is a bounded ring buffer of slow-query entries: constant
+// memory no matter how many queries cross the threshold, newest entries
+// win. The threshold decision belongs to the caller (the HTTP layer);
+// the log only stores. Safe for concurrent use; nil-tolerant.
+type SlowQueryLog struct {
+	mu      sync.Mutex
+	entries []SlowQuery // ring storage
+	next    int         // next write position
+	filled  bool        // ring has wrapped
+	total   int64       // entries ever recorded (incl. overwritten)
+}
+
+// NewSlowQueryLog returns a log keeping the most recent capacity entries
+// (128 when capacity <= 0).
+func NewSlowQueryLog(capacity int) *SlowQueryLog {
+	if capacity <= 0 {
+		capacity = 128
+	}
+	return &SlowQueryLog{entries: make([]SlowQuery, capacity)}
+}
+
+// Add records one entry, evicting the oldest when full.
+func (l *SlowQueryLog) Add(e SlowQuery) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.entries[l.next] = e
+	l.next++
+	if l.next == len(l.entries) {
+		l.next = 0
+		l.filled = true
+	}
+	l.total++
+}
+
+// Entries returns the retained entries, newest first.
+func (l *SlowQueryLog) Entries() []SlowQuery {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := l.next
+	if l.filled {
+		n = len(l.entries)
+	}
+	out := make([]SlowQuery, 0, n)
+	for i := 0; i < n; i++ {
+		idx := l.next - 1 - i
+		if idx < 0 {
+			idx += len(l.entries)
+		}
+		out = append(out, l.entries[idx])
+	}
+	return out
+}
+
+// Total returns how many entries were ever recorded, including ones the
+// ring has since overwritten.
+func (l *SlowQueryLog) Total() int64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.total
+}

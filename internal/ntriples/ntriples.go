@@ -566,14 +566,35 @@ func hexVal(r rune) (int, bool) {
 
 // Write serializes triples in N-Triples syntax to w, one per line.
 func Write(w io.Writer, ts []rdf.Triple) error {
-	bw := bufio.NewWriterSize(w, 1<<16)
+	sw := NewWriter(w)
 	for _, t := range ts {
-		if _, err := bw.WriteString(t.String()); err != nil {
-			return err
-		}
-		if err := bw.WriteByte('\n'); err != nil {
+		if err := sw.WriteTriple(t); err != nil {
 			return err
 		}
 	}
-	return bw.Flush()
+	return sw.Flush()
 }
+
+// Writer streams triples one at a time in N-Triples syntax, so callers
+// serializing a large graph (e.g. the HTTP /dump route) never materialize
+// a decoded []rdf.Triple copy. Callers must Flush when done and must stop
+// on the first error (the underlying writer is gone).
+type Writer struct {
+	bw *bufio.Writer
+}
+
+// NewWriter returns a streaming N-Triples writer over w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{bw: bufio.NewWriterSize(w, 1<<16)}
+}
+
+// WriteTriple serializes one triple followed by a newline.
+func (w *Writer) WriteTriple(t rdf.Triple) error {
+	if _, err := w.bw.WriteString(t.String()); err != nil {
+		return err
+	}
+	return w.bw.WriteByte('\n')
+}
+
+// Flush writes any buffered output to the underlying writer.
+func (w *Writer) Flush() error { return w.bw.Flush() }
