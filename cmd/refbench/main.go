@@ -7,6 +7,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -24,6 +25,8 @@ func main() {
 		seed    = flag.Int64("seed", 42, "generator seed")
 		timeout = flag.Duration("timeout", 60*time.Second, "per-strategy evaluation timeout")
 		ucq     = flag.Bool("ucq", false, "include the full UCQ strategy (slow)")
+		jsonOut = flag.Bool("json", false, "also write each result (incl. per-phase timings) to BENCH_<EXP>.json")
+		outDir  = flag.String("out", ".", "directory for BENCH_*.json files")
 	)
 	flag.Parse()
 
@@ -61,9 +64,27 @@ func main() {
 		}
 		fmt.Println(res.String())
 		fmt.Printf("(%s completed in %v)\n\n", e.name, time.Since(start).Round(time.Millisecond))
+		if *jsonOut {
+			path := fmt.Sprintf("%s/BENCH_%s.json", *outDir, strings.ToUpper(e.name))
+			if err := writeJSONFile(path, res); err != nil {
+				fmt.Fprintf(os.Stderr, "refbench: %s: %v\n", path, err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n\n", path)
+		}
 	}
 	if !ran {
 		fmt.Fprintf(os.Stderr, "refbench: unknown experiment %q (want e1..e6 or all)\n", *exp)
 		os.Exit(2)
 	}
+}
+
+// writeJSONFile marshals v (the experiment's structured result, with the
+// bench.Run per-phase timings) into path.
+func writeJSONFile(path string, v any) error {
+	out, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
 }

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -22,6 +23,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/lubm"
 	"repro/internal/query"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -35,7 +37,9 @@ func main() {
 		example1 = flag.Bool("example1", false, "use the paper's Example 1 query (LUBM)")
 		strategy = flag.String("strategy", "ref-gcov", "strategy: sat, ref-ucq, ref-scq, ref-gcov, ref-incomplete, datalog, or all")
 		cover    = flag.String("cover", "", "explicit cover for ref-jucq, e.g. '0,2|1,3|2,4'")
-		explain  = flag.Bool("explain", false, "show reformulation sizes, cover search and plans (demo step 3)")
+		explain  = flag.Bool("explain", false, "show reformulation sizes, cover search and the EXPLAIN plan tree (demo step 3)")
+		analyze  = flag.Bool("analyze", false, "execute with tracing and print the span tree with est-vs-actual cardinalities")
+		expJSON  = flag.Bool("explain-json", false, "print plan/trace trees as JSON instead of text")
 		why      = flag.Bool("why", false, "explain each answer: which reformulation branch produced it")
 		maxRows  = flag.Int("maxshow", 20, "maximum answer rows to print")
 		timeout  = flag.Duration("timeout", 60*time.Second, "evaluation timeout")
@@ -99,18 +103,28 @@ func main() {
 		var (
 			ans *engine.Answer
 		)
+		if *analyze {
+			// Fresh tracer per strategy so each run gets its own root span.
+			e.Tracer = trace.New(0)
+		}
 		if *cover != "" {
 			c, err := parseCover(*cover)
 			if err != nil {
 				fail(err)
+			}
+			s = engine.RefJUCQ
+			if *explain {
+				printPlan(e, q, s, c, *expJSON)
 			}
 			ans, err = e.AnswerWithCover(q, c)
 			if err != nil {
 				fmt.Printf("%-16s FAILED: %v\n", "ref-jucq", err)
 				continue
 			}
-			s = engine.RefJUCQ
 		} else {
+			if *explain {
+				printPlan(e, q, s, nil, *expJSON)
+			}
 			var err error
 			ans, err = e.Answer(q, s)
 			if err != nil {
@@ -138,8 +152,57 @@ func main() {
 				fmt.Printf("  %s %-40v cost=%.0f card=%.0f\n", tag, ex.Cover, ex.Cost, ex.Card)
 			}
 		}
+		if *analyze {
+			fmt.Println("execution trace (EXPLAIN ANALYZE):")
+			printTrace(e.Tracer.Root(), *expJSON)
+		}
 		printAnswers(g, ans, *maxRows)
 	}
+}
+
+// printPlan shows the EXPLAIN tree for strategy s without executing.
+func printPlan(e *engine.Engine, q query.CQ, s engine.Strategy, c query.Cover, asJSON bool) {
+	var (
+		p   *engine.Plan
+		err error
+	)
+	if c != nil {
+		p, err = e.PlanWithCover(q, c)
+	} else {
+		p, err = e.Plan(q, s)
+	}
+	if err != nil {
+		fmt.Printf("plan for %s unavailable: %v\n", s, err)
+		return
+	}
+	fmt.Println("plan (EXPLAIN):")
+	if asJSON {
+		out, _ := json.MarshalIndent(p.Tree(), "", "  ")
+		fmt.Println(string(out))
+		return
+	}
+	fmt.Print(indent(p.Explain(), "  "))
+}
+
+// printTrace shows an executed span tree with timings.
+func printTrace(root *trace.Span, asJSON bool) {
+	if root == nil {
+		return
+	}
+	if asJSON {
+		out, _ := json.MarshalIndent(trace.ToJSON(root), "", "  ")
+		fmt.Println(string(out))
+		return
+	}
+	fmt.Print(indent(trace.Render(root, trace.RenderOptions{Timing: true}), "  "))
+}
+
+func indent(s, pad string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i, l := range lines {
+		lines[i] = pad + l
+	}
+	return strings.Join(lines, "\n") + "\n"
 }
 
 func loadGraph(scenario, dataFile string, scale int, seed int64) (*graph.Graph, map[string]string, error) {

@@ -17,8 +17,10 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net"
 	"net/http"
+	"os"
 	"os/signal"
 	"strings"
 	"syscall"
@@ -40,6 +42,8 @@ func main() {
 		timeout   = flag.Duration("timeout", 30*time.Second, "per-query evaluation timeout")
 		slowQuery = flag.Duration("slow-query", 500*time.Millisecond, "slow-query log threshold (0 disables)")
 		grace     = flag.Duration("grace", 5*time.Second, "shutdown grace period")
+		pprof     = flag.Bool("pprof", false, "mount net/http/pprof handlers under /debug/pprof/")
+		logJSON   = flag.Bool("log-json", true, "emit structured JSON query logs on stderr")
 	)
 	flag.Parse()
 
@@ -82,6 +86,13 @@ func main() {
 	srv.SlowQueryThreshold = *slowQuery
 	if *slowQuery == 0 {
 		srv.SlowQueryThreshold = -1
+	}
+	if *logJSON {
+		srv.Logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	}
+	if *pprof {
+		srv.EnablePprof()
+		log.Printf("pprof enabled at /debug/pprof/")
 	}
 
 	// ctx is canceled on SIGINT/SIGTERM; it is also every request's base

@@ -16,6 +16,7 @@ import (
 	"repro/internal/lubm"
 	"repro/internal/query"
 	"repro/internal/rdf"
+	"repro/internal/trace"
 )
 
 // Config parameterizes the experiments.
@@ -116,20 +117,37 @@ func formatDuration(d time.Duration) string {
 	}
 }
 
-// runStrategy answers q with strategy s under the timeout, reporting
-// infeasibility instead of failing.
-type strategyRun struct {
-	Strategy engine.Strategy
-	CQs      int
-	Rows     int
-	Prep     time.Duration
-	Eval     time.Duration
-	Err      error
+// Run is one strategy execution: what was answered, how long each phase
+// took, and whether it was feasible at all. Experiments embed Run in their
+// JSON-serializable results (refbench -json writes them to BENCH_*.json).
+type Run struct {
+	Strategy engine.Strategy `json:"strategy"`
+	CQs      int             `json:"cqs,omitempty"`
+	Rows     int             `json:"rows"`
+	Prep     time.Duration   `json:"prepNanos"`
+	Eval     time.Duration   `json:"evalNanos"`
+	// Phases breaks the latency down by lifecycle phase (reformulate,
+	// plan, eval), in milliseconds, summed from the span trace — so
+	// reports show where time went, not just the end-to-end number.
+	Phases map[string]float64 `json:"phasesMillis,omitempty"`
+	Err    error              `json:"-"`
+	Error  string             `json:"error,omitempty"`
 }
 
-func runStrategy(e *engine.Engine, q queryHolder, s engine.Strategy, timeout time.Duration) strategyRun {
+// runPhases are the span names summed into Run.Phases.
+var runPhases = []string{"reformulate", "plan", "eval"}
+
+// runStrategy answers q with strategy s under the timeout, reporting
+// infeasibility instead of failing. Each run gets a fresh tracer so the
+// per-phase breakdown covers exactly this execution.
+func runStrategy(e *engine.Engine, q queryHolder, s engine.Strategy, timeout time.Duration) Run {
 	e.Budget = exec.Budget{Timeout: timeout}
-	defer func() { e.Budget = exec.Budget{} }()
+	tr := trace.New(0)
+	e.Tracer = tr
+	defer func() {
+		e.Budget = exec.Budget{}
+		e.Tracer = nil
+	}()
 	var (
 		ans *engine.Answer
 		err error
@@ -140,15 +158,46 @@ func runStrategy(e *engine.Engine, q queryHolder, s engine.Strategy, timeout tim
 		ans, err = e.Answer(q.cq, s)
 	}
 	if err != nil {
-		return strategyRun{Strategy: s, Err: err}
+		return Run{Strategy: s, Err: err, Error: err.Error(), Phases: phaseBreakdown(tr)}
 	}
-	return strategyRun{
+	return Run{
 		Strategy: s,
 		CQs:      ans.ReformulationCQs,
 		Rows:     ans.Rows.Len(),
 		Prep:     ans.PrepTime,
 		Eval:     ans.EvalTime,
+		Phases:   phaseBreakdown(tr),
 	}
+}
+
+func phaseBreakdown(tr *trace.Tracer) map[string]float64 {
+	root := trace.ToJSON(tr.Root())
+	if root == nil {
+		return nil
+	}
+	phases := make(map[string]float64, len(runPhases))
+	for _, name := range runPhases {
+		if ms := root.PhaseMillis(name); ms > 0 {
+			phases[name] = ms
+		}
+	}
+	if len(phases) == 0 {
+		return nil
+	}
+	return phases
+}
+
+// FormatPhases renders a Run's phase breakdown as a compact
+// "reformulate 1.2ms · plan 0.3ms · eval 8.9ms" string ("" when absent).
+func FormatPhases(p map[string]float64) string {
+	var parts []string
+	for _, name := range runPhases {
+		if ms, ok := p[name]; ok {
+			parts = append(parts, fmt.Sprintf("%s %s", name,
+				formatDuration(time.Duration(ms*float64(time.Millisecond)))))
+		}
+	}
+	return strings.Join(parts, " · ")
 }
 
 type queryHolder struct {

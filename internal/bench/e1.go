@@ -14,7 +14,7 @@ type E1Result struct {
 	University string
 	Combos     int
 	PerAtom    []int
-	Runs       []strategyRun
+	Runs       []Run
 	GCovCover  string
 	Table      Table
 }
@@ -52,7 +52,7 @@ func E1(cfg Config) (*E1Result, error) {
 		strategies = append([]entry{{name: "Ref-UCQ (fixed, [9])", s: engine.RefUCQ}}, strategies...)
 	}
 
-	res.Table.Header = []string{"strategy", "#CQs", "prep", "eval", "answers", "note"}
+	res.Table.Header = []string{"strategy", "#CQs", "prep", "eval", "phases", "answers", "note"}
 	for _, st := range strategies {
 		qh := queryHolder{cq: q}
 		if st.s == engine.RefJUCQ {
@@ -74,10 +74,10 @@ func E1(cfg Config) (*E1Result, error) {
 			}
 		}
 		if run.Err != nil {
-			res.Table.Add(st.name, "-", "-", "-", "-", "INFEASIBLE: "+truncate(run.Err.Error(), 60))
+			res.Table.Add(st.name, "-", "-", "-", "-", "-", "INFEASIBLE: "+truncate(run.Err.Error(), 60))
 			continue
 		}
-		res.Table.Add(st.name, run.CQs, run.Prep, run.Eval, run.Rows, note)
+		res.Table.Add(st.name, run.CQs, run.Prep, run.Eval, FormatPhases(run.Phases), run.Rows, note)
 	}
 	return res, nil
 }

@@ -22,7 +22,7 @@ type E3Result struct {
 type E3Row struct {
 	Scenario string
 	Query    string
-	Run      strategyRun
+	Run      Run
 	Complete bool // answers equal to Sat's
 }
 

@@ -63,6 +63,34 @@ func (m *Model) Atom(a query.Atom) Estimate {
 // the next atom's extent (the executor's own policy) and hash join
 // otherwise.
 func (m *Model) CQ(q query.CQ) Estimate {
+	return m.cq(q, nil)
+}
+
+// PlanStep is one step of the simulated greedy plan: the first step is
+// always a scan, each later step joins one more atom into the running
+// result.
+type PlanStep struct {
+	// Op is "scan" for the first step, then "inlj" or "hash".
+	Op string
+	// AtomIndex indexes q.Atoms.
+	AtomIndex int
+	// Atom is the joined atom's own estimate.
+	Atom Estimate
+	// Out is the running estimate after this step.
+	Out Estimate
+}
+
+// CQPlan is CQ exposing the simulated plan steps — the estimate tree
+// EXPLAIN renders next to the executor's actual operator spans.
+func (m *Model) CQPlan(q query.CQ) (Estimate, []PlanStep) {
+	var steps []PlanStep
+	est := m.cq(q, func(s PlanStep) { steps = append(steps, s) })
+	return est, steps
+}
+
+// cq is the shared core; emit (when non-nil) receives one PlanStep per
+// operator so CQ stays allocation-free on the GCov hot path.
+func (m *Model) cq(q query.CQ, emit func(PlanStep)) Estimate {
 	atoms := q.Atoms
 	if len(atoms) == 0 {
 		return Estimate{}
@@ -81,10 +109,14 @@ func (m *Model) CQ(q query.CQ) Estimate {
 			start = i
 		}
 	}
-	cur := ests[remaining[start]]
+	first := remaining[start]
+	cur := ests[first]
 	cur.Cost = CScan * cur.Card
 	remaining = append(remaining[:start], remaining[start+1:]...)
 	total := cur.Cost
+	if emit != nil {
+		emit(PlanStep{Op: "scan", AtomIndex: first, Atom: ests[first], Out: cur})
+	}
 	for len(remaining) > 0 {
 		best, bestConnected := -1, false
 		for i, ai := range remaining {
@@ -100,12 +132,17 @@ func (m *Model) CQ(q query.CQ) Estimate {
 		remaining = append(remaining[:best], remaining[best+1:]...)
 		next := ests[ai]
 		out := joinEstimate(cur, next)
+		op := "hash"
 		if bestConnected && preferINLJ(cur.Card, next.Card) {
 			total += CProbe*cur.Card + COut*out.Card
+			op = "inlj"
 		} else {
 			total += CScan*next.Card + CBuild*minF(cur.Card, next.Card) + COut*out.Card
 		}
 		cur = out
+		if emit != nil {
+			emit(PlanStep{Op: op, AtomIndex: ai, Atom: next, Out: cur})
+		}
 	}
 	cur.Cost = total
 	return cur
@@ -186,6 +223,11 @@ func (m *Model) JoinFragments(frags []Estimate) Estimate {
 	cur.Cost = total
 	return cur
 }
+
+// Join applies the textbook join-size formula to two sub-estimates — the
+// executor uses it to carry a running estimated cardinality alongside each
+// actual operator result when tracing is on.
+func Join(a, b Estimate) Estimate { return joinEstimate(a, b) }
 
 // joinEstimate applies the textbook join-size formula:
 // |A ⋈ B| = |A|·|B| / Π_v max(V(A,v), V(B,v)) over shared variables v.

@@ -9,6 +9,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"time"
 
 	"repro/internal/core"
@@ -21,6 +22,7 @@ import (
 	"repro/internal/saturation"
 	"repro/internal/stats"
 	"repro/internal/storage"
+	"repro/internal/trace"
 )
 
 // Strategy names a query answering technique.
@@ -94,10 +96,20 @@ type Engine struct {
 	// executor row counters. The registry is safe to share across the
 	// per-request engine copies the HTTP layer makes.
 	Metrics *metrics.Registry
+	// Tracer, when non-nil, records a span tree per answered query:
+	// reformulate / plan / eval phases and one span per executor operator
+	// with estimated next to actual cardinalities. Like the engine itself
+	// a tracer is per-query state — the HTTP layer sets a fresh one on
+	// each per-request engine copy.
+	Tracer *trace.Tracer
+	// Logger, when non-nil, receives structured warnings, e.g. cost-model
+	// misestimates detected on traced queries.
+	Logger *slog.Logger
 
 	store    *storage.Store
 	st       *stats.Stats
 	model    *cost.Model
+	satModel *cost.Model
 	ref      *core.Reformulator
 	incRef   *core.Reformulator
 	satRes   *saturation.Result
@@ -140,6 +152,15 @@ func (e *Engine) CostModel() *cost.Model {
 		e.model = cost.NewModel(e.Stats())
 	}
 	return e.model
+}
+
+// SatCostModel returns a cost model over the saturated store's statistics
+// (the estimates relevant to the Sat strategy's operators).
+func (e *Engine) SatCostModel() *cost.Model {
+	if e.satModel == nil {
+		e.satModel = cost.NewModel(e.SatStats())
+	}
+	return e.satModel
 }
 
 // Reformulator returns the complete reformulator for the graph's schema.
@@ -218,29 +239,120 @@ func (e *Engine) Answer(q query.CQ, s Strategy) (*Answer, error) {
 // checked together at every operator checkpoint.
 func (e *Engine) AnswerContext(ctx context.Context, q query.CQ, s Strategy) (*Answer, error) {
 	start := time.Now()
-	ans, err := e.answer(ctx, q, s)
+	sp := e.startAnswerSpan(q, s)
+	ans, err := e.answer(ctx, q, s, sp)
+	e.endAnswerSpan(sp, s, ans, err)
 	e.observe(s, start, ans, err)
 	return ans, err
 }
 
-func (e *Engine) answer(ctx context.Context, q query.CQ, s Strategy) (*Answer, error) {
+// startAnswerSpan opens the per-query lifecycle span: the trace root when
+// the tracer is fresh, a child of it when an outer layer (HTTP handler)
+// already opened one. Nil-safe without a tracer.
+func (e *Engine) startAnswerSpan(q query.CQ, s Strategy) *trace.Span {
+	sp := e.Tracer.StartSpan("answer")
+	sp.SetStr("strategy", string(s))
+	sp.SetStr("query", query.FormatCQ(e.g.Dict(), q))
+	return sp
+}
+
+func (e *Engine) endAnswerSpan(sp *trace.Span, s Strategy, ans *Answer, err error) {
+	if sp == nil {
+		return
+	}
+	if err != nil {
+		sp.SetStr("error", err.Error())
+	} else if ans != nil && ans.Rows != nil {
+		sp.SetInt("rows", int64(ans.Rows.Len()))
+	}
+	sp.End()
+	e.reportMisestimates(sp, s)
+}
+
+func (e *Engine) answer(ctx context.Context, q query.CQ, s Strategy, sp *trace.Span) (*Answer, error) {
 	switch s {
 	case Sat:
-		return e.answerSat(ctx, q)
+		return e.answerSat(ctx, q, sp)
 	case RefUCQ:
-		return e.answerUCQ(ctx, q, e.Reformulator(), RefUCQ)
+		return e.answerUCQ(ctx, q, e.Reformulator(), RefUCQ, sp)
 	case RefSCQ:
-		return e.answerCover(ctx, q, query.SingletonCover(len(q.Atoms)), RefSCQ)
+		return e.answerCover(ctx, q, query.SingletonCover(len(q.Atoms)), RefSCQ, sp)
 	case RefGCov:
-		return e.answerGCov(ctx, q)
+		return e.answerGCov(ctx, q, sp)
 	case RefIncomplete:
-		return e.answerUCQ(ctx, q, e.IncompleteReformulator(), RefIncomplete)
+		return e.answerUCQ(ctx, q, e.IncompleteReformulator(), RefIncomplete, sp)
 	case Dat:
-		return e.answerDat(ctx, q)
+		return e.answerDat(ctx, q, sp)
 	case RefJUCQ:
 		return nil, fmt.Errorf("engine: strategy %s needs a cover; use AnswerWithCover", s)
 	default:
 		return nil, fmt.Errorf("engine: unknown strategy %q", s)
+	}
+}
+
+// misestimateFactor is the est-vs-actual deviation beyond which a traced
+// operator counts as a cost-model misestimate.
+const misestimateFactor = 10.0
+
+// reportMisestimates walks a finished query trace and flags every operator
+// whose actual cardinality deviates from the model's estimate by more than
+// misestimateFactor: one counter increment per offending node plus a
+// single structured warning naming the worst one — the direct feedback
+// loop for the paper's cost function.
+func (e *Engine) reportMisestimates(sp *trace.Span, s Strategy) {
+	if sp == nil || (e.Metrics == nil && e.Logger == nil) {
+		return
+	}
+	type miss struct {
+		name     string
+		est, act float64
+	}
+	var worst miss
+	worstRatio, count := 0.0, 0
+	sp.Visit(func(name string, _ int, _ time.Duration, attrs []trace.Attr) {
+		est, act := -1.0, -1.0
+		for _, a := range attrs {
+			if !a.IsNumber() {
+				continue
+			}
+			switch a.Key {
+			case "est_rows":
+				est = a.Number()
+			case "rows":
+				act = a.Number()
+			}
+		}
+		if est < 0 || act < 0 {
+			return
+		}
+		// +1 smoothing keeps empty results comparable (0 est vs 0 actual
+		// is a perfect estimate, not a division by zero).
+		ratio := (est + 1) / (act + 1)
+		if ratio < 1 {
+			ratio = 1 / ratio
+		}
+		if ratio <= misestimateFactor {
+			return
+		}
+		count++
+		if ratio > worstRatio {
+			worstRatio, worst = ratio, miss{name: name, est: est, act: act}
+		}
+	})
+	if count == 0 {
+		return
+	}
+	if e.Metrics != nil {
+		e.Metrics.Counter("cost.misestimate").Add(int64(count))
+	}
+	if e.Logger != nil {
+		e.Logger.Warn("cost misestimate",
+			"strategy", string(s),
+			"nodes", count,
+			"worst_op", worst.name,
+			"est_rows", worst.est,
+			"actual_rows", worst.act,
+			"ratio", worstRatio)
 	}
 }
 
@@ -252,7 +364,9 @@ func (e *Engine) AnswerWithCover(q query.CQ, cover query.Cover) (*Answer, error)
 // AnswerWithCoverContext is AnswerWithCover bounded by ctx.
 func (e *Engine) AnswerWithCoverContext(ctx context.Context, q query.CQ, cover query.Cover) (*Answer, error) {
 	start := time.Now()
-	ans, err := e.answerCover(ctx, q, cover, RefJUCQ)
+	sp := e.startAnswerSpan(q, RefJUCQ)
+	ans, err := e.answerCover(ctx, q, cover, RefJUCQ, sp)
+	e.endAnswerSpan(sp, RefJUCQ, ans, err)
 	e.observe(RefJUCQ, start, ans, err)
 	return ans, err
 }
@@ -289,39 +403,83 @@ func (e *Engine) observe(s Strategy, start time.Time, ans *Answer, err error) {
 	}
 }
 
-func (e *Engine) answerSat(ctx context.Context, q query.CQ) (*Answer, error) {
+// startEval opens the "eval" phase span and wires the evaluator for
+// per-operator tracing (span parent plus the cost model used for operator
+// estimates). Returns nil (and leaves the evaluator untouched) without a
+// trace.
+func startEval(sp *trace.Span, ev *exec.Evaluator, m *cost.Model) *trace.Span {
+	if sp == nil {
+		return nil
+	}
+	es := sp.Child("eval")
+	ev.Span = es
+	ev.Cost = m
+	return es
+}
+
+// endEval closes the eval span, recording the result size.
+func endEval(es *trace.Span, rows *exec.Relation) {
+	if es == nil {
+		return
+	}
+	if rows != nil {
+		es.SetInt("rows", int64(rows.Len()))
+	}
+	es.End()
+}
+
+func (e *Engine) answerSat(ctx context.Context, q query.CQ, sp *trace.Span) (*Answer, error) {
 	st := e.SatStore()
 	ss := e.SatStats()
 	ev := e.evaluator(st, ss)
+	es := startEval(sp, ev, e.SatCostModel())
 	start := time.Now()
 	rows, err := ev.EvalCQContext(ctx, query.HeadVarNames(q), q)
 	if err != nil {
+		endEval(es, nil)
 		return nil, err
 	}
+	endEval(es, rows)
 	return &Answer{Strategy: Sat, Rows: rows, ReformulationCQs: 1, EvalTime: time.Since(start)}, nil
 }
 
-func (e *Engine) answerUCQ(ctx context.Context, q query.CQ, r *core.Reformulator, s Strategy) (*Answer, error) {
+func (e *Engine) answerUCQ(ctx context.Context, q query.CQ, r *core.Reformulator, s Strategy, sp *trace.Span) (*Answer, error) {
 	ev := e.evaluator(e.Store(), e.Stats())
 	head := query.HeadVarNames(q)
 	prepStart := time.Now()
+	var rsp *trace.Span
+	if sp != nil {
+		rsp = sp.Child("reformulate")
+	}
 	count, _ := r.CombinationCount(q)
+	if rsp != nil {
+		rsp.SetInt("cqs", int64(count))
+		rsp.End()
+	}
 	prep := time.Since(prepStart)
+	es := startEval(sp, ev, e.CostModel())
 	start := time.Now()
 	rows, err := ev.EvalUCQStreamContext(ctx, head, func(fn func(query.CQ) bool) {
 		r.EnumerateCQ(q, fn)
 	})
 	if err != nil {
+		endEval(es, nil)
 		return nil, err
 	}
+	endEval(es, rows)
 	return &Answer{
 		Strategy: s, Rows: rows, ReformulationCQs: count,
 		PrepTime: prep, EvalTime: time.Since(start),
 	}, nil
 }
 
-func (e *Engine) answerCover(ctx context.Context, q query.CQ, cover query.Cover, s Strategy) (*Answer, error) {
+func (e *Engine) answerCover(ctx context.Context, q query.CQ, cover query.Cover, s Strategy, sp *trace.Span) (*Answer, error) {
 	prepStart := time.Now()
+	var rsp *trace.Span
+	if sp != nil {
+		rsp = sp.Child("reformulate")
+		rsp.SetStr("cover", cover.String())
+	}
 	bound := e.fragmentBound()
 	if s == RefSCQ {
 		// The SCQ is a fixed strategy: it is built regardless of size.
@@ -329,46 +487,70 @@ func (e *Engine) answerCover(ctx context.Context, q query.CQ, cover query.Cover,
 	}
 	j, err := e.Reformulator().ReformulateJUCQ(q, cover, bound)
 	if err != nil {
+		rsp.End()
 		return nil, err
 	}
 	est := e.CostModel().JUCQ(j)
-	prep := time.Since(prepStart)
-	ev := e.evaluator(e.Store(), e.Stats())
-	start := time.Now()
-	rows, err := ev.EvalJUCQContext(ctx, j)
-	if err != nil {
-		return nil, err
-	}
 	n := 0
 	for _, f := range j.Fragments {
 		n += len(f.UCQ.CQs)
 	}
+	if rsp != nil {
+		rsp.SetInt("cqs", int64(n))
+		rsp.SetFloat("est_cost", est.Cost)
+		rsp.End()
+	}
+	prep := time.Since(prepStart)
+	ev := e.evaluator(e.Store(), e.Stats())
+	es := startEval(sp, ev, e.CostModel())
+	start := time.Now()
+	rows, err := ev.EvalJUCQContext(ctx, j)
+	if err != nil {
+		endEval(es, nil)
+		return nil, err
+	}
+	endEval(es, rows)
 	return &Answer{
 		Strategy: s, Rows: rows, Cover: cover, ReformulationCQs: n,
 		PrepTime: prep, EvalTime: time.Since(start), EstimatedCost: est.Cost,
 	}, nil
 }
 
-func (e *Engine) answerGCov(ctx context.Context, q query.CQ) (*Answer, error) {
+func (e *Engine) answerGCov(ctx context.Context, q query.CQ, sp *trace.Span) (*Answer, error) {
 	key := query.FormatCQ(e.g.Dict(), q)
 	prepStart := time.Now()
+	var psp *trace.Span
+	if sp != nil {
+		psp = sp.Child("plan")
+	}
 	entry, cached := e.plans.get(key)
 	if !cached {
 		res, err := core.GCov(e.Reformulator(), e.CostModel(), q, core.GCovOptions{MaxFragmentCQs: e.fragmentBound()})
 		if err != nil {
+			psp.End()
 			return nil, err
 		}
 		entry = &planEntry{key: key, jucq: res.JUCQ, cover: res.Cover, cost: res.Cost, explored: res.Explored}
 		evicted := e.plans.put(entry)
 		e.Metrics.Counter("engine.plancache.evictions").Add(int64(evicted))
 	}
+	if psp != nil {
+		psp.SetBool("cached", cached)
+		psp.SetStr("cover", entry.cover.String())
+		psp.SetFloat("est_cost", entry.cost)
+		psp.SetInt("explored", int64(len(entry.explored)))
+		psp.End()
+	}
 	prep := time.Since(prepStart)
 	ev := e.evaluator(e.Store(), e.Stats())
+	es := startEval(sp, ev, e.CostModel())
 	start := time.Now()
 	rows, err := ev.EvalJUCQContext(ctx, entry.jucq)
 	if err != nil {
+		endEval(es, nil)
 		return nil, err
 	}
+	endEval(es, rows)
 	n := 0
 	for _, f := range entry.jucq.Fragments {
 		n += len(f.UCQ.CQs)
@@ -388,21 +570,35 @@ func (e *Engine) PlanCacheLen() int {
 	return e.plans.len()
 }
 
-func (e *Engine) answerDat(ctx context.Context, q query.CQ) (*Answer, error) {
+func (e *Engine) answerDat(ctx context.Context, q query.CQ, sp *trace.Span) (*Answer, error) {
 	// The Datalog engine runs to fixpoint without interior checkpoints;
 	// honor cancellation at least at the boundary.
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("%w: %v", exec.ErrCanceled, err)
 	}
 	prepStart := time.Now()
+	var rsp *trace.Span
+	if sp != nil {
+		rsp = sp.Child("reformulate")
+	}
 	p := datalog.EncodeGraph(e.g)
 	if err := datalog.AddQuery(p, q); err != nil {
+		rsp.End()
 		return nil, err
 	}
+	if rsp != nil {
+		rsp.SetInt("rules", int64(len(p.Rules)))
+		rsp.End()
+	}
 	prep := time.Since(prepStart)
+	var es *trace.Span
+	if sp != nil {
+		es = sp.Child("eval")
+	}
 	start := time.Now()
 	eng, err := datalog.Run(p)
 	if err != nil {
+		es.End()
 		return nil, err
 	}
 	tuples := eng.Tuples(datalog.AnswerPred)
@@ -411,6 +607,7 @@ func (e *Engine) answerDat(ctx context.Context, q query.CQ) (*Answer, error) {
 		rows.Append(t)
 	}
 	rows.Distinct()
+	endEval(es, rows)
 	return &Answer{
 		Strategy: Dat, Rows: rows, ReformulationCQs: 1,
 		PrepTime: prep, EvalTime: time.Since(start),

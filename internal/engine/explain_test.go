@@ -1,0 +1,176 @@
+package engine
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/lubm"
+	"repro/internal/metrics"
+	"repro/internal/query"
+	"repro/internal/trace"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// exampleOneEngine builds a Mini-scale LUBM engine and the paper's
+// Example 1 query — the fixture the EXPLAIN golden tests render.
+func exampleOneEngine(t *testing.T) (*Engine, query.CQ) {
+	t.Helper()
+	g, err := lubm.NewGraph(lubm.Mini(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	univ := lubm.PickExampleOneUniversity(g)
+	if univ == "" {
+		univ = "http://www.University0.edu"
+	}
+	q, err := lubm.ExampleOne(g.Dict(), univ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(g), q
+}
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run: go test ./internal/engine/ -run Explain -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("explain output drifted from %s:\n--- got ---\n%s--- want ---\n%s", path, got, want)
+	}
+}
+
+// The Explain renderer's output over Example 1 is pinned by golden files
+// for the three plan shapes the paper compares: the plain UCQ (huge union,
+// elided), the SCQ (singleton cover), and the cost-chosen JUCQ plus the
+// paper's hand-picked cover.
+func TestExplainGolden(t *testing.T) {
+	e, q := exampleOneEngine(t)
+	cases := []struct {
+		golden string
+		plan   func() (*Plan, error)
+	}{
+		{"explain_ucq.golden", func() (*Plan, error) { return e.Plan(q, RefUCQ) }},
+		{"explain_scq.golden", func() (*Plan, error) { return e.Plan(q, RefSCQ) }},
+		{"explain_gcov.golden", func() (*Plan, error) { return e.Plan(q, RefGCov) }},
+		{"explain_jucq_paper.golden", func() (*Plan, error) {
+			return e.PlanWithCover(q, lubm.ExampleOneCover())
+		}},
+	}
+	for _, c := range cases {
+		t.Run(c.golden, func(t *testing.T) {
+			p, err := c.plan()
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkGolden(t, c.golden, p.Explain())
+		})
+	}
+}
+
+func TestExplainMetadata(t *testing.T) {
+	e, q := exampleOneEngine(t)
+	p, err := e.Plan(q, RefUCQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.ReformulationCQs < 1000 {
+		t.Fatalf("Example 1 UCQ must be huge, got %d CQs", p.ReformulationCQs)
+	}
+	if p.Tree().Find("union") == nil || p.Tree().Find("elided") == nil {
+		t.Fatal("UCQ plan must summarize the union with an elision node")
+	}
+	p, err = e.Plan(q, RefGCov)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.CachedPlan {
+		t.Fatal("first GCov plan cannot be cached")
+	}
+	if p.EstimatedCost <= 0 || len(p.Cover) == 0 {
+		t.Fatalf("GCov plan missing estimate or cover: %+v", p)
+	}
+	p2, err := e.Plan(q, RefGCov)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p2.CachedPlan {
+		t.Fatal("second GCov plan must come from the plan cache")
+	}
+	if _, err := e.Plan(q, RefJUCQ); err == nil {
+		t.Fatal("Plan(RefJUCQ) must demand a cover")
+	}
+}
+
+// EXPLAIN ANALYZE semantics: answering with a Tracer set must produce a
+// span tree where every executor operator carries the estimated
+// cardinality next to the actual row count.
+func TestAnswerTraceEstimatesAndActuals(t *testing.T) {
+	e, g := mustEngine(t)
+	q := mustQuery(t, g, `q(x3) :- x1 ex:hasAuthor x2, x2 ex:hasName x3, x1 x4 "1949"`)
+	for _, s := range []Strategy{RefUCQ, RefSCQ, RefGCov, Sat} {
+		e.Tracer = trace.New(0)
+		ans, err := e.Answer(q, s)
+		if err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		root := trace.ToJSON(e.Tracer.Root())
+		if root == nil || root.Name != "answer" {
+			t.Fatalf("%s: missing answer span", s)
+		}
+		if got := root.Attrs["rows"].(int64); int(got) != ans.Rows.Len() {
+			t.Fatalf("%s: root rows %v != %d", s, got, ans.Rows.Len())
+		}
+		eval := root.Find("eval")
+		if eval == nil {
+			t.Fatalf("%s: missing eval span", s)
+		}
+		scan := root.Find("scan")
+		if scan == nil {
+			t.Fatalf("%s: no scan operator traced", s)
+		}
+		if _, ok := scan.Attrs["est_rows"]; !ok {
+			t.Fatalf("%s: scan missing est_rows: %+v", s, scan.Attrs)
+		}
+		if _, ok := scan.Attrs["rows"]; !ok {
+			t.Fatalf("%s: scan missing rows: %+v", s, scan.Attrs)
+		}
+	}
+}
+
+func TestMisestimateCounterAndWarning(t *testing.T) {
+	e, _ := mustEngine(t)
+	e.Metrics = metrics.NewRegistry()
+	tr := trace.New(0)
+	sp := tr.StartSpan("answer")
+	good := sp.Child("scan")
+	good.SetFloat("est_rows", 10)
+	good.SetInt("rows", 9)
+	bad := sp.Child("hashjoin")
+	bad.SetFloat("est_rows", 5000)
+	bad.SetInt("rows", 3)
+	sp.End()
+	e.reportMisestimates(sp, RefGCov)
+	if got := e.Metrics.Counter("cost.misestimate").Value(); got != 1 {
+		t.Fatalf("cost.misestimate = %d, want 1", got)
+	}
+	// Under the 10x threshold nothing fires.
+	e.reportMisestimates(tr.StartSpan("noop"), RefGCov)
+	if got := e.Metrics.Counter("cost.misestimate").Value(); got != 1 {
+		t.Fatalf("cost.misestimate moved to %d on a clean trace", got)
+	}
+}

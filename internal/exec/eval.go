@@ -5,15 +5,18 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/cost"
 	"repro/internal/dict"
 	"repro/internal/metrics"
 	"repro/internal/query"
 	"repro/internal/stats"
 	"repro/internal/storage"
+	"repro/internal/trace"
 )
 
 // ErrBudgetExceeded is returned when an evaluation exceeds the configured
@@ -64,6 +67,17 @@ type Evaluator struct {
 	// joined / unioned, parallel worker utilization). Safe to share
 	// across evaluators and goroutines.
 	Metrics *metrics.Registry
+	// Span, when non-nil, is the parent under which every top-level Eval*
+	// call records one span per operator (scan, index/hash/merge join,
+	// union, projection) with its actual row count, wall time and — when
+	// Cost is also set — the cost model's estimated cardinality
+	// (EXPLAIN ANALYZE's est-vs-actual columns). Span tracing is
+	// concurrency-safe and does not disable parallel evaluation.
+	Span *trace.Span
+	// Cost, when non-nil, supplies per-operator estimates next to the
+	// actuals recorded under Span. Only consulted while Span is set, so
+	// the untraced path never pays for estimation.
+	Cost *cost.Model
 }
 
 // Trace records what an evaluation did.
@@ -201,25 +215,56 @@ func (e *Evaluator) EvalCQ(headNames []string, q query.CQ) (*Relation, error) {
 func (e *Evaluator) EvalCQContext(ctx context.Context, headNames []string, q query.CQ) (*Relation, error) {
 	g := e.newGuard(ctx)
 	defer g.flush(e.Metrics)
-	return e.evalCQ(headNames, q, g)
+	return e.evalCQ(headNames, q, g, e.Span)
 }
 
-func (e *Evaluator) evalCQ(headNames []string, q query.CQ, g guard) (*Relation, error) {
-	body, err := e.evalBody(q.Atoms, g)
+func (e *Evaluator) evalCQ(headNames []string, q query.CQ, g guard, sp *trace.Span) (*Relation, error) {
+	var csp *trace.Span
+	if sp != nil {
+		csp = sp.Child("cq")
+		csp.SetStr("q", query.FormatCQ(e.st.Dict(), q))
+	}
+	body, err := e.evalBody(q.Atoms, g, csp)
 	if err != nil {
 		return nil, err
 	}
-	out, err := e.projectHead(headNames, q.Head, body)
+	var psp *trace.Span
+	if csp != nil {
+		psp = csp.Child("project")
+	}
+	out, err := e.projectHead(headNames, q.Head, body, g)
 	if err != nil {
 		return nil, err
 	}
-	out.Distinct()
+	if err := out.DistinctCheck(g.err); err != nil {
+		return nil, err
+	}
+	if psp != nil {
+		psp.SetInt("rows", int64(out.Len()))
+		psp.End()
+	}
+	if csp != nil {
+		csp.SetInt("rows", int64(out.Len()))
+		csp.End()
+	}
 	return out, nil
+}
+
+// tracing reports whether the evaluator must record est-vs-actual operator
+// spans under sp.
+func (e *Evaluator) tracing(sp *trace.Span) bool { return sp != nil && e.Cost != nil }
+
+// estCard returns the estimated cardinality for atom i (-1: no estimate).
+func estCard(ests []cost.Estimate, i int) float64 {
+	if ests == nil {
+		return -1
+	}
+	return ests[i].Card
 }
 
 // evalBody evaluates the join of all atoms and returns a relation over all
 // body variables.
-func (e *Evaluator) evalBody(atoms []query.Atom, g guard) (*Relation, error) {
+func (e *Evaluator) evalBody(atoms []query.Atom, g guard, sp *trace.Span) (*Relation, error) {
 	if len(atoms) == 0 {
 		return nil, errors.New("exec: empty BGP")
 	}
@@ -229,6 +274,18 @@ func (e *Evaluator) evalBody(atoms []query.Atom, g guard) (*Relation, error) {
 			est[i] = e.stats.PatternCard(a.Pattern())
 		} else {
 			est[i] = float64(len(atoms) - i) // left-to-right fallback
+		}
+	}
+	// When tracing, carry the cost model's running estimate beside the
+	// actual result so every operator span records est next to actual.
+	var (
+		ests []cost.Estimate
+		run  cost.Estimate
+	)
+	if e.tracing(sp) {
+		ests = make([]cost.Estimate, len(atoms))
+		for i, a := range atoms {
+			ests[i] = e.Cost.Atom(a)
 		}
 	}
 	remaining := make([]int, len(atoms))
@@ -244,9 +301,12 @@ func (e *Evaluator) evalBody(atoms []query.Atom, g guard) (*Relation, error) {
 	}
 	first := remaining[start]
 	remaining = append(remaining[:start], remaining[start+1:]...)
-	cur, err := e.scanAtom(atoms[first], g)
+	cur, err := e.scanAtom(atoms[first], g, sp, estCard(ests, first))
 	if err != nil {
 		return nil, err
+	}
+	if ests != nil {
+		run = ests[first]
 	}
 	for len(remaining) > 0 {
 		if err := g.err(); err != nil {
@@ -267,15 +327,20 @@ func (e *Evaluator) evalBody(atoms []query.Atom, g guard) (*Relation, error) {
 		ai := remaining[best]
 		remaining = append(remaining[:best], remaining[best+1:]...)
 		atom := atoms[ai]
+		estOut := -1.0
+		if ests != nil {
+			run = cost.Join(run, ests[ai])
+			estOut = run.Card
+		}
 		if bestConnected && e.preferINLJ(cur.Len(), est[ai]) {
-			cur, err = e.indexJoin(cur, atom, g)
+			cur, err = e.indexJoin(cur, atom, g, sp, estOut)
 		} else {
 			var right *Relation
-			right, err = e.scanAtom(atom, g)
+			right, err = e.scanAtom(atom, g, sp, estCard(ests, ai))
 			if err != nil {
 				return nil, err
 			}
-			cur, err = e.materializedJoin(cur, right, g)
+			cur, err = e.materializedJoin(cur, right, g, sp, estOut)
 		}
 		if err != nil {
 			return nil, err
@@ -295,7 +360,15 @@ func (e *Evaluator) preferINLJ(curRows int, extent float64) bool {
 
 // scanAtom materializes one triple pattern into a relation over the atom's
 // distinct variables, enforcing repeated-variable equality.
-func (e *Evaluator) scanAtom(a query.Atom, g guard) (*Relation, error) {
+func (e *Evaluator) scanAtom(a query.Atom, g guard, sp *trace.Span, est float64) (*Relation, error) {
+	var ssp *trace.Span
+	if sp != nil {
+		ssp = sp.Child("scan")
+		ssp.SetStr("atom", query.FormatAtom(e.st.Dict(), a))
+		if est >= 0 {
+			ssp.SetFloat("est_rows", est)
+		}
+	}
 	args := a.Args()
 	var vars []string
 	varPos := map[string][]int{}
@@ -345,6 +418,10 @@ func (e *Evaluator) scanAtom(a query.Atom, g guard) (*Relation, error) {
 		return nil, stopErr
 	}
 	g.addScanned(rel.Len())
+	if ssp != nil {
+		ssp.SetInt("rows", int64(rel.Len()))
+		ssp.End()
+	}
 	if e.Trace != nil {
 		e.Trace.Scans = append(e.Trace.Scans, ScanInfo{Atom: fmt.Sprintf("%v", a), Rows: rel.Len()})
 	}
@@ -354,7 +431,16 @@ func (e *Evaluator) scanAtom(a query.Atom, g guard) (*Relation, error) {
 // indexJoin extends each row of cur with the atom's matches, looking the
 // atom up in the store with the row's bindings applied (index nested-loop
 // join).
-func (e *Evaluator) indexJoin(cur *Relation, a query.Atom, g guard) (*Relation, error) {
+func (e *Evaluator) indexJoin(cur *Relation, a query.Atom, g guard, sp *trace.Span, est float64) (*Relation, error) {
+	var jsp *trace.Span
+	if sp != nil {
+		jsp = sp.Child("inlj")
+		jsp.SetStr("atom", query.FormatAtom(e.st.Dict(), a))
+		jsp.SetInt("left_rows", int64(cur.Len()))
+		if est >= 0 {
+			jsp.SetFloat("est_rows", est)
+		}
+	}
 	args := a.Args()
 	// For each position: constant, bound variable (column index in cur),
 	// or free variable.
@@ -458,6 +544,10 @@ func (e *Evaluator) indexJoin(cur *Relation, a query.Atom, g guard) (*Relation, 
 		}
 	}
 	g.addJoined(out.Len())
+	if jsp != nil {
+		jsp.SetInt("rows", int64(out.Len()))
+		jsp.End()
+	}
 	if e.Trace != nil {
 		e.Trace.Joins = append(e.Trace.Joins, JoinInfo{
 			Method: "inlj", SharedVars: boundVars(a, cur.Vars),
@@ -469,8 +559,21 @@ func (e *Evaluator) indexJoin(cur *Relation, a query.Atom, g guard) (*Relation, 
 
 // hashJoin joins two relations on their shared variables (cross product
 // when none), building on the smaller side.
-func (e *Evaluator) hashJoin(l, r *Relation, g guard) (*Relation, error) {
+func (e *Evaluator) hashJoin(l, r *Relation, g guard, sp *trace.Span, est float64) (*Relation, error) {
 	shared := sharedVars(l.Vars, r.Vars)
+	var jsp *trace.Span
+	if sp != nil {
+		name := "hashjoin"
+		if len(shared) == 0 {
+			name = "cross"
+		}
+		jsp = sp.Child(name)
+		jsp.SetInt("left_rows", int64(l.Len()))
+		jsp.SetInt("right_rows", int64(r.Len()))
+		if est >= 0 {
+			jsp.SetFloat("est_rows", est)
+		}
+	}
 	build, probe := l, r
 	if r.Len() < l.Len() {
 		build, probe = r, l
@@ -540,6 +643,10 @@ func (e *Evaluator) hashJoin(l, r *Relation, g guard) (*Relation, error) {
 		}
 	}
 	g.addJoined(out.Len())
+	if jsp != nil {
+		jsp.SetInt("rows", int64(out.Len()))
+		jsp.End()
+	}
 	if e.Trace != nil {
 		method := "hash"
 		if len(shared) == 0 {
@@ -555,7 +662,9 @@ func (e *Evaluator) hashJoin(l, r *Relation, g guard) (*Relation, error) {
 
 // projectHead projects the body relation onto the head arguments; head
 // constants (introduced by reformulation bindings) become constant columns.
-func (e *Evaluator) projectHead(headNames []string, head []query.Arg, body *Relation) (*Relation, error) {
+// The guard is polled every checkEvery rows so projecting a huge body
+// honors cancellation like any other operator.
+func (e *Evaluator) projectHead(headNames []string, head []query.Arg, body *Relation, g guard) (*Relation, error) {
 	if len(headNames) != len(head) {
 		return nil, fmt.Errorf("exec: head has %d args, expected %d names", len(head), len(headNames))
 	}
@@ -572,7 +681,7 @@ func (e *Evaluator) projectHead(headNames []string, head []query.Arg, body *Rela
 			consts[i] = h.ID
 		}
 	}
-	return body.Project(headNames, sources, consts), nil
+	return body.ProjectCheck(headNames, sources, consts, g.err)
 }
 
 // EvalUCQ evaluates a union of CQs with set semantics.
@@ -588,17 +697,23 @@ func (e *Evaluator) EvalUCQContext(ctx context.Context, u query.UCQ) (*Relation,
 	}
 	g := e.newGuard(ctx)
 	defer g.flush(e.Metrics)
-	return e.evalUCQ(u, g)
+	return e.evalUCQ(u, g, e.Span)
 }
 
 // evalUCQ evaluates the union under an existing guard — the entry point
-// JUCQ fragments use so that fragments never restart the deadline.
-func (e *Evaluator) evalUCQ(u query.UCQ, g guard) (*Relation, error) {
+// JUCQ fragments use so that fragments never restart the deadline. Span
+// tracing records a "union" span under sp with one "cq" child per member.
+func (e *Evaluator) evalUCQ(u query.UCQ, g guard, sp *trace.Span) (*Relation, error) {
 	if len(u.CQs) == 0 {
 		return NewRelation(u.HeadNames), nil
 	}
+	var usp *trace.Span
+	if sp != nil {
+		usp = sp.Child("union")
+		usp.SetInt("cqs", int64(len(u.CQs)))
+	}
 	if e.Parallel && e.Trace == nil && len(u.CQs) >= 8 {
-		return e.evalUCQParallel(u, g)
+		return e.evalUCQParallel(u, g, usp)
 	}
 	out := NewRelation(u.HeadNames)
 	done := 0
@@ -606,7 +721,7 @@ func (e *Evaluator) evalUCQ(u query.UCQ, g guard) (*Relation, error) {
 		if err := g.err(); err != nil {
 			return nil, fmt.Errorf("%w (after %d/%d CQs)", err, done, len(u.CQs))
 		}
-		r, err := e.evalCQ(u.HeadNames, cq, g)
+		r, err := e.evalCQ(u.HeadNames, cq, g, usp)
 		if err != nil {
 			return nil, err
 		}
@@ -620,7 +735,13 @@ func (e *Evaluator) evalUCQ(u query.UCQ, g guard) (*Relation, error) {
 			return nil, err
 		}
 	}
-	out.Distinct()
+	if err := out.DistinctCheck(g.err); err != nil {
+		return nil, err
+	}
+	if usp != nil {
+		usp.SetInt("rows", int64(out.Len()))
+		usp.End()
+	}
 	return out, nil
 }
 
@@ -635,6 +756,10 @@ func (e *Evaluator) EvalUCQStream(headNames []string, enumerate func(func(query.
 func (e *Evaluator) EvalUCQStreamContext(ctx context.Context, headNames []string, enumerate func(func(query.CQ) bool)) (*Relation, error) {
 	g := e.newGuard(ctx)
 	defer g.flush(e.Metrics)
+	var usp *trace.Span
+	if e.Span != nil {
+		usp = e.Span.Child("union")
+	}
 	out := NewRelation(headNames)
 	var evalErr error
 	done := 0
@@ -643,7 +768,7 @@ func (e *Evaluator) EvalUCQStreamContext(ctx context.Context, headNames []string
 			evalErr = fmt.Errorf("%w (after %d CQs)", err, done)
 			return false
 		}
-		r, err := e.evalCQ(headNames, cq, g)
+		r, err := e.evalCQ(headNames, cq, g, usp)
 		if err != nil {
 			evalErr = err
 			return false
@@ -660,11 +785,18 @@ func (e *Evaluator) EvalUCQStreamContext(ctx context.Context, headNames []string
 	if evalErr != nil {
 		return nil, evalErr
 	}
-	out.Distinct()
+	if err := out.DistinctCheck(g.err); err != nil {
+		return nil, err
+	}
+	if usp != nil {
+		usp.SetInt("cqs", int64(done))
+		usp.SetInt("rows", int64(out.Len()))
+		usp.End()
+	}
 	return out, nil
 }
 
-func (e *Evaluator) evalUCQParallel(u query.UCQ, g guard) (*Relation, error) {
+func (e *Evaluator) evalUCQParallel(u query.UCQ, g guard, sp *trace.Span) (*Relation, error) {
 	nw := runtime.GOMAXPROCS(0)
 	if nw > len(u.CQs) {
 		nw = len(u.CQs)
@@ -705,8 +837,10 @@ func (e *Evaluator) evalUCQParallel(u query.UCQ, g guard) (*Relation, error) {
 				// Workers evaluate whole CQs, but every sub-evaluation
 				// runs under the caller's guard: the union shares one
 				// deadline instead of restarting Budget.Timeout per CQ.
-				sub := &Evaluator{st: e.st, stats: e.stats, Budget: e.Budget, ForceHashJoins: e.ForceHashJoins, Join: e.Join}
-				r, err := sub.evalCQ(u.HeadNames, cq, g)
+				// The span tree is mutex-protected, so workers may record
+				// operator spans concurrently.
+				sub := &Evaluator{st: e.st, stats: e.stats, Budget: e.Budget, ForceHashJoins: e.ForceHashJoins, Join: e.Join, Cost: e.Cost}
+				r, err := sub.evalCQ(u.HeadNames, cq, g, sp)
 				mu.Lock()
 				if err != nil && first == nil {
 					first = err
@@ -726,7 +860,13 @@ func (e *Evaluator) evalUCQParallel(u query.UCQ, g guard) (*Relation, error) {
 	if first != nil {
 		return nil, first
 	}
-	out.Distinct()
+	if err := out.DistinctCheck(g.err); err != nil {
+		return nil, err
+	}
+	if sp != nil {
+		sp.SetInt("rows", int64(out.Len()))
+		sp.End()
+	}
 	return out, nil
 }
 
@@ -746,6 +886,34 @@ func (e *Evaluator) EvalJUCQContext(ctx context.Context, j query.JUCQ) (*Relatio
 	}
 	g := e.newGuard(ctx)
 	defer g.flush(e.Metrics)
+	sp := e.Span
+	// When tracing, estimate each fragment once so fragment spans and the
+	// fragment-join spans carry est_rows next to actuals.
+	var fragEsts []cost.Estimate
+	if e.tracing(sp) {
+		fragEsts = make([]cost.Estimate, len(j.Fragments))
+		for i, f := range j.Fragments {
+			fragEsts[i] = e.Cost.UCQ(f.UCQ)
+		}
+	}
+	newFragSpan := func(i int) *trace.Span {
+		if sp == nil {
+			return nil
+		}
+		fsp := sp.Child("fragment")
+		fsp.SetInt("idx", int64(i))
+		fsp.SetStr("atoms", query.Cover{j.Fragments[i].AtomIndexes}.String())
+		if fragEsts != nil {
+			fsp.SetFloat("est_rows", fragEsts[i].Card)
+		}
+		return fsp
+	}
+	endFragSpan := func(fsp *trace.Span, r *Relation) {
+		if fsp != nil && r != nil {
+			fsp.SetInt("rows", int64(r.Len()))
+			fsp.End()
+		}
+	}
 	rels := make([]*Relation, len(j.Fragments))
 	if e.Parallel && e.Trace == nil && len(j.Fragments) > 1 {
 		var wg sync.WaitGroup
@@ -755,9 +923,11 @@ func (e *Evaluator) EvalJUCQContext(ctx context.Context, j query.JUCQ) (*Relatio
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
+				fsp := newFragSpan(i)
 				sub := &Evaluator{st: e.st, stats: e.stats, Budget: e.Budget,
-					ForceHashJoins: e.ForceHashJoins, Join: e.Join, Parallel: false}
-				rels[i], errs[i] = sub.evalUCQ(f.UCQ, g)
+					ForceHashJoins: e.ForceHashJoins, Join: e.Join, Parallel: false, Cost: e.Cost}
+				rels[i], errs[i] = sub.evalUCQ(f.UCQ, g, fsp)
+				endFragSpan(fsp, rels[i])
 			}()
 		}
 		wg.Wait()
@@ -771,15 +941,25 @@ func (e *Evaluator) EvalJUCQContext(ctx context.Context, j query.JUCQ) (*Relatio
 			if err := g.err(); err != nil {
 				return nil, err
 			}
-			r, err := e.evalUCQ(f.UCQ, g)
+			fsp := newFragSpan(i)
+			r, err := e.evalUCQ(f.UCQ, g, fsp)
 			if err != nil {
 				return nil, err
 			}
 			rels[i] = r
+			endFragSpan(fsp, r)
 		}
 	}
 	cur := rels[0]
+	var runEst cost.Estimate
+	if fragEsts != nil {
+		runEst = fragEsts[0]
+	}
 	remaining := append([]*Relation(nil), rels[1:]...)
+	remainingIdx := make([]int, 0, len(rels)-1)
+	for i := 1; i < len(rels); i++ {
+		remainingIdx = append(remainingIdx, i)
+	}
 	for len(remaining) > 0 {
 		if err := g.err(); err != nil {
 			return nil, err
@@ -794,8 +974,15 @@ func (e *Evaluator) EvalJUCQContext(ctx context.Context, j query.JUCQ) (*Relatio
 			}
 		}
 		next := remaining[best]
+		fi := remainingIdx[best]
 		remaining = append(remaining[:best], remaining[best+1:]...)
-		joined, err := e.materializedJoin(cur, next, g)
+		remainingIdx = append(remainingIdx[:best], remainingIdx[best+1:]...)
+		estOut := -1.0
+		if fragEsts != nil {
+			runEst = cost.Join(runEst, fragEsts[fi])
+			estOut = runEst.Card
+		}
+		joined, err := e.materializedJoin(cur, next, g, sp, estOut)
 		if err != nil {
 			return nil, err
 		}
@@ -805,11 +992,22 @@ func (e *Evaluator) EvalJUCQContext(ctx context.Context, j query.JUCQ) (*Relatio
 	for i, n := range j.HeadNames {
 		head[i] = query.Variable(n)
 	}
-	out, err := e.projectHead(j.HeadNames, head, cur)
+	var psp *trace.Span
+	if sp != nil {
+		psp = sp.Child("project")
+		psp.SetStr("cols", strings.Join(j.HeadNames, ","))
+	}
+	out, err := e.projectHead(j.HeadNames, head, cur, g)
 	if err != nil {
 		return nil, err
 	}
-	out.Distinct()
+	if err := out.DistinctCheck(g.err); err != nil {
+		return nil, err
+	}
+	if psp != nil {
+		psp.SetInt("rows", int64(out.Len()))
+		psp.End()
+	}
 	return out, nil
 }
 

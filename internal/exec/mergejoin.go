@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"repro/internal/dict"
+	"repro/internal/trace"
 )
 
 // JoinAlgorithm selects how materialized relations are joined (fragment
@@ -23,10 +24,19 @@ const (
 // sorting both on the join key and merging equal-key groups. Falls back to
 // the hash join when there is no shared variable (a cross product gains
 // nothing from sorting).
-func (e *Evaluator) mergeJoin(l, r *Relation, g guard) (*Relation, error) {
+func (e *Evaluator) mergeJoin(l, r *Relation, g guard, sp *trace.Span, est float64) (*Relation, error) {
 	shared := sharedVars(l.Vars, r.Vars)
 	if len(shared) == 0 {
-		return e.hashJoin(l, r, g)
+		return e.hashJoin(l, r, g, sp, est)
+	}
+	var msp *trace.Span
+	if sp != nil {
+		msp = sp.Child("merge")
+		msp.SetInt("left_rows", int64(l.Len()))
+		msp.SetInt("right_rows", int64(r.Len()))
+		if est >= 0 {
+			msp.SetFloat("est_rows", est)
+		}
 	}
 	lIdx := make([]int, len(shared))
 	rIdx := make([]int, len(shared))
@@ -115,6 +125,10 @@ func (e *Evaluator) mergeJoin(l, r *Relation, g guard) (*Relation, error) {
 		}
 	}
 	g.addJoined(out.Len())
+	if msp != nil {
+		msp.SetInt("rows", int64(out.Len()))
+		msp.End()
+	}
 	if e.Trace != nil {
 		e.Trace.Joins = append(e.Trace.Joins, JoinInfo{
 			Method: "merge", SharedVars: shared,
@@ -143,9 +157,9 @@ func sortedOrder(rel *Relation, cols []int) []int {
 }
 
 // materializedJoin dispatches on the configured join algorithm.
-func (e *Evaluator) materializedJoin(l, r *Relation, g guard) (*Relation, error) {
+func (e *Evaluator) materializedJoin(l, r *Relation, g guard, sp *trace.Span, est float64) (*Relation, error) {
 	if e.Join == JoinMerge {
-		return e.mergeJoin(l, r, g)
+		return e.mergeJoin(l, r, g, sp, est)
 	}
-	return e.hashJoin(l, r, g)
+	return e.hashJoin(l, r, g, sp, est)
 }

@@ -24,7 +24,7 @@ func (e *Evaluator) EvalUCQWithProvenance(u query.UCQ) (*Relation, [][]int, erro
 		if err := g.err(); err != nil {
 			return nil, nil, fmt.Errorf("%w (after %d/%d CQs)", err, ci, len(u.CQs))
 		}
-		r, err := e.evalCQ(u.HeadNames, cq, g)
+		r, err := e.evalCQ(u.HeadNames, cq, g, nil)
 		if err != nil {
 			return nil, nil, err
 		}

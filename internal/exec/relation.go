@@ -68,21 +68,33 @@ func (r *Relation) ColumnIndex(name string) int {
 }
 
 // Distinct removes duplicate rows in place, preserving first occurrences.
-func (r *Relation) Distinct() {
+func (r *Relation) Distinct() { _ = r.DistinctCheck(nil) }
+
+// DistinctCheck is Distinct with an early-stop check polled every
+// checkEvery rows (nil check never stops) — deduplication over a large
+// relation is an operator like any other and must honor cancellation.
+// On a non-nil error the relation is left partially rewritten; callers
+// abandon it.
+func (r *Relation) DistinctCheck(check func() error) error {
 	if r.width == 0 {
 		if r.rows > 1 {
 			r.rows = 1
 		}
-		return
+		return nil
 	}
 	if r.rows < 2 {
-		return
+		return nil
 	}
 	seen := make(map[string]bool, r.rows)
 	key := make([]byte, 0, r.width*4)
 	out := r.data[:0]
 	kept := 0
 	for i := 0; i < r.rows; i++ {
+		if check != nil && i&(checkEvery-1) == checkEvery-1 {
+			if err := check(); err != nil {
+				return err
+			}
+		}
 		row := r.Row(i)
 		key = rowKey(key[:0], row)
 		if seen[string(key)] {
@@ -94,15 +106,28 @@ func (r *Relation) Distinct() {
 	}
 	r.data = out
 	r.rows = kept
+	return nil
 }
 
 // Project returns a new relation with the given output columns; each output
 // column is either an existing column name or a constant (via consts, keyed
 // by output position). outNames gives the result's column names.
 func (r *Relation) Project(outNames []string, sources []int, consts map[int]dict.ID) *Relation {
+	out, _ := r.ProjectCheck(outNames, sources, consts, nil)
+	return out
+}
+
+// ProjectCheck is Project with an early-stop check polled every
+// checkEvery rows (nil check never stops).
+func (r *Relation) ProjectCheck(outNames []string, sources []int, consts map[int]dict.ID, check func() error) (*Relation, error) {
 	out := NewRelation(outNames)
 	row := make([]dict.ID, len(outNames))
 	for i := 0; i < r.rows; i++ {
+		if check != nil && i&(checkEvery-1) == checkEvery-1 {
+			if err := check(); err != nil {
+				return nil, err
+			}
+		}
 		src := r.Row(i)
 		for j := range outNames {
 			if c, ok := consts[j]; ok {
@@ -117,7 +142,7 @@ func (r *Relation) Project(outNames []string, sources []int, consts map[int]dict
 			out.Append(row)
 		}
 	}
-	return out
+	return out, nil
 }
 
 // SortRows orders rows lexicographically, for deterministic output.

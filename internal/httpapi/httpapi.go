@@ -5,10 +5,17 @@
 //	GET  /            endpoint summary (triples, schema, strategies)
 //	GET  /healthz     liveness
 //	GET  /stats       demo step 1 statistics (JSON)
-//	GET  /metrics     live counters, latency histograms, slow-query log
-//	POST /query       answer a query (JSON body, see QueryRequest)
-//	GET  /query?q=…   same, query string (strategy, limit optional)
+//	GET  /metrics     Prometheus text format (?format=json for the JSON snapshot)
+//	POST /query       answer a query (JSON body, see QueryRequest);
+//	                  "explain": true returns the estimated plan,
+//	                  "explain": "analyze" executes and returns the span tree
+//	GET  /query?q=…   same, query string (strategy, limit, explain optional)
 //	POST /explain     reformulation sizes + GCov cover space (JSON)
+//	GET  /slowlog     slow-query ring buffer with request IDs + span trees
+//
+// Every request carries an X-Request-Id (generated when the client sends
+// none) echoed on the response and attached to logs, slow-query entries
+// and traces.
 //
 // All handlers are read-only and safe for concurrent use once the engine
 // caches are warm (the server warms them at construction).
@@ -20,10 +27,14 @@
 package httpapi
 
 import (
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -36,6 +47,7 @@ import (
 	"repro/internal/ntriples"
 	"repro/internal/query"
 	"repro/internal/stats"
+	"repro/internal/trace"
 )
 
 // Server is the HTTP endpoint over one graph.
@@ -54,6 +66,15 @@ type Server struct {
 	// requests land in the slow-query log (0 = 500ms, negative =
 	// disabled). Set before serving.
 	SlowQueryThreshold time.Duration
+	// Logger, when non-nil, receives one structured line per answered
+	// query (request ID included) plus engine warnings such as cost
+	// misestimates. Set before serving.
+	Logger *slog.Logger
+	// TraceMaxSpans bounds the per-request span tree (0 =
+	// trace.DefaultMaxSpans). Every /query request is traced so the
+	// slow-query log can capture full span trees; the bound keeps a huge
+	// reformulation from ballooning request memory.
+	TraceMaxSpans int
 }
 
 // New builds a server over the graph; prefixes apply to rule-notation
@@ -84,8 +105,20 @@ func New(g *graph.Graph, prefixes map[string]string) *Server {
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/query", s.handleQuery)
 	s.mux.HandleFunc("/explain", s.handleExplain)
+	s.mux.HandleFunc("/slowlog", s.handleSlowlog)
 	s.mux.HandleFunc("/dump", s.handleDump)
 	return s
+}
+
+// EnablePprof mounts the net/http/pprof handlers under /debug/pprof/.
+// Profiling exposes stacks and timings, so refserve gates it behind an
+// explicit flag rather than serving it by default.
+func (s *Server) EnablePprof() {
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 }
 
 // Metrics returns the server's registry (shared with the engine and
@@ -131,10 +164,88 @@ func (s *Server) handleDump(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// ServeHTTP implements http.Handler. Every request carries an
+// X-Request-Id: the client's if it sent one, a fresh random one
+// otherwise. The ID is echoed on the response and threaded through logs,
+// slow-query entries and trace output.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	id := r.Header.Get("X-Request-Id")
+	if id == "" {
+		id = newRequestID()
+		r.Header.Set("X-Request-Id", id)
+	}
+	w.Header().Set("X-Request-Id", id)
+	s.mux.ServeHTTP(w, r)
+}
+
+// newRequestID returns a 16-hex-char random ID.
+func newRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is a broken platform; fall back to a
+		// constant rather than take the endpoint down.
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// requestID returns the request's (possibly generated) ID; ServeHTTP has
+// always set it by the time a handler runs.
+func requestID(r *http.Request) string { return r.Header.Get("X-Request-Id") }
 
 // --- payloads ----------------------------------------------------------------
+
+// ExplainMode selects the /query explain behavior: ExplainOff answers
+// normally, ExplainPlan returns the estimated plan without executing
+// (EXPLAIN), ExplainAnalyze executes and returns the recorded span tree
+// with estimated-vs-actual cardinalities and timings (EXPLAIN ANALYZE).
+type ExplainMode string
+
+// The explain modes.
+const (
+	ExplainOff     ExplainMode = ""
+	ExplainPlan    ExplainMode = "plan"
+	ExplainAnalyze ExplainMode = "analyze"
+)
+
+// UnmarshalJSON accepts the documented spellings: true / "plan" for
+// EXPLAIN, "analyze" for EXPLAIN ANALYZE, false / "" for off.
+func (m *ExplainMode) UnmarshalJSON(b []byte) error {
+	var v any
+	if err := json.Unmarshal(b, &v); err != nil {
+		return err
+	}
+	switch v := v.(type) {
+	case bool:
+		*m = ExplainOff
+		if v {
+			*m = ExplainPlan
+		}
+		return nil
+	case string:
+		mode, err := parseExplainMode(v)
+		if err != nil {
+			return err
+		}
+		*m = mode
+		return nil
+	default:
+		return fmt.Errorf("explain must be true, false, %q or %q", ExplainPlan, ExplainAnalyze)
+	}
+}
+
+func parseExplainMode(v string) (ExplainMode, error) {
+	switch strings.ToLower(strings.TrimSpace(v)) {
+	case "", "false", "0", "off":
+		return ExplainOff, nil
+	case "true", "1", "plan":
+		return ExplainPlan, nil
+	case "analyze", "analyse":
+		return ExplainAnalyze, nil
+	default:
+		return ExplainOff, fmt.Errorf("bad explain mode %q (want true, %q or %q)", v, ExplainPlan, ExplainAnalyze)
+	}
+}
 
 // QueryRequest is the /query input.
 type QueryRequest struct {
@@ -146,15 +257,30 @@ type QueryRequest struct {
 	Cover [][]int `json:"cover,omitempty"`
 	// Limit caps returned rows (0 = server default).
 	Limit int `json:"limit,omitempty"`
+	// Explain: true (or "plan") returns the estimated plan without
+	// executing; "analyze" executes and returns the span tree with
+	// est-vs-actual cardinalities.
+	Explain ExplainMode `json:"explain,omitempty"`
+}
+
+// ExplainJSON is the explain payload attached to a /query response.
+type ExplainJSON struct {
+	Mode ExplainMode `json:"mode"`
+	// Text is the human-readable operator tree.
+	Text string `json:"text"`
+	// Tree is the same plan/trace as a JSON span tree.
+	Tree *trace.SpanJSON `json:"tree"`
 }
 
 // QueryResponse is the /query output.
 type QueryResponse struct {
-	Columns   []string   `json:"columns"`
-	Rows      [][]string `json:"rows"`
-	Total     int        `json:"total"`
-	Truncated bool       `json:"truncated,omitempty"`
-	Meta      MetaJSON   `json:"meta"`
+	Columns   []string     `json:"columns"`
+	Rows      [][]string   `json:"rows"`
+	Total     int          `json:"total"`
+	Truncated bool         `json:"truncated,omitempty"`
+	RequestID string       `json:"requestId,omitempty"`
+	Explain   *ExplainJSON `json:"explain,omitempty"`
+	Meta      MetaJSON     `json:"meta"`
 }
 
 // MetaJSON mirrors engine.Answer metadata plus the request's timing
@@ -214,7 +340,7 @@ func (s *Server) handleRoot(w http.ResponseWriter, r *http.Request) {
 		"dataTriples": s.g.DataCount(),
 		"schema":      s.g.Schema().String(),
 		"strategies":  strategies,
-		"endpoints":   []string{"/healthz", "/stats", "/metrics", "/query", "/explain", "/dump"},
+		"endpoints":   []string{"/healthz", "/stats", "/metrics", "/query", "/explain", "/slowlog", "/dump"},
 	})
 }
 
@@ -270,6 +396,11 @@ func (s *Server) parseRequest(r *http.Request) (QueryRequest, error) {
 			}
 			req.Limit = n
 		}
+		mode, err := parseExplainMode(r.URL.Query().Get("explain"))
+		if err != nil {
+			return req, err
+		}
+		req.Explain = mode
 	case http.MethodPost:
 		dec := json.NewDecoder(r.Body)
 		dec.DisallowUnknownFields()
@@ -295,6 +426,7 @@ func (s *Server) parseCQ(text string) (query.CQ, error) {
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
+	id := requestID(r)
 	s.metrics.Counter("http.requests./query").Inc()
 	req, err := s.parseRequest(r)
 	if err != nil {
@@ -307,10 +439,18 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		strategy = engine.RefGCov
 	}
 	// Each request gets its own engine view sharing the warmed caches
-	// (and the shared plan cache + metrics registry); Budget is
-	// per-request state, so shallow-copy the engine.
+	// (and the shared plan cache + metrics registry); Budget, Tracer and
+	// Logger are per-request state, so shallow-copy the engine.
 	eng := *s.eng
 	eng.Budget = exec.Budget{Timeout: s.Timeout}
+	eng.Logger = s.requestLogger(id)
+	// Every request is traced (bounded) so the slow-query log can keep
+	// full span trees for offending queries; EXPLAIN ANALYZE returns the
+	// same tree to the client.
+	tr := trace.New(s.TraceMaxSpans)
+	root := tr.StartSpan("query")
+	root.SetStr("requestId", id)
+	eng.Tracer = tr
 	// The request context carries client disconnects and — when the
 	// caller wires http.Server.BaseContext — server shutdown into the
 	// evaluation.
@@ -320,23 +460,36 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		parseMillis float64
 	)
 	parseStart := time.Now()
+	psp := root.Child("parse")
 	upper := strings.ToUpper(req.Query)
-	if (strings.HasPrefix(strings.TrimSpace(upper), "SELECT") || strings.HasPrefix(strings.TrimSpace(upper), "PREFIX")) &&
-		strings.Contains(upper, "UNION") {
+	isUnion := (strings.HasPrefix(strings.TrimSpace(upper), "SELECT") || strings.HasPrefix(strings.TrimSpace(upper), "PREFIX")) &&
+		strings.Contains(upper, "UNION")
+	if isUnion {
 		u, uerr := query.ParseSPARQLUnion(s.g.Dict(), req.Query)
+		psp.End()
 		parseMillis = millisSince(parseStart)
 		if uerr != nil {
 			s.metrics.Counter("http.errors").Inc()
 			writeJSON(w, http.StatusBadRequest, errorResponse{uerr.Error()})
 			return
 		}
+		if req.Explain == ExplainPlan {
+			writeJSON(w, http.StatusBadRequest,
+				errorResponse{"explain (without analyze) supports single-BGP queries only"})
+			return
+		}
 		ans, err = eng.AnswerUnionContext(ctx, u, strategy)
 	} else {
 		q, perr := s.parseCQ(req.Query)
+		psp.End()
 		parseMillis = millisSince(parseStart)
 		if perr != nil {
 			s.metrics.Counter("http.errors").Inc()
 			writeJSON(w, http.StatusBadRequest, errorResponse{perr.Error()})
+			return
+		}
+		if req.Explain == ExplainPlan {
+			s.serveExplainPlan(w, &eng, req, q, strategy, id, parseMillis, start)
 			return
 		}
 		if strategy == engine.RefJUCQ {
@@ -349,9 +502,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			ans, err = eng.AnswerContext(ctx, q, strategy)
 		}
 	}
+	root.End()
 	if err != nil {
 		s.metrics.Counter("http.errors").Inc()
-		s.recordQuery(req, strategy, start, 0, err)
+		s.recordQuery(req, strategy, start, 0, err, id, root)
+		s.logQuery(id, req, strategy, start, 0, err)
 		status := http.StatusUnprocessableEntity
 		if errors.Is(err, exec.ErrCanceled) {
 			// The client is gone or the server is draining; the status
@@ -372,8 +527,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	serStart := time.Now()
 	ans.Rows.SortRows()
 	resp := QueryResponse{
-		Columns: ans.Rows.Vars,
-		Total:   ans.Rows.Len(),
+		Columns:   ans.Rows.Vars,
+		Total:     ans.Rows.Len(),
+		RequestID: id,
 		Meta: MetaJSON{
 			Strategy:         string(ans.Strategy),
 			Cover:            coverString(ans.Cover),
@@ -402,10 +558,94 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 		resp.Rows = append(resp.Rows, out)
 	}
+	if req.Explain == ExplainAnalyze {
+		resp.Explain = &ExplainJSON{
+			Mode: ExplainAnalyze,
+			Text: trace.Render(root, trace.RenderOptions{Timing: true}),
+			Tree: trace.ToJSON(root),
+		}
+	}
 	resp.Meta.SerializeMillis = millisSince(serStart)
 	resp.Meta.TotalMillis = millisSince(start)
-	s.recordQuery(req, strategy, start, ans.Rows.Len(), nil)
+	s.recordQuery(req, strategy, start, ans.Rows.Len(), nil, id, root)
+	s.logQuery(id, req, strategy, start, ans.Rows.Len(), nil)
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// serveExplainPlan answers an EXPLAIN (without ANALYZE) request: the
+// estimated plan from the reformulator and the cost model, no execution.
+func (s *Server) serveExplainPlan(w http.ResponseWriter, eng *engine.Engine, req QueryRequest,
+	q query.CQ, strategy engine.Strategy, id string, parseMillis float64, start time.Time) {
+	var (
+		plan *engine.Plan
+		err  error
+	)
+	if strategy == engine.RefJUCQ {
+		cover := make(query.Cover, len(req.Cover))
+		for i, f := range req.Cover {
+			cover[i] = append([]int(nil), f...)
+		}
+		plan, err = eng.PlanWithCover(q, cover)
+	} else {
+		plan, err = eng.Plan(q, strategy)
+	}
+	if err != nil {
+		s.metrics.Counter("http.errors").Inc()
+		writeJSON(w, http.StatusUnprocessableEntity, errorResponse{err.Error()})
+		return
+	}
+	resp := QueryResponse{
+		Columns:   []string{},
+		Rows:      [][]string{},
+		RequestID: id,
+		Explain: &ExplainJSON{
+			Mode: ExplainPlan,
+			Text: plan.Explain(),
+			Tree: plan.Tree(),
+		},
+		Meta: MetaJSON{
+			Strategy:         string(plan.Strategy),
+			Cover:            coverString(plan.Cover),
+			ReformulationCQs: plan.ReformulationCQs,
+			ParseMillis:      parseMillis,
+			CachedPlan:       plan.CachedPlan,
+			EstimatedCost:    plan.EstimatedCost,
+			TotalMillis:      millisSince(start),
+		},
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// requestLogger scopes the server's logger to one request; nil without a
+// configured logger.
+func (s *Server) requestLogger(id string) *slog.Logger {
+	if s.Logger == nil {
+		return nil
+	}
+	return s.Logger.With("requestId", id)
+}
+
+// logQuery emits the per-query structured log line.
+func (s *Server) logQuery(id string, req QueryRequest, strategy engine.Strategy, start time.Time, rows int, err error) {
+	if s.Logger == nil {
+		return
+	}
+	q := req.Query
+	if len(q) > 256 {
+		q = q[:256] + "…"
+	}
+	attrs := []any{
+		"requestId", id,
+		"strategy", string(strategy),
+		"millis", millisSince(start),
+		"rows", rows,
+		"query", q,
+	}
+	if err != nil {
+		s.Logger.Error("query failed", append(attrs, "error", err.Error())...)
+		return
+	}
+	s.Logger.Info("query answered", attrs...)
 }
 
 func millisSince(t time.Time) float64 {
@@ -413,7 +653,10 @@ func millisSince(t time.Time) float64 {
 }
 
 // recordQuery feeds the request-level histogram and the slow-query log.
-func (s *Server) recordQuery(req QueryRequest, strategy engine.Strategy, start time.Time, rows int, err error) {
+// Slow entries capture the request's full span tree, so /slowlog returns
+// actionable traces, not just latencies.
+func (s *Server) recordQuery(req QueryRequest, strategy engine.Strategy, start time.Time, rows int, err error,
+	id string, root *trace.Span) {
 	total := time.Since(start)
 	s.metrics.Histogram("http.latency_ms./query").
 		Observe(float64(total) / float64(time.Millisecond))
@@ -426,14 +669,20 @@ func (s *Server) recordQuery(req QueryRequest, strategy engine.Strategy, start t
 		q = q[:512] + "…"
 	}
 	entry := metrics.SlowQuery{
-		Time:     start,
-		Query:    q,
-		Strategy: string(strategy),
-		Millis:   float64(total) / float64(time.Millisecond),
-		Rows:     rows,
+		Time:      start,
+		Query:     q,
+		Strategy:  string(strategy),
+		Millis:    float64(total) / float64(time.Millisecond),
+		Rows:      rows,
+		RequestID: id,
 	}
 	if err != nil {
 		entry.Err = err.Error()
+	}
+	if tj := trace.ToJSON(root); tj != nil {
+		if b, merr := json.Marshal(tj); merr == nil {
+			entry.Trace = b
+		}
 	}
 	s.slowLog.Add(entry)
 	s.metrics.Counter("http.slow_queries").Inc()
@@ -448,15 +697,48 @@ type MetricsResponse struct {
 	SlowQueries              []metrics.SlowQuery `json:"slowQueries"`
 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	resp := MetricsResponse{
-		Snapshot:                 s.metrics.Snapshot(),
-		SlowQueryThresholdMillis: float64(s.slowThreshold()) / float64(time.Millisecond),
-		SlowQueriesTotal:         s.slowLog.Total(),
-		SlowQueries:              s.slowLog.Entries(),
+// handleMetrics serves Prometheus text format by default and the JSON
+// snapshot (including the slow-query ring) at /metrics?format=json.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	switch strings.ToLower(r.URL.Query().Get("format")) {
+	case "", "prometheus", "text":
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		_ = metrics.WritePrometheus(w, s.metrics)
+	case "json":
+		resp := MetricsResponse{
+			Snapshot:                 s.metrics.Snapshot(),
+			SlowQueryThresholdMillis: float64(s.slowThreshold()) / float64(time.Millisecond),
+			SlowQueriesTotal:         s.slowLog.Total(),
+			SlowQueries:              s.slowLog.Entries(),
+		}
+		if resp.SlowQueries == nil {
+			resp.SlowQueries = []metrics.SlowQuery{}
+		}
+		writeJSON(w, http.StatusOK, resp)
+	default:
+		writeJSON(w, http.StatusBadRequest,
+			errorResponse{fmt.Sprintf("bad format %q (want prometheus or json)", r.URL.Query().Get("format"))})
 	}
-	if resp.SlowQueries == nil {
-		resp.SlowQueries = []metrics.SlowQuery{}
+}
+
+// SlowlogResponse is the /slowlog output.
+type SlowlogResponse struct {
+	ThresholdMillis float64             `json:"thresholdMillis"`
+	Total           int64               `json:"total"`
+	Entries         []metrics.SlowQuery `json:"entries"`
+}
+
+// handleSlowlog returns the retained slow-query entries, newest first,
+// each with its request ID and full span tree.
+func (s *Server) handleSlowlog(w http.ResponseWriter, _ *http.Request) {
+	resp := SlowlogResponse{
+		ThresholdMillis: float64(s.slowThreshold()) / float64(time.Millisecond),
+		Total:           s.slowLog.Total(),
+		Entries:         s.slowLog.Entries(),
+	}
+	if resp.Entries == nil {
+		resp.Entries = []metrics.SlowQuery{}
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

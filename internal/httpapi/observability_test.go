@@ -27,7 +27,7 @@ func TestMetricsEndpointLiveCounters(t *testing.T) {
 	defer ts.Close()
 
 	var before MetricsResponse
-	getJSON(t, ts.URL+"/metrics", &before)
+	getJSON(t, ts.URL+"/metrics?format=json", &before)
 
 	q := `q(x,y) :- x ex:hasAuthor z, z ex:hasName y`
 	for i := 0; i < 2; i++ {
@@ -48,7 +48,7 @@ func TestMetricsEndpointLiveCounters(t *testing.T) {
 	}
 
 	var after MetricsResponse
-	getJSON(t, ts.URL+"/metrics", &after)
+	getJSON(t, ts.URL+"/metrics?format=json", &after)
 
 	if got := after.Counters["engine.queries"] - before.Counters["engine.queries"]; got != 2 {
 		t.Fatalf("engine.queries advanced by %d, want 2", got)
@@ -87,7 +87,7 @@ func TestSlowQueryLogDisabled(t *testing.T) {
 	var resp QueryResponse
 	postJSON(t, ts.URL+"/query", QueryRequest{Query: `q(x) :- x rdf:type ex:Book`}, &resp)
 	var m MetricsResponse
-	getJSON(t, ts.URL+"/metrics", &m)
+	getJSON(t, ts.URL+"/metrics?format=json", &m)
 	if m.SlowQueriesTotal != 0 || len(m.SlowQueries) != 0 {
 		t.Fatalf("slow-query log should be disabled: total=%d entries=%d", m.SlowQueriesTotal, len(m.SlowQueries))
 	}
@@ -187,7 +187,7 @@ func TestMetricsResponseShape(t *testing.T) {
 	var resp QueryResponse
 	postJSON(t, ts.URL+"/query", QueryRequest{Query: `q(x) :- x rdf:type ex:Book`}, &resp)
 
-	r, err := http.Get(ts.URL + "/metrics")
+	r, err := http.Get(ts.URL + "/metrics?format=json")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -131,9 +131,17 @@ type HistogramSnapshot struct {
 	P50   float64 `json:"p50"`
 	P95   float64 `json:"p95"`
 	P99   float64 `json:"p99"`
+	// Bounds and BucketCounts expose the raw buckets for the Prometheus
+	// exposition: ascending upper bounds, with BucketCounts carrying one
+	// extra trailing +Inf bucket. Excluded from the JSON payload, whose
+	// quantile summary covers the human-facing view.
+	Bounds       []float64 `json:"-"`
+	BucketCounts []int64   `json:"-"`
 }
 
-// Snapshot summarizes the histogram.
+// Snapshot summarizes the histogram. All fields are captured under one
+// lock acquisition, so counts, sum and buckets always describe the same
+// set of observations even under concurrent writers.
 func (h *Histogram) Snapshot() HistogramSnapshot {
 	if h == nil {
 		return HistogramSnapshot{}
@@ -142,9 +150,10 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	defer h.mu.Unlock()
 	return HistogramSnapshot{
 		Count: h.count, Sum: h.sum, Min: h.min, Max: h.max,
-		P50: h.quantileLocked(0.50),
-		P95: h.quantileLocked(0.95),
-		P99: h.quantileLocked(0.99),
+		P50:    h.quantileLocked(0.50),
+		P95:    h.quantileLocked(0.95),
+		P99:    h.quantileLocked(0.99),
+		Bounds: append([]float64(nil), h.bounds...), BucketCounts: append([]int64(nil), h.counts...),
 	}
 }
 

@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"encoding/json"
 	"sync"
 	"time"
 )
@@ -13,6 +14,12 @@ type SlowQuery struct {
 	Millis   float64   `json:"millis"`
 	Rows     int       `json:"rows,omitempty"`
 	Err      string    `json:"error,omitempty"`
+	// RequestID correlates the entry with the request's structured log
+	// lines and trace output (the X-Request-Id header).
+	RequestID string `json:"requestId,omitempty"`
+	// Trace is the query's full span tree (trace.SpanJSON), pre-marshaled
+	// so the log stays decoupled from the trace package.
+	Trace json.RawMessage `json:"trace,omitempty"`
 }
 
 // SlowQueryLog is a bounded ring buffer of slow-query entries: constant

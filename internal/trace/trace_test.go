@@ -1,0 +1,209 @@
+package trace
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilSafety(t *testing.T) {
+	var tr *Tracer
+	sp := tr.StartSpan("x")
+	if sp != nil {
+		t.Fatal("nil tracer must hand out nil spans")
+	}
+	// All of these must be no-ops, not panics.
+	sp.SetInt("k", 1)
+	sp.SetStr("k", "v")
+	sp.SetFloat("k", 1.5)
+	sp.SetBool("k", true)
+	sp.End()
+	if c := sp.Child("y"); c != nil {
+		t.Fatal("nil span must hand out nil children")
+	}
+	if _, ok := sp.Attr("k"); ok {
+		t.Fatal("nil span has no attrs")
+	}
+	sp.Visit(func(string, int, time.Duration, []Attr) { t.Fatal("nil span visits nothing") })
+	if Render(sp, RenderOptions{}) != "" || ToJSON(sp) != nil {
+		t.Fatal("nil span renders empty")
+	}
+	if tr.Root() != nil || tr.Dropped() != 0 || tr.SpanCount() != 0 {
+		t.Fatal("nil tracer must report zero state")
+	}
+}
+
+func TestSpanTreeAndAttrs(t *testing.T) {
+	tr := New(0)
+	root := tr.StartSpan("query")
+	root.SetStr("strategy", "ref-gcov")
+	eval := root.Child("eval")
+	scan := eval.Child("scan")
+	scan.SetStr("atom", "x type Student")
+	scan.SetFloat("est_rows", 120.5)
+	scan.SetInt("rows", 118)
+	scan.End()
+	eval.SetInt("rows", 118)
+	eval.End()
+	root.End()
+
+	if tr.SpanCount() != 3 {
+		t.Fatalf("span count %d, want 3", tr.SpanCount())
+	}
+	a, ok := scan.Attr("est_rows")
+	if !ok || !a.IsNumber() || a.Number() != 120.5 {
+		t.Fatalf("est_rows attr = %+v ok=%v", a, ok)
+	}
+	if root.Duration() <= 0 || !strings.Contains(root.Name(), "query") {
+		t.Fatalf("root not ended: dur=%v", root.Duration())
+	}
+
+	// Overwriting an attr must replace, not append.
+	scan.SetInt("rows", 119)
+	names := 0
+	scan.Visit(func(_ string, _ int, _ time.Duration, attrs []Attr) {
+		for _, a := range attrs {
+			if a.Key == "rows" {
+				names++
+				if a.Number() != 119 {
+					t.Fatalf("rows = %v, want 119", a.Number())
+				}
+			}
+		}
+	})
+	if names != 1 {
+		t.Fatalf("rows attr appears %d times, want 1", names)
+	}
+}
+
+func TestRenderDeterministicWithoutTiming(t *testing.T) {
+	tr := New(0)
+	root := tr.StartSpan("select")
+	root.SetStr("cover", "{1,3}{2}")
+	f := root.Child("fragment")
+	f.SetInt("idx", 0)
+	f.Child("scan").SetFloat("est_rows", 42)
+	root.Child("project").SetInt("cols", 2)
+
+	got := Render(root, RenderOptions{})
+	want := "select cover={1,3}{2}\n" +
+		"├─ fragment idx=0\n" +
+		"│  └─ scan est_rows=42\n" +
+		"└─ project cols=2\n"
+	if got != want {
+		t.Fatalf("render mismatch:\n got:\n%s\nwant:\n%s", got, want)
+	}
+	// Rendering twice is identical (timing disabled).
+	if again := Render(root, RenderOptions{}); again != got {
+		t.Fatal("render not deterministic")
+	}
+}
+
+func TestRenderQuotesSpacedStrings(t *testing.T) {
+	tr := New(0)
+	root := tr.StartSpan("scan")
+	root.SetStr("atom", "x rdf:type ub:Student")
+	got := Render(root, RenderOptions{})
+	if !strings.Contains(got, `atom="x rdf:type ub:Student"`) {
+		t.Fatalf("spaced attr not quoted: %q", got)
+	}
+}
+
+func TestBoundedSpansDrop(t *testing.T) {
+	tr := New(4)
+	root := tr.StartSpan("root")
+	var kept int
+	for i := 0; i < 10; i++ {
+		if root.Child("c") != nil {
+			kept++
+		}
+	}
+	if kept != 3 { // root + 3 children = 4
+		t.Fatalf("kept %d children, want 3", kept)
+	}
+	if tr.Dropped() != 7 {
+		t.Fatalf("dropped %d, want 7", tr.Dropped())
+	}
+	// Children of dropped spans silently vanish too.
+	var nilChild *Span
+	if got := nilChild.Child("grandchild"); got != nil {
+		t.Fatal("child of dropped span must be nil")
+	}
+}
+
+func TestToJSONShape(t *testing.T) {
+	tr := New(0)
+	root := tr.StartSpan("query")
+	root.SetStr("requestId", "abc")
+	sc := root.Child("scan")
+	sc.SetFloat("est_rows", 10)
+	sc.SetInt("rows", 12)
+	sc.End()
+	root.End()
+
+	j := ToJSON(root)
+	b, err := json.Marshal(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back SpanJSON
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != "query" || back.Attrs["requestId"] != "abc" {
+		t.Fatalf("round-trip lost data: %+v", back)
+	}
+	scan := back.Find("scan")
+	if scan == nil {
+		t.Fatal("scan not found")
+	}
+	if scan.Attrs["est_rows"].(float64) != 10 || scan.Attrs["rows"].(float64) != 12 {
+		t.Fatalf("scan attrs: %+v", scan.Attrs)
+	}
+	if got := back.AttrNames(); len(got) != 1 || got[0] != "requestId" {
+		t.Fatalf("attr names: %v", got)
+	}
+}
+
+func TestPhaseMillis(t *testing.T) {
+	n := &SpanJSON{Name: "answer", Children: []*SpanJSON{
+		{Name: "eval", DurMillis: 2},
+		{Name: "fragment", Children: []*SpanJSON{{Name: "eval", DurMillis: 3}}},
+	}}
+	if got := n.PhaseMillis("eval"); got != 5 {
+		t.Fatalf("PhaseMillis = %v, want 5", got)
+	}
+	if got := n.PhaseMillis("missing"); got != 0 {
+		t.Fatalf("PhaseMillis(missing) = %v", got)
+	}
+}
+
+// Concurrent children and attribute writes from many goroutines must be
+// safe (run under -race) and never exceed the bound.
+func TestConcurrentSpans(t *testing.T) {
+	tr := New(256)
+	root := tr.StartSpan("root")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				c := root.Child("cq")
+				c.SetInt("rows", int64(i))
+				c.End()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if n := tr.SpanCount(); n > 256 {
+		t.Fatalf("span count %d exceeds bound", n)
+	}
+	if tr.SpanCount()+int(tr.Dropped()) != 801 {
+		t.Fatalf("kept %d + dropped %d != 801", tr.SpanCount(), tr.Dropped())
+	}
+	_ = Render(root, RenderOptions{Timing: true})
+	_ = ToJSON(root)
+}
