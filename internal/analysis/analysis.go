@@ -1,0 +1,248 @@
+// Package analysis is a small, dependency-free re-implementation of the
+// golang.org/x/tools/go/analysis model, sized for this repository: an
+// Analyzer inspects one type-checked package at a time and reports
+// Diagnostics. It exists because the executor's correctness invariants —
+// guard polling in row loops, span lifecycle hygiene, context plumbing,
+// metric naming — were fixed by hand in two consecutive PRs; from this PR
+// on they are enforced by machines (cmd/reflint, wired into CI), not by
+// reviewer memory.
+//
+// Findings can be suppressed, one site at a time, with an annotation
+// comment of the form
+//
+//	//reflint:<check> <reason>
+//
+// placed on the offending line, on the line directly above it, or (for
+// checks that support it) in the doc comment of the enclosing function.
+// The reason is mandatory: an annotation without one is itself a
+// diagnostic, so every suppressed site documents *why* the invariant does
+// not apply.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one static check.
+type Analyzer struct {
+	// Name is the check's identifier, used in output and annotations
+	// (//reflint:<name> suppresses it where supported).
+	Name string
+	// Doc is a one-paragraph description of the invariant enforced.
+	Doc string
+	// Run inspects one package and reports findings via pass.Report.
+	Run func(pass *Pass) error
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	report func(Diagnostic)
+
+	// annotations caches the parsed //reflint: directives of each file.
+	annotations map[*ast.File][]annotation
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s (%s)", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// annotation is one parsed //reflint:<check> <reason> directive.
+type annotation struct {
+	check  string
+	reason string
+	line   int
+	pos    token.Pos
+}
+
+const directivePrefix = "//reflint:"
+
+// parseAnnotations extracts every //reflint: directive of a file.
+func parseAnnotations(fset *token.FileSet, f *ast.File) []annotation {
+	var out []annotation
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, directivePrefix) {
+				continue
+			}
+			rest := strings.TrimPrefix(c.Text, directivePrefix)
+			check, reason, _ := strings.Cut(rest, " ")
+			// A trailing line comment (as used by the golden tests'
+			// `// want` markers) is not part of the reason.
+			if i := strings.Index(reason, "//"); i >= 0 {
+				reason = reason[:i]
+			}
+			out = append(out, annotation{
+				check:  check,
+				reason: strings.TrimSpace(reason),
+				line:   fset.Position(c.Pos()).Line,
+				pos:    c.Pos(),
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].line < out[j].line })
+	return out
+}
+
+func (p *Pass) fileAnnotations(f *ast.File) []annotation {
+	if p.annotations == nil {
+		p.annotations = map[*ast.File][]annotation{}
+	}
+	anns, ok := p.annotations[f]
+	if !ok {
+		anns = parseAnnotations(p.Fset, f)
+		p.annotations[f] = anns
+	}
+	return anns
+}
+
+// file returns the *ast.File containing pos.
+func (p *Pass) file(pos token.Pos) *ast.File {
+	for _, f := range p.Files {
+		if f.FileStart <= pos && pos < f.FileEnd {
+			return f
+		}
+	}
+	return nil
+}
+
+// suppressed reports whether a //reflint:<check> annotation covers the
+// node starting at pos: on the same line, on the line directly above, or
+// — when fn is non-nil — in fn's doc comment. A matching annotation with
+// an empty reason is reported as its own diagnostic and does not
+// suppress.
+func (p *Pass) suppressed(check string, pos token.Pos, fn *ast.FuncDecl) bool {
+	f := p.file(pos)
+	if f == nil {
+		return false
+	}
+	line := p.Fset.Position(pos).Line
+	var funcDocLines map[int]bool
+	if fn != nil && fn.Doc != nil {
+		funcDocLines = map[int]bool{}
+		for _, c := range fn.Doc.List {
+			funcDocLines[p.Fset.Position(c.Pos()).Line] = true
+		}
+	}
+	for _, a := range p.fileAnnotations(f) {
+		if a.check != check {
+			continue
+		}
+		if a.line != line && a.line != line-1 && !funcDocLines[a.line] {
+			continue
+		}
+		if a.reason == "" {
+			p.Reportf(a.pos, "//reflint:%s annotation requires a reason", check)
+			continue
+		}
+		return true
+	}
+	return false
+}
+
+// CheckDanglingAnnotations reports //reflint: directives naming an unknown
+// check — usually a typo that silently disables nothing.
+func CheckDanglingAnnotations(pass *Pass, known map[string]bool) {
+	for _, f := range pass.Files {
+		for _, a := range pass.fileAnnotations(f) {
+			if !known[a.check] {
+				pass.Reportf(a.pos, "unknown reflint annotation %q (known: guardpoll/noguard, spanend/nospanend, ctxflow/ctxbg, metricname)", a.check)
+			}
+		}
+	}
+}
+
+// --- shared type helpers ----------------------------------------------------
+
+// namedTypeName unwraps pointers and returns the name of a named (or
+// aliased) type, or "".
+func namedTypeName(t types.Type) string {
+	if t == nil {
+		return ""
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	} else if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	switch tt := t.(type) {
+	case *types.Named:
+		return tt.Obj().Name()
+	case *types.Alias:
+		return tt.Obj().Name()
+	}
+	return ""
+}
+
+// isNiladicErrorFunc reports whether t is func() error.
+func isNiladicErrorFunc(t types.Type) bool {
+	sig, ok := t.Underlying().(*types.Signature)
+	if !ok {
+		return false
+	}
+	if sig.Params().Len() != 0 || sig.Results().Len() != 1 {
+		return false
+	}
+	named, ok := sig.Results().At(0).Type().(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}
+
+// enclosingFunc returns the innermost FuncDecl of file containing pos.
+func enclosingFunc(f *ast.File, pos token.Pos) *ast.FuncDecl {
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Pos() <= pos && pos <= fd.End() {
+			return fd
+		}
+	}
+	return nil
+}
+
+// funcDisplayName renders a FuncDecl as it would appear in docs:
+// Name, (T).Name or (*T).Name.
+func funcDisplayName(fn *ast.FuncDecl) string {
+	if fn == nil {
+		return "package scope"
+	}
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return fn.Name.Name
+	}
+	var recv string
+	switch t := fn.Recv.List[0].Type.(type) {
+	case *ast.StarExpr:
+		if id, ok := t.X.(*ast.Ident); ok {
+			recv = "*" + id.Name
+		}
+	case *ast.Ident:
+		recv = t.Name
+	}
+	if recv == "" {
+		return fn.Name.Name
+	}
+	return "(" + recv + ")." + fn.Name.Name
+}

@@ -1,0 +1,75 @@
+package analysis
+
+import (
+	"regexp"
+	"testing"
+)
+
+// wantRE extracts `// want "regex"` markers from testdata comments; each
+// marker asserts one diagnostic on its own line whose message matches the
+// regex — the same golden convention as x/tools' analysistest.
+var wantRE = regexp.MustCompile(`// want "([^"]*)"`)
+
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	met  bool
+}
+
+// runGolden loads one testdata package, runs a single analyzer over it
+// (guardpoll additionally runs the dangling-annotation check, mirroring
+// RunAnalyzers), and diffs the findings against the `// want` markers.
+func runGolden(t *testing.T, a *Analyzer, dir string) {
+	t.Helper()
+	pkgs, err := Load([]string{dir})
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loaded %d packages from %s, want 1", len(pkgs), dir)
+	}
+	pkg := pkgs[0]
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				for _, m := range wantRE.FindAllStringSubmatch(c.Text, -1) {
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("bad want regex %q: %v", m[1], err)
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	diags, err := pkg.RunAnalyzers([]*Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if !w.met && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.met = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.met {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+func TestGuardpoll(t *testing.T)  { runGolden(t, Guardpoll, "./testdata/src/guardpoll") }
+func TestSpanend(t *testing.T)    { runGolden(t, Spanend, "./testdata/src/spanend") }
+func TestCtxflow(t *testing.T)    { runGolden(t, Ctxflow, "./testdata/src/ctxflow") }
+func TestMetricname(t *testing.T) { runGolden(t, Metricname, "./testdata/src/metricname") }

@@ -1,0 +1,206 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// All lists every analyzer of the suite, in output order.
+var All = []*Analyzer{Guardpoll, Spanend, Ctxflow, Metricname}
+
+// knownChecks are the annotation names the suite understands.
+var knownChecks = map[string]bool{
+	"noguard":    true,
+	"nospanend":  true,
+	"ctxbg":      true,
+	"metricname": true,
+}
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	ImportPath string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Pkg        *types.Package
+	Info       *types.Info
+}
+
+// RunAnalyzers runs the given analyzers (All when nil) over the package
+// and returns their findings sorted by position, including dangling
+// annotation checks.
+func (p *Package) RunAnalyzers(analyzers []*Analyzer) ([]Diagnostic, error) {
+	if analyzers == nil {
+		analyzers = All
+	}
+	// Test files are out of scope for every analyzer: tests stand in for
+	// main (context.Background is their root), build spans purely to
+	// inspect them, and register throwaway metric names. Under `go vet`
+	// the package unit includes _test.go files, so filter here; the
+	// remaining files are still type-checked against the full package.
+	files := p.Files
+	for i, f := range files {
+		if strings.HasSuffix(p.Fset.Position(f.Package).Filename, "_test.go") {
+			kept := make([]*ast.File, 0, len(files))
+			kept = append(kept, files[:i]...)
+			for _, g := range files[i:] {
+				if !strings.HasSuffix(p.Fset.Position(g.Package).Filename, "_test.go") {
+					kept = append(kept, g)
+				}
+			}
+			files = kept
+			break
+		}
+	}
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     p.Fset,
+			Files:    files,
+			Pkg:      p.Pkg,
+			Info:     p.Info,
+			report:   func(d Diagnostic) { diags = append(diags, d) },
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", a.Name, p.ImportPath, err)
+		}
+		if a == All[0] {
+			CheckDanglingAnnotations(pass, knownChecks)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return diags, nil
+}
+
+// ExportLookup resolves import paths to gc export data files, applying an
+// optional import map (vet config / vendoring indirection).
+type ExportLookup struct {
+	// ImportMap maps source-level import paths to canonical ones.
+	ImportMap map[string]string
+	// PackageFile maps canonical import paths to export data files.
+	PackageFile map[string]string
+}
+
+func (l *ExportLookup) lookup(path string) (io.ReadCloser, error) {
+	if mapped, ok := l.ImportMap[path]; ok {
+		path = mapped
+	}
+	file, ok := l.PackageFile[path]
+	if !ok || file == "" {
+		return nil, fmt.Errorf("no export data for %q", path)
+	}
+	return os.Open(file)
+}
+
+// TypeCheck parses and type-checks one package from source, importing
+// its dependencies from compiled export data.
+func TypeCheck(importPath, dir string, goFiles []string, lk *ExportLookup) (*Package, error) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range goFiles {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(dir, name)
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{
+		Importer: importer.ForCompiler(fset, "gc", lk.lookup),
+	}
+	pkg, err := conf.Check(importPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %w", importPath, err)
+	}
+	return &Package{ImportPath: importPath, Fset: fset, Files: files, Pkg: pkg, Info: info}, nil
+}
+
+// listedPackage is the subset of `go list -json` output the loader needs.
+type listedPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	DepOnly    bool
+	Standard   bool
+}
+
+// Load resolves the given package patterns with the go tool, compiles
+// export data for every dependency, and type-checks each matched package
+// from source. It is the standalone-mode loader of cmd/reflint; the
+// `go vet -vettool` path gets the same inputs from vet's config files
+// instead.
+func Load(patterns []string) ([]*Package, error) {
+	args := append([]string{
+		"list", "-export", "-deps",
+		"-json=ImportPath,Name,Dir,GoFiles,Export,DepOnly,Standard",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+	dec := json.NewDecoder(&stdout)
+	lk := &ExportLookup{PackageFile: map[string]string{}}
+	var targets []*listedPackage
+	for {
+		var lp listedPackage
+		if err := dec.Decode(&lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list output: %v", err)
+		}
+		if lp.Export != "" {
+			lk.PackageFile[lp.ImportPath] = lp.Export
+		}
+		if !lp.DepOnly {
+			p := lp
+			targets = append(targets, &p)
+		}
+	}
+	var out []*Package
+	for _, t := range targets {
+		if len(t.GoFiles) == 0 {
+			continue
+		}
+		pkg, err := TypeCheck(t.ImportPath, t.Dir, t.GoFiles, lk)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}

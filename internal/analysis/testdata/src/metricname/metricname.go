@@ -1,0 +1,53 @@
+// Package metricname is golden-test input for the metricname analyzer: a
+// local Registry shaped like internal/metrics, registered under constant
+// snake.dotted names, label-rule prefixes, and the dynamic shapes the
+// analyzer rejects.
+package metricname
+
+import "fmt"
+
+type Registry struct{}
+
+type Counter struct{}
+
+type Gauge struct{}
+
+type Histogram struct{}
+
+func (r *Registry) Counter(name string) *Counter { _ = name; return nil }
+
+func (r *Registry) Gauge(name string) *Gauge { _ = name; return nil }
+
+func (r *Registry) Histogram(name string, buckets ...float64) *Histogram {
+	_, _ = name, buckets
+	return nil
+}
+
+const constName = "engine.latency_ms.gcov"
+
+func register(r *Registry, strategy string) {
+	r.Counter("engine.queries")
+	r.Gauge("exec.rows_scanned")
+	r.Histogram("engine.latency_ms.sat", 1, 2)
+	r.Counter(constName)
+	r.Counter("engine.queries." + strategy)
+	r.Counter("http.requests./query")
+	r.Counter("Engine.Queries")                           // want "not snake.dotted"
+	r.Counter("single")                                   // want "not snake.dotted"
+	r.Counter("exec.rows." + strategy)                    // want "not a registered label rule"
+	r.Counter(fmt.Sprintf("engine.queries.%s", strategy)) // want "not a compile-time constant"
+	name := "engine.queries"
+	r.Counter(name) // want "not a compile-time constant"
+	//reflint:metricname migration shim, removed with the legacy dashboard
+	r.Counter(fmt.Sprintf("legacy.%s", strategy))
+}
+
+type fake struct{}
+
+func (fake) Counter(name string) int { _ = name; return 0 }
+
+// notARegistry: only the metrics Registry's registration sites are
+// checked.
+func notARegistry(f fake, s string) {
+	_ = f.Counter(fmt.Sprintf("whatever.%s", s))
+}

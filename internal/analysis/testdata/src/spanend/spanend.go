@@ -1,0 +1,110 @@
+// Package spanend is golden-test input for the spanend analyzer: a local
+// Span/Tracer pair shaped like internal/trace, with creations that leak,
+// creations covered by defer, factories, accessors and annotations.
+package spanend
+
+type Span struct{ name string }
+
+func (s *Span) End()                    {}
+func (s *Span) Child(name string) *Span { return &Span{name: name} }
+func (s *Span) Root() *Span             { return s }
+
+type Tracer struct{}
+
+func (t *Tracer) StartSpan(name string) *Span { return &Span{name: name} }
+
+func pair(t *Tracer) (*Span, error) { return t.StartSpan("pair"), nil }
+
+func leaky(t *Tracer) {
+	sp := t.StartSpan("q") // want "no covering"
+	_ = sp
+}
+
+func covered(t *Tracer) {
+	sp := t.StartSpan("q")
+	defer sp.End()
+}
+
+// explicitOnly ends the span on the happy path only — an early return
+// would leak it, so the analyzer still wants the defer.
+func explicitOnly(t *Tracer) {
+	sp := t.StartSpan("q") // want "no covering"
+	sp.End()
+}
+
+func coveredChild(t *Tracer) {
+	sp := t.StartSpan("q")
+	defer sp.End()
+	child := sp.Child("phase")
+	defer child.End()
+	child.End() // early explicit End is fine: End is first-call-wins
+}
+
+// factory returns the span: the caller owns the lifecycle.
+func factory(t *Tracer) *Span {
+	sp := t.StartSpan("q")
+	return sp
+}
+
+func discarded(t *Tracer) {
+	t.StartSpan("q") // want "discarded"
+}
+
+// accessor: Root returns an existing span, not a new one.
+func accessor(s *Span) {
+	r := s.Root()
+	_ = r
+}
+
+type holder struct{ sp *Span }
+
+// fieldStore hands the span to its owner struct, which manages it.
+func (h *holder) fieldStore(t *Tracer) {
+	h.sp = t.StartSpan("q")
+}
+
+// litScopes: function literals are independent scopes.
+func litScopes(t *Tracer) {
+	ok := func() {
+		sp := t.StartSpan("inner")
+		defer sp.End()
+	}
+	ok()
+	leak := func() {
+		sp := t.StartSpan("inner") // want "no covering"
+		_ = sp
+	}
+	leak()
+}
+
+// deferBefore registers the defer before the span exists; it does not
+// cover the creation.
+func deferBefore(t *Tracer) {
+	var sp *Span
+	defer sp.End()
+	sp = t.StartSpan("q") // want "no covering"
+}
+
+func tupleLeak(t *Tracer) {
+	sp, err := pair(t) // want "no covering"
+	_, _ = sp, err
+}
+
+func tupleCovered(t *Tracer) {
+	sp, err := pair(t)
+	defer sp.End()
+	_ = err
+}
+
+func annotatedSite(t *Tracer) {
+	sp := t.StartSpan("plan") //reflint:nospanend plan tree is rendered, never timed
+	_ = sp
+}
+
+//reflint:nospanend whole plan builder: spans are rendered, never timed
+func annotatedFunc(t *Tracer) {
+	sp := t.StartSpan("plan")
+	child := sp.Child("op")
+	_ = child
+	t.StartSpan("loose")
+}

@@ -7,6 +7,7 @@
 package datalog
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -166,6 +167,13 @@ type Engine struct {
 // Run evaluates the program to fixpoint and returns the engine holding the
 // computed relations.
 func Run(p *Program) (*Engine, error) {
+	return RunContext(context.Background(), p)
+}
+
+// RunContext is Run bounded by ctx: the fixpoint iteration checks for
+// cancellation once per semi-naive round, so a canceled context stops the
+// saturation between rounds instead of running to completion.
+func RunContext(ctx context.Context, p *Program) (*Engine, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -199,6 +207,9 @@ func Run(p *Program) (*Engine, error) {
 	// Semi-naive: each round, every rule fires with one body atom ranging
 	// over the delta and the rest over the full relations.
 	for len(delta) > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("datalog: canceled after %d iterations: %w", e.Iterations, err)
+		}
 		e.Iterations++
 		deltaByPred := map[string][]int{}
 		for _, c := range delta {

@@ -1,6 +1,8 @@
 package datalog
 
 import (
+	"context"
+
 	"repro/internal/dict"
 	"repro/internal/graph"
 	"repro/internal/query"
@@ -89,11 +91,17 @@ func AddQuery(p *Program, q query.CQ) error {
 // Answer runs the full Dat pipeline for a query over a graph and returns
 // the sorted answer tuples.
 func Answer(g *graph.Graph, q query.CQ) ([][]dict.ID, error) {
+	return AnswerContext(context.Background(), g, q)
+}
+
+// AnswerContext is Answer bounded by ctx: the engine's fixpoint stops
+// between semi-naive rounds when ctx is canceled.
+func AnswerContext(ctx context.Context, g *graph.Graph, q query.CQ) ([][]dict.ID, error) {
 	p := EncodeGraph(g)
 	if err := AddQuery(p, q); err != nil {
 		return nil, err
 	}
-	e, err := Run(p)
+	e, err := RunContext(ctx, p)
 	if err != nil {
 		return nil, err
 	}

@@ -240,6 +240,7 @@ func (e *Engine) Answer(q query.CQ, s Strategy) (*Answer, error) {
 func (e *Engine) AnswerContext(ctx context.Context, q query.CQ, s Strategy) (*Answer, error) {
 	start := time.Now()
 	sp := e.startAnswerSpan(q, s)
+	defer sp.End()
 	ans, err := e.answer(ctx, q, s, sp)
 	e.endAnswerSpan(sp, s, ans, err)
 	e.observe(s, start, ans, err)
@@ -365,6 +366,7 @@ func (e *Engine) AnswerWithCover(q query.CQ, cover query.Cover) (*Answer, error)
 func (e *Engine) AnswerWithCoverContext(ctx context.Context, q query.CQ, cover query.Cover) (*Answer, error) {
 	start := time.Now()
 	sp := e.startAnswerSpan(q, RefJUCQ)
+	defer sp.End()
 	ans, err := e.answerCover(ctx, q, cover, RefJUCQ, sp)
 	e.endAnswerSpan(sp, RefJUCQ, ans, err)
 	e.observe(RefJUCQ, start, ans, err)
@@ -433,6 +435,7 @@ func (e *Engine) answerSat(ctx context.Context, q query.CQ, sp *trace.Span) (*An
 	ss := e.SatStats()
 	ev := e.evaluator(st, ss)
 	es := startEval(sp, ev, e.SatCostModel())
+	defer es.End()
 	start := time.Now()
 	rows, err := ev.EvalCQContext(ctx, query.HeadVarNames(q), q)
 	if err != nil {
@@ -450,6 +453,7 @@ func (e *Engine) answerUCQ(ctx context.Context, q query.CQ, r *core.Reformulator
 	var rsp *trace.Span
 	if sp != nil {
 		rsp = sp.Child("reformulate")
+		defer rsp.End()
 	}
 	count, _ := r.CombinationCount(q)
 	if rsp != nil {
@@ -458,6 +462,7 @@ func (e *Engine) answerUCQ(ctx context.Context, q query.CQ, r *core.Reformulator
 	}
 	prep := time.Since(prepStart)
 	es := startEval(sp, ev, e.CostModel())
+	defer es.End()
 	start := time.Now()
 	rows, err := ev.EvalUCQStreamContext(ctx, head, func(fn func(query.CQ) bool) {
 		r.EnumerateCQ(q, fn)
@@ -478,6 +483,7 @@ func (e *Engine) answerCover(ctx context.Context, q query.CQ, cover query.Cover,
 	var rsp *trace.Span
 	if sp != nil {
 		rsp = sp.Child("reformulate")
+		defer rsp.End()
 		rsp.SetStr("cover", cover.String())
 	}
 	bound := e.fragmentBound()
@@ -487,7 +493,6 @@ func (e *Engine) answerCover(ctx context.Context, q query.CQ, cover query.Cover,
 	}
 	j, err := e.Reformulator().ReformulateJUCQ(q, cover, bound)
 	if err != nil {
-		rsp.End()
 		return nil, err
 	}
 	est := e.CostModel().JUCQ(j)
@@ -503,6 +508,7 @@ func (e *Engine) answerCover(ctx context.Context, q query.CQ, cover query.Cover,
 	prep := time.Since(prepStart)
 	ev := e.evaluator(e.Store(), e.Stats())
 	es := startEval(sp, ev, e.CostModel())
+	defer es.End()
 	start := time.Now()
 	rows, err := ev.EvalJUCQContext(ctx, j)
 	if err != nil {
@@ -522,12 +528,12 @@ func (e *Engine) answerGCov(ctx context.Context, q query.CQ, sp *trace.Span) (*A
 	var psp *trace.Span
 	if sp != nil {
 		psp = sp.Child("plan")
+		defer psp.End()
 	}
 	entry, cached := e.plans.get(key)
 	if !cached {
 		res, err := core.GCov(e.Reformulator(), e.CostModel(), q, core.GCovOptions{MaxFragmentCQs: e.fragmentBound()})
 		if err != nil {
-			psp.End()
 			return nil, err
 		}
 		entry = &planEntry{key: key, jucq: res.JUCQ, cover: res.Cover, cost: res.Cost, explored: res.Explored}
@@ -544,6 +550,7 @@ func (e *Engine) answerGCov(ctx context.Context, q query.CQ, sp *trace.Span) (*A
 	prep := time.Since(prepStart)
 	ev := e.evaluator(e.Store(), e.Stats())
 	es := startEval(sp, ev, e.CostModel())
+	defer es.End()
 	start := time.Now()
 	rows, err := ev.EvalJUCQContext(ctx, entry.jucq)
 	if err != nil {
@@ -571,19 +578,22 @@ func (e *Engine) PlanCacheLen() int {
 }
 
 func (e *Engine) answerDat(ctx context.Context, q query.CQ, sp *trace.Span) (*Answer, error) {
-	// The Datalog engine runs to fixpoint without interior checkpoints;
-	// honor cancellation at least at the boundary.
-	if err := ctx.Err(); err != nil {
-		return nil, fmt.Errorf("%w: %v", exec.ErrCanceled, err)
+	// The exec strategies convert Budget.Timeout into a guard deadline;
+	// the Datalog fixpoint has no guard, so carry the budget as a context
+	// deadline instead and let RunContext's per-round poll enforce it.
+	if t := e.Budget.Timeout; t > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, t)
+		defer cancel()
 	}
 	prepStart := time.Now()
 	var rsp *trace.Span
 	if sp != nil {
 		rsp = sp.Child("reformulate")
+		defer rsp.End()
 	}
 	p := datalog.EncodeGraph(e.g)
 	if err := datalog.AddQuery(p, q); err != nil {
-		rsp.End()
 		return nil, err
 	}
 	if rsp != nil {
@@ -594,11 +604,17 @@ func (e *Engine) answerDat(ctx context.Context, q query.CQ, sp *trace.Span) (*An
 	var es *trace.Span
 	if sp != nil {
 		es = sp.Child("eval")
+		defer es.End()
 	}
 	start := time.Now()
-	eng, err := datalog.Run(p)
+	eng, err := datalog.RunContext(ctx, p)
 	if err != nil {
-		es.End()
+		switch {
+		case errors.Is(ctx.Err(), context.DeadlineExceeded):
+			return nil, fmt.Errorf("%w: timeout: %v", exec.ErrBudgetExceeded, err)
+		case ctx.Err() != nil:
+			return nil, fmt.Errorf("%w: %v", exec.ErrCanceled, err)
+		}
 		return nil, err
 	}
 	tuples := eng.Tuples(datalog.AnswerPred)

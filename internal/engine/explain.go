@@ -85,6 +85,7 @@ func (e *Engine) newPlan(q query.CQ, s Strategy) (*Plan, *trace.Span) {
 	return &Plan{Strategy: s, root: root}, root
 }
 
+//reflint:nospanend plan spans are a rendered tree, never timed; Plan.Tree omits durations
 func (e *Engine) planSat(q query.CQ) (*Plan, error) {
 	p, root := e.newPlan(q, Sat)
 	est := explainCQ(root, e.SatCostModel(), e.g.Dict(), q)
@@ -93,6 +94,7 @@ func (e *Engine) planSat(q query.CQ) (*Plan, error) {
 	return p, nil
 }
 
+//reflint:nospanend plan spans are a rendered tree, never timed; Plan.Tree omits durations
 func (e *Engine) planUCQ(q query.CQ, r *core.Reformulator, s Strategy) (*Plan, error) {
 	p, root := e.newPlan(q, s)
 	count, _ := r.CombinationCount(q)
@@ -116,6 +118,7 @@ func (e *Engine) planUCQ(q query.CQ, r *core.Reformulator, s Strategy) (*Plan, e
 	return p, nil
 }
 
+//reflint:nospanend plan spans are a rendered tree, never timed; Plan.Tree omits durations
 func (e *Engine) planCover(q query.CQ, cover query.Cover, s Strategy) (*Plan, error) {
 	bound := e.fragmentBound()
 	if s == RefSCQ {
@@ -132,6 +135,7 @@ func (e *Engine) planCover(q query.CQ, cover query.Cover, s Strategy) (*Plan, er
 	return p, nil
 }
 
+//reflint:nospanend plan spans are a rendered tree, never timed; Plan.Tree omits durations
 func (e *Engine) planGCov(q query.CQ) (*Plan, error) {
 	key := query.FormatCQ(e.g.Dict(), q)
 	entry, cached := e.plans.get(key)
@@ -154,6 +158,7 @@ func (e *Engine) planGCov(q query.CQ) (*Plan, error) {
 	return p, nil
 }
 
+//reflint:nospanend plan spans are a rendered tree, never timed; Plan.Tree omits durations
 func (e *Engine) planDat(q query.CQ) (*Plan, error) {
 	p, root := e.newPlan(q, Dat)
 	// The Datalog engine evaluates bottom-up to fixpoint; the cost model
@@ -168,6 +173,8 @@ func (e *Engine) planDat(q query.CQ) (*Plan, error) {
 // block, then "join" nodes in the cost model's greedy order with the
 // running estimated cardinality — the same order EXPLAIN ANALYZE traces
 // show when the estimates track reality.
+//
+//reflint:nospanend plan spans are a rendered tree, never timed; Plan.Tree omits durations
 func (e *Engine) explainJUCQ(root *trace.Span, p *Plan, j query.JUCQ) {
 	m := e.CostModel()
 	d := e.g.Dict()
@@ -229,6 +236,8 @@ func sharesEstVar(a, b cost.Estimate) bool {
 // explainCQ adds the cost model's simulated greedy operator plan for one
 // CQ under parent: a "cq" node with one child per operator (scan, then
 // inlj/hash joins) carrying the running estimated cardinality.
+//
+//reflint:nospanend plan spans are a rendered tree, never timed; Plan.Tree omits durations
 func explainCQ(parent *trace.Span, m *cost.Model, d *dict.Dict, q query.CQ) cost.Estimate {
 	est, steps := m.CQPlan(q)
 	csp := parent.Child("cq")

@@ -125,6 +125,7 @@ type tally struct {
 	scanned atomic.Int64
 	joined  atomic.Int64
 	unioned atomic.Int64
+	flushed atomic.Bool
 }
 
 // guard is the unified early-stop check every operator polls: the budget's
@@ -185,9 +186,11 @@ func (g guard) addUnioned(n int) {
 	}
 }
 
-// flush publishes the tally; called once when a top-level Eval* returns.
+// flush publishes the tally when a top-level Eval* returns. Idempotent:
+// guards are copied by value into sub-evaluations and wrappers, so a
+// tally could otherwise be flushed once per copy and double-count rows.
 func (g guard) flush(m *metrics.Registry) {
-	if g.t == nil || m == nil {
+	if g.t == nil || m == nil || !g.t.flushed.CompareAndSwap(false, true) {
 		return
 	}
 	m.Counter("exec.rows_scanned").Add(g.t.scanned.Load())
@@ -222,6 +225,7 @@ func (e *Evaluator) evalCQ(headNames []string, q query.CQ, g guard, sp *trace.Sp
 	var csp *trace.Span
 	if sp != nil {
 		csp = sp.Child("cq")
+		defer csp.End()
 		csp.SetStr("q", query.FormatCQ(e.st.Dict(), q))
 	}
 	body, err := e.evalBody(q.Atoms, g, csp)
@@ -231,6 +235,7 @@ func (e *Evaluator) evalCQ(headNames []string, q query.CQ, g guard, sp *trace.Sp
 	var psp *trace.Span
 	if csp != nil {
 		psp = csp.Child("project")
+		defer psp.End()
 	}
 	out, err := e.projectHead(headNames, q.Head, body, g)
 	if err != nil {
@@ -364,6 +369,7 @@ func (e *Evaluator) scanAtom(a query.Atom, g guard, sp *trace.Span, est float64)
 	var ssp *trace.Span
 	if sp != nil {
 		ssp = sp.Child("scan")
+		defer ssp.End()
 		ssp.SetStr("atom", query.FormatAtom(e.st.Dict(), a))
 		if est >= 0 {
 			ssp.SetFloat("est_rows", est)
@@ -435,6 +441,7 @@ func (e *Evaluator) indexJoin(cur *Relation, a query.Atom, g guard, sp *trace.Sp
 	var jsp *trace.Span
 	if sp != nil {
 		jsp = sp.Child("inlj")
+		defer jsp.End()
 		jsp.SetStr("atom", query.FormatAtom(e.st.Dict(), a))
 		jsp.SetInt("left_rows", int64(cur.Len()))
 		if est >= 0 {
@@ -568,6 +575,7 @@ func (e *Evaluator) hashJoin(l, r *Relation, g guard, sp *trace.Span, est float6
 			name = "cross"
 		}
 		jsp = sp.Child(name)
+		defer jsp.End()
 		jsp.SetInt("left_rows", int64(l.Len()))
 		jsp.SetInt("right_rows", int64(r.Len()))
 		if est >= 0 {
@@ -598,7 +606,14 @@ func (e *Evaluator) hashJoin(l, r *Relation, g guard, sp *trace.Span, est float6
 	table := make(map[string][]int32, build.Len())
 	key := make([]byte, 0, len(shared)*4)
 	keyRow := make([]dict.ID, len(shared))
+	steps := 0
 	for i := 0; i < build.Len(); i++ {
+		steps++
+		if steps&(checkEvery-1) == 0 {
+			if err := g.err(); err != nil {
+				return nil, err
+			}
+		}
 		row := build.Row(i)
 		for k, c := range bIdx {
 			keyRow[k] = row[c]
@@ -607,7 +622,6 @@ func (e *Evaluator) hashJoin(l, r *Relation, g guard, sp *trace.Span, est float6
 		table[string(key)] = append(table[string(key)], int32(i))
 	}
 	outRow := make([]dict.ID, len(outVars))
-	steps := 0
 	for i := 0; i < probe.Len(); i++ {
 		steps++
 		if steps&(checkEvery-1) == 0 {
@@ -710,6 +724,7 @@ func (e *Evaluator) evalUCQ(u query.UCQ, g guard, sp *trace.Span) (*Relation, er
 	var usp *trace.Span
 	if sp != nil {
 		usp = sp.Child("union")
+		defer usp.End()
 		usp.SetInt("cqs", int64(len(u.CQs)))
 	}
 	if e.Parallel && e.Trace == nil && len(u.CQs) >= 8 {
@@ -729,7 +744,9 @@ func (e *Evaluator) evalUCQ(u query.UCQ, g guard, sp *trace.Span) (*Relation, er
 		if e.Trace != nil {
 			e.Trace.CQs++
 		}
-		appendRelation(out, r)
+		if err := appendRelation(out, r, g.err); err != nil {
+			return nil, err
+		}
 		g.addUnioned(r.Len())
 		if err := e.checkRows(out.Len()); err != nil {
 			return nil, err
@@ -759,6 +776,7 @@ func (e *Evaluator) EvalUCQStreamContext(ctx context.Context, headNames []string
 	var usp *trace.Span
 	if e.Span != nil {
 		usp = e.Span.Child("union")
+		defer usp.End()
 	}
 	out := NewRelation(headNames)
 	var evalErr error
@@ -774,7 +792,10 @@ func (e *Evaluator) EvalUCQStreamContext(ctx context.Context, headNames []string
 			return false
 		}
 		done++
-		appendRelation(out, r)
+		if err := appendRelation(out, r, g.err); err != nil {
+			evalErr = err
+			return false
+		}
 		g.addUnioned(r.Len())
 		if err := e.checkRows(out.Len()); err != nil {
 			evalErr = err
@@ -846,7 +867,9 @@ func (e *Evaluator) evalUCQParallel(u query.UCQ, g guard, sp *trace.Span) (*Rela
 					first = err
 				}
 				if err == nil && first == nil {
-					appendRelation(out, r)
+					if aerr := appendRelation(out, r, g.err); aerr != nil {
+						first = aerr
+					}
 					g.addUnioned(r.Len())
 					if berr := e.checkRows(out.Len()); berr != nil && first == nil {
 						first = berr
@@ -892,6 +915,7 @@ func (e *Evaluator) EvalJUCQContext(ctx context.Context, j query.JUCQ) (*Relatio
 	var fragEsts []cost.Estimate
 	if e.tracing(sp) {
 		fragEsts = make([]cost.Estimate, len(j.Fragments))
+		//reflint:noguard estimation only, bounded by the cover's fragment count
 		for i, f := range j.Fragments {
 			fragEsts[i] = e.Cost.UCQ(f.UCQ)
 		}
@@ -918,12 +942,14 @@ func (e *Evaluator) EvalJUCQContext(ctx context.Context, j query.JUCQ) (*Relatio
 	if e.Parallel && e.Trace == nil && len(j.Fragments) > 1 {
 		var wg sync.WaitGroup
 		errs := make([]error, len(j.Fragments))
+		//reflint:noguard spawn loop bounded by fragment count; workers poll inside evalUCQ
 		for i, f := range j.Fragments {
 			i, f := i, f
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
 				fsp := newFragSpan(i)
+				defer fsp.End()
 				sub := &Evaluator{st: e.st, stats: e.stats, Budget: e.Budget,
 					ForceHashJoins: e.ForceHashJoins, Join: e.Join, Parallel: false, Cost: e.Cost}
 				rels[i], errs[i] = sub.evalUCQ(f.UCQ, g, fsp)
@@ -941,13 +967,22 @@ func (e *Evaluator) EvalJUCQContext(ctx context.Context, j query.JUCQ) (*Relatio
 			if err := g.err(); err != nil {
 				return nil, err
 			}
-			fsp := newFragSpan(i)
-			r, err := e.evalUCQ(f.UCQ, g, fsp)
+			// Per-fragment closure so the fragment span's defer does not
+			// pile up across iterations.
+			err := func() error {
+				fsp := newFragSpan(i)
+				defer fsp.End()
+				r, err := e.evalUCQ(f.UCQ, g, fsp)
+				if err != nil {
+					return err
+				}
+				rels[i] = r
+				endFragSpan(fsp, r)
+				return nil
+			}()
 			if err != nil {
 				return nil, err
 			}
-			rels[i] = r
-			endFragSpan(fsp, r)
 		}
 	}
 	cur := rels[0]
@@ -957,6 +992,7 @@ func (e *Evaluator) EvalJUCQContext(ctx context.Context, j query.JUCQ) (*Relatio
 	}
 	remaining := append([]*Relation(nil), rels[1:]...)
 	remainingIdx := make([]int, 0, len(rels)-1)
+	//reflint:noguard index bookkeeping, bounded by fragment count
 	for i := 1; i < len(rels); i++ {
 		remainingIdx = append(remainingIdx, i)
 	}
@@ -995,6 +1031,7 @@ func (e *Evaluator) EvalJUCQContext(ctx context.Context, j query.JUCQ) (*Relatio
 	var psp *trace.Span
 	if sp != nil {
 		psp = sp.Child("project")
+		defer psp.End()
 		psp.SetStr("cols", strings.Join(j.HeadNames, ","))
 	}
 	out, err := e.projectHead(j.HeadNames, head, cur, g)
@@ -1056,14 +1093,20 @@ func boundVars(a query.Atom, vars []string) []string {
 	return out
 }
 
-func appendRelation(dst, src *Relation) {
+func appendRelation(dst, src *Relation, check func() error) error {
 	if dst.width == 0 {
 		if src.rows > 0 {
 			dst.AppendEmpty()
 		}
-		return
+		return nil
 	}
 	for i := 0; i < src.Len(); i++ {
+		if i&(checkEvery-1) == checkEvery-1 {
+			if err := check(); err != nil {
+				return err
+			}
+		}
 		dst.Append(src.Row(i))
 	}
+	return nil
 }

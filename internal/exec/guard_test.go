@@ -1,0 +1,52 @@
+package exec
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/dict"
+	"repro/internal/metrics"
+)
+
+// TestGuardFlushIdempotent: guards are copied by value through wrappers
+// and sub-evaluations, and more than one copy can reach a deferred
+// flush. Only the first flush may publish the tally; later flushes of
+// the same tally must be no-ops, or row counters double-count.
+func TestGuardFlushIdempotent(t *testing.T) {
+	st, ss := tinyStore([][3]dict.ID{{1, 10, 2}})
+	e := New(st, ss)
+	m := metrics.NewRegistry()
+	e.Metrics = m
+
+	g := e.newGuard(context.Background())
+	g.addScanned(7)
+	g.addJoined(3)
+	g.addUnioned(2)
+
+	g.flush(m)
+	copyOfG := g // same tally pointer, as in a sub-evaluation
+	copyOfG.flush(m)
+	g.flush(m)
+
+	if got := m.Counter("exec.rows_scanned").Value(); got != 7 {
+		t.Fatalf("rows_scanned = %d after repeated flush, want 7", got)
+	}
+	if got := m.Counter("exec.rows_joined").Value(); got != 3 {
+		t.Fatalf("rows_joined = %d after repeated flush, want 3", got)
+	}
+	if got := m.Counter("exec.rows_unioned").Value(); got != 2 {
+		t.Fatalf("rows_unioned = %d after repeated flush, want 2", got)
+	}
+}
+
+// TestGuardFlushDisabled: a guard built with metrics disabled has no
+// tally and flushing it must not panic or register anything.
+func TestGuardFlushDisabled(t *testing.T) {
+	st, ss := tinyStore([][3]dict.ID{{1, 10, 2}})
+	e := New(st, ss)
+
+	g := e.newGuard(context.Background())
+	g.addScanned(5)
+	g.flush(nil)
+	g.flush(metrics.NewRegistry())
+}

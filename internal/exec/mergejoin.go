@@ -32,6 +32,7 @@ func (e *Evaluator) mergeJoin(l, r *Relation, g guard, sp *trace.Span, est float
 	var msp *trace.Span
 	if sp != nil {
 		msp = sp.Child("merge")
+		defer msp.End()
 		msp.SetInt("left_rows", int64(l.Len()))
 		msp.SetInt("right_rows", int64(r.Len()))
 		if est >= 0 {
@@ -88,13 +89,27 @@ func (e *Evaluator) mergeJoin(l, r *Relation, g guard, sp *trace.Span, est float
 		case 1:
 			ri++
 		default:
-			// Find the extent of the equal-key group on both sides.
+			// Find the extent of the equal-key group on both sides. Skewed
+			// keys can make a group arbitrarily large, so these walks poll
+			// the guard like any other row loop.
 			lEnd := li + 1
 			for lEnd < l.Len() && cmpKeys(l.Row(lOrder[lEnd]), rr) == 0 {
+				steps++
+				if steps&(checkEvery-1) == 0 {
+					if err := g.err(); err != nil {
+						return nil, err
+					}
+				}
 				lEnd++
 			}
 			rEnd := ri + 1
 			for rEnd < r.Len() && cmpKeys(lr, r.Row(rOrder[rEnd])) == 0 {
+				steps++
+				if steps&(checkEvery-1) == 0 {
+					if err := g.err(); err != nil {
+						return nil, err
+					}
+				}
 				rEnd++
 			}
 			for a := li; a < lEnd; a++ {

@@ -14,12 +14,18 @@ import (
 // provenance[i] lists the 0-based indexes into u.CQs for row i of the
 // result, in ascending order.
 func (e *Evaluator) EvalUCQWithProvenance(u query.UCQ) (*Relation, [][]int, error) {
+	return e.EvalUCQWithProvenanceContext(context.Background(), u)
+}
+
+// EvalUCQWithProvenanceContext is EvalUCQWithProvenance bounded by ctx.
+func (e *Evaluator) EvalUCQWithProvenanceContext(ctx context.Context, u query.UCQ) (*Relation, [][]int, error) {
 	out := NewRelation(u.HeadNames)
 	var provenance [][]int
 	seen := map[string]int{} // row key -> row index in out
-	g := e.newGuard(context.Background())
+	g := e.newGuard(ctx)
 	defer g.flush(e.Metrics)
 	key := make([]byte, 0, 16)
+	steps := 0
 	for ci, cq := range u.CQs {
 		if err := g.err(); err != nil {
 			return nil, nil, fmt.Errorf("%w (after %d/%d CQs)", err, ci, len(u.CQs))
@@ -29,6 +35,12 @@ func (e *Evaluator) EvalUCQWithProvenance(u query.UCQ) (*Relation, [][]int, erro
 			return nil, nil, err
 		}
 		for i := 0; i < r.Len(); i++ {
+			steps++
+			if steps&(checkEvery-1) == 0 {
+				if err := g.err(); err != nil {
+					return nil, nil, err
+				}
+			}
 			row := r.Row(i)
 			key = rowKey(key[:0], row)
 			if idx, ok := seen[string(key)]; ok {

@@ -172,6 +172,8 @@ func (r *Relation) SortRows() {
 
 // Equal reports whether two relations hold the same row *sets* over the
 // same columns (order-insensitive); used by tests comparing strategies.
+//
+//reflint:noguard test-comparison helper, never on the guarded answering path
 func (r *Relation) Equal(o *Relation) bool {
 	if r.width != o.width || len(r.Vars) != len(o.Vars) {
 		return false

@@ -449,6 +449,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// same tree to the client.
 	tr := trace.New(s.TraceMaxSpans)
 	root := tr.StartSpan("query")
+	defer root.End()
 	root.SetStr("requestId", id)
 	eng.Tracer = tr
 	// The request context carries client disconnects and — when the
@@ -461,6 +462,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	)
 	parseStart := time.Now()
 	psp := root.Child("parse")
+	defer psp.End()
 	upper := strings.ToUpper(req.Query)
 	isUnion := (strings.HasPrefix(strings.TrimSpace(upper), "SELECT") || strings.HasPrefix(strings.TrimSpace(upper), "PREFIX")) &&
 		strings.Contains(upper, "UNION")

@@ -5,6 +5,42 @@ import (
 	"testing"
 )
 
+// FuzzNTriples feeds raw bytes — including invalid UTF-8 and binary
+// garbage an HTTP /load body can contain — through the io.Reader entry
+// point. The parser must never panic, and anything accepted must survive
+// a serialize → reparse round trip preserving count.
+func FuzzNTriples(f *testing.F) {
+	seeds := [][]byte{
+		nil,
+		[]byte("<http://s> <http://p> <http://o> ."),
+		[]byte("@prefix ub: <http://swat.cse.lehigh.edu/onto/univ-bench.owl#> .\n<http://u0/s0> a ub:UndergraduateStudent ; ub:takesCourse <http://u0/c0> ."),
+		[]byte("<http://s> <http://p> \"\xff\xfe\" ."),
+		[]byte{0xff, 0xfe, 0x00, '.'},
+		[]byte("_:b0 <http://p> \"1\"^^<http://www.w3.org/2001/XMLSchema#integer> .\n\x00"),
+		[]byte("# trailing comment without newline"),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input []byte) {
+		ts, err := ParseAll(bytes.NewReader(input))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, ts); err != nil {
+			t.Fatalf("serialize accepted triples: %v", err)
+		}
+		back, err := ParseAll(&buf)
+		if err != nil {
+			t.Fatalf("reparse of serialized output failed: %v\noutput: %q", err, buf.String())
+		}
+		if len(back) != len(ts) {
+			t.Fatalf("round trip changed count: %d -> %d", len(ts), len(back))
+		}
+	})
+}
+
 // FuzzParse: the parser must never panic, and anything it accepts must
 // survive a serialize → reparse round trip.
 func FuzzParse(f *testing.F) {

@@ -36,6 +36,56 @@ func FuzzParseSPARQL(f *testing.F) {
 	})
 }
 
+// FuzzParseQuery drives the two entry points the HTTP layer and the demo
+// binary feed raw user text into — ParseSPARQLUnion (the full "(unions
+// of) BGP queries" dialect of §3) and ParseRuleWithPrefixes — and checks
+// that nothing panics and every accepted query validates. Seeds are the
+// experiment queries of EXPERIMENTS.md plus malformed variants.
+func FuzzParseQuery(f *testing.F) {
+	seeds := []string{
+		"",
+		// E1, the paper's 6-atom LUBM query shape.
+		"q(x,u,y,v,z) :- x rdf:type u, y rdf:type v, x ub:mastersDegreeFrom z, y ub:undergraduateDegreeFrom z, x ub:advisor w, w ub:worksFor z",
+		// The demo's GCov walkthrough query.
+		"q(x, y) :- x rdf:type ub:Student, x ub:advisor y, y ub:worksFor d",
+		"q(x) :- x rdf:type ub:UndergraduateStudent, x ub:takesCourse c",
+		"PREFIX ub: <http://swat.cse.lehigh.edu/onto/univ-bench.owl#>\nSELECT ?x WHERE { ?x rdf:type ub:Student }",
+		"SELECT ?x WHERE { { ?x a <http://C> } UNION { ?x a <http://D> } }",
+		"SELECT ?x ?y WHERE { { ?x <http://p> ?y } UNION { ?y <http://p> ?x } UNION { ?x a <http://C> } }",
+		"SELECT ?x WHERE { { ?x a <http://C> } UNION { ?y a <http://D> } }",
+		"SELECT ?x WHERE { { ?x a <http://C> } UNION }",
+		"q(x) :- x ub:advisor",
+		"q( :- x p y",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	prefixes := map[string]string{
+		"ub": "http://swat.cse.lehigh.edu/onto/univ-bench.owl#",
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		d := dict.New()
+		if u, err := ParseSPARQLUnion(d, input); err == nil {
+			for _, cq := range u.CQs {
+				if err := cq.Validate(); err != nil {
+					t.Fatalf("accepted union member is invalid: %v\ninput: %q", err, input)
+				}
+				_ = FormatCQ(d, cq)
+				_ = cq.CanonicalKey()
+			}
+			u.Dedup()
+			u.Minimize()
+		}
+		if q, err := ParseRuleWithPrefixes(d, prefixes, input); err == nil {
+			if err := q.Validate(); err != nil {
+				t.Fatalf("accepted rule is invalid: %v\ninput: %q", err, input)
+			}
+			_ = FormatCQ(d, q)
+			_ = q.CanonicalKey()
+		}
+	})
+}
+
 // FuzzParseRule: no panics; accepted queries are valid.
 func FuzzParseRule(f *testing.F) {
 	seeds := []string{

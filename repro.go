@@ -18,6 +18,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -213,6 +214,13 @@ func (db *DB) parse(text string, prefixes map[string]string) (query.CQ, error) {
 // queries may use UNION groups ({ … } UNION { … }) — the full "(unions of)
 // BGP queries" dialect of the paper's §3.
 func (db *DB) Answer(queryText string, opt Options) (*Result, error) {
+	return db.AnswerContext(context.Background(), queryText, opt)
+}
+
+// AnswerContext is Answer bounded by ctx: cancellation aborts the
+// evaluation mid-operator (the context is checked together with the
+// Options timeout at every operator checkpoint).
+func (db *DB) AnswerContext(ctx context.Context, queryText string, opt Options) (*Result, error) {
 	trimmed := strings.TrimSpace(queryText)
 	upper := strings.ToUpper(trimmed)
 	if (strings.HasPrefix(upper, "SELECT") || strings.HasPrefix(upper, "PREFIX")) &&
@@ -221,23 +229,23 @@ func (db *DB) Answer(queryText string, opt Options) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		return db.answerUnion(u, opt)
+		return db.answerUnion(ctx, u, opt)
 	}
 	q, err := db.parse(queryText, opt.Prefixes)
 	if err != nil {
 		return nil, err
 	}
-	return db.AnswerCQ(q, opt)
+	return db.AnswerCQContext(ctx, q, opt)
 }
 
 // answerUnion runs a parsed union through the engine.
-func (db *DB) answerUnion(u query.UCQ, opt Options) (*Result, error) {
+func (db *DB) answerUnion(ctx context.Context, u query.UCQ, opt Options) (*Result, error) {
 	s := opt.Strategy
 	if s == "" {
 		s = RefGCov
 	}
 	db.eng.Budget = exec.Budget{Timeout: opt.Timeout, MaxRows: opt.MaxRows}
-	ans, err := db.eng.AnswerUnion(u, s)
+	ans, err := db.eng.AnswerUnionContext(ctx, u, s)
 	if err != nil {
 		return nil, err
 	}
@@ -265,6 +273,11 @@ func (db *DB) answerUnion(u query.UCQ, opt Options) (*Result, error) {
 
 // AnswerCQ answers an already-parsed query.
 func (db *DB) AnswerCQ(q query.CQ, opt Options) (*Result, error) {
+	return db.AnswerCQContext(context.Background(), q, opt)
+}
+
+// AnswerCQContext is AnswerCQ bounded by ctx.
+func (db *DB) AnswerCQContext(ctx context.Context, q query.CQ, opt Options) (*Result, error) {
 	s := opt.Strategy
 	if s == "" {
 		s = RefGCov
@@ -279,9 +292,9 @@ func (db *DB) AnswerCQ(q query.CQ, opt Options) (*Result, error) {
 		for i, f := range opt.Cover {
 			cover[i] = append([]int(nil), f...)
 		}
-		ans, err = db.eng.AnswerWithCover(q, cover)
+		ans, err = db.eng.AnswerWithCoverContext(ctx, q, cover)
 	} else {
-		ans, err = db.eng.Answer(q, s)
+		ans, err = db.eng.AnswerContext(ctx, q, s)
 	}
 	if err != nil {
 		return nil, err
