@@ -24,6 +24,7 @@ import (
 	"repro/internal/lubm"
 	"repro/internal/query"
 	"repro/internal/trace"
+	"repro/internal/viewcache"
 )
 
 func main() {
@@ -43,6 +44,8 @@ func main() {
 		why      = flag.Bool("why", false, "explain each answer: which reformulation branch produced it")
 		maxRows  = flag.Int("maxshow", 20, "maximum answer rows to print")
 		timeout  = flag.Duration("timeout", 60*time.Second, "evaluation timeout")
+		vcache   = flag.String("view-cache", "off", "fragment view cache: off (default, keeps strategy timings independent) or on")
+		vcacheMB = flag.Int("view-cache-mb", 64, "view cache byte budget in MiB (with -view-cache=on)")
 	)
 	flag.Parse()
 
@@ -52,6 +55,13 @@ func main() {
 	}
 	e := engine.New(g)
 	e.Budget = exec.Budget{Timeout: *timeout}
+	switch strings.ToLower(*vcache) {
+	case "on":
+		e.EnableViewCache(viewcache.Config{MaxBytes: int64(*vcacheMB) << 20})
+	case "off":
+	default:
+		fail(fmt.Errorf("bad -view-cache %q (want on or off)", *vcache))
+	}
 	fmt.Printf("graph: %d data triples, %s\n", g.DataCount(), g.Schema())
 
 	if *stats {
@@ -136,6 +146,9 @@ func main() {
 			ans.PrepTime.Round(time.Microsecond), ans.EvalTime.Round(time.Microsecond))
 		if ans.Cover != nil {
 			fmt.Printf("  cover %v (%d CQs)", ans.Cover, ans.ReformulationCQs)
+		}
+		if ans.CachedFragments > 0 {
+			fmt.Printf("  cached-fragments %d", ans.CachedFragments)
 		}
 		fmt.Println()
 		if *explain && len(ans.Explored) > 0 {

@@ -17,18 +17,28 @@ type loadConfig struct {
 	BaseURL     string
 	Concurrency int
 	Requests    int
-	Query       string
-	Strategy    string
-	Timeout     time.Duration
+	// Warmup requests are fired (with the same concurrency) before the
+	// measured run and excluded from every statistic — they populate
+	// server-side caches (plan cache, view cache) so the measured run
+	// reflects steady state.
+	Warmup   int
+	Query    string
+	Strategy string
+	Timeout  time.Duration
 }
 
 // loadResult aggregates a run.
 type loadResult struct {
+	Config    loadConfig
 	Requests  int
 	Errors    int
 	Answers   int // answers of the last successful response (sanity)
 	Elapsed   time.Duration
 	Latencies []time.Duration // successful requests only, unsorted
+	// CachedFragments sums the per-answer cachedFragments metadata over
+	// successful measured requests: nonzero means the server's view cache
+	// was serving fragments.
+	CachedFragments int64
 }
 
 type queryPayload struct {
@@ -38,13 +48,19 @@ type queryPayload struct {
 
 type queryReply struct {
 	Total int `json:"total"`
+	Meta  struct {
+		CachedFragments int `json:"cachedFragments"`
+	} `json:"meta"`
 }
 
 // runLoad fires cfg.Requests POST /query requests from cfg.Concurrency
-// workers and collects latencies.
+// workers (after cfg.Warmup unmeasured ones) and collects latencies.
 func runLoad(cfg loadConfig) (*loadResult, error) {
 	if cfg.Concurrency <= 0 || cfg.Requests <= 0 {
 		return nil, fmt.Errorf("concurrency and request count must be positive")
+	}
+	if cfg.Warmup < 0 {
+		return nil, fmt.Errorf("warmup must be non-negative")
 	}
 	body, err := json.Marshal(queryPayload{Query: cfg.Query, Strategy: cfg.Strategy})
 	if err != nil {
@@ -57,12 +73,23 @@ func runLoad(cfg loadConfig) (*loadResult, error) {
 		return nil, fmt.Errorf("preflight request failed: %w", err)
 	}
 
+	if cfg.Warmup > 0 {
+		firePhase(client, cfg, body, cfg.Warmup, nil)
+	}
+	res := &loadResult{Config: cfg, Requests: cfg.Requests}
+	start := time.Now()
+	firePhase(client, cfg, body, cfg.Requests, res)
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// firePhase fires n requests from cfg.Concurrency workers; with a nil
+// result the phase is a warmup and outcomes are discarded.
+func firePhase(client *http.Client, cfg loadConfig, body []byte, n int, res *loadResult) {
 	var (
 		mu  sync.Mutex
-		res = &loadResult{Requests: cfg.Requests}
 		idx int
 	)
-	start := time.Now()
 	var wg sync.WaitGroup
 	for w := 0; w < cfg.Concurrency; w++ {
 		wg.Add(1)
@@ -70,47 +97,49 @@ func runLoad(cfg loadConfig) (*loadResult, error) {
 			defer wg.Done()
 			for {
 				mu.Lock()
-				if idx >= cfg.Requests {
+				if idx >= n {
 					mu.Unlock()
 					return
 				}
 				idx++
 				mu.Unlock()
 				t0 := time.Now()
-				total, err := fire(client, cfg.BaseURL, body)
+				reply, err := fire(client, cfg.BaseURL, body)
 				lat := time.Since(t0)
+				if res == nil {
+					continue
+				}
 				mu.Lock()
 				if err != nil {
 					res.Errors++
 				} else {
 					res.Latencies = append(res.Latencies, lat)
-					res.Answers = total
+					res.Answers = reply.Total
+					res.CachedFragments += int64(reply.Meta.CachedFragments)
 				}
 				mu.Unlock()
 			}
 		}()
 	}
 	wg.Wait()
-	res.Elapsed = time.Since(start)
-	return res, nil
 }
 
-// fire sends one query and returns the reported answer count.
-func fire(client *http.Client, baseURL string, body []byte) (int, error) {
+// fire sends one query and returns the decoded reply.
+func fire(client *http.Client, baseURL string, body []byte) (*queryReply, error) {
 	resp, err := client.Post(baseURL+"/query", "application/json", bytes.NewReader(body))
 	if err != nil {
-		return 0, err
+		return nil, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
-		return 0, fmt.Errorf("status %d: %s", resp.StatusCode, msg)
+		return nil, fmt.Errorf("status %d: %s", resp.StatusCode, msg)
 	}
 	var reply queryReply
 	if err := json.NewDecoder(resp.Body).Decode(&reply); err != nil {
-		return 0, err
+		return nil, err
 	}
-	return reply.Total, nil
+	return &reply, nil
 }
 
 // percentile returns the p-th percentile (0 < p ≤ 100) of the latencies.
@@ -135,18 +164,74 @@ func percentile(lats []time.Duration, p float64) time.Duration {
 func (r *loadResult) Report() string {
 	var sb strings.Builder
 	ok := len(r.Latencies)
+	if r.Config.Warmup > 0 {
+		fmt.Fprintf(&sb, "warmup: %d requests (unmeasured)\n", r.Config.Warmup)
+	}
 	fmt.Fprintf(&sb, "requests: %d ok, %d errors in %v (%.1f req/s)\n",
 		ok, r.Errors, r.Elapsed.Round(time.Millisecond),
 		float64(ok)/maxF(r.Elapsed.Seconds(), 1e-9))
 	if ok > 0 {
-		fmt.Fprintf(&sb, "latency: p50=%v p90=%v p99=%v max=%v\n",
+		fmt.Fprintf(&sb, "latency: p50=%v p95=%v p99=%v max=%v\n",
 			percentile(r.Latencies, 50).Round(time.Microsecond),
-			percentile(r.Latencies, 90).Round(time.Microsecond),
+			percentile(r.Latencies, 95).Round(time.Microsecond),
 			percentile(r.Latencies, 99).Round(time.Microsecond),
 			percentile(r.Latencies, 100).Round(time.Microsecond))
 		fmt.Fprintf(&sb, "answers per query: %d\n", r.Answers)
+		if r.CachedFragments > 0 {
+			fmt.Fprintf(&sb, "cached fragments served: %d\n", r.CachedFragments)
+		}
 	}
 	return sb.String()
+}
+
+// jsonReport is the -json output: the BENCH_*-style machine-readable run
+// summary (throughput plus latency percentiles in milliseconds).
+type jsonReport struct {
+	URL                  string  `json:"url"`
+	Query                string  `json:"query"`
+	Strategy             string  `json:"strategy"`
+	Concurrency          int     `json:"concurrency"`
+	Warmup               int     `json:"warmup"`
+	Requests             int     `json:"requests"`
+	OK                   int     `json:"ok"`
+	Errors               int     `json:"errors"`
+	ElapsedMillis        float64 `json:"elapsedMillis"`
+	ThroughputPerSec     float64 `json:"throughputPerSec"`
+	P50Millis            float64 `json:"p50Millis"`
+	P95Millis            float64 `json:"p95Millis"`
+	P99Millis            float64 `json:"p99Millis"`
+	MaxMillis            float64 `json:"maxMillis"`
+	AnswersPerQuery      int     `json:"answersPerQuery"`
+	CachedFragmentsTotal int64   `json:"cachedFragmentsTotal"`
+}
+
+// JSON renders the run summary as indented JSON.
+func (r *loadResult) JSON() (string, error) {
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	ok := len(r.Latencies)
+	rep := jsonReport{
+		URL:                  r.Config.BaseURL,
+		Query:                r.Config.Query,
+		Strategy:             r.Config.Strategy,
+		Concurrency:          r.Config.Concurrency,
+		Warmup:               r.Config.Warmup,
+		Requests:             r.Requests,
+		OK:                   ok,
+		Errors:               r.Errors,
+		ElapsedMillis:        ms(r.Elapsed),
+		ThroughputPerSec:     float64(ok) / maxF(r.Elapsed.Seconds(), 1e-9),
+		P50Millis:            ms(percentile(r.Latencies, 50)),
+		P95Millis:            ms(percentile(r.Latencies, 95)),
+		P99Millis:            ms(percentile(r.Latencies, 99)),
+		MaxMillis:            ms(percentile(r.Latencies, 100)),
+		AnswersPerQuery:      r.Answers,
+		CachedFragmentsTotal: r.CachedFragments,
+	}
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	return string(out) + "\n", nil
 }
 
 func maxF(a, b float64) float64 {

@@ -22,6 +22,8 @@ func main() {
 		queryText   = flag.String("query", `q(x, p, y) :- x p y`, "query to send")
 		strategy    = flag.String("strategy", "ref-gcov", "strategy to request")
 		timeout     = flag.Duration("timeout", 30*time.Second, "per-request timeout")
+		warmup      = flag.Int("warmup", 0, "unmeasured warmup requests before the run (populates server caches)")
+		jsonOut     = flag.Bool("json", false, "emit the BENCH_*-style JSON summary instead of text")
 	)
 	flag.Parse()
 
@@ -29,6 +31,7 @@ func main() {
 		BaseURL:     *baseURL,
 		Concurrency: *concurrency,
 		Requests:    *requests,
+		Warmup:      *warmup,
 		Query:       *queryText,
 		Strategy:    *strategy,
 		Timeout:     *timeout,
@@ -36,6 +39,15 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "refload:", err)
 		os.Exit(1)
+	}
+	if *jsonOut {
+		out, jerr := res.JSON()
+		if jerr != nil {
+			fmt.Fprintln(os.Stderr, "refload:", jerr)
+			os.Exit(1)
+		}
+		fmt.Print(out)
+		return
 	}
 	fmt.Print(res.Report())
 }

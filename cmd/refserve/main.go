@@ -30,6 +30,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/httpapi"
 	"repro/internal/lubm"
+	"repro/internal/viewcache"
 )
 
 func main() {
@@ -44,6 +45,9 @@ func main() {
 		grace     = flag.Duration("grace", 5*time.Second, "shutdown grace period")
 		pprof     = flag.Bool("pprof", false, "mount net/http/pprof handlers under /debug/pprof/")
 		logJSON   = flag.Bool("log-json", true, "emit structured JSON query logs on stderr")
+		viewCache = flag.String("view-cache", "on", "fragment view cache: on or off")
+		viewMB    = flag.Int("view-cache-mb", 64, "view cache byte budget in MiB")
+		planCache = flag.Int("plan-cache", 0, "GCov plan cache capacity (0 = default 128)")
 	)
 	flag.Parse()
 
@@ -83,6 +87,17 @@ func main() {
 	log.Printf("loaded %d data triples, %s; warming caches…", g.DataCount(), g.Schema())
 	srv := httpapi.New(g, prefixes)
 	srv.Timeout = *timeout
+	switch strings.ToLower(*viewCache) {
+	case "on":
+		srv.Engine().EnableViewCache(viewcache.Config{MaxBytes: int64(*viewMB) << 20})
+		log.Printf("view cache enabled (%d MiB)", *viewMB)
+	case "off":
+	default:
+		log.Fatalf("refserve: bad -view-cache %q (want on or off)", *viewCache)
+	}
+	if *planCache > 0 {
+		srv.Engine().SetPlanCacheCapacity(*planCache)
+	}
 	srv.SlowQueryThreshold = *slowQuery
 	if *slowQuery == 0 {
 		srv.SlowQueryThreshold = -1

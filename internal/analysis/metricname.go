@@ -38,6 +38,8 @@ var metricLabelPrefixes = []string{
 	"engine.latency_ms.",
 	"http.requests.",
 	"http.latency_ms.",
+	"viewcache.",
+	"plancache.",
 }
 
 var metricNameRE = regexp.MustCompile(`^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)+$`)

@@ -23,6 +23,7 @@ import (
 	"repro/internal/stats"
 	"repro/internal/storage"
 	"repro/internal/trace"
+	"repro/internal/viewcache"
 )
 
 // Strategy names a query answering technique.
@@ -76,6 +77,10 @@ type Answer struct {
 	// CachedPlan reports that the cover came from the engine's plan cache
 	// (RefGCov only): PrepTime then excludes the cover search.
 	CachedPlan bool
+	// CachedFragments counts the JUCQ fragments served from the view
+	// cache (zero when the cache is disabled or the strategy does not
+	// evaluate fragments).
+	CachedFragments int
 }
 
 // Engine answers queries over one graph with any strategy. It lazily
@@ -117,6 +122,15 @@ type Engine struct {
 	satStats *stats.Stats
 	satTime  time.Duration
 	plans    *planCache
+
+	// views, when non-nil, is the fragment-level view cache
+	// (internal/viewcache). Like the plan cache it is shared — by pointer
+	// — across the per-request engine copies the HTTP layer makes, and
+	// invalidated on InsertData/DeleteData.
+	views *viewcache.Cache
+	// viewStrategies restricts which strategies consult views; nil means
+	// every fragment-evaluating strategy (RefSCQ, RefJUCQ, RefGCov).
+	viewStrategies map[Strategy]bool
 
 	// maintained is the counting-based closure backing live updates
 	// (see update.go); nil until the first Insert/DeleteData.
@@ -219,6 +233,50 @@ func (e *Engine) evaluator(st *storage.Store, ss *stats.Stats) *exec.Evaluator {
 	ev.Metrics = e.Metrics
 	return ev
 }
+
+// EnableViewCache attaches a fragment-level view cache to the engine. The
+// cache inherits the engine's metrics registry unless cfg names its own.
+// With no strategies given, every fragment-evaluating strategy (RefSCQ,
+// RefJUCQ, RefGCov) consults it; otherwise only the listed ones do. Call
+// before serving: per-request engine copies share the cache by pointer.
+func (e *Engine) EnableViewCache(cfg viewcache.Config, strategies ...Strategy) {
+	if cfg.Metrics == nil {
+		cfg.Metrics = e.Metrics
+	}
+	e.views = viewcache.New(cfg)
+	e.viewStrategies = nil
+	if len(strategies) > 0 {
+		e.viewStrategies = make(map[Strategy]bool, len(strategies))
+		for _, s := range strategies {
+			e.viewStrategies[s] = true
+		}
+	}
+}
+
+// DisableViewCache detaches the view cache.
+func (e *Engine) DisableViewCache() { e.views, e.viewStrategies = nil, nil }
+
+// ViewCache returns the attached view cache, nil when disabled.
+func (e *Engine) ViewCache() *viewcache.Cache { return e.views }
+
+// attachViewCache hooks the view cache into one evaluator when the cache
+// is on for the strategy; returns the per-answer outcome accumulator (nil
+// when detached). Admission needs fragment cost estimates, so the cost
+// model is attached even on untraced queries.
+func (e *Engine) attachViewCache(ev *exec.Evaluator, s Strategy) *exec.CacheStats {
+	if e.views == nil || (e.viewStrategies != nil && !e.viewStrategies[s]) {
+		return nil
+	}
+	ev.FragCache = e.views
+	ev.Cost = e.CostModel()
+	cs := &exec.CacheStats{}
+	ev.CacheStats = cs
+	return cs
+}
+
+// SetPlanCacheCapacity resizes the GCov plan cache (default 128),
+// dropping any cached plans. Call before serving.
+func (e *Engine) SetPlanCacheCapacity(n int) { e.plans = newPlanCache(n) }
 
 func (e *Engine) fragmentBound() int {
 	if e.MaxFragmentCQs > 0 {
@@ -507,6 +565,7 @@ func (e *Engine) answerCover(ctx context.Context, q query.CQ, cover query.Cover,
 	}
 	prep := time.Since(prepStart)
 	ev := e.evaluator(e.Store(), e.Stats())
+	cs := e.attachViewCache(ev, s)
 	es := startEval(sp, ev, e.CostModel())
 	defer es.End()
 	start := time.Now()
@@ -516,10 +575,14 @@ func (e *Engine) answerCover(ctx context.Context, q query.CQ, cover query.Cover,
 		return nil, err
 	}
 	endEval(es, rows)
-	return &Answer{
+	ans := &Answer{
 		Strategy: s, Rows: rows, Cover: cover, ReformulationCQs: n,
 		PrepTime: prep, EvalTime: time.Since(start), EstimatedCost: est.Cost,
-	}, nil
+	}
+	if cs != nil {
+		ans.CachedFragments = int(cs.Hits.Load())
+	}
+	return ans, nil
 }
 
 func (e *Engine) answerGCov(ctx context.Context, q query.CQ, sp *trace.Span) (*Answer, error) {
@@ -531,12 +594,13 @@ func (e *Engine) answerGCov(ctx context.Context, q query.CQ, sp *trace.Span) (*A
 		defer psp.End()
 	}
 	entry, cached := e.plans.get(key)
+	e.observePlanCache(cached)
 	if !cached {
 		res, err := core.GCov(e.Reformulator(), e.CostModel(), q, core.GCovOptions{MaxFragmentCQs: e.fragmentBound()})
 		if err != nil {
 			return nil, err
 		}
-		entry = &planEntry{key: key, jucq: res.JUCQ, cover: res.Cover, cost: res.Cost, explored: res.Explored}
+		entry = newPlanEntry(key, res)
 		evicted := e.plans.put(entry)
 		e.Metrics.Counter("engine.plancache.evictions").Add(int64(evicted))
 	}
@@ -549,6 +613,13 @@ func (e *Engine) answerGCov(ctx context.Context, q query.CQ, sp *trace.Span) (*A
 	}
 	prep := time.Since(prepStart)
 	ev := e.evaluator(e.Store(), e.Stats())
+	cs := e.attachViewCache(ev, RefGCov)
+	if cs != nil {
+		// The plan's fragment signatures were computed when it was built;
+		// hand them to the evaluator so warm executions skip per-fragment
+		// canonicalization.
+		ev.FragKeys = entry.fragKeys
+	}
 	es := startEval(sp, ev, e.CostModel())
 	defer es.End()
 	start := time.Now()
@@ -562,11 +633,28 @@ func (e *Engine) answerGCov(ctx context.Context, q query.CQ, sp *trace.Span) (*A
 	for _, f := range entry.jucq.Fragments {
 		n += len(f.UCQ.CQs)
 	}
-	return &Answer{
+	ans := &Answer{
 		Strategy: RefGCov, Rows: rows, Cover: entry.cover, ReformulationCQs: n,
 		PrepTime: prep, EvalTime: time.Since(start),
 		Explored: entry.explored, EstimatedCost: entry.cost, CachedPlan: cached,
-	}, nil
+	}
+	if cs != nil {
+		ans.CachedFragments = int(cs.Hits.Load())
+	}
+	return ans, nil
+}
+
+// observePlanCache records one plan-cache lookup. The lookup-site counters
+// (plancache.hit / plancache.miss, exposed as plancache_total{event=...})
+// complement the per-successful-answer engine.plancache.* counters in
+// observe: a lookup that hits but whose evaluation then fails still counts
+// here.
+func (e *Engine) observePlanCache(hit bool) {
+	if hit {
+		e.Metrics.Counter("plancache.hit").Inc()
+	} else {
+		e.Metrics.Counter("plancache.miss").Inc()
+	}
 }
 
 // PlanCacheLen reports how many GCov plans the engine currently caches.

@@ -139,12 +139,13 @@ func (e *Engine) planCover(q query.CQ, cover query.Cover, s Strategy) (*Plan, er
 func (e *Engine) planGCov(q query.CQ) (*Plan, error) {
 	key := query.FormatCQ(e.g.Dict(), q)
 	entry, cached := e.plans.get(key)
+	e.observePlanCache(cached)
 	if !cached {
 		res, err := core.GCov(e.Reformulator(), e.CostModel(), q, core.GCovOptions{MaxFragmentCQs: e.fragmentBound()})
 		if err != nil {
 			return nil, err
 		}
-		entry = &planEntry{key: key, jucq: res.JUCQ, cover: res.Cover, cost: res.Cost, explored: res.Explored}
+		entry = newPlanEntry(key, res)
 		evicted := e.plans.put(entry)
 		e.Metrics.Counter("engine.plancache.evictions").Add(int64(evicted))
 	}

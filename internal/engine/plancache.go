@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/query"
+	"repro/internal/viewcache"
 )
 
 // planCache memoizes GCov outcomes per query text (prepared-statement
@@ -29,6 +30,25 @@ type planEntry struct {
 	cover    query.Cover
 	cost     float64
 	explored []core.Explored
+	// fragKeys are the view-cache signatures of jucq's fragments, aligned
+	// positionally. The plan — and its reformulated fragment UCQs — is
+	// reused verbatim across executions, so the canonicalization behind
+	// each signature (microseconds per member CQ, over hundreds of member
+	// CQs) is paid once per plan instead of once per execution.
+	fragKeys []string
+}
+
+// newPlanEntry builds a cache entry from a GCov outcome, precomputing the
+// fragments' view-cache keys.
+func newPlanEntry(key string, res *core.GCovResult) *planEntry {
+	fragKeys := make([]string, len(res.JUCQ.Fragments))
+	for i, f := range res.JUCQ.Fragments {
+		fragKeys[i] = viewcache.Signature(f.UCQ)
+	}
+	return &planEntry{
+		key: key, jucq: res.JUCQ, cover: res.Cover, cost: res.Cost,
+		explored: res.Explored, fragKeys: fragKeys,
+	}
 }
 
 // defaultPlanCacheSize bounds the number of cached covers per engine.

@@ -67,6 +67,11 @@ func (e *Engine) invalidateAfterUpdate() {
 	e.satStore = nil
 	e.satStats = nil
 	e.plans = newPlanCache(0)
+	if e.views != nil {
+		// Bump the view cache's generation stamp and drop every
+		// materialized fragment: they describe the pre-update database.
+		e.views.Invalidate()
+	}
 	closure := e.maintained.Triples()
 	e.satRes = &saturation.Result{
 		Triples:     closure,

@@ -76,8 +76,21 @@ type Evaluator struct {
 	Span *trace.Span
 	// Cost, when non-nil, supplies per-operator estimates next to the
 	// actuals recorded under Span. Only consulted while Span is set, so
-	// the untraced path never pays for estimation.
+	// the untraced path never pays for estimation — except on a FragCache
+	// miss, which estimates the missed fragment for admission.
 	Cost *cost.Model
+	// FragCache, when non-nil, is consulted once per JUCQ fragment for a
+	// previously materialized result (internal/viewcache). Fragment
+	// evaluation and cache waits both respect the evaluation's guard.
+	FragCache FragmentCache
+	// FragKeys optionally carries precomputed FragCache keys aligned with
+	// the JUCQ's fragments (missing/empty entries are derived by the
+	// cache). Callers evaluating a cached plan set it so the per-fragment
+	// canonicalization is paid once per plan, not once per execution.
+	FragKeys []string
+	// CacheStats, when non-nil, accumulates FragCache outcomes for this
+	// evaluation; the engine attaches a fresh value per answered query.
+	CacheStats *CacheStats
 }
 
 // Trace records what an evaluation did.
@@ -911,14 +924,69 @@ func (e *Evaluator) EvalJUCQContext(ctx context.Context, j query.JUCQ) (*Relatio
 	defer g.flush(e.Metrics)
 	sp := e.Span
 	// When tracing, estimate each fragment once so fragment spans and the
-	// fragment-join spans carry est_rows next to actuals.
+	// fragment-join spans carry est_rows next to actuals. The view cache
+	// also needs estimates for cost-based admission, but only on a miss —
+	// estimating a large reformulation costs more than serving a warm hit —
+	// so untraced runs hand the cache a lazy per-fragment estimator instead
+	// of estimating up front.
 	var fragEsts []cost.Estimate
-	if e.tracing(sp) {
+	if e.Cost != nil && sp != nil {
 		fragEsts = make([]cost.Estimate, len(j.Fragments))
 		//reflint:noguard estimation only, bounded by the cover's fragment count
 		for i, f := range j.Fragments {
 			fragEsts[i] = e.Cost.UCQ(f.UCQ)
 		}
+	}
+	// evalFragment routes one fragment through the view cache when
+	// attached: a hit (or a join on a concurrent identical evaluation)
+	// skips evalUCQ entirely and returns an immutable renamed view; a miss
+	// evaluates under this JUCQ's guard and may be admitted. Outcomes land
+	// on the fragment span (cache_hit / cache_bytes in EXPLAIN ANALYZE)
+	// and on CacheStats for the per-answer cached_fragments count.
+	evalFragment := func(sub *Evaluator, f query.Fragment, i int, fsp *trace.Span) (*Relation, error) {
+		if e.FragCache == nil {
+			return sub.evalUCQ(f.UCQ, g, fsp)
+		}
+		est := func() float64 {
+			if fragEsts != nil {
+				return fragEsts[i].Cost
+			}
+			if e.Cost != nil {
+				return e.Cost.UCQ(f.UCQ).Cost
+			}
+			return -1
+		}
+		key := ""
+		if i < len(e.FragKeys) {
+			key = e.FragKeys[i]
+		}
+		r, out, err := e.FragCache.GetOrEval(f.UCQ, key, est, g.err, func() (*Relation, error) {
+			return sub.evalUCQ(f.UCQ, g, fsp)
+		})
+		if err != nil {
+			return nil, err
+		}
+		if st := e.CacheStats; st != nil {
+			if out.Hit {
+				st.Hits.Add(1)
+			} else {
+				st.Misses.Add(1)
+			}
+			if out.Shared {
+				st.Shared.Add(1)
+			}
+		}
+		if fsp != nil {
+			hit := int64(0)
+			if out.Hit {
+				hit = 1
+			}
+			fsp.SetInt("cache_hit", hit)
+			if out.Bytes > 0 {
+				fsp.SetInt("cache_bytes", out.Bytes)
+			}
+		}
+		return r, nil
 	}
 	newFragSpan := func(i int) *trace.Span {
 		if sp == nil {
@@ -952,7 +1020,7 @@ func (e *Evaluator) EvalJUCQContext(ctx context.Context, j query.JUCQ) (*Relatio
 				defer fsp.End()
 				sub := &Evaluator{st: e.st, stats: e.stats, Budget: e.Budget,
 					ForceHashJoins: e.ForceHashJoins, Join: e.Join, Parallel: false, Cost: e.Cost}
-				rels[i], errs[i] = sub.evalUCQ(f.UCQ, g, fsp)
+				rels[i], errs[i] = evalFragment(sub, f, i, fsp)
 				endFragSpan(fsp, rels[i])
 			}()
 		}
@@ -972,7 +1040,7 @@ func (e *Evaluator) EvalJUCQContext(ctx context.Context, j query.JUCQ) (*Relatio
 			err := func() error {
 				fsp := newFragSpan(i)
 				defer fsp.End()
-				r, err := e.evalUCQ(f.UCQ, g, fsp)
+				r, err := evalFragment(e, f, i, fsp)
 				if err != nil {
 					return err
 				}

@@ -1,0 +1,62 @@
+package exec
+
+import (
+	"sync/atomic"
+
+	"repro/internal/query"
+)
+
+// FragmentCache is the executor's hook for cross-query reuse of fragment
+// results: EvalJUCQ consults it once per fragment (the single-atom UCQs of
+// the SCQ strategy and the cover fragments of the JUCQ strategies are both
+// fragments), letting a serving deployment answer repeated workloads
+// without re-evaluating reformulations it has already computed. The
+// implementation lives in internal/viewcache; the executor only depends on
+// this interface so the dependency points outward.
+//
+// Contract:
+//
+//   - The relation returned on a hit is a defensively immutable view:
+//     callers may read it concurrently but must never mutate it, and
+//     implementations must guarantee that appending to the returned
+//     relation cannot corrupt the cached copy.
+//   - eval computes the fragment result on a miss; implementations must
+//     collapse concurrent identical misses so eval runs once (singleflight)
+//     and must poll stop while waiting so a canceled waiter unblocks.
+//   - key, when non-empty, is u's cache key as previously derived by the
+//     implementation for this exact fragment (viewcache.Signature); when
+//     empty the implementation derives it. Canonicalizing a reformulation
+//     of hundreds of member CQs costs real time, so callers holding a
+//     reused plan precompute the key once per plan (Evaluator.FragKeys).
+//   - estCost returns the cost model's estimate for evaluating the
+//     fragment (negative when unknown); implementations use it for
+//     cost-based admission. It is a thunk because estimating a large
+//     reformulation is itself costly: implementations must not call it on
+//     the hit path, only when deciding whether a miss is worth admitting.
+type FragmentCache interface {
+	// GetOrEval returns the result of the fragment UCQ u, from cache when
+	// possible, running eval otherwise.
+	GetOrEval(u query.UCQ, key string, estCost func() float64, stop func() error, eval func() (*Relation, error)) (*Relation, CacheOutcome, error)
+}
+
+// CacheOutcome reports what the cache did for one fragment.
+type CacheOutcome struct {
+	// Hit reports the result came from a cached entry.
+	Hit bool
+	// Shared reports the result was computed by a concurrent identical
+	// evaluation this call waited on (singleflight).
+	Shared bool
+	// Stored reports the freshly evaluated result was admitted.
+	Stored bool
+	// Bytes is the cached entry's size (hit or stored), 0 otherwise.
+	Bytes int64
+}
+
+// CacheStats accumulates view-cache outcomes for one top-level evaluation;
+// atomics because parallel fragments share it. The engine attaches a fresh
+// value per answered query and surfaces the totals on the Answer.
+type CacheStats struct {
+	Hits   atomic.Int64
+	Misses atomic.Int64
+	Shared atomic.Int64
+}

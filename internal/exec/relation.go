@@ -145,6 +145,49 @@ func (r *Relation) ProjectCheck(outNames []string, sources []int, consts map[int
 	return out, nil
 }
 
+// Snapshot returns an immutable deep copy: its backing array is exactly
+// sized (cap == len), so appending to any view of it must reallocate and
+// can never scribble over the copy. The view cache stores snapshots.
+func (r *Relation) Snapshot() *Relation {
+	data := make([]dict.ID, len(r.data))
+	copy(data, r.data)
+	return &Relation{
+		Vars:  append([]string(nil), r.Vars...),
+		data:  data,
+		rows:  r.rows,
+		width: r.width,
+	}
+}
+
+// RenamedView returns a read-only alias of r with its columns renamed
+// positionally to vars (len(vars) must equal the width). The view shares
+// r's row storage but is capacity-clipped: appending to the view
+// reallocates instead of mutating r. Cache hits hand these out so one
+// cached fragment result can serve queries that spell the head variables
+// differently.
+func (r *Relation) RenamedView(vars []string) (*Relation, error) {
+	if len(vars) != r.width {
+		return nil, fmt.Errorf("exec: rename to %d columns, relation has %d", len(vars), r.width)
+	}
+	return &Relation{
+		Vars:  append([]string(nil), vars...),
+		data:  r.data[:len(r.data):len(r.data)],
+		rows:  r.rows,
+		width: r.width,
+	}, nil
+}
+
+// SizeBytes estimates the relation's resident size: row storage plus
+// column-name headers plus the struct itself. The view cache charges
+// entries against its byte budget with this.
+func (r *Relation) SizeBytes() int64 {
+	n := int64(len(r.data)) * 4 // dict.ID is 4 bytes
+	for _, v := range r.Vars {
+		n += int64(len(v)) + 16 // string header
+	}
+	return n + 64 // struct + slice headers
+}
+
 // SortRows orders rows lexicographically, for deterministic output.
 func (r *Relation) SortRows() {
 	if r.rows < 2 || r.width == 0 {

@@ -125,6 +125,11 @@ func (s *Server) EnablePprof() {
 // executor), for embedding callers that want their own exposition.
 func (s *Server) Metrics() *metrics.Registry { return s.metrics }
 
+// Engine returns the server's engine for pre-serving configuration —
+// enabling the view cache, resizing the plan cache. Do not mutate it once
+// the server is handling requests: handlers shallow-copy it per request.
+func (s *Server) Engine() *engine.Engine { return s.eng }
+
 func (s *Server) slowThreshold() time.Duration {
 	switch {
 	case s.SlowQueryThreshold < 0:
@@ -297,6 +302,9 @@ type MetaJSON struct {
 	TotalMillis      float64 `json:"totalMillis"`
 	CachedPlan       bool    `json:"cachedPlan,omitempty"`
 	EstimatedCost    float64 `json:"estimatedCost,omitempty"`
+	// CachedFragments counts JUCQ fragments served from the view cache
+	// for this answer (omitted when zero or the cache is disabled).
+	CachedFragments int `json:"cachedFragments,omitempty"`
 }
 
 // ExplainResponse is the /explain output.
@@ -541,6 +549,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			EvalMillis:       float64(ans.EvalTime) / float64(time.Millisecond),
 			CachedPlan:       ans.CachedPlan,
 			EstimatedCost:    ans.EstimatedCost,
+			CachedFragments:  ans.CachedFragments,
 		},
 	}
 	if resp.Columns == nil {

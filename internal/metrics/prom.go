@@ -22,6 +22,8 @@ var promLabelRules = []struct{ prefix, label string }{
 	{"engine.latency_ms.", "strategy"},
 	{"http.requests.", "path"},
 	{"http.latency_ms.", "path"},
+	{"viewcache.", "event"},
+	{"plancache.", "event"},
 }
 
 // promName splits a dotted registry name into a sanitized metric family

@@ -14,6 +14,10 @@ func buildTestRegistry() *Registry {
 	r.Counter("engine.queries.sat").Add(2)
 	r.Counter("engine.queries.ref-gcov").Add(3)
 	r.Counter("cost.misestimate").Add(7)
+	r.Counter("viewcache.hit").Add(9)
+	r.Counter("viewcache.miss").Add(4)
+	r.Counter("plancache.hit").Add(6)
+	r.Gauge("viewcache.bytes").Set(2048)
 	r.Gauge("exec.parallel_workers_busy").Set(4)
 	h := r.Histogram("engine.latency_ms.ref-gcov", 1, 10, 100)
 	h.Observe(0.5)
@@ -98,6 +102,10 @@ func TestWritePrometheusFormat(t *testing.T) {
 		`engine_queries_total{strategy="sat"}`:                    2,
 		`engine_queries_total{strategy="ref-gcov"}`:               3,
 		`cost_misestimate_total`:                                  7,
+		`viewcache_total{event="hit"}`:                            9,
+		`viewcache_total{event="miss"}`:                           4,
+		`plancache_total{event="hit"}`:                            6,
+		`viewcache{event="bytes"}`:                                2048,
 		`exec_parallel_workers_busy`:                              4,
 		`engine_latency_ms_count{strategy="ref-gcov"}`:            3,
 		`engine_latency_ms_bucket{strategy="ref-gcov",le="1"}`:    1,

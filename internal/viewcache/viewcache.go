@@ -1,0 +1,415 @@
+// Package viewcache materializes fragment-level query results for reuse
+// across queries — the serving-stack analog of a KV cache, after Goasdoué
+// et al.'s observation that reformulation-closed sub-results are the right
+// unit of materialization. The reformulation strategies re-derive the same
+// fragment UCQs over and over (the atomic reformulations of one triple
+// pattern recur in many covers), so a serving deployment that caches
+// fragment results answers repeated workloads mostly from memory.
+//
+// The cache is a sharded, byte-budgeted LRU keyed by a canonicalized,
+// dictionary-encoded fragment signature (Signature): two fragments equal up
+// to variable renaming and CQ/atom reordering share one entry, and a hit
+// is returned as a defensively immutable, positionally renamed view.
+//
+// Admission is cost-based: only fragments whose estimated evaluation cost
+// clears Config.MinCost are cached (cheap fragments are faster to recompute
+// than to manage), and only results within Config.MaxEntryBytes are
+// admitted. Concurrent identical misses collapse into one evaluation
+// (singleflight), so a cold popular fragment evaluates once under load.
+//
+// Updates invalidate through a generation stamp: engine.InsertData /
+// DeleteData bump the generation and drop every entry, and both entries
+// and in-flight evaluations carry the generation they were computed under,
+// so a lookup that starts after an update completes can never observe a
+// pre-update result (per Ahmeti et al., update-time invalidation is a
+// first-class concern, not a cache-drop afterthought).
+package viewcache
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/exec"
+	"repro/internal/metrics"
+	"repro/internal/query"
+)
+
+// Defaults for Config zero values.
+const (
+	// DefaultMaxBytes is the default total byte budget (64 MiB).
+	DefaultMaxBytes = 64 << 20
+	// DefaultShards is the default shard count.
+	DefaultShards = 16
+	// DefaultMinCost is the default admission threshold on the cost
+	// model's estimated fragment evaluation cost.
+	DefaultMinCost = 64.0
+)
+
+// pollInterval is how often a singleflight waiter polls its stop function
+// while blocked on the leader's evaluation.
+const pollInterval = 2 * time.Millisecond
+
+// Config parameterizes a Cache. Zero values take the defaults above.
+type Config struct {
+	// MaxBytes is the total byte budget across all shards.
+	MaxBytes int64
+	// MaxEntryBytes caps one entry (default: half a shard's budget; always
+	// clamped to the shard budget so a single entry cannot evict a whole
+	// shard and still not fit).
+	MaxEntryBytes int64
+	// MinCost is the admission threshold: fragments whose estimated
+	// evaluation cost is below it bypass the cache entirely (0 = default;
+	// negative = admit regardless of cost).
+	MinCost float64
+	// Shards is the number of independently locked LRU shards.
+	Shards int
+	// Metrics, when non-nil, receives viewcache.hit / viewcache.miss /
+	// viewcache.evict / viewcache.bypass / viewcache.reject /
+	// viewcache.singleflight_shared counters and the viewcache.bytes /
+	// viewcache.entries gauges.
+	Metrics *metrics.Registry
+}
+
+// Cache is a sharded, byte-budgeted, generation-stamped LRU of fragment
+// results. Safe for concurrent use.
+type Cache struct {
+	shards      []*shard
+	shardBudget int64
+	maxEntry    int64
+	minCost     float64
+	m           *metrics.Registry
+
+	gen     atomic.Uint64
+	bytes   atomic.Int64
+	entries atomic.Int64
+}
+
+type shard struct {
+	mu      sync.Mutex
+	bytes   int64      // resident bytes in this shard; guarded by mu
+	order   *list.List // front = most recent; values are *entry
+	byKey   map[string]*list.Element
+	flights map[string]*flight
+}
+
+type entry struct {
+	key   string
+	rel   *exec.Relation // immutable snapshot (exact-capacity backing array)
+	bytes int64
+	gen   uint64
+}
+
+// flight is one in-progress evaluation waiters can share. rel/err are
+// written before done is closed and read only after it is closed.
+type flight struct {
+	done  chan struct{}
+	rel   *exec.Relation
+	bytes int64
+	err   error
+	gen   uint64
+}
+
+// New returns a cache with the given configuration.
+func New(cfg Config) *Cache {
+	if cfg.MaxBytes <= 0 {
+		cfg.MaxBytes = DefaultMaxBytes
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = DefaultShards
+	}
+	c := &Cache{
+		shards:      make([]*shard, cfg.Shards),
+		shardBudget: cfg.MaxBytes / int64(cfg.Shards),
+		minCost:     cfg.MinCost,
+		m:           cfg.Metrics,
+	}
+	if c.shardBudget < 1 {
+		c.shardBudget = 1
+	}
+	if c.minCost == 0 {
+		c.minCost = DefaultMinCost
+	}
+	c.maxEntry = cfg.MaxEntryBytes
+	if c.maxEntry <= 0 {
+		c.maxEntry = c.shardBudget / 2
+	}
+	if c.maxEntry > c.shardBudget {
+		c.maxEntry = c.shardBudget
+	}
+	for i := range c.shards {
+		c.shards[i] = &shard{
+			order:   list.New(),
+			byKey:   map[string]*list.Element{},
+			flights: map[string]*flight{},
+		}
+	}
+	return c
+}
+
+// Signature canonicalizes a fragment UCQ into its cache key: the sorted
+// set of member-CQ canonical keys (variables renamed in first-occurrence
+// order, atoms reordered canonically, constants rendered as dictionary
+// IDs) plus the head arity, hashed. Fragments equal up to variable
+// renaming and CQ/atom order — even when produced by different queries or
+// covers — share one signature; the head columns correspond positionally.
+func Signature(u query.UCQ) string {
+	keys := make([]string, len(u.CQs))
+	for i, cq := range u.CQs {
+		keys[i] = cq.CanonicalKey()
+	}
+	sort.Strings(keys)
+	h := sha256.New()
+	var arity [2]byte
+	arity[0] = byte(len(u.HeadNames))
+	arity[1] = byte(len(u.HeadNames) >> 8)
+	h.Write(arity[:])
+	for _, k := range keys {
+		h.Write([]byte(k))
+		h.Write([]byte{0})
+	}
+	return string(h.Sum(nil))
+}
+
+// Generation returns the current update generation.
+func (c *Cache) Generation() uint64 { return c.gen.Load() }
+
+// Len returns the number of cached entries.
+func (c *Cache) Len() int { return int(c.entries.Load()) }
+
+// Bytes returns the cached result bytes currently resident.
+func (c *Cache) Bytes() int64 { return c.bytes.Load() }
+
+// Invalidate bumps the generation stamp and drops every entry. Called by
+// the engine after InsertData/DeleteData. The generation is bumped before
+// the shards are cleared, and every lookup re-reads it under the shard
+// lock, so once Invalidate returns no pre-update entry — resident or
+// mid-store — can ever be served again. In-flight evaluations that began
+// before the bump complete for their own (concurrent, hence linearizable)
+// waiters but are not admitted to the cache.
+func (c *Cache) Invalidate() {
+	c.gen.Add(1)
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		for el := sh.order.Front(); el != nil; el = el.Next() {
+			ent := el.Value.(*entry)
+			c.bytes.Add(-ent.bytes)
+			c.entries.Add(-1)
+		}
+		sh.bytes = 0
+		sh.order.Init()
+		sh.byKey = map[string]*list.Element{}
+		sh.mu.Unlock()
+	}
+	c.gauges()
+}
+
+func (c *Cache) shard(key string) *shard {
+	// The key is already a cryptographic hash; its first bytes index the
+	// shard uniformly.
+	n := uint32(key[0]) | uint32(key[1])<<8 | uint32(key[2])<<16 | uint32(key[3])<<24
+	return c.shards[n%uint32(len(c.shards))]
+}
+
+// count increments one outcome counter.
+//
+//reflint:metricname forwarding helper; every caller passes a "viewcache."-prefixed literal covered by the bridge's label rule
+func (c *Cache) count(name string) {
+	c.m.Counter(name).Inc()
+}
+
+func (c *Cache) gauges() {
+	if c.m == nil {
+		return
+	}
+	c.m.Gauge("viewcache.bytes").Set(c.bytes.Load())
+	c.m.Gauge("viewcache.entries").Set(c.entries.Load())
+}
+
+// GetOrEval implements exec.FragmentCache: it returns u's result from the
+// cache when resident, joins an identical in-flight evaluation when one
+// exists, and otherwise runs eval and admits the result (cost and size
+// permitting). stop is polled while waiting on another flight so a
+// canceled or timed-out caller unblocks promptly.
+//
+// key, when non-empty, must be Signature(u) precomputed by the caller —
+// plans are reused verbatim across executions, so a caller holding one can
+// canonicalize each fragment once per plan instead of once per execution.
+// estCost is consulted lazily, on the first miss only: estimating a large
+// reformulation costs real time, and a hit must never pay it.
+func (c *Cache) GetOrEval(u query.UCQ, key string, estCost func() float64, stop func() error,
+	eval func() (*exec.Relation, error)) (*exec.Relation, exec.CacheOutcome, error) {
+	if len(key) != sha256.Size {
+		// Absent (or malformed) precomputed key: derive it here.
+		key = Signature(u)
+	}
+	sh := c.shard(key)
+	admissionChecked := false
+	for {
+		sh.mu.Lock()
+		gen := c.gen.Load()
+		if el, ok := sh.byKey[key]; ok {
+			ent := el.Value.(*entry)
+			if ent.gen == gen {
+				sh.order.MoveToFront(el)
+				sh.mu.Unlock()
+				view, err := ent.rel.RenamedView(u.HeadNames)
+				if err == nil {
+					c.count("viewcache.hit")
+					return view, exec.CacheOutcome{Hit: true, Bytes: ent.bytes}, nil
+				}
+				// Arity mismatch cannot happen for equal signatures; fall
+				// through to a fresh evaluation defensively.
+				sh.mu.Lock()
+			}
+			c.removeLocked(sh, el)
+		}
+		if f, ok := sh.flights[key]; ok && f.gen == gen {
+			sh.mu.Unlock()
+			if err := c.wait(f, stop); err != nil {
+				return nil, exec.CacheOutcome{}, err
+			}
+			if f.err == nil && f.rel != nil {
+				if view, err := f.rel.RenamedView(u.HeadNames); err == nil {
+					c.count("viewcache.miss")
+					c.count("viewcache.singleflight_shared")
+					return view, exec.CacheOutcome{Shared: true, Bytes: f.bytes}, nil
+				}
+			}
+			// The leader failed (its budget, its cancellation — not
+			// necessarily ours): evaluate independently.
+			continue
+		}
+		if !admissionChecked {
+			// First miss: decide (outside the shard lock — the estimate can
+			// be expensive) whether this fragment is worth caching at all.
+			sh.mu.Unlock()
+			admissionChecked = true
+			est := -1.0 // nil estimator = unknown cost = admit
+			if estCost != nil {
+				est = estCost()
+			}
+			if est >= 0 && c.minCost >= 0 && est < c.minCost {
+				// Too cheap to be worth caching: evaluating is faster than
+				// the bookkeeping, and budget is better spent on expensive
+				// fragments.
+				c.count("viewcache.bypass")
+				rel, err := eval()
+				return rel, exec.CacheOutcome{}, err
+			}
+			// Worth caching; re-take the lock and re-check — an entry or
+			// flight may have appeared while we estimated.
+			continue
+		}
+		f := &flight{done: make(chan struct{}), gen: gen}
+		sh.flights[key] = f
+		sh.mu.Unlock()
+		c.count("viewcache.miss")
+		return c.lead(sh, key, f, u, eval)
+	}
+}
+
+// lead runs the evaluation as the flight leader, admits the result, and
+// releases waiters.
+func (c *Cache) lead(sh *shard, key string, f *flight, u query.UCQ,
+	eval func() (*exec.Relation, error)) (*exec.Relation, exec.CacheOutcome, error) {
+	rel, err := eval()
+	var out exec.CacheOutcome
+	if err == nil {
+		snap := rel.Snapshot()
+		f.rel, f.bytes = snap, snap.SizeBytes()
+		out.Stored = c.store(sh, key, snap, f.bytes, f.gen)
+		if out.Stored {
+			out.Bytes = f.bytes
+		}
+	}
+	f.err = err
+	sh.mu.Lock()
+	if sh.flights[key] == f {
+		delete(sh.flights, key)
+	}
+	sh.mu.Unlock()
+	close(f.done)
+	if err != nil {
+		return nil, exec.CacheOutcome{}, err
+	}
+	// The leader keeps the relation it evaluated; the cache holds its own
+	// snapshot, so downstream mutation cannot reach the cached copy.
+	return rel, out, nil
+}
+
+// store admits one snapshot, evicting least-recently-used entries to make
+// room; it refuses oversized entries and anything computed under a stale
+// generation. Returns whether the entry was admitted.
+func (c *Cache) store(sh *shard, key string, snap *exec.Relation, bytes int64, gen uint64) bool {
+	if bytes > c.maxEntry {
+		c.count("viewcache.reject")
+		return false
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if c.gen.Load() != gen {
+		// An update completed while we evaluated: the result describes the
+		// pre-update database and must not outlive it.
+		return false
+	}
+	if el, ok := sh.byKey[key]; ok {
+		// A concurrent leader (possible after a flight was replaced) beat
+		// us to it; keep the resident entry and its LRU position.
+		sh.order.MoveToFront(el)
+		return false
+	}
+	evicted := 0
+	for sh.bytes+bytes > c.shardBudget && sh.order.Len() > 0 {
+		c.removeLocked(sh, sh.order.Back())
+		evicted++
+	}
+	if evicted > 0 {
+		c.m.Counter("viewcache.evict").Add(int64(evicted))
+	}
+	ent := &entry{key: key, rel: snap, bytes: bytes, gen: gen}
+	sh.byKey[key] = sh.order.PushFront(ent)
+	sh.bytes += bytes
+	c.bytes.Add(bytes)
+	c.entries.Add(1)
+	c.gauges()
+	return true
+}
+
+// removeLocked drops one entry; the shard lock must be held.
+func (c *Cache) removeLocked(sh *shard, el *list.Element) {
+	ent := el.Value.(*entry)
+	sh.order.Remove(el)
+	delete(sh.byKey, ent.key)
+	sh.bytes -= ent.bytes
+	c.bytes.Add(-ent.bytes)
+	c.entries.Add(-1)
+	c.gauges()
+}
+
+// wait blocks until the flight completes, polling stop so a canceled or
+// over-budget waiter abandons the wait with the caller's own error.
+func (c *Cache) wait(f *flight, stop func() error) error {
+	if stop == nil {
+		<-f.done
+		return nil
+	}
+	if err := stop(); err != nil {
+		return err
+	}
+	t := time.NewTicker(pollInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-f.done:
+			return nil
+		case <-t.C:
+			if err := stop(); err != nil {
+				return err
+			}
+		}
+	}
+}

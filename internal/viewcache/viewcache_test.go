@@ -1,0 +1,470 @@
+package viewcache
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/dict"
+	"repro/internal/exec"
+	"repro/internal/metrics"
+	"repro/internal/query"
+)
+
+func atomOf(s, p, o query.Arg) query.Atom { return query.Atom{S: s, P: p, O: o} }
+
+// typeUCQ builds a single-CQ fragment UCQ  head(v) :- v <p> <cls>  with the
+// given head variable name and constant IDs.
+func typeUCQ(v string, p, cls dict.ID) query.UCQ {
+	cq := query.NewCQ([]string{v}, []query.Atom{
+		atomOf(query.Variable(v), query.Constant(p), query.Constant(cls)),
+	})
+	return query.UCQ{HeadNames: []string{v}, CQs: []query.CQ{cq}}
+}
+
+// rel builds a one-column relation with rows 0..n-1.
+func rel(v string, n int) *exec.Relation {
+	r := exec.NewRelation([]string{v})
+	for i := 0; i < n; i++ {
+		r.Append([]dict.ID{dict.ID(i + 1)})
+	}
+	return r
+}
+
+func evalN(counter *atomic.Int64, v string, n int) func() (*exec.Relation, error) {
+	return func() (*exec.Relation, error) {
+		counter.Add(1)
+		return rel(v, n), nil
+	}
+}
+
+// constCost is a fixed-cost admission estimator.
+func constCost(c float64) func() float64 { return func() float64 { return c } }
+
+func TestSignatureCanonicalization(t *testing.T) {
+	a := typeUCQ("x", 10, 20)
+	b := typeUCQ("z", 10, 20) // same fragment, renamed variable
+	if Signature(a) != Signature(b) {
+		t.Fatalf("signatures differ for alpha-equivalent fragments")
+	}
+	c := typeUCQ("x", 10, 21) // different class constant
+	if Signature(a) == Signature(c) {
+		t.Fatalf("signatures collide across different constants")
+	}
+	// CQ order within the UCQ must not matter.
+	u1 := query.UCQ{HeadNames: []string{"x"}, CQs: []query.CQ{typeUCQ("x", 1, 2).CQs[0], typeUCQ("x", 1, 3).CQs[0]}}
+	u2 := query.UCQ{HeadNames: []string{"x"}, CQs: []query.CQ{typeUCQ("x", 1, 3).CQs[0], typeUCQ("x", 1, 2).CQs[0]}}
+	if Signature(u1) != Signature(u2) {
+		t.Fatalf("signatures differ under CQ reordering")
+	}
+	if Signature(u1) == Signature(a) {
+		t.Fatalf("signatures collide across different CQ sets")
+	}
+}
+
+func TestHitReturnsRenamedImmutableView(t *testing.T) {
+	c := New(Config{MinCost: -1})
+	var evals atomic.Int64
+	r1, out, err := c.GetOrEval(typeUCQ("x", 10, 20), "", constCost(1000), nil, evalN(&evals, "x", 3))
+	if err != nil || out.Hit || !out.Stored {
+		t.Fatalf("first call: out=%+v err=%v", out, err)
+	}
+	if r1.Len() != 3 {
+		t.Fatalf("first result rows = %d", r1.Len())
+	}
+	// Same fragment spelled with a different head variable: must hit and
+	// come back renamed.
+	r2, out, err := c.GetOrEval(typeUCQ("z", 10, 20), "", constCost(1000), nil, evalN(&evals, "z", 3))
+	if err != nil || !out.Hit {
+		t.Fatalf("second call: out=%+v err=%v", out, err)
+	}
+	if len(r2.Vars) != 1 || r2.Vars[0] != "z" {
+		t.Fatalf("hit vars = %v, want [z]", r2.Vars)
+	}
+	if evals.Load() != 1 {
+		t.Fatalf("evals = %d, want 1", evals.Load())
+	}
+	// Mutating the returned view must not reach the cached copy.
+	r2.Append([]dict.ID{99})
+	r3, out, err := c.GetOrEval(typeUCQ("y", 10, 20), "", constCost(1000), nil, evalN(&evals, "y", 3))
+	if err != nil || !out.Hit {
+		t.Fatalf("third call: out=%+v err=%v", out, err)
+	}
+	if r3.Len() != 3 {
+		t.Fatalf("cached copy corrupted: rows = %d, want 3", r3.Len())
+	}
+}
+
+func TestCostAdmissionBypass(t *testing.T) {
+	m := metrics.NewRegistry()
+	c := New(Config{MinCost: 100, Metrics: m})
+	var evals atomic.Int64
+	for i := 0; i < 2; i++ {
+		_, out, err := c.GetOrEval(typeUCQ("x", 10, 20), "", constCost(5), nil, evalN(&evals, "x", 3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Hit || out.Shared || out.Stored {
+			t.Fatalf("cheap fragment interacted with cache: %+v", out)
+		}
+	}
+	if evals.Load() != 2 || c.Len() != 0 {
+		t.Fatalf("evals=%d len=%d, want 2 evals and empty cache", evals.Load(), c.Len())
+	}
+	if m.Counter("viewcache.bypass").Value() != 2 {
+		t.Fatalf("bypass counter = %d", m.Counter("viewcache.bypass").Value())
+	}
+	// Unknown cost (negative) is admitted.
+	_, out, err := c.GetOrEval(typeUCQ("x", 10, 20), "", constCost(-1), nil, evalN(&evals, "x", 3))
+	if err != nil || !out.Stored {
+		t.Fatalf("unknown-cost fragment not admitted: %+v err=%v", out, err)
+	}
+}
+
+// TestHitSkipsCostEstimation pins the lazy-admission contract: estimating a
+// large reformulation costs real time, so the estimator must run on the
+// first miss only — never on a hit.
+func TestHitSkipsCostEstimation(t *testing.T) {
+	c := New(Config{MinCost: 1})
+	var evals, estimates atomic.Int64
+	counting := func() float64 { estimates.Add(1); return 1000 }
+	u := typeUCQ("x", 10, 20)
+	if _, out, err := c.GetOrEval(u, "", counting, nil, evalN(&evals, "x", 3)); err != nil || !out.Stored {
+		t.Fatalf("miss not stored: %+v err=%v", out, err)
+	}
+	if estimates.Load() != 1 {
+		t.Fatalf("miss ran estimator %d times, want 1", estimates.Load())
+	}
+	for i := 0; i < 3; i++ {
+		if _, out, err := c.GetOrEval(u, "", counting, nil, evalN(&evals, "x", 3)); err != nil || !out.Hit {
+			t.Fatalf("expected hit: %+v err=%v", out, err)
+		}
+	}
+	if estimates.Load() != 1 {
+		t.Fatalf("hits ran the estimator (%d calls total, want 1)", estimates.Load())
+	}
+	// A nil estimator means unknown cost and is admitted, not dereferenced.
+	if _, out, err := c.GetOrEval(typeUCQ("x", 10, 21), "", nil, nil, evalN(&evals, "x", 3)); err != nil || !out.Stored {
+		t.Fatalf("nil-estimator fragment not admitted: %+v err=%v", out, err)
+	}
+}
+
+// TestPrecomputedKey pins the key fast path: a caller holding a reused plan
+// passes Signature(u) precomputed, and lookups keyed either way land on the
+// same entry; malformed keys fall back to deriving the signature.
+func TestPrecomputedKey(t *testing.T) {
+	c := New(Config{MinCost: -1})
+	var evals atomic.Int64
+	u := typeUCQ("x", 10, 20)
+	sig := Signature(u)
+	if _, out, err := c.GetOrEval(u, sig, constCost(1000), nil, evalN(&evals, "x", 3)); err != nil || !out.Stored {
+		t.Fatalf("keyed miss not stored: %+v err=%v", out, err)
+	}
+	// Derived-key lookup of the same fragment must hit the keyed entry.
+	if _, out, err := c.GetOrEval(u, "", constCost(1000), nil, evalN(&evals, "x", 3)); err != nil || !out.Hit {
+		t.Fatalf("derived-key lookup missed keyed entry: %+v err=%v", out, err)
+	}
+	// Keyed lookup of an alpha-renamed spelling must hit too.
+	if r, out, err := c.GetOrEval(typeUCQ("z", 10, 20), sig, constCost(1000), nil, evalN(&evals, "z", 3)); err != nil || !out.Hit || r.Vars[0] != "z" {
+		t.Fatalf("keyed renamed lookup: %+v err=%v", out, err)
+	}
+	// A malformed (non-signature-length) key is ignored, not trusted.
+	if _, out, err := c.GetOrEval(u, "bogus", constCost(1000), nil, evalN(&evals, "x", 3)); err != nil || !out.Hit {
+		t.Fatalf("malformed key not rederived: %+v err=%v", out, err)
+	}
+	if evals.Load() != 1 {
+		t.Fatalf("evals = %d, want 1", evals.Load())
+	}
+}
+
+func TestOversizedEntryRejected(t *testing.T) {
+	m := metrics.NewRegistry()
+	c := New(Config{Shards: 1, MaxBytes: 1 << 20, MaxEntryBytes: 100, MinCost: -1, Metrics: m})
+	var evals atomic.Int64
+	// 100 rows × 4 bytes ≫ 100-byte cap.
+	_, out, err := c.GetOrEval(typeUCQ("x", 10, 20), "", constCost(1000), nil, evalN(&evals, "x", 100))
+	if err != nil || out.Stored {
+		t.Fatalf("oversized entry admitted: %+v err=%v", out, err)
+	}
+	if c.Len() != 0 || c.Bytes() != 0 {
+		t.Fatalf("len=%d bytes=%d after rejection", c.Len(), c.Bytes())
+	}
+	if m.Counter("viewcache.reject").Value() != 1 {
+		t.Fatalf("reject counter = %d", m.Counter("viewcache.reject").Value())
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	m := metrics.NewRegistry()
+	// One shard, room for roughly three 10-row entries (121 bytes each).
+	c := New(Config{Shards: 1, MaxBytes: 400, MaxEntryBytes: 200, MinCost: -1, Metrics: m})
+	var evals atomic.Int64
+	for i := 0; i < 4; i++ {
+		_, out, err := c.GetOrEval(typeUCQ("x", 10, dict.ID(100+i)), "", constCost(1000), nil, evalN(&evals, "x", 10))
+		if err != nil || !out.Stored {
+			t.Fatalf("entry %d not stored: %+v err=%v", i, out, err)
+		}
+	}
+	if m.Counter("viewcache.evict").Value() == 0 {
+		t.Fatalf("no evictions under budget pressure")
+	}
+	if c.Bytes() > 400 {
+		t.Fatalf("resident bytes %d exceed budget", c.Bytes())
+	}
+	// The least recently used fragment (i=0) must be gone: re-requesting it
+	// evaluates again; the most recent (i=3) must still hit.
+	before := evals.Load()
+	_, out, _ := c.GetOrEval(typeUCQ("x", 10, 103), "", constCost(1000), nil, evalN(&evals, "x", 10))
+	if !out.Hit {
+		t.Fatalf("most recent entry evicted: %+v", out)
+	}
+	_, out, _ = c.GetOrEval(typeUCQ("x", 10, 100), "", constCost(1000), nil, evalN(&evals, "x", 10))
+	if out.Hit {
+		t.Fatalf("least recent entry survived eviction")
+	}
+	if evals.Load() != before+1 {
+		t.Fatalf("evals = %d, want %d", evals.Load(), before+1)
+	}
+	if m.Gauge("viewcache.bytes").Value() != c.Bytes() || m.Gauge("viewcache.entries").Value() != int64(c.Len()) {
+		t.Fatalf("gauges out of sync with cache state")
+	}
+}
+
+func TestInvalidateDropsEntriesAndBumpsGeneration(t *testing.T) {
+	c := New(Config{MinCost: -1})
+	var evals atomic.Int64
+	u := typeUCQ("x", 10, 20)
+	if _, out, _ := c.GetOrEval(u, "", constCost(1000), nil, evalN(&evals, "x", 3)); !out.Stored {
+		t.Fatalf("not stored: %+v", out)
+	}
+	g := c.Generation()
+	c.Invalidate()
+	if c.Generation() != g+1 {
+		t.Fatalf("generation %d, want %d", c.Generation(), g+1)
+	}
+	if c.Len() != 0 || c.Bytes() != 0 {
+		t.Fatalf("entries survived Invalidate: len=%d bytes=%d", c.Len(), c.Bytes())
+	}
+	if _, out, _ := c.GetOrEval(u, "", constCost(1000), nil, evalN(&evals, "x", 3)); out.Hit {
+		t.Fatalf("hit after Invalidate")
+	}
+	if evals.Load() != 2 {
+		t.Fatalf("evals = %d, want 2", evals.Load())
+	}
+}
+
+func TestMidFlightInvalidationNotStored(t *testing.T) {
+	c := New(Config{MinCost: -1})
+	u := typeUCQ("x", 10, 20)
+	// The update lands while the evaluation is in progress: the result
+	// describes the pre-update database and must not be admitted.
+	_, out, err := c.GetOrEval(u, "", constCost(1000), nil, func() (*exec.Relation, error) {
+		c.Invalidate()
+		return rel("x", 3), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Stored {
+		t.Fatalf("stale result admitted: %+v", out)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("stale entry resident after mid-flight invalidation")
+	}
+}
+
+func TestSingleflightExactlyOneEval(t *testing.T) {
+	m := metrics.NewRegistry()
+	c := New(Config{MinCost: -1, Metrics: m})
+	u := typeUCQ("x", 10, 20)
+	const n = 8
+	var evals atomic.Int64
+	release := make(chan struct{})
+	started := make(chan struct{})
+	var wg sync.WaitGroup
+	results := make([]*exec.Relation, n)
+	outcomes := make([]exec.CacheOutcome, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r, out, err := c.GetOrEval(u, "", constCost(1000), nil, func() (*exec.Relation, error) {
+				evals.Add(1)
+				close(started)
+				<-release
+				return rel("x", 5), nil
+			})
+			if err != nil {
+				t.Errorf("goroutine %d: %v", i, err)
+				return
+			}
+			results[i], outcomes[i] = r, out
+		}(i)
+	}
+	<-started
+	// Give the other goroutines a moment to join the flight, then let the
+	// leader finish.
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+	wg.Wait()
+	if evals.Load() != 1 {
+		t.Fatalf("evals = %d, want exactly 1", evals.Load())
+	}
+	want := rel("x", 5)
+	for i, r := range results {
+		if r == nil || !r.Equal(want) {
+			t.Fatalf("goroutine %d got wrong relation", i)
+		}
+	}
+	shared := 0
+	for _, out := range outcomes {
+		if out.Shared {
+			shared++
+		}
+	}
+	if got := m.Counter("viewcache.singleflight_shared").Value(); got != int64(shared) || shared == 0 {
+		t.Fatalf("singleflight_shared counter=%d, outcomes=%d", got, shared)
+	}
+}
+
+func TestWaiterUnblocksOnStopError(t *testing.T) {
+	c := New(Config{MinCost: -1})
+	u := typeUCQ("x", 10, 20)
+	release := make(chan struct{})
+	started := make(chan struct{})
+	go func() {
+		_, _, _ = c.GetOrEval(u, "", constCost(1000), nil, func() (*exec.Relation, error) {
+			close(started)
+			<-release
+			return rel("x", 3), nil
+		})
+	}()
+	<-started
+	stopErr := errors.New("caller canceled")
+	var stopped atomic.Bool
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := c.GetOrEval(u, "", constCost(1000), func() error {
+			if stopped.Load() {
+				return stopErr
+			}
+			return nil
+		}, func() (*exec.Relation, error) { return rel("x", 3), nil })
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	stopped.Store(true)
+	select {
+	case err := <-done:
+		if !errors.Is(err, stopErr) {
+			t.Fatalf("waiter returned %v, want stop error", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatalf("waiter did not unblock on stop error")
+	}
+	close(release)
+}
+
+func TestLeaderErrorWaiterFallsBack(t *testing.T) {
+	c := New(Config{MinCost: -1})
+	u := typeUCQ("x", 10, 20)
+	release := make(chan struct{})
+	started := make(chan struct{})
+	boom := errors.New("leader budget exceeded")
+	go func() {
+		_, _, _ = c.GetOrEval(u, "", constCost(1000), nil, func() (*exec.Relation, error) {
+			close(started)
+			<-release
+			return nil, boom
+		})
+	}()
+	<-started
+	done := make(chan struct{})
+	var got *exec.Relation
+	go func() {
+		defer close(done)
+		r, _, err := c.GetOrEval(u, "", constCost(1000), nil, func() (*exec.Relation, error) {
+			return rel("x", 3), nil
+		})
+		if err != nil {
+			t.Errorf("waiter fallback failed: %v", err)
+			return
+		}
+		got = r
+	}()
+	time.Sleep(10 * time.Millisecond)
+	close(release)
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatalf("waiter did not fall back after leader error")
+	}
+	if got == nil || got.Len() != 3 {
+		t.Fatalf("waiter fallback result wrong: %v", got)
+	}
+}
+
+func TestConcurrentMixedWorkloadRace(t *testing.T) {
+	c := New(Config{Shards: 4, MaxBytes: 1 << 16, MinCost: -1})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				u := typeUCQ("x", 10, dict.ID(100+i%16))
+				if g == 0 && i%25 == 0 {
+					c.Invalidate()
+					continue
+				}
+				r, _, err := c.GetOrEval(u, "", constCost(1000), nil, func() (*exec.Relation, error) {
+					return rel("x", i%7+1), nil
+				})
+				if err != nil {
+					t.Errorf("GetOrEval: %v", err)
+					return
+				}
+				_ = r.Len()
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestSignatureDistributesAcrossShards(t *testing.T) {
+	c := New(Config{Shards: 8, MinCost: -1})
+	hit := map[*shard]bool{}
+	for i := 0; i < 64; i++ {
+		hit[c.shard(Signature(typeUCQ("x", 10, dict.ID(i))))] = true
+	}
+	if len(hit) < 4 {
+		t.Fatalf("signatures landed on only %d/8 shards", len(hit))
+	}
+}
+
+func TestMetricsCounters(t *testing.T) {
+	m := metrics.NewRegistry()
+	c := New(Config{MinCost: -1, Metrics: m})
+	u := typeUCQ("x", 10, 20)
+	var evals atomic.Int64
+	for i := 0; i < 3; i++ {
+		if _, _, err := c.GetOrEval(u, "", constCost(1000), nil, evalN(&evals, "x", 2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.Counter("viewcache.miss").Value() != 1 {
+		t.Fatalf("miss = %d, want 1", m.Counter("viewcache.miss").Value())
+	}
+	if m.Counter("viewcache.hit").Value() != 2 {
+		t.Fatalf("hit = %d, want 2", m.Counter("viewcache.hit").Value())
+	}
+	if m.Gauge("viewcache.entries").Value() != 1 {
+		t.Fatalf("entries gauge = %d", m.Gauge("viewcache.entries").Value())
+	}
+	if fmt.Sprintf("%d", m.Gauge("viewcache.bytes").Value()) == "0" {
+		t.Fatalf("bytes gauge is zero with a resident entry")
+	}
+}
