@@ -25,6 +25,9 @@ type loadConfig struct {
 	Query    string
 	Strategy string
 	Timeout  time.Duration
+	// Path is the query route (default /v1/query; use /query to measure
+	// the deprecated surface).
+	Path string
 }
 
 // loadResult aggregates a run.
@@ -32,13 +35,21 @@ type loadResult struct {
 	Config    loadConfig
 	Requests  int
 	Errors    int
-	Answers   int // answers of the last successful response (sanity)
+	Answers   int // answers of the first successful response (sanity)
 	Elapsed   time.Duration
 	Latencies []time.Duration // successful requests only, unsorted
 	// CachedFragments sums the per-answer cachedFragments metadata over
 	// successful measured requests: nonzero means the server's view cache
 	// was serving fragments.
 	CachedFragments int64
+	// Shed counts 429/503 responses from the server's admission gate —
+	// an expected outcome under deliberate overload, reported separately
+	// from transport or query errors.
+	Shed int
+	// Mismatches counts successful answers whose total differed from the
+	// first successful answer: every admitted run of the same query must
+	// see identical results, loaded or not.
+	Mismatches int
 }
 
 type queryPayload struct {
@@ -66,10 +77,15 @@ func runLoad(cfg loadConfig) (*loadResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.Path == "" {
+		cfg.Path = "/v1/query"
+	}
 	client := &http.Client{Timeout: cfg.Timeout}
 
-	// Fail fast on an unreachable or erroring endpoint before fanning out.
-	if _, err := fire(client, cfg.BaseURL, body); err != nil {
+	// Fail fast on an unreachable or erroring endpoint before fanning
+	// out. A shed preflight is fine: the endpoint is up, just saturated —
+	// which is exactly what an overload run wants to measure.
+	if _, shed, err := fire(client, cfg, body); err != nil && !shed {
 		return nil, fmt.Errorf("preflight request failed: %w", err)
 	}
 
@@ -104,17 +120,24 @@ func firePhase(client *http.Client, cfg loadConfig, body []byte, n int, res *loa
 				idx++
 				mu.Unlock()
 				t0 := time.Now()
-				reply, err := fire(client, cfg.BaseURL, body)
+				reply, shed, err := fire(client, cfg, body)
 				lat := time.Since(t0)
 				if res == nil {
 					continue
 				}
 				mu.Lock()
-				if err != nil {
+				switch {
+				case shed:
+					res.Shed++
+				case err != nil:
 					res.Errors++
-				} else {
+				default:
+					if len(res.Latencies) == 0 {
+						res.Answers = reply.Total
+					} else if reply.Total != res.Answers {
+						res.Mismatches++
+					}
 					res.Latencies = append(res.Latencies, lat)
-					res.Answers = reply.Total
 					res.CachedFragments += int64(reply.Meta.CachedFragments)
 				}
 				mu.Unlock()
@@ -124,22 +147,28 @@ func firePhase(client *http.Client, cfg loadConfig, body []byte, n int, res *loa
 	wg.Wait()
 }
 
-// fire sends one query and returns the decoded reply.
-func fire(client *http.Client, baseURL string, body []byte) (*queryReply, error) {
-	resp, err := client.Post(baseURL+"/query", "application/json", bytes.NewReader(body))
+// fire sends one query and returns the decoded reply. shed reports a
+// 429 or 503 — the server's admission gate rejecting load, which an
+// overload run counts rather than treats as failure.
+func fire(client *http.Client, cfg loadConfig, body []byte) (reply *queryReply, shed bool, err error) {
+	resp, err := client.Post(cfg.BaseURL+cfg.Path, "application/json", bytes.NewReader(body))
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable {
+		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return nil, true, fmt.Errorf("shed: status %d", resp.StatusCode)
+	}
 	if resp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
-		return nil, fmt.Errorf("status %d: %s", resp.StatusCode, msg)
+		return nil, false, fmt.Errorf("status %d: %s", resp.StatusCode, msg)
 	}
-	var reply queryReply
-	if err := json.NewDecoder(resp.Body).Decode(&reply); err != nil {
-		return nil, err
+	reply = new(queryReply)
+	if err := json.NewDecoder(resp.Body).Decode(reply); err != nil {
+		return nil, false, err
 	}
-	return &reply, nil
+	return reply, false, nil
 }
 
 // percentile returns the p-th percentile (0 < p ≤ 100) of the latencies.
@@ -167,9 +196,12 @@ func (r *loadResult) Report() string {
 	if r.Config.Warmup > 0 {
 		fmt.Fprintf(&sb, "warmup: %d requests (unmeasured)\n", r.Config.Warmup)
 	}
-	fmt.Fprintf(&sb, "requests: %d ok, %d errors in %v (%.1f req/s)\n",
-		ok, r.Errors, r.Elapsed.Round(time.Millisecond),
+	fmt.Fprintf(&sb, "requests: %d ok, %d shed, %d errors in %v (%.1f req/s)\n",
+		ok, r.Shed, r.Errors, r.Elapsed.Round(time.Millisecond),
 		float64(ok)/maxF(r.Elapsed.Seconds(), 1e-9))
+	if r.Mismatches > 0 {
+		fmt.Fprintf(&sb, "ANSWER MISMATCHES: %d admitted responses disagreed\n", r.Mismatches)
+	}
 	if ok > 0 {
 		fmt.Fprintf(&sb, "latency: p50=%v p95=%v p99=%v max=%v\n",
 			percentile(r.Latencies, 50).Round(time.Microsecond),
@@ -194,6 +226,8 @@ type jsonReport struct {
 	Warmup               int     `json:"warmup"`
 	Requests             int     `json:"requests"`
 	OK                   int     `json:"ok"`
+	Shed                 int     `json:"shed"`
+	Mismatches           int     `json:"mismatches"`
 	Errors               int     `json:"errors"`
 	ElapsedMillis        float64 `json:"elapsedMillis"`
 	ThroughputPerSec     float64 `json:"throughputPerSec"`
@@ -217,6 +251,8 @@ func (r *loadResult) JSON() (string, error) {
 		Warmup:               r.Config.Warmup,
 		Requests:             r.Requests,
 		OK:                   ok,
+		Shed:                 r.Shed,
+		Mismatches:           r.Mismatches,
 		Errors:               r.Errors,
 		ElapsedMillis:        ms(r.Elapsed),
 		ThroughputPerSec:     float64(ok) / maxF(r.Elapsed.Seconds(), 1e-9),

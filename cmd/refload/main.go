@@ -24,6 +24,7 @@ func main() {
 		timeout     = flag.Duration("timeout", 30*time.Second, "per-request timeout")
 		warmup      = flag.Int("warmup", 0, "unmeasured warmup requests before the run (populates server caches)")
 		jsonOut     = flag.Bool("json", false, "emit the BENCH_*-style JSON summary instead of text")
+		path        = flag.String("path", "/v1/query", "query route (use /query for the deprecated surface)")
 	)
 	flag.Parse()
 
@@ -35,6 +36,7 @@ func main() {
 		Query:       *queryText,
 		Strategy:    *strategy,
 		Timeout:     *timeout,
+		Path:        *path,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "refload:", err)

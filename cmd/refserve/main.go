@@ -3,12 +3,17 @@
 //
 //	refserve -scenario lubm -addr :8080
 //	refserve -data mygraph.nt
-//	curl 'localhost:8080/query?q=q(x)+:-+x+rdf:type+ub:Student'
+//	curl 'localhost:8080/v1/query?q=q(x)+:-+x+rdf:type+ub:Student'
 //	curl localhost:8080/metrics
 //
-// On SIGINT/SIGTERM the server drains: the base context is canceled so
-// in-flight evaluations abort at their next operator checkpoint, then the
-// listener shuts down within the grace period.
+// With -max-concurrency, a cost-weighted admission gate bounds in-flight
+// evaluations and sheds excess load with 429 + Retry-After (see
+// internal/admission).
+//
+// On SIGINT/SIGTERM the server drains gracefully: it stops admitting
+// queries (readyz fails, queued queries reject), in-flight evaluations
+// finish within the grace period, and only then is the base context
+// canceled to abort stragglers at their next operator checkpoint.
 package main
 
 import (
@@ -26,6 +31,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/admission"
 	"repro/internal/datasets"
 	"repro/internal/graph"
 	"repro/internal/httpapi"
@@ -48,6 +54,10 @@ func main() {
 		viewCache = flag.String("view-cache", "on", "fragment view cache: on or off")
 		viewMB    = flag.Int("view-cache-mb", 64, "view cache byte budget in MiB")
 		planCache = flag.Int("plan-cache", 0, "GCov plan cache capacity (0 = default 128)")
+		maxConc   = flag.Int("max-concurrency", 0, "admission gate weight budget (0 disables admission control)")
+		queueLen  = flag.Int("queue-depth", admission.DefaultQueueDepth, "admission queue depth (0 = shed immediately when full)")
+		queueWait = flag.Duration("queue-timeout", admission.DefaultQueueTimeout, "max time a query may wait in the admission queue")
+		maxCost   = flag.Float64("max-cost", 0, "estimated-cost ceiling above which queries are shed (0 = no ceiling)")
 	)
 	flag.Parse()
 
@@ -109,15 +119,34 @@ func main() {
 		srv.EnablePprof()
 		log.Printf("pprof enabled at /debug/pprof/")
 	}
+	if *maxConc > 0 {
+		// The flag's 0 means "no queue" (shed immediately); the library
+		// reserves 0 for its default depth.
+		qd := *queueLen
+		if qd == 0 {
+			qd = -1
+		}
+		srv.EnableAdmission(admission.Config{
+			MaxConcurrency: *maxConc,
+			QueueDepth:     qd,
+			QueueTimeout:   *queueWait,
+			MaxCost:        *maxCost,
+		})
+		log.Printf("admission control enabled (budget %d, queue %d, queue timeout %s)",
+			*maxConc, *queueLen, *queueWait)
+	}
 
-	// ctx is canceled on SIGINT/SIGTERM; it is also every request's base
-	// context, so canceling it aborts in-flight evaluations.
-	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	// sigCtx fires on SIGINT/SIGTERM; baseCtx is every request's base
+	// context and outlives the signal so a drain can finish in-flight
+	// evaluations before aborting the stragglers.
+	sigCtx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
+	baseCtx, cancelBase := context.WithCancel(context.Background())
+	defer cancelBase()
 	hs := &http.Server{
 		Addr:        *addr,
 		Handler:     srv,
-		BaseContext: func(net.Listener) context.Context { return ctx },
+		BaseContext: func(net.Listener) context.Context { return baseCtx },
 	}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
@@ -125,12 +154,19 @@ func main() {
 	select {
 	case err := <-errc:
 		log.Fatal("refserve: ", err)
-	case <-ctx.Done():
+	case <-sigCtx.Done():
 	}
-	log.Printf("shutting down (grace %s)…", *grace)
+	log.Printf("draining (grace %s)…", *grace)
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *grace)
 	defer cancel()
+	// Ordered drain: stop admitting and wait for admitted evaluations,
+	// then close listeners waiting out in-flight handlers, and only then
+	// cancel the base context to abort whatever exceeded the grace.
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("refserve: admission drain: %v", err)
+	}
 	if err := hs.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		log.Printf("refserve: shutdown: %v", err)
 	}
+	cancelBase()
 }

@@ -1,0 +1,441 @@
+// Package admission implements cost-aware admission control and load
+// shedding for the serving layer. The paper's cost model prices every
+// reformulation before evaluation; this package turns that estimate into
+// an admission decision instead of letting an unbounded burst of
+// Example-1-sized JUCQs pile up until memory or latency collapses.
+//
+// A Gate is a weighted concurrency limit: each evaluation takes a number
+// of slots proportional to its estimated cost (cheap queries share slots,
+// expensive ones take proportionally more, up to the whole gate), backed
+// by a bounded FIFO wait queue with a per-request queue deadline. When
+// the queue is full, the wait deadline expires, or the estimate exceeds a
+// configurable ceiling, the gate rejects — the caller sheds load (HTTP
+// 429/503 with Retry-After) instead of queueing without bound.
+//
+// Every outcome is observable: admission_total{event=admitted|shed|
+// timeout|canceled} counters, queue-depth and in-flight gauges, and a
+// queue-wait histogram land in the shared metrics registry; the engine
+// wraps each wait in an "admission" trace span.
+//
+// A nil *Gate admits everything immediately (like a nil
+// *metrics.Registry), so instrumented code never branches on "admission
+// enabled".
+package admission
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// ErrRejected is the common base of every admission rejection: callers
+// that only care about "was this load-shed" match it with errors.Is
+// rather than enumerating the specific reasons below.
+var ErrRejected = errors.New("admission: rejected")
+
+// The rejection reasons, all wrapping ErrRejected.
+var (
+	// ErrQueueFull is returned when the wait queue is at capacity.
+	ErrQueueFull = fmt.Errorf("%w: wait queue full", ErrRejected)
+	// ErrQueueTimeout is returned when a queued request's wait deadline
+	// expires before a slot frees up.
+	ErrQueueTimeout = fmt.Errorf("%w: queue wait deadline exceeded", ErrRejected)
+	// ErrCostCeiling is returned when the estimated cost exceeds
+	// Config.MaxCost.
+	ErrCostCeiling = fmt.Errorf("%w: estimated cost exceeds ceiling", ErrRejected)
+	// ErrDraining is returned once Drain has been called: the server is
+	// shutting down and admits nothing new.
+	ErrDraining = fmt.Errorf("%w: draining", ErrRejected)
+)
+
+// Defaults applied by New for zero Config fields.
+const (
+	// DefaultQueueDepth bounds the wait queue when Config.QueueDepth is 0.
+	DefaultQueueDepth = 64
+	// DefaultQueueTimeout bounds each queue wait when Config.QueueTimeout
+	// is 0.
+	DefaultQueueTimeout = time.Second
+	// DefaultCostPerSlot is the cost-model units one extra slot
+	// represents when Config.CostPerSlot is 0. The model's unit is
+	// roughly "rows touched", so the default charges one extra slot per
+	// hundred thousand estimated row operations.
+	DefaultCostPerSlot = 100_000.0
+)
+
+// Config parameterizes a Gate.
+type Config struct {
+	// MaxConcurrency is the total weight budget — the slots concurrently
+	// admitted evaluations may hold. New returns a nil (always-admitting)
+	// gate when it is <= 0.
+	MaxConcurrency int
+	// QueueDepth bounds how many requests may wait for admission
+	// (0 = DefaultQueueDepth; negative = no queue, shed immediately).
+	QueueDepth int
+	// QueueTimeout bounds each request's wait (0 = DefaultQueueTimeout).
+	QueueTimeout time.Duration
+	// MaxCost sheds any request whose estimated cost exceeds it
+	// (0 = no ceiling).
+	MaxCost float64
+	// CostPerSlot is how many cost units one extra slot represents
+	// (0 = DefaultCostPerSlot): weight = 1 + floor(cost/CostPerSlot),
+	// clamped to MaxConcurrency.
+	CostPerSlot float64
+	// Metrics, when non-nil, receives admission counters, gauges and the
+	// queue-wait histogram.
+	Metrics *metrics.Registry
+}
+
+// waiter is one queued acquisition. err is written under the gate mutex
+// before ready is closed; the channel close publishes it to the waiter.
+type waiter struct {
+	weight int
+	ready  chan struct{}
+	err    error
+}
+
+// Gate is a weighted admission gate with a bounded FIFO wait queue. All
+// methods are safe for concurrent use and tolerate a nil receiver.
+type Gate struct {
+	cfg Config
+	m   *metrics.Registry
+
+	mu        sync.Mutex
+	inflight  int // admitted weight currently held
+	running   int // admitted evaluations currently held
+	queue     []*waiter
+	draining  bool
+	highWater int // maximum inflight ever observed (test/diagnostic aid)
+}
+
+// New returns a gate over the config, or nil — the always-admitting gate
+// — when cfg.MaxConcurrency <= 0.
+func New(cfg Config) *Gate {
+	if cfg.MaxConcurrency <= 0 {
+		return nil
+	}
+	if cfg.QueueDepth == 0 {
+		cfg.QueueDepth = DefaultQueueDepth
+	}
+	if cfg.QueueDepth < 0 {
+		cfg.QueueDepth = 0
+	}
+	if cfg.QueueTimeout <= 0 {
+		cfg.QueueTimeout = DefaultQueueTimeout
+	}
+	if cfg.CostPerSlot <= 0 {
+		cfg.CostPerSlot = DefaultCostPerSlot
+	}
+	g := &Gate{cfg: cfg, m: cfg.Metrics}
+	g.m.Gauge("admission_gate.capacity").Set(int64(cfg.MaxConcurrency))
+	return g
+}
+
+// Config returns the gate's effective configuration (defaults applied);
+// the zero Config on a nil gate.
+func (g *Gate) Config() Config {
+	if g == nil {
+		return Config{}
+	}
+	return g.cfg
+}
+
+// WeightFor maps an estimated cost onto gate slots: one slot for cheap
+// (or unpriced, cost <= 0) queries plus one per CostPerSlot units,
+// clamped to the whole gate so an expensive query can still run — it just
+// runs alone.
+func (g *Gate) WeightFor(estCost float64) int {
+	if g == nil {
+		return 1
+	}
+	w := 1
+	if estCost > 0 {
+		w = 1 + int(estCost/g.cfg.CostPerSlot)
+	}
+	if w > g.cfg.MaxConcurrency {
+		w = g.cfg.MaxConcurrency
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Ticket is one admitted evaluation's hold on the gate. Release returns
+// the slots; it is idempotent and nil-tolerant.
+type Ticket struct {
+	g        *Gate
+	weight   int
+	wait     time.Duration
+	released atomic.Bool
+}
+
+// Weight returns the slots the ticket holds (0 for a nil ticket).
+func (t *Ticket) Weight() int {
+	if t == nil {
+		return 0
+	}
+	return t.weight
+}
+
+// Wait returns how long the acquisition queued before admission.
+func (t *Ticket) Wait() time.Duration {
+	if t == nil {
+		return 0
+	}
+	return t.wait
+}
+
+// Release returns the ticket's slots and grants as many queued waiters
+// as now fit, in FIFO order.
+func (t *Ticket) Release() {
+	if t == nil || t.g == nil || !t.released.CompareAndSwap(false, true) {
+		return
+	}
+	g := t.g
+	g.mu.Lock()
+	g.inflight -= t.weight
+	g.running--
+	g.grantLocked()
+	g.updateGaugesLocked()
+	g.mu.Unlock()
+}
+
+// Acquire admits one evaluation with the given estimated cost, blocking
+// in the FIFO queue when the gate is full. It returns a non-nil Ticket
+// (release it when the evaluation finishes) or an error wrapping
+// ErrRejected — except on a nil gate, which returns (nil, nil): the nil
+// Ticket is safe to Release. Cancelling ctx abandons a queued wait.
+func (g *Gate) Acquire(ctx context.Context, estCost float64) (*Ticket, error) {
+	if g == nil {
+		return nil, nil
+	}
+	weight := g.WeightFor(estCost)
+	start := time.Now()
+
+	g.mu.Lock()
+	if g.draining {
+		g.mu.Unlock()
+		g.m.Counter("admission.shed").Inc()
+		return nil, ErrDraining
+	}
+	if g.cfg.MaxCost > 0 && estCost > g.cfg.MaxCost {
+		g.mu.Unlock()
+		g.m.Counter("admission.shed").Inc()
+		return nil, fmt.Errorf("%w (estimated %.0f > %.0f)", ErrCostCeiling, estCost, g.cfg.MaxCost)
+	}
+	// Admit immediately only from an empty queue: jumping ahead of queued
+	// waiters would starve heavy queries behind a stream of light ones.
+	if len(g.queue) == 0 && g.inflight+weight <= g.cfg.MaxConcurrency {
+		g.admitLocked(weight)
+		g.updateGaugesLocked()
+		g.mu.Unlock()
+		g.m.Counter("admission.admitted").Inc()
+		g.m.Histogram("admission_queue.wait_ms").Observe(0)
+		return &Ticket{g: g, weight: weight}, nil
+	}
+	if len(g.queue) >= g.cfg.QueueDepth {
+		g.mu.Unlock()
+		g.m.Counter("admission.shed").Inc()
+		return nil, fmt.Errorf("%w (depth %d)", ErrQueueFull, g.cfg.QueueDepth)
+	}
+	w := &waiter{weight: weight, ready: make(chan struct{})}
+	g.queue = append(g.queue, w)
+	g.updateGaugesLocked()
+	g.mu.Unlock()
+
+	timer := time.NewTimer(g.cfg.QueueTimeout)
+	defer timer.Stop()
+	select {
+	case <-w.ready:
+		return g.resolve(w, weight, start)
+	case <-timer.C:
+		if g.abandon(w) {
+			g.m.Counter("admission.timeout").Inc()
+			g.m.Histogram("admission_queue.wait_ms").Observe(millis(time.Since(start)))
+			return nil, fmt.Errorf("%w (waited %s)", ErrQueueTimeout, g.cfg.QueueTimeout)
+		}
+		// Granted (or drained) concurrently with the timeout firing.
+		return g.resolve(w, weight, start)
+	case <-ctx.Done():
+		if g.abandon(w) {
+			g.m.Counter("admission.canceled").Inc()
+			g.m.Histogram("admission_queue.wait_ms").Observe(millis(time.Since(start)))
+			return nil, fmt.Errorf("admission: canceled while queued: %w", ctx.Err())
+		}
+		return g.resolve(w, weight, start)
+	}
+}
+
+// resolve turns a resolved waiter (ready closed) into the caller's
+// outcome. The close happens-after the gate mutex wrote w.err, so the
+// read here is safe.
+func (g *Gate) resolve(w *waiter, weight int, start time.Time) (*Ticket, error) {
+	<-w.ready
+	wait := time.Since(start)
+	g.m.Histogram("admission_queue.wait_ms").Observe(millis(wait))
+	if w.err != nil {
+		g.m.Counter("admission.shed").Inc()
+		return nil, w.err
+	}
+	g.m.Counter("admission.admitted").Inc()
+	return &Ticket{g: g, weight: weight, wait: wait}, nil
+}
+
+// abandon removes w from the queue; false means w was already resolved
+// (granted or drained) and its outcome stands.
+func (g *Gate) abandon(w *waiter) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for i, q := range g.queue {
+		if q == w {
+			g.queue = append(g.queue[:i], g.queue[i+1:]...)
+			// Removing a heavy head may unblock lighter waiters behind it.
+			g.grantLocked()
+			g.updateGaugesLocked()
+			return true
+		}
+	}
+	return false
+}
+
+// admitLocked charges one admission against the gate.
+func (g *Gate) admitLocked(weight int) {
+	g.inflight += weight
+	g.running++
+	if g.inflight > g.highWater {
+		g.highWater = g.inflight
+	}
+}
+
+// grantLocked admits queued waiters from the front while they fit.
+// Strictly FIFO: the first waiter that does not fit blocks the rest, so
+// a heavy query cannot be starved by lighter ones arriving behind it.
+func (g *Gate) grantLocked() {
+	for len(g.queue) > 0 {
+		w := g.queue[0]
+		if g.inflight+w.weight > g.cfg.MaxConcurrency {
+			return
+		}
+		g.queue = g.queue[1:]
+		g.admitLocked(w.weight)
+		close(w.ready)
+	}
+}
+
+func (g *Gate) updateGaugesLocked() {
+	g.m.Gauge("admission_gate.inflight_weight").Set(int64(g.inflight))
+	g.m.Gauge("admission_gate.inflight").Set(int64(g.running))
+	g.m.Gauge("admission_queue.depth").Set(int64(len(g.queue)))
+}
+
+// Drain stops admissions permanently: every queued waiter is rejected
+// with ErrDraining and every future Acquire fails fast. In-flight
+// tickets are unaffected; pair with Wait to let them finish.
+func (g *Gate) Drain() {
+	if g == nil {
+		return
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.draining {
+		return
+	}
+	g.draining = true
+	for _, w := range g.queue {
+		w.err = ErrDraining
+		close(w.ready)
+	}
+	g.queue = nil
+	g.updateGaugesLocked()
+}
+
+// Draining reports whether Drain has been called.
+func (g *Gate) Draining() bool {
+	if g == nil {
+		return false
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.draining
+}
+
+// Saturated reports whether a weight-1 acquisition would be rejected
+// right now — the readiness probe's "stop routing here" signal.
+func (g *Gate) Saturated() bool {
+	if g == nil {
+		return false
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.draining {
+		return true
+	}
+	if len(g.queue) == 0 && g.inflight < g.cfg.MaxConcurrency {
+		return false
+	}
+	return len(g.queue) >= g.cfg.QueueDepth
+}
+
+// InFlight returns the admitted weight and evaluation count currently
+// held.
+func (g *Gate) InFlight() (weight, count int) {
+	if g == nil {
+		return 0, 0
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.inflight, g.running
+}
+
+// QueueLen returns how many acquisitions are waiting.
+func (g *Gate) QueueLen() int {
+	if g == nil {
+		return 0
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.queue)
+}
+
+// HighWater returns the maximum in-flight weight the gate has ever held —
+// by construction never above Config.MaxConcurrency, which the overload
+// tests assert.
+func (g *Gate) HighWater() int {
+	if g == nil {
+		return 0
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.highWater
+}
+
+// Wait blocks until every admitted evaluation has released (and, after
+// Drain, the queue is empty) or ctx expires. It polls: the graceful-
+// shutdown path it serves is not latency-sensitive.
+func (g *Gate) Wait(ctx context.Context) error {
+	if g == nil {
+		return nil
+	}
+	tick := time.NewTicker(5 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		g.mu.Lock()
+		idle := g.inflight == 0 && len(g.queue) == 0
+		g.mu.Unlock()
+		if idle {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-tick.C:
+		}
+	}
+}
+
+func millis(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }

@@ -1,0 +1,362 @@
+package admission
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+func newGate(t *testing.T, cfg Config) *Gate {
+	t.Helper()
+	g := New(cfg)
+	if g == nil {
+		t.Fatal("New returned nil for a positive MaxConcurrency")
+	}
+	return g
+}
+
+func TestNilGateAdmitsEverything(t *testing.T) {
+	var g *Gate
+	tkt, err := g.Acquire(context.Background(), 1e18)
+	if err != nil || tkt != nil {
+		t.Fatalf("nil gate: ticket=%v err=%v", tkt, err)
+	}
+	tkt.Release() // must not panic
+	if g.WeightFor(1e18) != 1 || g.Saturated() || g.Draining() || g.HighWater() != 0 {
+		t.Fatal("nil gate accessors not inert")
+	}
+	if err := g.Wait(context.Background()); err != nil {
+		t.Fatalf("nil gate Wait: %v", err)
+	}
+	if New(Config{}) != nil {
+		t.Fatal("New with zero MaxConcurrency must return the nil gate")
+	}
+}
+
+func TestWeightFor(t *testing.T) {
+	g := newGate(t, Config{MaxConcurrency: 8, CostPerSlot: 100})
+	cases := []struct {
+		cost float64
+		want int
+	}{
+		{0, 1}, {-5, 1}, {99, 1}, {100, 2}, {250, 3}, {799, 8}, {1e9, 8},
+	}
+	for _, c := range cases {
+		if got := g.WeightFor(c.cost); got != c.want {
+			t.Errorf("WeightFor(%g) = %d, want %d", c.cost, got, c.want)
+		}
+	}
+}
+
+func TestImmediateAdmissionAndRelease(t *testing.T) {
+	m := metrics.NewRegistry()
+	g := newGate(t, Config{MaxConcurrency: 4, CostPerSlot: 10, Metrics: m})
+	tkt, err := g.Acquire(context.Background(), 25) // weight 3
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tkt.Weight() != 3 {
+		t.Fatalf("weight = %d, want 3", tkt.Weight())
+	}
+	if w, n := g.InFlight(); w != 3 || n != 1 {
+		t.Fatalf("inflight = (%d,%d), want (3,1)", w, n)
+	}
+	tkt.Release()
+	tkt.Release() // idempotent
+	if w, n := g.InFlight(); w != 0 || n != 0 {
+		t.Fatalf("inflight after release = (%d,%d)", w, n)
+	}
+	snap := m.Snapshot()
+	if snap.Counters["admission.admitted"] != 1 {
+		t.Fatalf("admitted counter = %d", snap.Counters["admission.admitted"])
+	}
+	if snap.Gauges["admission_gate.capacity"] != 4 {
+		t.Fatalf("capacity gauge = %d", snap.Gauges["admission_gate.capacity"])
+	}
+}
+
+func TestCostCeilingSheds(t *testing.T) {
+	m := metrics.NewRegistry()
+	g := newGate(t, Config{MaxConcurrency: 4, MaxCost: 100, Metrics: m})
+	if _, err := g.Acquire(context.Background(), 101); !errors.Is(err, ErrCostCeiling) || !errors.Is(err, ErrRejected) {
+		t.Fatalf("err = %v, want ErrCostCeiling wrapping ErrRejected", err)
+	}
+	if m.Snapshot().Counters["admission.shed"] != 1 {
+		t.Fatal("shed not counted")
+	}
+	// At the ceiling is still admitted.
+	tkt, err := g.Acquire(context.Background(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tkt.Release()
+}
+
+func TestQueueFullSheds(t *testing.T) {
+	g := newGate(t, Config{MaxConcurrency: 1, QueueDepth: -1, QueueTimeout: time.Minute})
+	tkt, err := g.Acquire(context.Background(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tkt.Release()
+	start := time.Now()
+	if _, err := g.Acquire(context.Background(), 0); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("err = %v, want ErrQueueFull", err)
+	}
+	if d := time.Since(start); d > 100*time.Millisecond {
+		t.Fatalf("queue-full shed took %v, want fast-fail", d)
+	}
+}
+
+func TestQueueTimeout(t *testing.T) {
+	m := metrics.NewRegistry()
+	g := newGate(t, Config{MaxConcurrency: 1, QueueDepth: 4, QueueTimeout: 20 * time.Millisecond, Metrics: m})
+	tkt, err := g.Acquire(context.Background(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tkt.Release()
+	if _, err := g.Acquire(context.Background(), 0); !errors.Is(err, ErrQueueTimeout) {
+		t.Fatalf("err = %v, want ErrQueueTimeout", err)
+	}
+	if g.QueueLen() != 0 {
+		t.Fatalf("timed-out waiter still queued: %d", g.QueueLen())
+	}
+	if m.Snapshot().Counters["admission.timeout"] != 1 {
+		t.Fatal("timeout not counted")
+	}
+}
+
+func TestContextCancelAbandonsWait(t *testing.T) {
+	g := newGate(t, Config{MaxConcurrency: 1, QueueDepth: 4, QueueTimeout: time.Minute})
+	tkt, err := g.Acquire(context.Background(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tkt.Release()
+	ctx, cancel := context.WithCancel(context.Background())
+	time.AfterFunc(10*time.Millisecond, cancel)
+	if _, err := g.Acquire(ctx, 0); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if g.QueueLen() != 0 {
+		t.Fatal("canceled waiter still queued")
+	}
+}
+
+func TestFIFOOrderAndNoStarvation(t *testing.T) {
+	g := newGate(t, Config{MaxConcurrency: 4, QueueDepth: 16, QueueTimeout: 5 * time.Second, CostPerSlot: 1})
+	blocker, err := g.Acquire(context.Background(), 3) // weight 4: gate full
+	if err != nil {
+		t.Fatal(err)
+	}
+	var order []int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	// A heavy waiter (weight 4) queues first, then light ones (weight 1).
+	// FIFO means the heavy one is granted first even though the light
+	// ones would fit sooner.
+	weights := []float64{3, 0, 0, 0}
+	for i, c := range weights {
+		i, c := i, c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Stagger enqueue so queue order matches i.
+			time.Sleep(time.Duration(i*20) * time.Millisecond)
+			tkt, err := g.Acquire(context.Background(), c)
+			if err != nil {
+				t.Errorf("waiter %d: %v", i, err)
+				return
+			}
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+			time.Sleep(5 * time.Millisecond)
+			tkt.Release()
+		}()
+	}
+	time.Sleep(120 * time.Millisecond) // let all four queue up
+	blocker.Release()
+	wg.Wait()
+	if len(order) != 4 || order[0] != 0 {
+		t.Fatalf("grant order %v, want the heavy head first", order)
+	}
+	if hw := g.HighWater(); hw > 4 {
+		t.Fatalf("high water %d exceeds budget 4", hw)
+	}
+}
+
+func TestDrainRejectsQueuedAndFuture(t *testing.T) {
+	m := metrics.NewRegistry()
+	g := newGate(t, Config{MaxConcurrency: 1, QueueDepth: 8, QueueTimeout: time.Minute, Metrics: m})
+	tkt, err := g.Acquire(context.Background(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errc := make(chan error, 1)
+	go func() {
+		_, err := g.Acquire(context.Background(), 0)
+		errc <- err
+	}()
+	for g.QueueLen() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	g.Drain()
+	if err := <-errc; !errors.Is(err, ErrDraining) {
+		t.Fatalf("queued waiter got %v, want ErrDraining", err)
+	}
+	if _, err := g.Acquire(context.Background(), 0); !errors.Is(err, ErrDraining) {
+		t.Fatalf("post-drain acquire got %v, want ErrDraining", err)
+	}
+	if !g.Draining() || !g.Saturated() {
+		t.Fatal("draining gate must report draining and saturated")
+	}
+	// Wait returns once the in-flight ticket releases.
+	done := make(chan error, 1)
+	go func() { done <- g.Wait(context.Background()) }()
+	select {
+	case <-done:
+		t.Fatal("Wait returned while a ticket was held")
+	case <-time.After(20 * time.Millisecond):
+	}
+	tkt.Release()
+	if err := <-done; err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	// Wait honors its context.
+	tkt2 := &Ticket{} // no gate: inert
+	_ = tkt2
+	g2 := newGate(t, Config{MaxConcurrency: 1})
+	hold, _ := g2.Acquire(context.Background(), 0)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := g2.Wait(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Wait with held ticket: %v", err)
+	}
+	hold.Release()
+}
+
+func TestSaturated(t *testing.T) {
+	g := newGate(t, Config{MaxConcurrency: 1, QueueDepth: -1})
+	if g.Saturated() {
+		t.Fatal("idle gate saturated")
+	}
+	tkt, err := g.Acquire(context.Background(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Saturated() {
+		t.Fatal("full gate with zero queue depth must be saturated")
+	}
+	tkt.Release()
+	if g.Saturated() {
+		t.Fatal("released gate still saturated")
+	}
+}
+
+// TestOverloadBoundedInFlight fires far more concurrent acquisitions than
+// the gate admits and asserts, under -race, that (a) the in-flight weight
+// never exceeds the budget, (b) some requests are shed, and (c) every
+// admitted request runs exactly once.
+func TestOverloadBoundedInFlight(t *testing.T) {
+	const (
+		budget  = 8
+		workers = 64
+	)
+	m := metrics.NewRegistry()
+	g := newGate(t, Config{
+		MaxConcurrency: budget,
+		QueueDepth:     4,
+		QueueTimeout:   30 * time.Millisecond,
+		CostPerSlot:    100,
+		Metrics:        m,
+	})
+	var (
+		cur, peak atomic.Int64
+		admitted  atomic.Int64
+		shed      atomic.Int64
+		wg        sync.WaitGroup
+	)
+	costs := []float64{0, 50, 150, 350} // weights 1,1,2,4
+	for i := 0; i < workers; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cost := costs[i%len(costs)]
+			tkt, err := g.Acquire(context.Background(), cost)
+			if err != nil {
+				if !errors.Is(err, ErrRejected) {
+					t.Errorf("unexpected error: %v", err)
+				}
+				shed.Add(1)
+				return
+			}
+			w := int64(tkt.Weight())
+			now := cur.Add(w)
+			for {
+				p := peak.Load()
+				if now <= p || peak.CompareAndSwap(p, now) {
+					break
+				}
+			}
+			time.Sleep(2 * time.Millisecond) // hold the slot: forces contention
+			cur.Add(-w)
+			admitted.Add(1)
+			tkt.Release()
+		}()
+	}
+	wg.Wait()
+	if p := peak.Load(); p > budget {
+		t.Fatalf("in-flight weight peaked at %d, budget %d", p, budget)
+	}
+	if hw := g.HighWater(); hw > budget {
+		t.Fatalf("gate high water %d, budget %d", hw, budget)
+	}
+	if admitted.Load() == 0 || shed.Load() == 0 {
+		t.Fatalf("want both admissions and sheds: admitted=%d shed=%d", admitted.Load(), shed.Load())
+	}
+	snap := m.Snapshot()
+	total := snap.Counters["admission.admitted"] + snap.Counters["admission.shed"] +
+		snap.Counters["admission.timeout"] + snap.Counters["admission.canceled"]
+	if total != workers {
+		t.Fatalf("admission events %d, want %d: %+v", total, workers, snap.Counters)
+	}
+	if h := snap.Histograms["admission_queue.wait_ms"]; h.Count == 0 {
+		t.Fatal("queue-wait histogram empty")
+	}
+}
+
+// A waiter granted concurrently with its timeout keeps the slot rather
+// than leaking it.
+func TestGrantTimeoutRace(t *testing.T) {
+	g := newGate(t, Config{MaxConcurrency: 1, QueueDepth: 8, QueueTimeout: time.Millisecond})
+	for i := 0; i < 200; i++ {
+		tkt, err := g.Acquire(context.Background(), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			t2, err := g.Acquire(context.Background(), 0)
+			if err == nil {
+				t2.Release()
+			} else if !errors.Is(err, ErrQueueTimeout) {
+				t.Errorf("iter %d: %v", i, err)
+			}
+		}()
+		time.Sleep(time.Duration(i%3) * 500 * time.Microsecond)
+		tkt.Release()
+		<-done
+		if w, n := g.InFlight(); w != 0 || n != 0 {
+			t.Fatalf("iter %d: leaked in-flight (%d,%d)", i, w, n)
+		}
+	}
+}

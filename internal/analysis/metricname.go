@@ -38,8 +38,10 @@ var metricLabelPrefixes = []string{
 	"engine.latency_ms.",
 	"http.requests.",
 	"http.latency_ms.",
+	"http.legacy_requests.",
 	"viewcache.",
 	"plancache.",
+	"admission.",
 }
 
 var metricNameRE = regexp.MustCompile(`^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)+$`)

@@ -12,6 +12,7 @@ import (
 	"log/slog"
 	"time"
 
+	"repro/internal/admission"
 	"repro/internal/core"
 	"repro/internal/cost"
 	"repro/internal/datalog"
@@ -81,6 +82,12 @@ type Answer struct {
 	// cache (zero when the cache is disabled or the strategy does not
 	// evaluate fragments).
 	CachedFragments int
+	// QueueWait is the time the evaluation spent queued at the admission
+	// gate (zero without a gate, or when admitted immediately).
+	QueueWait time.Duration
+	// AdmissionWeight is the gate weight the evaluation held (zero
+	// without a gate). Union answers report the heaviest member.
+	AdmissionWeight int
 }
 
 // Engine answers queries over one graph with any strategy. It lazily
@@ -110,6 +117,14 @@ type Engine struct {
 	// Logger, when non-nil, receives structured warnings, e.g. cost-model
 	// misestimates detected on traced queries.
 	Logger *slog.Logger
+	// Admission, when non-nil, gates every evaluation: after
+	// reformulation/planning prices the query, the evaluation phase
+	// acquires gate slots proportional to the estimate and may queue,
+	// shed (admission.ErrRejected) or — while queued — be canceled.
+	// Like the plan cache it is shared by pointer across the per-request
+	// engine copies the HTTP layer makes. Queue wait does not consume
+	// Budget.Timeout: the budget clock starts at evaluation.
+	Admission *admission.Gate
 
 	store    *storage.Store
 	st       *stats.Stats
@@ -445,6 +460,8 @@ func (e *Engine) observe(s Strategy, start time.Time, ans *Answer, err error) {
 	if err != nil {
 		m.Counter("engine.errors").Inc()
 		switch {
+		case errors.Is(err, admission.ErrRejected):
+			m.Counter("engine.shed").Inc()
 		case errors.Is(err, exec.ErrBudgetExceeded):
 			m.Counter("engine.budget_exceeded").Inc()
 		case errors.Is(err, exec.ErrCanceled):
@@ -461,6 +478,43 @@ func (e *Engine) observe(s Strategy, start time.Time, ans *Answer, err error) {
 			m.Counter("engine.plancache.misses").Inc()
 		}
 	}
+}
+
+// admit passes one evaluation through the engine's admission gate,
+// recording the wait as an "admission" span under the answer span. The
+// returned ticket is nil-tolerant: callers defer ticket.Release()
+// unconditionally. A nil gate admits immediately with no span.
+func (e *Engine) admit(ctx context.Context, sp *trace.Span, estCost float64) (*admission.Ticket, error) {
+	if e.Admission == nil {
+		return nil, nil
+	}
+	var asp *trace.Span
+	if sp != nil {
+		asp = sp.Child("admission")
+		defer asp.End()
+		asp.SetFloat("est_cost", estCost)
+	}
+	tkt, err := e.Admission.Acquire(ctx, estCost)
+	if asp != nil {
+		if err != nil {
+			asp.SetStr("error", err.Error())
+		} else {
+			asp.SetInt("weight", int64(tkt.Weight()))
+			asp.SetFloat("wait_ms", float64(tkt.Wait())/float64(time.Millisecond))
+		}
+		asp.End()
+	}
+	return tkt, err
+}
+
+// stampAdmission copies an admitted ticket's observables onto a built
+// answer; a no-op for nil tickets (gate disabled).
+func stampAdmission(ans *Answer, tkt *admission.Ticket) {
+	if tkt == nil || ans == nil {
+		return
+	}
+	ans.QueueWait = tkt.Wait()
+	ans.AdmissionWeight = tkt.Weight()
 }
 
 // startEval opens the "eval" phase span and wires the evaluator for
@@ -491,7 +545,14 @@ func endEval(es *trace.Span, rows *exec.Relation) {
 func (e *Engine) answerSat(ctx context.Context, q query.CQ, sp *trace.Span) (*Answer, error) {
 	st := e.SatStore()
 	ss := e.SatStats()
+	est, _ := e.SatCostModel().CQPlan(q)
+	tkt, err := e.admit(ctx, sp, est.Cost)
+	if err != nil {
+		return nil, err
+	}
+	defer tkt.Release()
 	ev := e.evaluator(st, ss)
+	ev.MaxParallel = tkt.Weight()
 	es := startEval(sp, ev, e.SatCostModel())
 	defer es.End()
 	start := time.Now()
@@ -501,7 +562,9 @@ func (e *Engine) answerSat(ctx context.Context, q query.CQ, sp *trace.Span) (*An
 		return nil, err
 	}
 	endEval(es, rows)
-	return &Answer{Strategy: Sat, Rows: rows, ReformulationCQs: 1, EvalTime: time.Since(start)}, nil
+	ans := &Answer{Strategy: Sat, Rows: rows, ReformulationCQs: 1, EvalTime: time.Since(start)}
+	stampAdmission(ans, tkt)
+	return ans, nil
 }
 
 func (e *Engine) answerUCQ(ctx context.Context, q query.CQ, r *core.Reformulator, s Strategy, sp *trace.Span) (*Answer, error) {
@@ -519,6 +582,16 @@ func (e *Engine) answerUCQ(ctx context.Context, q query.CQ, r *core.Reformulator
 		rsp.End()
 	}
 	prep := time.Since(prepStart)
+	// The stream enumerates reformulations lazily, so there is no JUCQ
+	// plan to price; a per-CQ estimate times the reformulation count is
+	// the natural upper-bound proxy.
+	est, _ := e.CostModel().CQPlan(q)
+	tkt, err := e.admit(ctx, sp, est.Cost*float64(count))
+	if err != nil {
+		return nil, err
+	}
+	defer tkt.Release()
+	ev.MaxParallel = tkt.Weight()
 	es := startEval(sp, ev, e.CostModel())
 	defer es.End()
 	start := time.Now()
@@ -530,10 +603,12 @@ func (e *Engine) answerUCQ(ctx context.Context, q query.CQ, r *core.Reformulator
 		return nil, err
 	}
 	endEval(es, rows)
-	return &Answer{
+	ans := &Answer{
 		Strategy: s, Rows: rows, ReformulationCQs: count,
 		PrepTime: prep, EvalTime: time.Since(start),
-	}, nil
+	}
+	stampAdmission(ans, tkt)
+	return ans, nil
 }
 
 func (e *Engine) answerCover(ctx context.Context, q query.CQ, cover query.Cover, s Strategy, sp *trace.Span) (*Answer, error) {
@@ -564,7 +639,13 @@ func (e *Engine) answerCover(ctx context.Context, q query.CQ, cover query.Cover,
 		rsp.End()
 	}
 	prep := time.Since(prepStart)
+	tkt, err := e.admit(ctx, sp, est.Cost)
+	if err != nil {
+		return nil, err
+	}
+	defer tkt.Release()
 	ev := e.evaluator(e.Store(), e.Stats())
+	ev.MaxParallel = tkt.Weight()
 	cs := e.attachViewCache(ev, s)
 	es := startEval(sp, ev, e.CostModel())
 	defer es.End()
@@ -582,6 +663,7 @@ func (e *Engine) answerCover(ctx context.Context, q query.CQ, cover query.Cover,
 	if cs != nil {
 		ans.CachedFragments = int(cs.Hits.Load())
 	}
+	stampAdmission(ans, tkt)
 	return ans, nil
 }
 
@@ -612,7 +694,13 @@ func (e *Engine) answerGCov(ctx context.Context, q query.CQ, sp *trace.Span) (*A
 		psp.End()
 	}
 	prep := time.Since(prepStart)
+	tkt, err := e.admit(ctx, sp, entry.cost)
+	if err != nil {
+		return nil, err
+	}
+	defer tkt.Release()
 	ev := e.evaluator(e.Store(), e.Stats())
+	ev.MaxParallel = tkt.Weight()
 	cs := e.attachViewCache(ev, RefGCov)
 	if cs != nil {
 		// The plan's fragment signatures were computed when it was built;
@@ -641,6 +729,7 @@ func (e *Engine) answerGCov(ctx context.Context, q query.CQ, sp *trace.Span) (*A
 	if cs != nil {
 		ans.CachedFragments = int(cs.Hits.Load())
 	}
+	stampAdmission(ans, tkt)
 	return ans, nil
 }
 
@@ -666,6 +755,14 @@ func (e *Engine) PlanCacheLen() int {
 }
 
 func (e *Engine) answerDat(ctx context.Context, q query.CQ, sp *trace.Span) (*Answer, error) {
+	// The fixpoint touches the whole graph regardless of the query, so
+	// the data size is the natural cost proxy. Admit before the timeout
+	// wrap below: queue wait must not consume the evaluation budget.
+	tkt, err := e.admit(ctx, sp, float64(e.g.DataCount()))
+	if err != nil {
+		return nil, err
+	}
+	defer tkt.Release()
 	// The exec strategies convert Budget.Timeout into a guard deadline;
 	// the Datalog fixpoint has no guard, so carry the budget as a context
 	// deadline instead and let RunContext's per-round poll enforce it.
@@ -712,10 +809,12 @@ func (e *Engine) answerDat(ctx context.Context, q query.CQ, sp *trace.Span) (*An
 	}
 	rows.Distinct()
 	endEval(es, rows)
-	return &Answer{
+	ans := &Answer{
 		Strategy: Dat, Rows: rows, ReformulationCQs: 1,
 		PrepTime: prep, EvalTime: time.Since(start),
-	}, nil
+	}
+	stampAdmission(ans, tkt)
+	return ans, nil
 }
 
 // AnswerUnion answers a union of BGPs (the full dialect of §3) with the
@@ -744,6 +843,10 @@ func (e *Engine) AnswerUnionContext(ctx context.Context, u query.UCQ, s Strategy
 		combined.ReformulationCQs += ans.ReformulationCQs
 		combined.PrepTime += ans.PrepTime
 		combined.EvalTime += ans.EvalTime
+		combined.QueueWait += ans.QueueWait
+		if ans.AdmissionWeight > combined.AdmissionWeight {
+			combined.AdmissionWeight = ans.AdmissionWeight
+		}
 		for i := 0; i < ans.Rows.Len(); i++ {
 			if ans.Rows.Width() == 0 {
 				combined.Rows.AppendEmpty()

@@ -53,6 +53,12 @@ type Evaluator struct {
 	Budget Budget
 	// Parallel enables concurrent evaluation of UCQ branches.
 	Parallel bool
+	// MaxParallel caps the workers a parallel evaluation may use
+	// (0 = runtime.GOMAXPROCS). The admission layer sets it to the
+	// query's admitted gate weight, so an evaluation's CPU fan-out
+	// tracks the slots it holds instead of every admitted query
+	// claiming the whole machine.
+	MaxParallel int
 	// ForceHashJoins disables index-nested-loop joins, materializing and
 	// hashing every atom instead — the ablation knob quantifying how much
 	// of the cover strategies' win comes from selective index probing.
@@ -832,6 +838,9 @@ func (e *Evaluator) EvalUCQStreamContext(ctx context.Context, headNames []string
 
 func (e *Evaluator) evalUCQParallel(u query.UCQ, g guard, sp *trace.Span) (*Relation, error) {
 	nw := runtime.GOMAXPROCS(0)
+	if e.MaxParallel > 0 && e.MaxParallel < nw {
+		nw = e.MaxParallel
+	}
 	if nw > len(u.CQs) {
 		nw = len(u.CQs)
 	}
@@ -1010,12 +1019,22 @@ func (e *Evaluator) EvalJUCQContext(ctx context.Context, j query.JUCQ) (*Relatio
 	if e.Parallel && e.Trace == nil && len(j.Fragments) > 1 {
 		var wg sync.WaitGroup
 		errs := make([]error, len(j.Fragments))
+		// MaxParallel bounds how many fragments evaluate at once; without
+		// it every fragment gets its own goroutine as before.
+		var sem chan struct{}
+		if e.MaxParallel > 0 && e.MaxParallel < len(j.Fragments) {
+			sem = make(chan struct{}, e.MaxParallel)
+		}
 		//reflint:noguard spawn loop bounded by fragment count; workers poll inside evalUCQ
 		for i, f := range j.Fragments {
 			i, f := i, f
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
+				if sem != nil {
+					sem <- struct{}{}
+					defer func() { <-sem }()
+				}
 				fsp := newFragSpan(i)
 				defer fsp.End()
 				sub := &Evaluator{st: e.st, stats: e.stats, Budget: e.Budget,

@@ -2,16 +2,28 @@
 // deployment setting of §1 (Linked Open Data sources answering remote
 // queries), with the reformulation machinery server-side:
 //
-//	GET  /            endpoint summary (triples, schema, strategies)
-//	GET  /healthz     liveness
-//	GET  /stats       demo step 1 statistics (JSON)
-//	GET  /metrics     Prometheus text format (?format=json for the JSON snapshot)
-//	POST /query       answer a query (JSON body, see QueryRequest);
-//	                  "explain": true returns the estimated plan,
-//	                  "explain": "analyze" executes and returns the span tree
-//	GET  /query?q=…   same, query string (strategy, limit, explain optional)
-//	POST /explain     reformulation sizes + GCov cover space (JSON)
-//	GET  /slowlog     slow-query ring buffer with request IDs + span trees
+//	GET  /               endpoint summary (triples, schema, strategies)
+//	GET  /v1/healthz     liveness
+//	GET  /v1/readyz      readiness (503 while draining or saturated)
+//	GET  /v1/stats       demo step 1 statistics (JSON)
+//	GET  /metrics        Prometheus text format (?format=json for the JSON snapshot)
+//	POST /v1/query       answer a query (JSON body, see QueryRequest);
+//	                     "explain": true returns the estimated plan,
+//	                     "explain": "analyze" executes and returns the span tree;
+//	                     Accept: application/sparql-results+json negotiates
+//	                     the W3C SPARQL 1.1 JSON results document
+//	GET  /v1/query?q=…   same, query string (strategy, limit, explain optional)
+//	POST /v1/explain     reformulation sizes + GCov cover space (JSON)
+//	GET  /v1/slowlog     slow-query ring buffer with request IDs + span trees
+//	GET  /v1/dump        N-Triples export
+//
+// The unversioned spellings (/query, /healthz, …) predate /v1 and keep
+// working, answering with Deprecation/Successor-Version headers; /v1
+// errors use the {"error": {"code", "message"}} envelope (see v1.go).
+//
+// With EnableAdmission, every evaluation first passes a cost-weighted
+// admission gate; shed queries answer 429/503 with Retry-After instead
+// of piling up (see internal/admission).
 //
 // Every request carries an X-Request-Id (generated when the client sends
 // none) echoed on the response and attached to logs, slow-query entries
@@ -30,16 +42,18 @@ import (
 	"crypto/rand"
 	"encoding/hex"
 	"encoding/json"
-	"errors"
 	"fmt"
 	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/admission"
 	"repro/internal/core"
+	"repro/internal/dict"
 	"repro/internal/engine"
 	"repro/internal/exec"
 	"repro/internal/graph"
@@ -58,6 +72,11 @@ type Server struct {
 	mux      *http.ServeMux
 	metrics  *metrics.Registry
 	slowLog  *metrics.SlowQueryLog
+	// gate is the optional admission gate (EnableAdmission); nil admits
+	// everything. draining flips once Drain/Shutdown begins and drives
+	// /v1/readyz.
+	gate     *admission.Gate
+	draining atomic.Bool
 	// Timeout bounds each evaluation.
 	Timeout time.Duration
 	// MaxAnswerRows caps the rows serialized per response (0 = 10000).
@@ -100,13 +119,23 @@ func New(g *graph.Graph, prefixes map[string]string) *Server {
 	s.eng.CostModel()
 
 	s.mux.HandleFunc("/", s.handleRoot)
-	s.mux.HandleFunc("/healthz", s.handleHealth)
-	s.mux.HandleFunc("/stats", s.handleStats)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
-	s.mux.HandleFunc("/query", s.handleQuery)
-	s.mux.HandleFunc("/explain", s.handleExplain)
-	s.mux.HandleFunc("/slowlog", s.handleSlowlog)
-	s.mux.HandleFunc("/dump", s.handleDump)
+	// The /v1 surface. /metrics stays unversioned: Prometheus scrapers
+	// conventionally expect it at the root.
+	s.mux.HandleFunc("/v1/query", func(w http.ResponseWriter, r *http.Request) { s.serveQuery(w, r, apiV1) })
+	s.mux.HandleFunc("/v1/explain", func(w http.ResponseWriter, r *http.Request) { s.serveExplain(w, r, apiV1) })
+	s.mux.HandleFunc("/v1/healthz", s.handleHealth)
+	s.mux.HandleFunc("/v1/readyz", s.handleReady)
+	s.mux.HandleFunc("/v1/stats", s.handleStats)
+	s.mux.HandleFunc("/v1/slowlog", s.handleSlowlog)
+	s.mux.HandleFunc("/v1/dump", s.handleDump)
+	// Legacy unversioned spellings: still served, marked deprecated.
+	s.mux.HandleFunc("/query", s.legacy("/query", func(w http.ResponseWriter, r *http.Request) { s.serveQuery(w, r, apiLegacy) }))
+	s.mux.HandleFunc("/explain", s.legacy("/explain", func(w http.ResponseWriter, r *http.Request) { s.serveExplain(w, r, apiLegacy) }))
+	s.mux.HandleFunc("/healthz", s.legacy("/healthz", s.handleHealth))
+	s.mux.HandleFunc("/stats", s.legacy("/stats", s.handleStats))
+	s.mux.HandleFunc("/slowlog", s.legacy("/slowlog", s.handleSlowlog))
+	s.mux.HandleFunc("/dump", s.legacy("/dump", s.handleDump))
 	return s
 }
 
@@ -149,7 +178,7 @@ func (s *Server) slowThreshold() time.Duration {
 // error — the consumer hung up — aborts the dump instead of silently
 // producing a truncated file.
 func (s *Server) handleDump(w http.ResponseWriter, r *http.Request) {
-	s.metrics.Counter("http.requests./dump").Inc()
+	s.metrics.Counter("http.requests." + r.URL.Path).Inc()
 	w.Header().Set("Content-Type", "application/n-triples")
 	d := s.g.Dict()
 	ctx := r.Context()
@@ -305,6 +334,12 @@ type MetaJSON struct {
 	// CachedFragments counts JUCQ fragments served from the view cache
 	// for this answer (omitted when zero or the cache is disabled).
 	CachedFragments int `json:"cachedFragments,omitempty"`
+	// QueueWaitMillis is the time spent queued at the admission gate
+	// before evaluation (0 when admission is disabled or uncontended).
+	QueueWaitMillis float64 `json:"queueWaitMillis,omitempty"`
+	// AdmissionWeight is the number of gate slots the query's cost
+	// estimate priced it at (omitted when admission is disabled).
+	AdmissionWeight int `json:"admissionWeight,omitempty"`
 }
 
 // ExplainResponse is the /explain output.
@@ -348,7 +383,10 @@ func (s *Server) handleRoot(w http.ResponseWriter, r *http.Request) {
 		"dataTriples": s.g.DataCount(),
 		"schema":      s.g.Schema().String(),
 		"strategies":  strategies,
-		"endpoints":   []string{"/healthz", "/stats", "/metrics", "/query", "/explain", "/slowlog", "/dump"},
+		"endpoints": []string{
+			"/v1/healthz", "/v1/readyz", "/v1/stats", "/metrics",
+			"/v1/query", "/v1/explain", "/v1/slowlog", "/v1/dump",
+		},
 	})
 }
 
@@ -432,14 +470,16 @@ func (s *Server) parseCQ(text string) (query.CQ, error) {
 	return query.ParseRuleWithPrefixes(s.g.Dict(), s.prefixes, text)
 }
 
-func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+// serveQuery answers /query and /v1/query; v selects the response
+// dialect (legacy bodies vs the /v1 envelope and content negotiation).
+func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, v apiVersion) {
 	start := time.Now()
 	id := requestID(r)
-	s.metrics.Counter("http.requests./query").Inc()
+	path := r.URL.Path
+	s.metrics.Counter("http.requests." + path).Inc()
 	req, err := s.parseRequest(r)
 	if err != nil {
-		s.metrics.Counter("http.errors").Inc()
-		writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
+		s.writeError(w, v, http.StatusBadRequest, CodeInvalidRequest, err.Error())
 		return
 	}
 	strategy := engine.Strategy(req.Strategy)
@@ -479,13 +519,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		psp.End()
 		parseMillis = millisSince(parseStart)
 		if uerr != nil {
-			s.metrics.Counter("http.errors").Inc()
-			writeJSON(w, http.StatusBadRequest, errorResponse{uerr.Error()})
+			s.writeError(w, v, http.StatusBadRequest, CodeParseError, uerr.Error())
 			return
 		}
 		if req.Explain == ExplainPlan {
-			writeJSON(w, http.StatusBadRequest,
-				errorResponse{"explain (without analyze) supports single-BGP queries only"})
+			s.writeError(w, v, http.StatusBadRequest, CodeInvalidRequest,
+				"explain (without analyze) supports single-BGP queries only")
 			return
 		}
 		ans, err = eng.AnswerUnionContext(ctx, u, strategy)
@@ -494,12 +533,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		psp.End()
 		parseMillis = millisSince(parseStart)
 		if perr != nil {
-			s.metrics.Counter("http.errors").Inc()
-			writeJSON(w, http.StatusBadRequest, errorResponse{perr.Error()})
+			s.writeError(w, v, http.StatusBadRequest, CodeParseError, perr.Error())
 			return
 		}
 		if req.Explain == ExplainPlan {
-			s.serveExplainPlan(w, &eng, req, q, strategy, id, parseMillis, start)
+			s.serveExplainPlan(w, &eng, req, q, strategy, id, parseMillis, start, v)
 			return
 		}
 		if strategy == engine.RefJUCQ {
@@ -514,16 +552,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	root.End()
 	if err != nil {
-		s.metrics.Counter("http.errors").Inc()
-		s.recordQuery(req, strategy, start, 0, err, id, root)
+		s.recordQuery(req, strategy, start, 0, err, id, root, path)
 		s.logQuery(id, req, strategy, start, 0, err)
-		status := http.StatusUnprocessableEntity
-		if errors.Is(err, exec.ErrCanceled) {
-			// The client is gone or the server is draining; the status
-			// is mostly for logs.
-			status = http.StatusServiceUnavailable
-		}
-		writeJSON(w, status, errorResponse{err.Error()})
+		s.writeAnswerError(w, v, err)
 		return
 	}
 	limit := req.Limit
@@ -536,9 +567,31 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	d := s.g.Dict()
 	serStart := time.Now()
 	ans.Rows.SortRows()
+	n := ans.Rows.Len()
+	truncated := false
+	if n > limit {
+		n = limit
+		truncated = true
+	}
+	if ans.AdmissionWeight > 0 {
+		w.Header().Set("X-Queue-Wait",
+			strconv.FormatFloat(float64(ans.QueueWait)/float64(time.Millisecond), 'f', 3, 64)+"ms")
+	}
+	if v == apiV1 && wantsSPARQLJSON(r) {
+		// The W3C document has no slot for metadata; truncation moves to
+		// a header so standard clients still learn about capped answers.
+		if truncated {
+			w.Header().Set("X-Truncated", "true")
+		}
+		s.recordQuery(req, strategy, start, ans.Rows.Len(), nil, id, root, path)
+		s.logQuery(id, req, strategy, start, ans.Rows.Len(), nil)
+		writeSPARQLJSON(w, d, ans.Rows, n)
+		return
+	}
 	resp := QueryResponse{
 		Columns:   ans.Rows.Vars,
 		Total:     ans.Rows.Len(),
+		Truncated: truncated,
 		RequestID: id,
 		Meta: MetaJSON{
 			Strategy:         string(ans.Strategy),
@@ -550,15 +603,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			CachedPlan:       ans.CachedPlan,
 			EstimatedCost:    ans.EstimatedCost,
 			CachedFragments:  ans.CachedFragments,
+			QueueWaitMillis:  float64(ans.QueueWait) / float64(time.Millisecond),
+			AdmissionWeight:  ans.AdmissionWeight,
 		},
 	}
 	if resp.Columns == nil {
 		resp.Columns = []string{}
-	}
-	n := ans.Rows.Len()
-	if n > limit {
-		n = limit
-		resp.Truncated = true
 	}
 	resp.Rows = make([][]string, 0, n)
 	for i := 0; i < n; i++ {
@@ -578,15 +628,41 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	resp.Meta.SerializeMillis = millisSince(serStart)
 	resp.Meta.TotalMillis = millisSince(start)
-	s.recordQuery(req, strategy, start, ans.Rows.Len(), nil, id, root)
+	s.recordQuery(req, strategy, start, ans.Rows.Len(), nil, id, root, path)
 	s.logQuery(id, req, strategy, start, ans.Rows.Len(), nil)
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// writeSPARQLJSON serializes the first n rows as a W3C SPARQL 1.1 JSON
+// results document. Unbound is impossible here (BGP answers are total),
+// so every variable appears in every binding.
+func writeSPARQLJSON(w http.ResponseWriter, d *dict.Dict, rows *exec.Relation, n int) {
+	doc := SPARQLResults{
+		Head:    SPARQLHead{Vars: rows.Vars},
+		Results: SPARQLResSet{Bindings: make([]map[string]SPARQLTerm, 0, n)},
+	}
+	if doc.Head.Vars == nil {
+		doc.Head.Vars = []string{}
+	}
+	for i := 0; i < n; i++ {
+		row := rows.Row(i)
+		b := make(map[string]SPARQLTerm, len(row))
+		for j, id := range row {
+			b[rows.Vars[j]] = sparqlTerm(d.Decode(id))
+		}
+		doc.Results.Bindings = append(doc.Results.Bindings, b)
+	}
+	w.Header().Set("Content-Type", sparqlResultsMIME)
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(doc)
 }
 
 // serveExplainPlan answers an EXPLAIN (without ANALYZE) request: the
 // estimated plan from the reformulator and the cost model, no execution.
 func (s *Server) serveExplainPlan(w http.ResponseWriter, eng *engine.Engine, req QueryRequest,
-	q query.CQ, strategy engine.Strategy, id string, parseMillis float64, start time.Time) {
+	q query.CQ, strategy engine.Strategy, id string, parseMillis float64, start time.Time, v apiVersion) {
 	var (
 		plan *engine.Plan
 		err  error
@@ -601,8 +677,7 @@ func (s *Server) serveExplainPlan(w http.ResponseWriter, eng *engine.Engine, req
 		plan, err = eng.Plan(q, strategy)
 	}
 	if err != nil {
-		s.metrics.Counter("http.errors").Inc()
-		writeJSON(w, http.StatusUnprocessableEntity, errorResponse{err.Error()})
+		s.writeError(w, v, http.StatusUnprocessableEntity, CodeQueryError, err.Error())
 		return
 	}
 	resp := QueryResponse{
@@ -667,9 +742,9 @@ func millisSince(t time.Time) float64 {
 // Slow entries capture the request's full span tree, so /slowlog returns
 // actionable traces, not just latencies.
 func (s *Server) recordQuery(req QueryRequest, strategy engine.Strategy, start time.Time, rows int, err error,
-	id string, root *trace.Span) {
+	id string, root *trace.Span, path string) {
 	total := time.Since(start)
-	s.metrics.Histogram("http.latency_ms./query").
+	s.metrics.Histogram("http.latency_ms." + path).
 		Observe(float64(total) / float64(time.Millisecond))
 	thr := s.slowThreshold()
 	if thr <= 0 || (total < thr && err == nil) {
@@ -754,16 +829,16 @@ func (s *Server) handleSlowlog(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
-	s.metrics.Counter("http.requests./explain").Inc()
+func (s *Server) serveExplain(w http.ResponseWriter, r *http.Request, v apiVersion) {
+	s.metrics.Counter("http.requests." + r.URL.Path).Inc()
 	req, err := s.parseRequest(r)
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
+		s.writeError(w, v, http.StatusBadRequest, CodeInvalidRequest, err.Error())
 		return
 	}
 	q, err := s.parseCQ(req.Query)
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
+		s.writeError(w, v, http.StatusBadRequest, CodeParseError, err.Error())
 		return
 	}
 	eng := *s.eng
@@ -771,15 +846,27 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	total, per := eng.Reformulator().CombinationCount(q)
 	res, err := core.GCov(eng.Reformulator(), eng.CostModel(), q, core.GCovOptions{})
 	if err != nil {
-		writeJSON(w, http.StatusUnprocessableEntity, errorResponse{err.Error()})
+		s.writeError(w, v, http.StatusUnprocessableEntity, CodeQueryError, err.Error())
 		return
 	}
+	// This path evaluates outside the engine, so it passes the admission
+	// gate itself: GCov's plan estimate is exactly what the gate prices.
+	var tkt *admission.Ticket
+	if s.gate != nil {
+		tkt, err = s.gate.Acquire(r.Context(), res.Cost)
+		if err != nil {
+			s.writeAnswerError(w, v, err)
+			return
+		}
+	}
+	defer tkt.Release()
 	ev := exec.New(eng.Store(), eng.Stats())
 	ev.Budget = exec.Budget{Timeout: s.Timeout}
 	ev.Metrics = s.metrics
+	ev.MaxParallel = tkt.Weight()
 	rows, err := ev.EvalJUCQContext(r.Context(), res.JUCQ)
 	if err != nil {
-		writeJSON(w, http.StatusUnprocessableEntity, errorResponse{err.Error()})
+		s.writeAnswerError(w, v, err)
 		return
 	}
 	resp := ExplainResponse{

@@ -22,8 +22,10 @@ var promLabelRules = []struct{ prefix, label string }{
 	{"engine.latency_ms.", "strategy"},
 	{"http.requests.", "path"},
 	{"http.latency_ms.", "path"},
+	{"http.legacy_requests.", "path"},
 	{"viewcache.", "event"},
 	{"plancache.", "event"},
+	{"admission.", "event"},
 }
 
 // promName splits a dotted registry name into a sanitized metric family
