@@ -11,6 +11,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -20,7 +21,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment to run: e1..e7, ablation, or all")
+		exp     = flag.String("exp", "all", "experiment to run: e1..e7, e10, ablation, or all")
 		scale   = flag.Int("scale", 1, "LUBM scale factor (universities)")
 		seed    = flag.Int64("seed", 42, "generator seed")
 		timeout = flag.Duration("timeout", 60*time.Second, "per-strategy evaluation timeout")
@@ -46,6 +47,7 @@ func main() {
 		{"e5", func(c bench.Config) (fmt.Stringer, error) { return bench.E5(c) }},
 		{"e6", func(c bench.Config) (fmt.Stringer, error) { return bench.E6(c) }},
 		{"e7", func(c bench.Config) (fmt.Stringer, error) { return bench.E7(c) }},
+		{"e10", func(c bench.Config) (fmt.Stringer, error) { return bench.E10(c) }},
 		{"ablation", func(c bench.Config) (fmt.Stringer, error) { return bench.Ablation(c) }},
 	}
 
@@ -65,7 +67,11 @@ func main() {
 		fmt.Println(res.String())
 		fmt.Printf("(%s completed in %v)\n\n", e.name, time.Since(start).Round(time.Millisecond))
 		if *jsonOut {
-			path := fmt.Sprintf("%s/BENCH_%s.json", *outDir, strings.ToUpper(e.name))
+			if err := os.MkdirAll(*outDir, 0o755); err != nil {
+				fmt.Fprintf(os.Stderr, "refbench: %s: %v\n", *outDir, err)
+				os.Exit(1)
+			}
+			path := filepath.Join(*outDir, "BENCH_"+strings.ToUpper(e.name)+".json")
 			if err := writeJSONFile(path, res); err != nil {
 				fmt.Fprintf(os.Stderr, "refbench: %s: %v\n", path, err)
 				os.Exit(1)
@@ -74,7 +80,7 @@ func main() {
 		}
 	}
 	if !ran {
-		fmt.Fprintf(os.Stderr, "refbench: unknown experiment %q (want e1..e6 or all)\n", *exp)
+		fmt.Fprintf(os.Stderr, "refbench: unknown experiment %q (want e1..e7, e10, ablation or all)\n", *exp)
 		os.Exit(2)
 	}
 }

@@ -36,7 +36,7 @@ func main() {
 		stats    = flag.Bool("stats", false, "print dataset statistics (demo step 1)")
 		qtext    = flag.String("query", "", "query in rule or SPARQL notation")
 		example1 = flag.Bool("example1", false, "use the paper's Example 1 query (LUBM)")
-		strategy = flag.String("strategy", "ref-gcov", "strategy: sat, ref-ucq, ref-scq, ref-gcov, ref-incomplete, datalog, or all")
+		strategy = flag.String("strategy", "ref-gcov", "strategy: sat, ref-ucq, ref-scq, ref-gcov, ref-range, ref-incomplete, datalog, or all")
 		cover    = flag.String("cover", "", "explicit cover for ref-jucq, e.g. '0,2|1,3|2,4'")
 		explain  = flag.Bool("explain", false, "show reformulation sizes, cover search and the EXPLAIN plan tree (demo step 3)")
 		analyze  = flag.Bool("analyze", false, "execute with tracing and print the span tree with est-vs-actual cardinalities")
@@ -107,7 +107,7 @@ func main() {
 
 	strategies := []engine.Strategy{engine.Strategy(*strategy)}
 	if *strategy == "all" {
-		strategies = []engine.Strategy{engine.Sat, engine.RefSCQ, engine.RefGCov, engine.RefIncomplete, engine.Dat}
+		strategies = []engine.Strategy{engine.Sat, engine.RefSCQ, engine.RefGCov, engine.RefRange, engine.RefIncomplete, engine.Dat}
 	}
 	for _, s := range strategies {
 		var (

@@ -52,7 +52,7 @@ func TestFullPipeline(t *testing.T) {
 	}
 	const qText = `q(x) :- x rdf:type <http://swat.cse.lehigh.edu/onto/univ-bench.owl#Employee>`
 	counts := map[Strategy]int{}
-	for _, s := range []Strategy{Sat, RefUCQ, RefSCQ, RefGCov, Dat} {
+	for _, s := range []Strategy{Sat, RefUCQ, RefSCQ, RefGCov, RefRange, Dat} {
 		res, err := db.Answer(qText, Options{Strategy: s, Timeout: time.Minute})
 		if err != nil {
 			t.Fatalf("%s: %v", s, err)

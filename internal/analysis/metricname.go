@@ -42,6 +42,7 @@ var metricLabelPrefixes = []string{
 	"viewcache.",
 	"plancache.",
 	"admission.",
+	"rangeref.",
 }
 
 var metricNameRE = regexp.MustCompile(`^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)+$`)

@@ -1,0 +1,160 @@
+package cost
+
+import (
+	"repro/internal/query"
+	"repro/internal/storage"
+)
+
+// This file prices range CQs (the ref-range reformulation) so the planner
+// can compare ref-range against the UCQ/SCQ/JUCQ/GCov strategies. Range
+// atoms are materialized and hash-joined by the executor (no nested-loop
+// probing into a range pattern), so the simulation mirrors JoinFragments;
+// expansions multiply cardinality by the average hierarchy fan-out.
+
+// rangePatternOf converts a range atom to the storage pattern its scan
+// runs: constants become exact ranges, range positions keep their ranges,
+// variables are wildcards.
+func rangePatternOf(a query.RangeAtom) storage.RangePattern {
+	var pat storage.RangePattern
+	conv := func(ra query.RangeArg) []storage.IDRange {
+		switch {
+		case ra.Ranges != nil:
+			return ra.Ranges
+		case !ra.Arg.IsVar():
+			return []storage.IDRange{storage.Exact(ra.Arg.ID)}
+		}
+		return nil
+	}
+	pat.S, pat.P, pat.O = conv(a.S), conv(a.P), conv(a.O)
+	return pat
+}
+
+// relaxedPattern drops range constraints down to the exact-only Pattern the
+// per-variable distinct statistics understand.
+func relaxedPattern(a query.RangeAtom) storage.Pattern {
+	var pat storage.Pattern
+	set := func(ra query.RangeArg, dst *storage.Pattern, pos byte) {
+		if ra.Ranges == nil && !ra.Arg.IsVar() {
+			switch pos {
+			case 's':
+				dst.S = ra.Arg.ID
+			case 'p':
+				dst.P = ra.Arg.ID
+			default:
+				dst.O = ra.Arg.ID
+			}
+		}
+	}
+	set(a.S, &pat, 's')
+	set(a.P, &pat, 'p')
+	set(a.O, &pat, 'o')
+	return pat
+}
+
+// expansionFanout returns the average number of output bindings an
+// expansion emits per input row (1 for reflexivity plus the mean table
+// fan-out).
+func expansionFanout(e *query.Expansion) float64 {
+	fan := 0.0
+	if e.Reflexive {
+		fan = 1
+	}
+	if len(e.Table) == 0 {
+		return maxF(fan, 1)
+	}
+	total := 0
+	for _, v := range e.Table {
+		total += len(v)
+	}
+	return maxF(fan+float64(total)/float64(len(e.Table)), 1)
+}
+
+// RangeAtom estimates one range-atom scan: exact range-pattern count for
+// the cardinality, per-variable distinct counts from the relaxed pattern
+// (capped by the cardinality).
+func (m *Model) RangeAtom(a query.RangeAtom) Estimate {
+	card := m.st.RangeCard(rangePatternOf(a))
+	est := Estimate{Cost: CScan * card, Card: card, V: map[string]float64{}}
+	relaxed := relaxedPattern(a)
+	for i, ra := range [3]query.RangeArg{a.S, a.P, a.O} {
+		if !ra.Arg.IsVar() {
+			continue
+		}
+		pos := [3]byte{'s', 'p', 'o'}[i]
+		v := m.st.DistinctVar(relaxed, pos)
+		if v > card {
+			v = maxF(card, 1)
+		}
+		if old, ok := est.V[ra.Arg.Var]; !ok || v < old {
+			est.V[ra.Arg.Var] = v
+		}
+	}
+	return est
+}
+
+// RangeCQ estimates one range CQ, simulating the executor's plan: scan
+// every atom, greedy hash joins (connected first, then smallest), then the
+// expansion fan-outs.
+func (m *Model) RangeCQ(q query.RangeCQ) Estimate {
+	if len(q.Atoms) == 0 {
+		return Estimate{}
+	}
+	ests := make([]Estimate, len(q.Atoms))
+	total := 0.0
+	for i, a := range q.Atoms {
+		ests[i] = m.RangeAtom(a)
+		total += ests[i].Cost
+	}
+	cur := ests[0]
+	rest := append([]Estimate(nil), ests[1:]...)
+	for len(rest) > 0 {
+		best, bestConnected := -1, false
+		for i, f := range rest {
+			connected := sharesVar(f.V, cur.V)
+			switch {
+			case best == -1,
+				connected && !bestConnected,
+				connected == bestConnected && f.Card < rest[best].Card:
+				best, bestConnected = i, connected
+			}
+		}
+		next := rest[best]
+		rest = append(rest[:best], rest[best+1:]...)
+		out := joinEstimate(cur, next)
+		total += CBuild*minF(cur.Card, next.Card) + CScan*maxF(cur.Card, next.Card) + COut*out.Card
+		cur = out
+	}
+	for _, a := range q.Atoms {
+		if a.Expand == nil {
+			continue
+		}
+		fan := expansionFanout(a.Expand)
+		cur.Card *= fan
+		total += COut * cur.Card
+		if a.Expand.Out.IsVar() {
+			cur.V[a.Expand.Out.Var] = maxF(minF(float64(len(a.Expand.Table)), cur.Card), 1)
+		}
+	}
+	cur.Cost = total
+	return cur
+}
+
+// RangeUCQ estimates a union of range CQs: costs and cardinalities add up,
+// as in UCQ.
+func (m *Model) RangeUCQ(u query.RangeUCQ) Estimate {
+	out := Estimate{V: map[string]float64{}}
+	for _, cq := range u.CQs {
+		e := m.RangeCQ(cq)
+		out.Cost += e.Cost
+		out.Card += e.Card
+		for v, n := range e.V {
+			out.V[v] += n
+		}
+	}
+	for v := range out.V {
+		if out.V[v] > out.Card {
+			out.V[v] = out.Card
+		}
+	}
+	return out
+}

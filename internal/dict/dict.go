@@ -26,6 +26,10 @@ type Dict struct {
 	byKey  map[string]ID
 	terms  []rdf.Term // terms[i] is the term with ID i+1
 	frozen bool
+
+	// intervals maps a class/property ID to the contiguous ID interval of
+	// its hierarchy subtree under the current encoding; see interval.go.
+	intervals map[ID]Interval
 }
 
 // New returns an empty dictionary.

@@ -169,3 +169,61 @@ func TestEncodeLookupIRI(t *testing.T) {
 		t.Fatalf("LookupIRI = (%d,%v), want (%d,true)", got, ok, id)
 	}
 }
+
+func TestPermuteAndIntervals(t *testing.T) {
+	d := New()
+	terms := []rdf.Term{
+		rdf.NewIRI("http://x/a"), rdf.NewIRI("http://x/b"),
+		rdf.NewIRI("http://x/c"), rdf.NewIRI("http://x/d"),
+	}
+	for _, tm := range terms {
+		d.Encode(tm)
+	}
+	d.SetIntervals(map[ID]Interval{2: {Lo: 2, Hi: 3}})
+	if iv, ok := d.Interval(2); !ok || iv.Lo != 2 || iv.Hi != 3 || iv.Len() != 2 {
+		t.Fatalf("interval lookup wrong: %+v %v", iv, ok)
+	}
+	if !(Interval{Lo: 2, Hi: 3}).Contains(3) || (Interval{Lo: 2, Hi: 3}).Contains(4) {
+		t.Fatal("Interval.Contains wrong")
+	}
+
+	// Reverse the encoding: term with old ID i moves to 5-i.
+	if err := d.Permute([]ID{None, 4, 3, 2, 1}); err != nil {
+		t.Fatal(err)
+	}
+	for i, tm := range terms {
+		want := ID(4 - i)
+		if id, ok := d.Lookup(tm); !ok || id != want {
+			t.Fatalf("%s: id %d after permute, want %d", tm, id, want)
+		}
+		if got := d.Decode(want); got != tm {
+			t.Fatalf("decode(%d) = %s, want %s", want, got, tm)
+		}
+	}
+	// Permute clears the interval table (it described the old encoding).
+	if _, ok := d.Interval(2); ok {
+		t.Fatal("intervals survived a permute")
+	}
+}
+
+func TestPermuteRejectsBadTables(t *testing.T) {
+	d := New()
+	d.EncodeIRI("http://x/a")
+	d.EncodeIRI("http://x/b")
+	cases := [][]ID{
+		{None, 1},       // wrong length
+		{1, 1, 2},       // remap[0] != None
+		{None, 1, 1},    // not a bijection
+		{None, 1, 3},    // out of range
+		{None, None, 2}, // None assigned
+	}
+	for i, remap := range cases {
+		if err := d.Permute(remap); err == nil {
+			t.Errorf("case %d: bad remap %v accepted", i, remap)
+		}
+	}
+	// A failed permute must leave the encoding untouched.
+	if id, _ := d.LookupIRI("http://x/a"); id != 1 {
+		t.Fatalf("failed permute moved an id: a = %d", id)
+	}
+}

@@ -32,7 +32,7 @@ func TestConcurrentAnswerSharedCaches(t *testing.T) {
 			for j := 0; j < 4; j++ {
 				eng := *e // per-request shallow copy, as httpapi does
 				eng.Budget.Timeout = 30 * time.Second
-				strategies := []Strategy{Sat, RefUCQ, RefSCQ, RefGCov}
+				strategies := []Strategy{Sat, RefUCQ, RefSCQ, RefGCov, RefRange}
 				s := strategies[(i+j)%len(strategies)]
 				ans, err := eng.AnswerContext(context.Background(), q, s)
 				if err != nil {

@@ -44,6 +44,10 @@ const (
 	// RefGCov evaluates the JUCQ of the cover selected by the greedy
 	// cost-based search (the paper's contribution).
 	RefGCov Strategy = "ref-gcov"
+	// RefRange evaluates the range reformulation: under the hierarchy-aware
+	// interval ID encoding each CQ reformulates into a handful of range CQs
+	// whose interval-constrained scans stand for whole hierarchy unions.
+	RefRange Strategy = "ref-range"
 	// RefIncomplete evaluates the UCQ reformulation restricted to
 	// subClassOf/subPropertyOf rules — the fixed incomplete strategy of
 	// Virtuoso/AllegroGraph per [6]. Its answers may be incomplete.
@@ -53,7 +57,7 @@ const (
 )
 
 // Strategies lists every strategy in presentation order.
-var Strategies = []Strategy{Sat, RefUCQ, RefSCQ, RefJUCQ, RefGCov, RefIncomplete, Dat}
+var Strategies = []Strategy{Sat, RefUCQ, RefSCQ, RefJUCQ, RefGCov, RefRange, RefIncomplete, Dat}
 
 // Answer is the outcome of answering one query with one strategy.
 type Answer struct {
@@ -132,6 +136,7 @@ type Engine struct {
 	satModel *cost.Model
 	ref      *core.Reformulator
 	incRef   *core.Reformulator
+	rangeRef *core.RangeReformulator
 	satRes   *saturation.Result
 	satStore *storage.Store
 	satStats *stats.Stats
@@ -198,6 +203,15 @@ func (e *Engine) Reformulator() *core.Reformulator {
 		e.ref = core.NewReformulator(e.g.Schema())
 	}
 	return e.ref
+}
+
+// RangeReformulator returns the interval-encoding reformulator for the
+// graph's schema.
+func (e *Engine) RangeReformulator() *core.RangeReformulator {
+	if e.rangeRef == nil {
+		e.rangeRef = core.NewRangeReformulator(e.g.Schema())
+	}
+	return e.rangeRef
 }
 
 // IncompleteReformulator returns the subsumption-only reformulator.
@@ -353,6 +367,8 @@ func (e *Engine) answer(ctx context.Context, q query.CQ, s Strategy, sp *trace.S
 		return e.answerCover(ctx, q, query.SingletonCover(len(q.Atoms)), RefSCQ, sp)
 	case RefGCov:
 		return e.answerGCov(ctx, q, sp)
+	case RefRange:
+		return e.answerRange(ctx, q, sp)
 	case RefIncomplete:
 		return e.answerUCQ(ctx, q, e.IncompleteReformulator(), RefIncomplete, sp)
 	case Dat:

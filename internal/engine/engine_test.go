@@ -57,7 +57,7 @@ func TestAllCompleteStrategiesAgree(t *testing.T) {
 	if want.Rows.Len() != 1 {
 		t.Fatalf("sat answer count %d, want 1", want.Rows.Len())
 	}
-	for _, s := range []Strategy{RefUCQ, RefSCQ, RefGCov, Dat} {
+	for _, s := range []Strategy{RefUCQ, RefSCQ, RefGCov, RefRange, Dat} {
 		got, err := e.Answer(q, s)
 		if err != nil {
 			t.Fatalf("%s: %v", s, err)
@@ -173,7 +173,7 @@ func TestStrategiesAgreeRandom(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				for _, s := range []Strategy{RefUCQ, RefSCQ, RefGCov, Dat} {
+				for _, s := range []Strategy{RefUCQ, RefSCQ, RefGCov, RefRange, Dat} {
 					got, err := e.Answer(q, s)
 					if err != nil {
 						t.Fatalf("%s: %v", s, err)
@@ -199,7 +199,7 @@ func TestStrategiesAgreeRandom(t *testing.T) {
 func TestBooleanQueryAllStrategies(t *testing.T) {
 	e, g := mustEngine(t)
 	q := mustQuery(t, g, `q() :- x rdf:type ex:Person`)
-	for _, s := range []Strategy{Sat, RefUCQ, RefSCQ, RefGCov, Dat} {
+	for _, s := range []Strategy{Sat, RefUCQ, RefSCQ, RefGCov, RefRange, Dat} {
 		a, err := e.Answer(q, s)
 		if err != nil {
 			t.Fatalf("%s: %v", s, err)

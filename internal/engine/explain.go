@@ -59,6 +59,8 @@ func (e *Engine) Plan(q query.CQ, s Strategy) (*Plan, error) {
 		return e.planCover(q, query.SingletonCover(len(q.Atoms)), RefSCQ)
 	case RefGCov:
 		return e.planGCov(q)
+	case RefRange:
+		return e.planRange(q)
 	case Dat:
 		return e.planDat(q)
 	case RefJUCQ:

@@ -1,7 +1,10 @@
 package engine
 
 import (
+	"fmt"
+
 	"repro/internal/dict"
+	"repro/internal/graph"
 	"repro/internal/rdf"
 	"repro/internal/saturation"
 )
@@ -56,6 +59,80 @@ func (e *Engine) DeleteData(ts []rdf.Triple) (int, error) {
 	m.Delete(enc)
 	e.invalidateAfterUpdate()
 	return removed, nil
+}
+
+// isSchemaAssertion reports whether the triple belongs to the TBox: an
+// RDFS constraint or a class/property declaration.
+func isSchemaAssertion(t rdf.Triple) bool {
+	if rdf.IsSchemaTriple(t) {
+		return true
+	}
+	return t.P.IsIRI() && t.P.Value == rdf.TypeIRI && t.O.IsIRI() &&
+		(t.O.Value == rdf.ClassIRI || t.O.Value == rdf.PropertyIRI)
+}
+
+// UpdateSchema adds TBox triples — subClassOf, subPropertyOf, domain,
+// range, or class/property declarations — and rebuilds the graph around
+// the re-closed schema. The rebuild re-encodes the dictionary so hierarchy
+// subtrees stay interval-contiguous; every derived structure (stores,
+// statistics, cost models, reformulators, the saturation, cached GCov
+// plans and materialized view-cache fragments) refers to the old IDs or
+// the old entailments, so all of them are dropped. Answers computed after
+// UpdateSchema returns therefore never see a stale fragment or plan.
+func (e *Engine) UpdateSchema(add []rdf.Triple) error {
+	for i, t := range add {
+		if !t.WellFormed() {
+			return fmt.Errorf("engine: schema triple %d is ill-formed: %s", i, t)
+		}
+		if !isSchemaAssertion(t) {
+			return fmt.Errorf("engine: triple %d (%s) is not a schema triple; use InsertData", i, t)
+		}
+	}
+	d := e.g.Dict()
+	s := e.g.Schema()
+	ts := make([]rdf.Triple, 0, len(s.Triples())+len(s.Classes())+len(s.Properties())+e.g.DataCount()+len(add))
+	for _, t := range s.Triples() {
+		ts = append(ts, d.DecodeTriple(t))
+	}
+	// The closure triples alone do not carry declaration-only classes and
+	// properties (buildTriples emits no declarations); re-declare them so
+	// the rebuilt schema keeps the same class and property sets.
+	for _, c := range s.Classes() {
+		ts = append(ts, rdf.Triple{S: d.Decode(c), P: rdf.Type, O: rdf.NewIRI(rdf.ClassIRI)})
+	}
+	for _, p := range s.Properties() {
+		ts = append(ts, rdf.Triple{S: d.Decode(p), P: rdf.Type, O: rdf.NewIRI(rdf.PropertyIRI)})
+	}
+	ts = append(ts, e.g.DecodedData()...)
+	ts = append(ts, add...)
+	g, err := graph.FromTriples(ts)
+	if err != nil {
+		return err
+	}
+	e.g = g
+	e.invalidateAfterSchemaChange()
+	return nil
+}
+
+// invalidateAfterSchemaChange drops every cache: a schema change both
+// re-encodes the dictionary (so all cached IDs are stale) and changes the
+// entailments (so the maintained closure and all reformulators are stale).
+func (e *Engine) invalidateAfterSchemaChange() {
+	e.store = nil
+	e.st = nil
+	e.model = nil
+	e.satModel = nil
+	e.ref = nil
+	e.incRef = nil
+	e.rangeRef = nil
+	e.satRes = nil
+	e.satStore = nil
+	e.satStats = nil
+	e.maintained = nil
+	e.plans = newPlanCache(0)
+	if e.views != nil {
+		e.views.Invalidate()
+	}
 }
 
 // invalidateAfterUpdate drops data-dependent caches and refreshes the

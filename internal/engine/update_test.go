@@ -1,0 +1,187 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/query"
+	"repro/internal/rdf"
+	"repro/internal/viewcache"
+)
+
+func ex(n string) rdf.Term { return rdf.NewIRI("http://example.org/" + n) }
+
+func TestUpdateSchemaRejectsNonSchemaTriples(t *testing.T) {
+	e, _ := mustEngine(t)
+	data := rdf.NewTriple(ex("doi9"), rdf.Type, ex("Book"))
+	if err := e.UpdateSchema([]rdf.Triple{data}); err == nil {
+		t.Fatal("instance triple accepted by UpdateSchema")
+	}
+	if err := e.UpdateSchema([]rdf.Triple{{}}); err == nil {
+		t.Fatal("ill-formed triple accepted by UpdateSchema")
+	}
+}
+
+// TestUpdateSchemaInvalidatesViewCacheAndPlans is the stale-fragment
+// regression test: answer a query with the view cache enabled, edit the
+// TBox so the same textual query has more answers, re-answer — the second
+// answer must reflect the new schema, for every strategy, including the
+// interval-encoded ref-range (whose dictionary the update re-encodes).
+func TestUpdateSchemaInvalidatesViewCacheAndPlans(t *testing.T) {
+	e, g := mustEngine(t)
+	e.EnableViewCache(viewcache.Config{MinCost: -1}) // admit everything
+	text := `q(x) :- x rdf:type ex:Publication`
+	q := mustQuery(t, g, text)
+
+	strategies := []Strategy{RefSCQ, RefGCov, RefRange}
+	before := map[Strategy]int{}
+	for _, s := range strategies {
+		for pass := 0; pass < 2; pass++ { // cold then warm: populate fragments
+			a, err := e.Answer(q, s)
+			if err != nil {
+				t.Fatalf("%s pass %d: %v", s, pass, err)
+			}
+			before[s] = a.Rows.Len()
+		}
+	}
+	if e.ViewCache().Len() == 0 {
+		t.Fatal("view cache admitted nothing; the invalidation check would be vacuous")
+	}
+
+	// TBox edit: every Person becomes a Publication. _:b1 is a Person via
+	// range(writtenBy), so the query gains answers.
+	add := []rdf.Triple{rdf.NewTriple(ex("Person"), rdf.SubClassOf, ex("Publication"))}
+	if err := e.UpdateSchema(add); err != nil {
+		t.Fatal(err)
+	}
+
+	// The update re-encoded the dictionary; re-parse the same textual query
+	// against the rebuilt graph, as a client re-submitting it would.
+	q2 := mustQuery(t, e.Graph(), text)
+	fresh := New(e.Graph())
+	for _, s := range strategies {
+		want, err := fresh.Answer(q2, s)
+		if err != nil {
+			t.Fatalf("%s fresh: %v", s, err)
+		}
+		got, err := e.Answer(q2, s)
+		if err != nil {
+			t.Fatalf("%s after update: %v", s, err)
+		}
+		if !got.Rows.Equal(want.Rows) {
+			t.Fatalf("%s: stale answer after schema update: %d rows, fresh engine has %d",
+				s, got.Rows.Len(), want.Rows.Len())
+		}
+		if got.Rows.Len() <= before[s] {
+			t.Fatalf("%s: schema edit not visible: %d rows before, %d after",
+				s, before[s], got.Rows.Len())
+		}
+	}
+}
+
+// TestUpdateSchemaConcurrentNoStaleReads interleaves TBox updates and data
+// inserts with concurrent queries (run under -race). Updates hold the write
+// lock, queries the read lock — the engine's documented contract — so every
+// query observes a settled database; the assertion is that its answer counts
+// exactly the Publications present at that point, i.e. no cache layer serves
+// results from before a completed schema change.
+func TestUpdateSchemaConcurrentNoStaleReads(t *testing.T) {
+	e, _ := mustEngine(t)
+	e.EnableViewCache(viewcache.Config{MinCost: -1})
+	text := `q(x) :- x rdf:type ex:Publication`
+
+	const iterations = 6
+	var (
+		mu       sync.RWMutex
+		expected = 1 // ex:doi1 is a Book, hence a Publication
+	)
+	errs := make(chan error, 8)
+	var wg sync.WaitGroup
+
+	// Schema writer: grafts a new subclass of Publication and one instance.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iterations; i++ {
+			mu.Lock()
+			err := e.UpdateSchema([]rdf.Triple{
+				rdf.NewTriple(ex(fmt.Sprintf("Novel%d", i)), rdf.SubClassOf, ex("Publication")),
+			})
+			if err == nil {
+				err = e.InsertData([]rdf.Triple{
+					rdf.NewTriple(ex(fmt.Sprintf("nov%d", i)), rdf.Type, ex(fmt.Sprintf("Novel%d", i))),
+				})
+			}
+			if err == nil {
+				expected++
+			}
+			mu.Unlock()
+			if err != nil {
+				errs <- err
+				return
+			}
+		}
+	}()
+
+	// Data writer: plain Book inserts between schema rebuilds.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iterations; i++ {
+			mu.Lock()
+			err := e.InsertData([]rdf.Triple{
+				rdf.NewTriple(ex(fmt.Sprintf("doiW%d", i)), rdf.Type, ex("Book")),
+			})
+			if err == nil {
+				expected++
+			}
+			mu.Unlock()
+			if err != nil {
+				errs <- err
+				return
+			}
+		}
+	}()
+
+	for r := 0; r < 4; r++ {
+		r := r
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			strategies := []Strategy{RefSCQ, RefRange}
+			for i := 0; i < iterations*2; i++ {
+				s := strategies[(r+i)%len(strategies)]
+				mu.RLock()
+				want := expected
+				eng := *e // per-request shallow copy, as httpapi does
+				eng.Budget.Timeout = 30 * time.Second
+				// Schema updates re-encode the dictionary, so the query is
+				// re-parsed against the current graph, as clients do.
+				q, err := query.ParseRuleWithPrefixes(eng.Graph().Dict(),
+					map[string]string{"ex": "http://example.org/"}, text)
+				var ans *Answer
+				if err == nil {
+					ans, err = eng.AnswerContext(context.Background(), q, s)
+				}
+				mu.RUnlock()
+				if err != nil {
+					errs <- err
+					return
+				}
+				if ans.Rows.Len() != want {
+					errs <- fmt.Errorf("%s: got %d Publications, want %d — stale state served",
+						s, ans.Rows.Len(), want)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

@@ -45,7 +45,30 @@ func FromTriples(ts []rdf.Triple) (*Graph, error) {
 		return nil, err
 	}
 	g := &Graph{d: d, schema: b.Close(), data: sortDedup(data)}
+	g.Reencode()
 	return g, nil
+}
+
+// Reencode applies the hierarchy-aware interval encoding: IDs are permuted
+// so every subClassOf/subPropertyOf subtree occupies a contiguous interval
+// (schema.BuildIntervalRemap), the dictionary, schema and data triples are
+// rewritten through the remap table, and the subtree-interval table is
+// installed on the dictionary. Idempotent; called after every schema
+// (re)build. Terms encoded later (new data) take IDs past the hierarchy
+// blocks, which leaves existing intervals valid.
+func (g *Graph) Reencode() {
+	remap, changed := g.schema.BuildIntervalRemap()
+	if changed {
+		if err := g.d.Permute(remap); err != nil {
+			panic(fmt.Sprintf("graph: reencode: %v", err))
+		}
+		g.schema = g.schema.Remapped(remap)
+		for i, t := range g.data {
+			g.data[i] = dict.Triple{S: remap[t.S], P: remap[t.P], O: remap[t.O]}
+		}
+		g.data = sortDedup(g.data)
+	}
+	g.d.SetIntervals(g.schema.SubtreeIntervals())
 }
 
 // Parse reads triples in N-Triples/Turtle-subset syntax and builds a graph.

@@ -1,0 +1,129 @@
+package graph
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/dict"
+)
+
+// buildHierarchyTurtle decodes a byte string into a small TBox + ABox: each
+// byte pair (a, b) adds either a subclass edge Ca ⊑ Cb or a subproperty edge
+// pa ⊑ pb (alternating), over 8 classes and 4 properties, plus one instance
+// per class so the data side is non-trivial. The decoding is total, so any
+// fuzz input maps to some graph — including diamonds, cycles and multi-root
+// forests.
+func buildHierarchyTurtle(data []byte) string {
+	var sb strings.Builder
+	sb.WriteString("@prefix ex: <http://example.org/> .\n")
+	for i := 0; i+1 < len(data); i += 2 {
+		a, b := int(data[i]), int(data[i+1])
+		if i%4 == 0 {
+			fmt.Fprintf(&sb, "ex:C%d rdfs:subClassOf ex:C%d .\n", a%8, b%8)
+		} else {
+			fmt.Fprintf(&sb, "ex:p%d rdfs:subPropertyOf ex:p%d .\n", a%4, b%4)
+		}
+	}
+	for i := 0; i < 8; i++ {
+		fmt.Fprintf(&sb, "ex:e%d a ex:C%d .\n", i, i)
+	}
+	sb.WriteString("ex:e0 ex:p0 ex:e1 .\n")
+	return sb.String()
+}
+
+// checkIntervalInvariants asserts what the interval encoding promises after
+// FromTriples/ParseString re-encoded the graph:
+//
+//  1. the labeling is idempotent (a second remap is the identity);
+//  2. every interval the dictionary serves covers exactly the closure
+//     subtree of its root — no member outside, no stranger inside.
+func checkIntervalInvariants(t *testing.T, g *Graph) {
+	t.Helper()
+	s, d := g.Schema(), g.Dict()
+	if remap, changed := s.BuildIntervalRemap(); changed {
+		t.Fatalf("interval labeling is not idempotent: second remap moves IDs (%v)", remap)
+	}
+	subtree := func(root dict.ID, down []dict.ID) map[dict.ID]bool {
+		m := map[dict.ID]bool{root: true}
+		for _, id := range down {
+			m[id] = true
+		}
+		return m
+	}
+	check := func(kind string, root dict.ID, down []dict.ID) {
+		iv, ok := d.Interval(root)
+		if !ok {
+			return // diamond or cycle: contiguity not promised, exact sets are used
+		}
+		members := subtree(root, down)
+		if iv.Len() != len(members) {
+			t.Fatalf("%s %s: interval [%d,%d] covers %d IDs, subtree has %d",
+				kind, d.Decode(root), iv.Lo, iv.Hi, iv.Len(), len(members))
+		}
+		for id := range members {
+			if !iv.Contains(id) {
+				t.Fatalf("%s %s: subtree member %s outside interval [%d,%d]",
+					kind, d.Decode(root), d.Decode(id), iv.Lo, iv.Hi)
+			}
+		}
+	}
+	for _, c := range s.Classes() {
+		check("class", c, s.SubClasses(c))
+	}
+	for _, p := range s.Properties() {
+		if s.IsClass(p) {
+			continue // the class interval wins for dual class/property terms
+		}
+		check("property", p, s.SubProperties(p))
+	}
+}
+
+// FuzzIntervalRemap drives the DFS interval labeling with arbitrary
+// hierarchy shapes. Seeds cover the cases the encoding must survive rather
+// than exploit: chains, diamonds (multiple inheritance), cycles and
+// multi-root forests.
+func FuzzIntervalRemap(f *testing.F) {
+	f.Add([]byte{})                                         // no edges: forest of singletons
+	f.Add([]byte{0, 1, 0, 1, 1, 2, 1, 2, 2, 3})             // chain C0⊑C1⊑C2⊑C3 (+ prop chain)
+	f.Add([]byte{0, 1, 9, 9, 0, 2, 9, 9, 1, 3, 9, 9, 2, 3}) // diamond: C0⊑C1, C0⊑C2, C1⊑C3, C2⊑C3
+	f.Add([]byte{0, 1, 0, 1, 1, 2, 1, 2, 2, 0, 2, 0})       // cycle C0⊑C1⊑C2⊑C0 (equivalent classes)
+	f.Add([]byte{0, 2, 9, 9, 1, 2, 9, 9, 4, 6, 9, 9, 5, 6}) // two trees, multi-root
+	f.Add([]byte{3, 3, 3, 3})                               // self-loops
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 64 {
+			return // bound closure size; shapes repeat beyond this
+		}
+		g, err := ParseString(buildHierarchyTurtle(data))
+		if err != nil {
+			return // e.g. the parser rejects some closure shapes; not under test
+		}
+		checkIntervalInvariants(t, g)
+		// Snapshots must preserve the encoding bit-for-bit, intervals included.
+		back := roundTripSnapshot(t, g)
+		checkIntervalInvariants(t, back)
+		a, b := g.AllTriples(), back.AllTriples()
+		if len(a) != len(b) {
+			t.Fatalf("snapshot changed triple count: %d vs %d", len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("snapshot changed triple %d: %v vs %v", i, a[i], b[i])
+			}
+		}
+	})
+}
+
+func roundTripSnapshot(t *testing.T, g *Graph) *Graph {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := g.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return back
+}

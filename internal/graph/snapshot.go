@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 
 	"repro/internal/dict"
 	"repro/internal/rdf"
@@ -18,11 +19,17 @@ const snapshotMagic = "repro-rdf-snapshot-v1\n"
 // snapshot is the gob payload: the dictionary's term table (IDs are the
 // 1-based positions) plus encoded data and closed-schema triples. Reloads
 // rebuild the same IDs, so stores and statistics computed after a reload
-// match the original exactly.
+// match the original exactly. Classes and Properties record the declared
+// class/property sets — the closed constraint triples alone lose
+// constraint-free declarations, and the interval re-encoding needs the full
+// sets to reproduce the same DFS layout (gob tolerates the fields being
+// absent in pre-interval snapshots).
 type snapshot struct {
-	Terms  []rdf.Term
-	Data   []dict.Triple
-	Schema []dict.Triple
+	Terms      []rdf.Term
+	Data       []dict.Triple
+	Schema     []dict.Triple
+	Classes    []dict.ID
+	Properties []dict.ID
 }
 
 // WriteSnapshot serializes the graph (dictionary, data, closed schema).
@@ -32,8 +39,10 @@ func (g *Graph) WriteSnapshot(w io.Writer) error {
 		return err
 	}
 	snap := snapshot{
-		Data:   g.data,
-		Schema: g.schema.Triples(),
+		Data:       g.data,
+		Schema:     g.schema.Triples(),
+		Classes:    g.schema.Classes(),
+		Properties: g.schema.Properties(),
 	}
 	snap.Terms = make([]rdf.Term, g.d.Len())
 	for i := range snap.Terms {
@@ -45,15 +54,25 @@ func (g *Graph) WriteSnapshot(w io.Writer) error {
 	return bw.Flush()
 }
 
-// SaveSnapshot writes the snapshot to a file (atomically via a temp file in
-// the same directory).
+// SaveSnapshot writes the snapshot to a file, atomically and crash-durably:
+// the payload goes to a uniquely named temp file in the target directory
+// (so concurrent saves never clobber each other mid-write), is fsynced
+// before the rename, and the directory entry is fsynced after it. A crash
+// at any point leaves either the old snapshot or the new one, never a
+// partial file at path.
 func (g *Graph) SaveSnapshot(path string) error {
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, ".snapshot-*.tmp")
 	if err != nil {
 		return err
 	}
+	tmp := f.Name()
 	if err := g.WriteSnapshot(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
 		f.Close()
 		os.Remove(tmp)
 		return err
@@ -62,7 +81,21 @@ func (g *Graph) SaveSnapshot(path string) error {
 		os.Remove(tmp)
 		return err
 	}
-	return os.Rename(tmp, path)
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a just-renamed entry survives a crash.
+func syncDir(dir string) error {
+	df, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer df.Close()
+	return df.Sync()
 }
 
 // ReadSnapshot reconstructs a graph from a snapshot stream. The rebuilt
@@ -100,6 +133,18 @@ func ReadSnapshot(r io.Reader) (*Graph, error) {
 		return nil
 	}
 	b := schema.NewBuilder(d)
+	for _, id := range snap.Classes {
+		if id == dict.None || id > n {
+			return nil, fmt.Errorf("graph: snapshot class id %d unknown", id)
+		}
+		b.DeclareClass(d.Decode(id))
+	}
+	for _, id := range snap.Properties {
+		if id == dict.None || id > n {
+			return nil, fmt.Errorf("graph: snapshot property id %d unknown", id)
+		}
+		b.DeclareProperty(d.Decode(id))
+	}
 	for _, t := range snap.Schema {
 		if err := checkTriple(t, "schema"); err != nil {
 			return nil, err
@@ -117,7 +162,11 @@ func ReadSnapshot(r io.Reader) (*Graph, error) {
 			return nil, err
 		}
 	}
-	return &Graph{d: d, schema: b.Close(), data: sortDedup(snap.Data)}, nil
+	g := &Graph{d: d, schema: b.Close(), data: sortDedup(snap.Data)}
+	// Snapshots written after the interval encoding are already in DFS
+	// order, so this is the identity; older snapshots get re-encoded here.
+	g.Reencode()
+	return g, nil
 }
 
 // LoadSnapshot reads a snapshot file.

@@ -4,8 +4,10 @@ import (
 	"bytes"
 	"fmt"
 	"math/rand"
+	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 
 	"repro/internal/dict"
@@ -160,5 +162,128 @@ func TestSnapshotRoundTripRandom(t *testing.T) {
 				t.Fatalf("seed %d: triple %d differs", seed, i)
 			}
 		}
+	}
+}
+
+// TestSaveSnapshotCrashedTempNeverReplaces simulates a crash mid-save: a
+// partial payload sits in the directory under a temp name (exactly the
+// on-disk state if the process dies before the rename). The good snapshot
+// at the target path must be untouched, and the partial file must not be
+// loadable as a snapshot.
+func TestSaveSnapshotCrashedTempNeverReplaces(t *testing.T) {
+	g, err := ParseString(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "graph.snap")
+	if err := g.SaveSnapshot(path); err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash injection: half a snapshot under the temp naming scheme.
+	var buf bytes.Buffer
+	if err := g.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	partial := buf.Bytes()[:buf.Len()/2]
+	crashed := filepath.Join(dir, ".snapshot-crashed.tmp")
+	if err := os.WriteFile(crashed, partial, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	back, err := LoadSnapshot(path)
+	if err != nil {
+		t.Fatalf("good snapshot unloadable after simulated crash: %v", err)
+	}
+	if back.DataCount() != g.DataCount() {
+		t.Fatalf("good snapshot corrupted: %d data triples, want %d",
+			back.DataCount(), g.DataCount())
+	}
+	if _, err := LoadSnapshot(crashed); err == nil {
+		t.Fatal("partial temp file accepted as a snapshot")
+	}
+}
+
+// TestSaveSnapshotFailureKeepsTargetAndCleansTemp forces the final rename to
+// fail (the target path is a directory) and checks the error path: the save
+// reports the error and leaves no temp file behind.
+func TestSaveSnapshotFailureKeepsTargetAndCleansTemp(t *testing.T) {
+	g, err := ParseString(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	target := filepath.Join(dir, "iamadir")
+	if err := os.Mkdir(target, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.SaveSnapshot(target); err == nil {
+		t.Fatal("rename onto a directory must fail")
+	}
+	leftovers, err := filepath.Glob(filepath.Join(dir, ".snapshot-*.tmp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(leftovers) != 0 {
+		t.Fatalf("failed save leaked temp files: %v", leftovers)
+	}
+}
+
+// TestSaveSnapshotConcurrent hammers one target path from many goroutines
+// saving two different graphs (run under -race in CI). Whatever interleaving
+// happens, the final file must be a complete snapshot of one of them —
+// never a torn mix — and no temp files may remain.
+func TestSaveSnapshotConcurrent(t *testing.T) {
+	g1, err := ParseString(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ParseString(sample + "ex:doi2 a ex:Book .\nex:doi3 a ex:Publication .\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "graph.snap")
+
+	const savers = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, savers)
+	for i := 0; i < savers; i++ {
+		g := g1
+		if i%2 == 1 {
+			g = g2
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < 5; k++ {
+				if err := g.SaveSnapshot(path); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	back, err := LoadSnapshot(path)
+	if err != nil {
+		t.Fatalf("final snapshot unloadable: %v", err)
+	}
+	if n := back.DataCount(); n != g1.DataCount() && n != g2.DataCount() {
+		t.Fatalf("final snapshot has %d data triples, want %d or %d",
+			n, g1.DataCount(), g2.DataCount())
+	}
+	leftovers, err := filepath.Glob(filepath.Join(dir, ".snapshot-*.tmp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(leftovers) != 0 {
+		t.Fatalf("concurrent saves leaked temp files: %v", leftovers)
 	}
 }

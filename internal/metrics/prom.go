@@ -26,6 +26,7 @@ var promLabelRules = []struct{ prefix, label string }{
 	{"viewcache.", "event"},
 	{"plancache.", "event"},
 	{"admission.", "event"},
+	{"rangeref.", "event"},
 }
 
 // promName splits a dotted registry name into a sanitized metric family

@@ -1,0 +1,192 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/dict"
+	"repro/internal/storage"
+)
+
+// This file defines range queries: the reformulation target of the
+// ref-range strategy. Under the hierarchy-aware interval encoding a
+// hierarchy union (all subclasses of c, all subproperties of p) is a small
+// list of ID ranges, so one range atom stands for the whole union of
+// atomic reformulations that ref-ucq would enumerate.
+
+// RangeArg is one position of a range atom. With Ranges == nil it behaves
+// exactly like the plain Arg. With Ranges non-nil the position must fall in
+// one of the (sorted, disjoint) ID ranges; Arg.Var then optionally names a
+// capture variable bound to the matched ID (empty for "constrained, not
+// captured").
+type RangeArg struct {
+	Arg    Arg
+	Ranges []storage.IDRange
+}
+
+// PlainArg builds an unconstrained range position from a plain argument.
+func PlainArg(a Arg) RangeArg { return RangeArg{Arg: a} }
+
+// Expansion post-processes the rows matched by a range atom: the ID bound
+// to the In variable is mapped through Table to recover the entailed
+// hierarchy ancestors, each emitted as a binding for Out. With Reflexive
+// set the matched ID itself is also emitted (identity entailment). When Out
+// is a constant (a reformulation rule bound it), the expansion acts as a
+// filter instead. This reproduces, in one pass, the per-ancestor atomic
+// CQs of the UCQ reformulation.
+type Expansion struct {
+	In        string
+	Out       Arg
+	Table     map[dict.ID][]dict.ID
+	Reflexive bool
+}
+
+// RangeAtom is one triple pattern whose positions may be range-constrained,
+// with an optional expansion applied after the CQ's joins.
+type RangeAtom struct {
+	S, P, O RangeArg
+	Expand  *Expansion
+}
+
+// Substitute rewrites variable occurrences in the plain arguments and in
+// the expansion output (bindings never touch capture variables: those are
+// atom-local fresh names).
+func (t RangeAtom) Substitute(sub map[string]Arg) RangeAtom {
+	reps := func(ra RangeArg) RangeArg {
+		if ra.Ranges == nil && ra.Arg.IsVar() {
+			if rep, ok := sub[ra.Arg.Var]; ok {
+				ra.Arg = rep
+			}
+		}
+		return ra
+	}
+	t.S, t.P, t.O = reps(t.S), reps(t.P), reps(t.O)
+	if t.Expand != nil && t.Expand.Out.IsVar() {
+		if rep, ok := sub[t.Expand.Out.Var]; ok {
+			e := *t.Expand
+			e.Out = rep
+			t.Expand = &e
+		}
+	}
+	return t
+}
+
+// Vars appends the variable names bound by the atom (plain variables,
+// capture variables, and the expansion output) to dst.
+func (t RangeAtom) Vars(dst []string) []string {
+	for _, ra := range [3]RangeArg{t.S, t.P, t.O} {
+		if ra.Arg.IsVar() {
+			dst = append(dst, ra.Arg.Var)
+		}
+	}
+	if t.Expand != nil && t.Expand.Out.IsVar() {
+		dst = append(dst, t.Expand.Out.Var)
+	}
+	return dst
+}
+
+// RangeAtoms counts the atoms with at least one range-constrained position.
+func (q RangeCQ) RangeAtoms() int {
+	n := 0
+	for _, t := range q.Atoms {
+		if t.S.Ranges != nil || t.P.Ranges != nil || t.O.Ranges != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// Expansions counts the atoms carrying an expansion.
+func (q RangeCQ) Expansions() int {
+	n := 0
+	for _, t := range q.Atoms {
+		if t.Expand != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// RangeCQ is a conjunctive query over range atoms.
+type RangeCQ struct {
+	Head  []Arg
+	Atoms []RangeAtom
+}
+
+// RangeUCQ is a union of range CQs sharing head variable names.
+type RangeUCQ struct {
+	HeadNames []string
+	CQs       []RangeCQ
+}
+
+// Size returns the number of CQs in the union.
+func (u RangeUCQ) Size() int { return len(u.CQs) }
+
+// RangeAtoms sums RangeAtoms over all CQs.
+func (u RangeUCQ) RangeAtoms() int {
+	n := 0
+	for _, q := range u.CQs {
+		n += q.RangeAtoms()
+	}
+	return n
+}
+
+// Expansions sums Expansions over all CQs.
+func (u RangeUCQ) Expansions() int {
+	n := 0
+	for _, q := range u.CQs {
+		n += q.Expansions()
+	}
+	return n
+}
+
+// FormatRangeAtom renders a range atom for traces and explain output.
+func FormatRangeAtom(t RangeAtom) string {
+	var sb strings.Builder
+	pos := func(ra RangeArg) {
+		switch {
+		case ra.Ranges != nil && ra.Arg.IsVar():
+			fmt.Fprintf(&sb, "%s∈%s", ra.Arg.Var, formatRanges(ra.Ranges))
+		case ra.Ranges != nil:
+			sb.WriteString(formatRanges(ra.Ranges))
+		case ra.Arg.IsVar():
+			sb.WriteString(ra.Arg.Var)
+		default:
+			fmt.Fprintf(&sb, "#%d", ra.Arg.ID)
+		}
+	}
+	pos(t.S)
+	sb.WriteByte(' ')
+	pos(t.P)
+	sb.WriteByte(' ')
+	pos(t.O)
+	if t.Expand != nil {
+		op := "↑"
+		if t.Expand.Reflexive {
+			op = "↑="
+		}
+		out := t.Expand.Out.Var
+		if !t.Expand.Out.IsVar() {
+			out = fmt.Sprintf("#%d", t.Expand.Out.ID)
+		}
+		fmt.Fprintf(&sb, " [%s%s%s]", t.Expand.In, op, out)
+	}
+	return sb.String()
+}
+
+func formatRanges(rs []storage.IDRange) string {
+	var sb strings.Builder
+	sb.WriteByte('[')
+	for i, r := range rs {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		if r.IsExact() {
+			fmt.Fprintf(&sb, "%d", r.Lo)
+		} else {
+			fmt.Fprintf(&sb, "%d-%d", r.Lo, r.Hi)
+		}
+	}
+	sb.WriteByte(']')
+	return sb.String()
+}

@@ -53,6 +53,12 @@ type Schema struct {
 	classSet   map[dict.ID]bool
 	propSet    map[dict.ID]bool
 
+	// Direct (pre-closure) down-edges, retained for the DFS interval
+	// labeling (interval.go): closure edges would make every descendant a
+	// direct child and the DFS order meaningless.
+	directClassDown map[dict.ID][]dict.ID
+	directPropDown  map[dict.ID][]dict.ID
+
 	triples []dict.Triple // the closed schema triples, sorted
 }
 
@@ -198,6 +204,8 @@ func (b *Builder) Close() *Schema {
 	s.subClassDown = invert(s.subClassUp)
 	s.subPropUp = transitiveClosure(b.subProp)
 	s.subPropDown = invert(s.subPropUp)
+	s.directClassDown = invert(b.subClass)
+	s.directPropDown = invert(b.subProp)
 
 	for c := range b.classes {
 		s.classSet[c] = true

@@ -144,6 +144,14 @@ func (s *Stats) PatternCard(pat storage.Pattern) float64 {
 	return float64(s.store.Count(pat))
 }
 
+// RangeCard returns the exact number of triples matching the range
+// pattern. The shapes the range reformulator generates (an exact prefix
+// plus one range-constrained position) are two binary searches per range,
+// so exact counting stays cheap.
+func (s *Stats) RangeCard(p storage.RangePattern) float64 {
+	return float64(s.store.CountRange(p))
+}
+
 // DistinctVar estimates the number of distinct values appearing in the
 // given position ('s', 'p' or 'o') of the triples matching the pattern;
 // this is the V(R, a) quantity of textbook join-size formulas.

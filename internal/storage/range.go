@@ -1,0 +1,224 @@
+package storage
+
+import (
+	"sort"
+
+	"repro/internal/dict"
+)
+
+// IDRange is an inclusive range of dictionary IDs. Under the hierarchy-aware
+// interval encoding a whole subClassOf/subPropertyOf subtree is one such
+// range, so a hierarchy union collapses to a single range predicate.
+type IDRange struct {
+	Lo, Hi dict.ID
+}
+
+// Exact returns the one-ID range {id}.
+func Exact(id dict.ID) IDRange { return IDRange{Lo: id, Hi: id} }
+
+// IsExact reports whether the range covers exactly one ID.
+func (r IDRange) IsExact() bool { return r.Lo == r.Hi }
+
+// inRanges reports whether id lies in any of the sorted, disjoint ranges.
+func inRanges(rs []IDRange, id dict.ID) bool {
+	i := sort.Search(len(rs), func(i int) bool { return rs[i].Hi >= id })
+	return i < len(rs) && rs[i].Lo <= id
+}
+
+// InRanges reports whether id falls in one of the sorted, disjoint ranges.
+func InRanges(rs []IDRange, id dict.ID) bool { return inRanges(rs, id) }
+
+// MergeIDs turns a set of IDs into the minimal sorted list of inclusive
+// ranges covering exactly that set (consecutive IDs merge into one range).
+// The input is sorted in place; duplicates are tolerated.
+func MergeIDs(ids []dict.ID) []IDRange {
+	if len(ids) == 0 {
+		return nil
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	out := []IDRange{{Lo: ids[0], Hi: ids[0]}}
+	for _, id := range ids[1:] {
+		last := &out[len(out)-1]
+		switch {
+		case id <= last.Hi:
+			// duplicate
+		case id == last.Hi+1:
+			last.Hi = id
+		default:
+			out = append(out, IDRange{Lo: id, Hi: id})
+		}
+	}
+	return out
+}
+
+// RangePattern generalizes Pattern: each position is either a wildcard (nil)
+// or a sorted list of disjoint inclusive ID ranges the position must fall
+// in. Pattern{S: x} corresponds to RangePattern{S: []IDRange{Exact(x)}}.
+type RangePattern struct {
+	S, P, O []IDRange
+}
+
+// Matches reports whether the triple satisfies every constrained position.
+func (p RangePattern) Matches(t dict.Triple) bool {
+	return (p.S == nil || inRanges(p.S, t.S)) &&
+		(p.P == nil || inRanges(p.P, t.P)) &&
+		(p.O == nil || inRanges(p.O, t.O))
+}
+
+// exactPrefix counts how many leading positions of the given index order are
+// single exact ranges, and reports whether the next position is constrained
+// by ranges (usable as the final binary-search component).
+func exactPrefix(order [3][]IDRange) (nexact int, ranged bool) {
+	for _, rs := range order {
+		if len(rs) == 1 && rs[0].IsExact() {
+			nexact++
+			continue
+		}
+		return nexact, rs != nil
+	}
+	return nexact, false
+}
+
+// chooseRange picks the index ordering that binary-searches away the most
+// work: longest prefix of exact positions, range-constrained next position
+// as tie-break.
+func (st *Store) chooseRange(p RangePattern) (idx []dict.Triple, key func(dict.Triple) [3]dict.ID, order [3][]IDRange, nexact int, ranged bool) {
+	type cand struct {
+		idx   []dict.Triple
+		key   func(dict.Triple) [3]dict.ID
+		order [3][]IDRange
+	}
+	best := cand{st.spo, keySPO, [3][]IDRange{p.S, p.P, p.O}}
+	bn, br := exactPrefix(best.order)
+	for _, c := range []cand{
+		{st.pos, keyPOS, [3][]IDRange{p.P, p.O, p.S}},
+		{st.osp, keyOSP, [3][]IDRange{p.O, p.S, p.P}},
+	} {
+		n, r := exactPrefix(c.order)
+		if n > bn || (n == bn && r && !br) {
+			best, bn, br = c, n, r
+		}
+	}
+	return best.idx, best.key, best.order, bn, br
+}
+
+// rangeOfBounded returns the half-open index range of triples whose key
+// starts with the ne exact prefix values and whose next component lies in r:
+// the two-binary-search rangeOf generalized to an interval endpoint.
+func rangeOfBounded(idx []dict.Triple, key func(dict.Triple) [3]dict.ID, prefix [3]dict.ID, ne int, r IDRange) (int, int) {
+	cmpPrefix := func(k [3]dict.ID) int {
+		for i := 0; i < ne; i++ {
+			if k[i] != prefix[i] {
+				if k[i] < prefix[i] {
+					return -1
+				}
+				return 1
+			}
+		}
+		return 0
+	}
+	lo := sort.Search(len(idx), func(i int) bool {
+		k := key(idx[i])
+		if c := cmpPrefix(k); c != 0 {
+			return c > 0
+		}
+		return k[ne] >= r.Lo
+	})
+	hi := sort.Search(len(idx), func(i int) bool {
+		k := key(idx[i])
+		if c := cmpPrefix(k); c != 0 {
+			return c > 0
+		}
+		return k[ne] > r.Hi
+	})
+	return lo, hi
+}
+
+// EachRange calls fn for every triple matching the range pattern, in index
+// order, stopping early if fn returns false. Exact-prefix positions and one
+// range-constrained position are answered by binary search per range; any
+// further constrained positions are filtered residually.
+func (st *Store) EachRange(p RangePattern, fn func(dict.Triple) bool) {
+	idx, key, order, ne, ranged := st.chooseRange(p)
+	var prefix [3]dict.ID
+	for i := 0; i < ne; i++ {
+		prefix[i] = order[i][0].Lo
+	}
+	// Residual filtering is needed only for constrained positions beyond
+	// the binary-searched prefix (+ ranged component).
+	covered := ne
+	if ranged {
+		covered++
+	}
+	residual := false
+	for i := covered; i < 3; i++ {
+		if order[i] != nil {
+			residual = true
+		}
+	}
+	emit := func(lo, hi int) bool {
+		for _, t := range idx[lo:hi] {
+			if residual && !p.Matches(t) {
+				continue
+			}
+			if !fn(t) {
+				return false
+			}
+		}
+		return true
+	}
+	if !ranged {
+		lo, hi := rangeOf(idx, key, prefix, ne)
+		emit(lo, hi)
+		return
+	}
+	for _, r := range order[ne] {
+		lo, hi := rangeOfBounded(idx, key, prefix, ne, r)
+		if !emit(lo, hi) {
+			return
+		}
+	}
+}
+
+// CountRange returns the exact number of triples matching the range
+// pattern. Shapes fully covered by the binary-searched prefix are counted
+// without scanning.
+func (st *Store) CountRange(p RangePattern) int {
+	idx, key, order, ne, ranged := st.chooseRange(p)
+	var prefix [3]dict.ID
+	for i := 0; i < ne; i++ {
+		prefix[i] = order[i][0].Lo
+	}
+	covered := ne
+	if ranged {
+		covered++
+	}
+	residual := false
+	for i := covered; i < 3; i++ {
+		if order[i] != nil {
+			residual = true
+		}
+	}
+	n := 0
+	count := func(lo, hi int) {
+		if !residual {
+			n += hi - lo
+			return
+		}
+		for _, t := range idx[lo:hi] {
+			if p.Matches(t) {
+				n++
+			}
+		}
+	}
+	if !ranged {
+		lo, hi := rangeOf(idx, key, prefix, ne)
+		count(lo, hi)
+		return n
+	}
+	for _, r := range order[ne] {
+		lo, hi := rangeOfBounded(idx, key, prefix, ne, r)
+		count(lo, hi)
+	}
+	return n
+}

@@ -1,0 +1,130 @@
+package storage
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dict"
+	"repro/internal/rdf"
+)
+
+func TestMergeIDs(t *testing.T) {
+	cases := []struct {
+		in   []dict.ID
+		want []IDRange
+	}{
+		{nil, nil},
+		{[]dict.ID{7}, []IDRange{{7, 7}}},
+		{[]dict.ID{3, 1, 2}, []IDRange{{1, 3}}},
+		{[]dict.ID{1, 3, 5}, []IDRange{{1, 1}, {3, 3}, {5, 5}}},
+		{[]dict.ID{4, 4, 5, 9, 10, 10, 12}, []IDRange{{4, 5}, {9, 10}, {12, 12}}},
+	}
+	for i, c := range cases {
+		got := MergeIDs(append([]dict.ID(nil), c.in...))
+		if len(got) != len(c.want) {
+			t.Fatalf("case %d: got %v, want %v", i, got, c.want)
+		}
+		for j := range got {
+			if got[j] != c.want[j] {
+				t.Fatalf("case %d: got %v, want %v", i, got, c.want)
+			}
+		}
+	}
+}
+
+func TestInRanges(t *testing.T) {
+	rs := []IDRange{{2, 4}, {7, 7}, {10, 12}}
+	for id, want := range map[dict.ID]bool{
+		1: false, 2: true, 3: true, 4: true, 5: false,
+		7: true, 8: false, 10: true, 12: true, 13: false,
+	} {
+		if got := InRanges(rs, id); got != want {
+			t.Errorf("InRanges(%d) = %v, want %v", id, got, want)
+		}
+	}
+	if InRanges(nil, 1) {
+		t.Error("InRanges(nil, 1) = true")
+	}
+}
+
+// TestRangeScanMatchesFilter: EachRange and CountRange over every pattern
+// shape must agree with brute-force filtering by RangePattern.Matches —
+// the index binary searches are an optimization, never a semantics change.
+func TestRangeScanMatchesFilter(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	d := dict.New()
+	var ts []dict.Triple
+	for i := 0; i < 200; i++ {
+		ts = append(ts, dict.Triple{
+			S: d.EncodeIRI(fmt.Sprintf("http://x/e%d", r.Intn(20))),
+			P: d.EncodeIRI(fmt.Sprintf("http://x/p%d", r.Intn(6))),
+			O: d.EncodeIRI(fmt.Sprintf("http://x/e%d", r.Intn(20))),
+		})
+	}
+	st := Build(d, ts)
+	n := dict.ID(d.Len())
+	randRanges := func() []IDRange {
+		switch r.Intn(4) {
+		case 0:
+			return nil // wildcard
+		case 1:
+			return []IDRange{Exact(dict.ID(1 + r.Intn(int(n))))}
+		case 2:
+			lo := dict.ID(1 + r.Intn(int(n)))
+			hi := lo + dict.ID(r.Intn(5))
+			return []IDRange{{lo, hi}}
+		default:
+			var ids []dict.ID
+			for k := 0; k < 1+r.Intn(6); k++ {
+				ids = append(ids, dict.ID(1+r.Intn(int(n))))
+			}
+			return MergeIDs(ids)
+		}
+	}
+	for trial := 0; trial < 300; trial++ {
+		p := RangePattern{S: randRanges(), P: randRanges(), O: randRanges()}
+		want := 0
+		for _, tr := range st.Triples() {
+			if p.Matches(tr) {
+				want++
+			}
+		}
+		got := 0
+		st.EachRange(p, func(tr dict.Triple) bool {
+			if !p.Matches(tr) {
+				t.Fatalf("trial %d: EachRange yielded non-matching triple %v for %+v", trial, tr, p)
+			}
+			got++
+			return true
+		})
+		if got != want {
+			t.Fatalf("trial %d: EachRange visited %d triples, filter finds %d (%+v)", trial, got, want, p)
+		}
+		if c := st.CountRange(p); c != want {
+			t.Fatalf("trial %d: CountRange = %d, want %d (%+v)", trial, c, want, p)
+		}
+	}
+}
+
+// TestRangeScanEarlyStop: the callback returning false stops the scan.
+func TestRangeScanEarlyStop(t *testing.T) {
+	d := dict.New()
+	var ts []dict.Triple
+	for i := 0; i < 10; i++ {
+		ts = append(ts, dict.Triple{
+			S: d.Encode(rdf.NewIRI(fmt.Sprintf("http://x/s%d", i))),
+			P: d.EncodeIRI("http://x/p"),
+			O: d.EncodeIRI("http://x/o"),
+		})
+	}
+	st := Build(d, ts)
+	seen := 0
+	st.EachRange(RangePattern{}, func(dict.Triple) bool {
+		seen++
+		return seen < 3
+	})
+	if seen != 3 {
+		t.Fatalf("early stop visited %d triples, want 3", seen)
+	}
+}

@@ -48,6 +48,9 @@ const (
 	RefJUCQ = engine.RefJUCQ
 	// RefGCov evaluates the JUCQ of the cost-selected cover (default).
 	RefGCov = engine.RefGCov
+	// RefRange evaluates the interval-encoded range reformulation: a
+	// handful of range CQs instead of thousands of atomic ones.
+	RefRange = engine.RefRange
 	// RefIncomplete mimics native RDF platforms' fixed incomplete Ref.
 	RefIncomplete = engine.RefIncomplete
 	// Dat answers through a Datalog encoding.

@@ -108,14 +108,14 @@ func TestAnswerAllStrategies(t *testing.T) {
 	db := openBook(t)
 	const qt = `q(x) :- x rdf:type ex:Person`
 	counts := map[Strategy]int{}
-	for _, s := range []Strategy{Sat, RefUCQ, RefSCQ, RefGCov, RefIncomplete, Dat} {
+	for _, s := range []Strategy{Sat, RefUCQ, RefSCQ, RefGCov, RefRange, RefIncomplete, Dat} {
 		res, err := db.Answer(qt, Options{Strategy: s, Prefixes: exPrefix})
 		if err != nil {
 			t.Fatalf("%s: %v", s, err)
 		}
 		counts[s] = res.Len()
 	}
-	for _, s := range []Strategy{Sat, RefUCQ, RefSCQ, RefGCov, Dat} {
+	for _, s := range []Strategy{Sat, RefUCQ, RefSCQ, RefGCov, RefRange, Dat} {
 		if counts[s] != 1 {
 			t.Fatalf("%s: want 1 answer, got %d", s, counts[s])
 		}
