@@ -5,6 +5,14 @@
 //
 //	refload -url http://localhost:8080 -c 8 -n 500 \
 //	        -query 'q(x) :- x rdf:type ub:Student' -strategy ref-gcov
+//
+// With -replay, refload re-executes a workload journal captured by
+// refserve -journal instead of repeating one query: every ok-outcome
+// entry is fired with its original strategy and the answer cardinality
+// is checked against the captured one (a torn final line — crash
+// mid-append — is tolerated and loses at most one entry):
+//
+//	refload -url http://localhost:8080 -c 8 -replay journal.jsonl
 package main
 
 import (
@@ -25,8 +33,37 @@ func main() {
 		warmup      = flag.Int("warmup", 0, "unmeasured warmup requests before the run (populates server caches)")
 		jsonOut     = flag.Bool("json", false, "emit the BENCH_*-style JSON summary instead of text")
 		path        = flag.String("path", "/v1/query", "query route (use /query for the deprecated surface)")
+		replay      = flag.String("replay", "", "replay a workload journal (JSONL from refserve -journal) instead of -query/-n")
 	)
 	flag.Parse()
+
+	if *replay != "" {
+		res, err := runReplay(replayConfig{
+			BaseURL:     *baseURL,
+			JournalPath: *replay,
+			Concurrency: *concurrency,
+			Timeout:     *timeout,
+			Path:        *path,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "refload:", err)
+			os.Exit(1)
+		}
+		if *jsonOut {
+			out, jerr := res.JSON()
+			if jerr != nil {
+				fmt.Fprintln(os.Stderr, "refload:", jerr)
+				os.Exit(1)
+			}
+			fmt.Print(out)
+		} else {
+			fmt.Print(res.Report())
+		}
+		if res.Mismatches > 0 {
+			os.Exit(2)
+		}
+		return
+	}
 
 	res, err := runLoad(loadConfig{
 		BaseURL:     *baseURL,

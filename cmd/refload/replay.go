@@ -1,0 +1,219 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/journal"
+)
+
+// This file implements -replay: re-executing a captured workload journal
+// against a live endpoint as a benchmark. Every journaled ok-outcome
+// query is fired with its original strategy, and the re-executed answer
+// cardinality is checked against the captured one — a replay doubles as
+// an end-to-end correctness check (same data ⇒ byte-identical counts).
+
+// replayConfig parameterizes one replay run.
+type replayConfig struct {
+	BaseURL     string
+	JournalPath string
+	Concurrency int
+	Timeout     time.Duration
+	Path        string
+}
+
+// replayItem is one journaled query scheduled for re-execution.
+type replayItem struct {
+	body     []byte
+	expected int
+	sig      string
+}
+
+// replayResult aggregates a replay run.
+type replayResult struct {
+	Config replayConfig
+	// Read / Truncated / Corrupt describe the journal decode: a torn
+	// final line (crash mid-append) loses at most one entry and does not
+	// fail the replay.
+	Read      int
+	Truncated bool
+	Corrupt   int
+	// Skipped counts journaled non-ok entries (canceled/budget/shed/error)
+	// — there is no captured answer to verify against, so they are not
+	// replayed.
+	Skipped    int
+	Requests   int
+	Errors     int
+	Shed       int
+	Mismatches int
+	Elapsed    time.Duration
+	Latencies  []time.Duration
+}
+
+// runReplay reads the journal (segments oldest first, then the active
+// file) and re-executes every ok-outcome entry.
+func runReplay(cfg replayConfig) (*replayResult, error) {
+	if cfg.Concurrency <= 0 {
+		return nil, fmt.Errorf("concurrency must be positive")
+	}
+	if cfg.Path == "" {
+		cfg.Path = "/v1/query"
+	}
+	entries, stats, err := journal.ReadAll(cfg.JournalPath)
+	if err != nil {
+		return nil, fmt.Errorf("reading %s: %w", cfg.JournalPath, err)
+	}
+	res := &replayResult{
+		Config:    cfg,
+		Read:      len(entries),
+		Truncated: stats.Truncated,
+		Corrupt:   stats.Corrupt,
+	}
+	var items []replayItem
+	for _, e := range entries {
+		if e.Outcome != journal.OutcomeOK || e.Query == "" {
+			res.Skipped++
+			continue
+		}
+		body, merr := json.Marshal(queryPayload{Query: e.Query, Strategy: e.Strategy})
+		if merr != nil {
+			res.Skipped++
+			continue
+		}
+		items = append(items, replayItem{body: body, expected: e.Rows, sig: e.Sig})
+	}
+	if len(items) == 0 {
+		return res, fmt.Errorf("no replayable entries in %s (%d read, %d skipped)",
+			cfg.JournalPath, res.Read, res.Skipped)
+	}
+	res.Requests = len(items)
+	client := &http.Client{Timeout: cfg.Timeout}
+	lcfg := loadConfig{BaseURL: cfg.BaseURL, Path: cfg.Path}
+
+	var (
+		mu  sync.Mutex
+		idx int
+		wg  sync.WaitGroup
+	)
+	start := time.Now()
+	for w := 0; w < cfg.Concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				if idx >= len(items) {
+					mu.Unlock()
+					return
+				}
+				it := items[idx]
+				idx++
+				mu.Unlock()
+				t0 := time.Now()
+				reply, shed, err := fire(client, lcfg, it.body)
+				lat := time.Since(t0)
+				mu.Lock()
+				switch {
+				case shed:
+					res.Shed++
+				case err != nil:
+					res.Errors++
+				default:
+					if reply.Total != it.expected {
+						res.Mismatches++
+					}
+					res.Latencies = append(res.Latencies, lat)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// Report renders the replay summary.
+func (r *replayResult) Report() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "journal: %d entries read (%d skipped non-ok", r.Read, r.Skipped)
+	if r.Truncated {
+		sb.WriteString(", torn final line tolerated")
+	}
+	if r.Corrupt > 0 {
+		fmt.Fprintf(&sb, ", %d corrupt lines skipped", r.Corrupt)
+	}
+	sb.WriteString(")\n")
+	ok := len(r.Latencies)
+	fmt.Fprintf(&sb, "replayed: %d ok, %d shed, %d errors in %v (%.1f req/s)\n",
+		ok, r.Shed, r.Errors, r.Elapsed.Round(time.Millisecond),
+		float64(ok)/maxF(r.Elapsed.Seconds(), 1e-9))
+	if r.Mismatches > 0 {
+		fmt.Fprintf(&sb, "ANSWER MISMATCHES: %d replayed queries returned a different cardinality\n", r.Mismatches)
+	} else if ok > 0 {
+		sb.WriteString("all replayed answer cardinalities match the captured run\n")
+	}
+	if ok > 0 {
+		fmt.Fprintf(&sb, "latency: p50=%v p95=%v p99=%v max=%v\n",
+			percentile(r.Latencies, 50).Round(time.Microsecond),
+			percentile(r.Latencies, 95).Round(time.Microsecond),
+			percentile(r.Latencies, 99).Round(time.Microsecond),
+			percentile(r.Latencies, 100).Round(time.Microsecond))
+	}
+	return sb.String()
+}
+
+// replayJSONReport is the -json output of a replay run.
+type replayJSONReport struct {
+	URL              string  `json:"url"`
+	Journal          string  `json:"journal"`
+	Read             int     `json:"read"`
+	Truncated        bool    `json:"truncated"`
+	Corrupt          int     `json:"corrupt"`
+	Skipped          int     `json:"skipped"`
+	Requests         int     `json:"requests"`
+	OK               int     `json:"ok"`
+	Shed             int     `json:"shed"`
+	Errors           int     `json:"errors"`
+	Mismatches       int     `json:"mismatches"`
+	ElapsedMillis    float64 `json:"elapsedMillis"`
+	ThroughputPerSec float64 `json:"throughputPerSec"`
+	P50Millis        float64 `json:"p50Millis"`
+	P95Millis        float64 `json:"p95Millis"`
+	P99Millis        float64 `json:"p99Millis"`
+	MaxMillis        float64 `json:"maxMillis"`
+}
+
+// JSON renders the replay summary as indented JSON.
+func (r *replayResult) JSON() (string, error) {
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	ok := len(r.Latencies)
+	rep := replayJSONReport{
+		URL:              r.Config.BaseURL,
+		Journal:          r.Config.JournalPath,
+		Read:             r.Read,
+		Truncated:        r.Truncated,
+		Corrupt:          r.Corrupt,
+		Skipped:          r.Skipped,
+		Requests:         r.Requests,
+		OK:               ok,
+		Shed:             r.Shed,
+		Errors:           r.Errors,
+		Mismatches:       r.Mismatches,
+		ElapsedMillis:    ms(r.Elapsed),
+		ThroughputPerSec: float64(ok) / maxF(r.Elapsed.Seconds(), 1e-9),
+		P50Millis:        ms(percentile(r.Latencies, 50)),
+		P95Millis:        ms(percentile(r.Latencies, 95)),
+		P99Millis:        ms(percentile(r.Latencies, 99)),
+		MaxMillis:        ms(percentile(r.Latencies, 100)),
+	}
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	return string(out) + "\n", nil
+}

@@ -35,29 +35,34 @@ import (
 	"repro/internal/datasets"
 	"repro/internal/graph"
 	"repro/internal/httpapi"
+	"repro/internal/journal"
 	"repro/internal/lubm"
+	"repro/internal/metrics"
 	"repro/internal/viewcache"
 )
 
 func main() {
 	var (
-		addr      = flag.String("addr", ":8080", "listen address")
-		scenario  = flag.String("scenario", "lubm", "built-in scenario: lubm, insee, ign, dblp")
-		dataFile  = flag.String("data", "", "N-Triples/Turtle file to serve instead of a scenario")
-		scale     = flag.Int("scale", 1, "LUBM scale factor")
-		seed      = flag.Int64("seed", 42, "generator seed")
-		timeout   = flag.Duration("timeout", 30*time.Second, "per-query evaluation timeout")
-		slowQuery = flag.Duration("slow-query", 500*time.Millisecond, "slow-query log threshold (0 disables)")
-		grace     = flag.Duration("grace", 5*time.Second, "shutdown grace period")
-		pprof     = flag.Bool("pprof", false, "mount net/http/pprof handlers under /debug/pprof/")
-		logJSON   = flag.Bool("log-json", true, "emit structured JSON query logs on stderr")
-		viewCache = flag.String("view-cache", "on", "fragment view cache: on or off")
-		viewMB    = flag.Int("view-cache-mb", 64, "view cache byte budget in MiB")
-		planCache = flag.Int("plan-cache", 0, "GCov plan cache capacity (0 = default 128)")
-		maxConc   = flag.Int("max-concurrency", 0, "admission gate weight budget (0 disables admission control)")
-		queueLen  = flag.Int("queue-depth", admission.DefaultQueueDepth, "admission queue depth (0 = shed immediately when full)")
-		queueWait = flag.Duration("queue-timeout", admission.DefaultQueueTimeout, "max time a query may wait in the admission queue")
-		maxCost   = flag.Float64("max-cost", 0, "estimated-cost ceiling above which queries are shed (0 = no ceiling)")
+		addr       = flag.String("addr", ":8080", "listen address")
+		scenario   = flag.String("scenario", "lubm", "built-in scenario: lubm, insee, ign, dblp")
+		dataFile   = flag.String("data", "", "N-Triples/Turtle file to serve instead of a scenario")
+		scale      = flag.Int("scale", 1, "LUBM scale factor")
+		seed       = flag.Int64("seed", 42, "generator seed")
+		timeout    = flag.Duration("timeout", 30*time.Second, "per-query evaluation timeout")
+		slowQuery  = flag.Duration("slow-query", 500*time.Millisecond, "slow-query log threshold (0 disables)")
+		grace      = flag.Duration("grace", 5*time.Second, "shutdown grace period")
+		pprof      = flag.Bool("pprof", false, "mount net/http/pprof handlers under /debug/pprof/")
+		logJSON    = flag.Bool("log-json", true, "emit structured JSON query logs on stderr")
+		viewCache  = flag.String("view-cache", "on", "fragment view cache: on or off")
+		viewMB     = flag.Int("view-cache-mb", 64, "view cache byte budget in MiB")
+		planCache  = flag.Int("plan-cache", 0, "GCov plan cache capacity (0 = default 128)")
+		maxConc    = flag.Int("max-concurrency", 0, "admission gate weight budget (0 disables admission control)")
+		queueLen   = flag.Int("queue-depth", admission.DefaultQueueDepth, "admission queue depth (0 = shed immediately when full)")
+		queueWait  = flag.Duration("queue-timeout", admission.DefaultQueueTimeout, "max time a query may wait in the admission queue")
+		maxCost    = flag.Float64("max-cost", 0, "estimated-cost ceiling above which queries are shed (0 = no ceiling)")
+		journalLog = flag.String("journal", "", "durable workload journal path (JSONL; empty disables)")
+		journalMB  = flag.Int("journal-max-mb", 64, "journal size in MiB at which the active file rotates (gzipped)")
+		sloSpec    = flag.String("slo", metrics.DefaultSLO.String(), "latency SLO as <latency>:<objective>, e.g. 250ms:99.9")
 	)
 	flag.Parse()
 
@@ -119,6 +124,24 @@ func main() {
 		srv.EnablePprof()
 		log.Printf("pprof enabled at /debug/pprof/")
 	}
+	slo, err := metrics.ParseSLO(*sloSpec)
+	if err != nil {
+		log.Fatal("refserve: ", err)
+	}
+	srv.SetSLO(slo)
+	var jw *journal.Writer
+	if *journalLog != "" {
+		jw, err = journal.New(journal.Config{
+			Path:     *journalLog,
+			MaxBytes: int64(*journalMB) << 20,
+			Metrics:  srv.Metrics(),
+		})
+		if err != nil {
+			log.Fatal("refserve: ", err)
+		}
+		srv.EnableJournal(jw)
+		log.Printf("workload journal at %s (rotate at %d MiB)", *journalLog, *journalMB)
+	}
 	if *maxConc > 0 {
 		// The flag's 0 means "no queue" (shed immediately); the library
 		// reserves 0 for its default depth.
@@ -169,4 +192,9 @@ func main() {
 		log.Printf("refserve: shutdown: %v", err)
 	}
 	cancelBase()
+	// The journal closes last: handlers have returned, so the drain
+	// flushes every queued entry to disk before exit.
+	if err := jw.Close(); err != nil {
+		log.Printf("refserve: journal: %v", err)
+	}
 }

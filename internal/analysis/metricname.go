@@ -13,7 +13,8 @@ import (
 // fmt.Sprintf (or any other runtime value) can mint unbounded families —
 // the classic cardinality explosion — and silently miss the label rules.
 //
-// Accepted name arguments at Registry.Counter/Gauge/Histogram calls:
+// Accepted name arguments at Registry.Counter/Gauge/FloatGauge/Histogram
+// calls:
 //
 //   - a constant string matching
 //     ^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)+$  (at least two segments);
@@ -43,6 +44,12 @@ var metricLabelPrefixes = []string{
 	"plancache.",
 	"admission.",
 	"rangeref.",
+	"journal.",
+	"slo.good.",
+	"slo.bad.",
+	"slo.burn_rate_5m.",
+	"slo.burn_rate_1h.",
+	"qerror.",
 }
 
 var metricNameRE = regexp.MustCompile(`^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)+$`)
@@ -59,7 +66,7 @@ func runMetricname(pass *Pass) error {
 				return true
 			}
 			switch sel.Sel.Name {
-			case "Counter", "Gauge", "Histogram":
+			case "Counter", "Gauge", "Histogram", "FloatGauge":
 			default:
 				return true
 			}

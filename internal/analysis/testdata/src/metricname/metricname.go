@@ -14,9 +14,13 @@ type Gauge struct{}
 
 type Histogram struct{}
 
+type FloatGauge struct{}
+
 func (r *Registry) Counter(name string) *Counter { _ = name; return nil }
 
 func (r *Registry) Gauge(name string) *Gauge { _ = name; return nil }
+
+func (r *Registry) FloatGauge(name string) *FloatGauge { _ = name; return nil }
 
 func (r *Registry) Histogram(name string, buckets ...float64) *Histogram {
 	_, _ = name, buckets
@@ -32,6 +36,12 @@ func register(r *Registry, strategy string) {
 	r.Counter(constName)
 	r.Counter("engine.queries." + strategy)
 	r.Counter("http.requests./query")
+	r.Counter("journal.dropped")
+	r.Counter("slo.good." + strategy)
+	r.FloatGauge("slo.burn_rate_5m." + strategy)
+	r.Histogram("qerror." + strategy)
+	r.FloatGauge("SloBurn")                               // want "not snake.dotted"
+	r.FloatGauge("slo.rate." + strategy)                  // want "not a registered label rule"
 	r.Counter("Engine.Queries")                           // want "not snake.dotted"
 	r.Counter("single")                                   // want "not snake.dotted"
 	r.Counter("exec.rows." + strategy)                    // want "not a registered label rule"

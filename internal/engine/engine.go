@@ -7,6 +7,7 @@ package engine
 
 import (
 	"context"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"log/slog"
@@ -92,6 +93,14 @@ type Answer struct {
 	// AdmissionWeight is the gate weight the evaluation held (zero
 	// without a gate). Union answers report the heaviest member.
 	AdmissionWeight int
+	// FragmentSigs are the hex-encoded canonical signatures of the
+	// evaluated JUCQ fragments, aligned with the plan's fragment order —
+	// the same identity the view cache keys on, so a workload journal can
+	// correlate fragment frequency with cache behavior. Populated for
+	// fragment-evaluating strategies only when Engine.CaptureFragmentSigs
+	// is set (GCov plans reuse the plan cache's precomputed keys, so the
+	// warm path pays only a hex encoding).
+	FragmentSigs []string
 }
 
 // Engine answers queries over one graph with any strategy. It lazily
@@ -129,6 +138,10 @@ type Engine struct {
 	// engine copies the HTTP layer makes. Queue wait does not consume
 	// Budget.Timeout: the budget clock starts at evaluation.
 	Admission *admission.Gate
+	// CaptureFragmentSigs stamps Answer.FragmentSigs on fragment-evaluating
+	// strategies — set by the HTTP layer when a workload journal or the
+	// /v1/stats aggregator is consuming them.
+	CaptureFragmentSigs bool
 
 	store    *storage.Store
 	st       *stats.Stats
@@ -421,6 +434,12 @@ func (e *Engine) reportMisestimates(sp *trace.Span, s Strategy) {
 		if ratio < 1 {
 			ratio = 1 / ratio
 		}
+		// Every pair is a calibration sample: the q-error histograms feed
+		// GET /v1/debug/costmodel, which ranks operator types by how badly
+		// the model estimates them — not only the >10x outliers.
+		if e.Metrics != nil {
+			e.Metrics.Histogram("qerror."+name, metrics.DefaultQErrorBuckets...).Observe(ratio)
+		}
 		if ratio <= misestimateFactor {
 			return
 		}
@@ -679,8 +698,31 @@ func (e *Engine) answerCover(ctx context.Context, q query.CQ, cover query.Cover,
 	if cs != nil {
 		ans.CachedFragments = int(cs.Hits.Load())
 	}
+	if e.CaptureFragmentSigs {
+		ans.FragmentSigs = fragmentSigsJUCQ(j)
+	}
 	stampAdmission(ans, tkt)
 	return ans, nil
+}
+
+// fragmentSigsJUCQ computes each fragment's view-cache signature,
+// hex-encoded for JSON/journal friendliness.
+func fragmentSigsJUCQ(j query.JUCQ) []string {
+	out := make([]string, len(j.Fragments))
+	for i, f := range j.Fragments {
+		out[i] = hex.EncodeToString([]byte(viewcache.Signature(f.UCQ)))
+	}
+	return out
+}
+
+// hexSigs hex-encodes raw view-cache signatures (e.g. a plan-cache
+// entry's precomputed fragment keys).
+func hexSigs(raw []string) []string {
+	out := make([]string, len(raw))
+	for i, s := range raw {
+		out[i] = hex.EncodeToString([]byte(s))
+	}
+	return out
 }
 
 func (e *Engine) answerGCov(ctx context.Context, q query.CQ, sp *trace.Span) (*Answer, error) {
@@ -744,6 +786,9 @@ func (e *Engine) answerGCov(ctx context.Context, q query.CQ, sp *trace.Span) (*A
 	}
 	if cs != nil {
 		ans.CachedFragments = int(cs.Hits.Load())
+	}
+	if e.CaptureFragmentSigs {
+		ans.FragmentSigs = hexSigs(entry.fragKeys)
 	}
 	stampAdmission(ans, tkt)
 	return ans, nil

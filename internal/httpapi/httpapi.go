@@ -57,6 +57,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/exec"
 	"repro/internal/graph"
+	"repro/internal/journal"
 	"repro/internal/metrics"
 	"repro/internal/ntriples"
 	"repro/internal/query"
@@ -72,6 +73,12 @@ type Server struct {
 	mux      *http.ServeMux
 	metrics  *metrics.Registry
 	slowLog  *metrics.SlowQueryLog
+	// workload is the always-on in-memory rollup behind /v1/stats; slo
+	// tracks per-strategy latency SLO compliance (burn rates on /metrics);
+	// journal, when enabled, durably records every answered query.
+	workload *journal.Aggregator
+	slo      *metrics.SLOTracker
+	journal  *journal.Writer
 	// gate is the optional admission gate (EnableAdmission); nil admits
 	// everything. draining flips once Drain/Shutdown begins and drives
 	// /v1/readyz.
@@ -107,9 +114,14 @@ func New(g *graph.Graph, prefixes map[string]string) *Server {
 		mux:      http.NewServeMux(),
 		metrics:  metrics.NewRegistry(),
 		slowLog:  metrics.NewSlowQueryLog(128),
+		workload: &journal.Aggregator{},
 		Timeout:  30 * time.Second,
 	}
+	s.slo = metrics.NewSLOTracker(metrics.DefaultSLO, s.metrics)
 	s.eng.Metrics = s.metrics
+	// The workload aggregator (and the journal, when enabled) correlates
+	// fragment frequency with cache behavior via fragment signatures.
+	s.eng.CaptureFragmentSigs = true
 	s.eng.Store()
 	s.eng.Stats()
 	s.eng.SatStore()
@@ -119,17 +131,21 @@ func New(g *graph.Graph, prefixes map[string]string) *Server {
 	s.eng.CostModel()
 
 	s.mux.HandleFunc("/", s.handleRoot)
-	s.mux.HandleFunc("/metrics", s.handleMetrics)
-	// The /v1 surface. /metrics stays unversioned: Prometheus scrapers
-	// conventionally expect it at the root.
+	// The /v1 surface.
 	s.mux.HandleFunc("/v1/query", func(w http.ResponseWriter, r *http.Request) { s.serveQuery(w, r, apiV1) })
 	s.mux.HandleFunc("/v1/explain", func(w http.ResponseWriter, r *http.Request) { s.serveExplain(w, r, apiV1) })
 	s.mux.HandleFunc("/v1/healthz", s.handleHealth)
 	s.mux.HandleFunc("/v1/readyz", s.handleReady)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
+	s.mux.HandleFunc("/v1/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/v1/slowlog", s.handleSlowlog)
+	s.mux.HandleFunc("/v1/debug/costmodel", s.handleCostModel)
 	s.mux.HandleFunc("/v1/dump", s.handleDump)
 	// Legacy unversioned spellings: still served, marked deprecated.
+	// Prometheus scrapers conventionally expect /metrics at the root, so
+	// the legacy spelling will outlive the others — but it advertises its
+	// /v1 successor like the rest.
+	s.mux.HandleFunc("/metrics", s.legacy("/metrics", s.handleMetrics))
 	s.mux.HandleFunc("/query", s.legacy("/query", func(w http.ResponseWriter, r *http.Request) { s.serveQuery(w, r, apiLegacy) }))
 	s.mux.HandleFunc("/explain", s.legacy("/explain", func(w http.ResponseWriter, r *http.Request) { s.serveExplain(w, r, apiLegacy) }))
 	s.mux.HandleFunc("/healthz", s.legacy("/healthz", s.handleHealth))
@@ -384,8 +400,9 @@ func (s *Server) handleRoot(w http.ResponseWriter, r *http.Request) {
 		"schema":      s.g.Schema().String(),
 		"strategies":  strategies,
 		"endpoints": []string{
-			"/v1/healthz", "/v1/readyz", "/v1/stats", "/metrics",
-			"/v1/query", "/v1/explain", "/v1/slowlog", "/v1/dump",
+			"/v1/healthz", "/v1/readyz", "/v1/stats", "/v1/metrics",
+			"/v1/query", "/v1/explain", "/v1/slowlog",
+			"/v1/debug/costmodel", "/v1/dump", "/metrics",
 		},
 	})
 }
@@ -423,6 +440,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		"distinctObjects":    st.DistinctObjects(),
 		"topProperties":      top(st.TopValues('p', 10)),
 		"topPairs":           pairs,
+		"workload":           s.workloadStats(),
 	})
 }
 
@@ -507,6 +525,7 @@ func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, v apiVersion
 	var (
 		ans         *engine.Answer
 		parseMillis float64
+		sig         string
 	)
 	parseStart := time.Now()
 	psp := root.Child("parse")
@@ -527,6 +546,11 @@ func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, v apiVersion
 				"explain (without analyze) supports single-BGP queries only")
 			return
 		}
+		keys := make([]string, len(u.CQs))
+		for i, cq := range u.CQs {
+			keys[i] = cq.CanonicalKey()
+		}
+		sig = journal.QuerySig(keys...)
 		ans, err = eng.AnswerUnionContext(ctx, u, strategy)
 	} else {
 		q, perr := s.parseCQ(req.Query)
@@ -540,6 +564,7 @@ func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, v apiVersion
 			s.serveExplainPlan(w, &eng, req, q, strategy, id, parseMillis, start, v)
 			return
 		}
+		sig = journal.QuerySig(q.CanonicalKey())
 		if strategy == engine.RefJUCQ {
 			cover := make(query.Cover, len(req.Cover))
 			for i, f := range req.Cover {
@@ -552,8 +577,8 @@ func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, v apiVersion
 	}
 	root.End()
 	if err != nil {
-		s.recordQuery(req, strategy, start, 0, err, id, root, path)
-		s.logQuery(id, req, strategy, start, 0, err)
+		s.finishQuery(queryRecord{req: req, strategy: strategy, start: start,
+			parseMillis: parseMillis, id: id, root: root, path: path, sig: sig, err: err})
 		s.writeAnswerError(w, v, err)
 		return
 	}
@@ -583,8 +608,9 @@ func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, v apiVersion
 		if truncated {
 			w.Header().Set("X-Truncated", "true")
 		}
-		s.recordQuery(req, strategy, start, ans.Rows.Len(), nil, id, root, path)
-		s.logQuery(id, req, strategy, start, ans.Rows.Len(), nil)
+		s.finishQuery(queryRecord{req: req, strategy: strategy, start: start,
+			parseMillis: parseMillis, id: id, root: root, path: path, sig: sig,
+			ans: ans, rows: ans.Rows.Len()})
 		writeSPARQLJSON(w, d, ans.Rows, n)
 		return
 	}
@@ -628,8 +654,9 @@ func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, v apiVersion
 	}
 	resp.Meta.SerializeMillis = millisSince(serStart)
 	resp.Meta.TotalMillis = millisSince(start)
-	s.recordQuery(req, strategy, start, ans.Rows.Len(), nil, id, root, path)
-	s.logQuery(id, req, strategy, start, ans.Rows.Len(), nil)
+	s.finishQuery(queryRecord{req: req, strategy: strategy, start: start,
+		parseMillis: parseMillis, id: id, root: root, path: path, sig: sig,
+		ans: ans, rows: ans.Rows.Len()})
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -738,42 +765,6 @@ func millisSince(t time.Time) float64 {
 	return float64(time.Since(t)) / float64(time.Millisecond)
 }
 
-// recordQuery feeds the request-level histogram and the slow-query log.
-// Slow entries capture the request's full span tree, so /slowlog returns
-// actionable traces, not just latencies.
-func (s *Server) recordQuery(req QueryRequest, strategy engine.Strategy, start time.Time, rows int, err error,
-	id string, root *trace.Span, path string) {
-	total := time.Since(start)
-	s.metrics.Histogram("http.latency_ms." + path).
-		Observe(float64(total) / float64(time.Millisecond))
-	thr := s.slowThreshold()
-	if thr <= 0 || (total < thr && err == nil) {
-		return
-	}
-	q := req.Query
-	if len(q) > 512 {
-		q = q[:512] + "…"
-	}
-	entry := metrics.SlowQuery{
-		Time:      start,
-		Query:     q,
-		Strategy:  string(strategy),
-		Millis:    float64(total) / float64(time.Millisecond),
-		Rows:      rows,
-		RequestID: id,
-	}
-	if err != nil {
-		entry.Err = err.Error()
-	}
-	if tj := trace.ToJSON(root); tj != nil {
-		if b, merr := json.Marshal(tj); merr == nil {
-			entry.Trace = b
-		}
-	}
-	s.slowLog.Add(entry)
-	s.metrics.Counter("http.slow_queries").Inc()
-}
-
 // MetricsResponse is the /metrics output: the registry snapshot plus the
 // slow-query ring buffer.
 type MetricsResponse struct {
@@ -786,6 +777,9 @@ type MetricsResponse struct {
 // handleMetrics serves Prometheus text format by default and the JSON
 // snapshot (including the slow-query ring) at /metrics?format=json.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	// Burn-rate gauges are derived from the SLO rings on demand: scrapes
+	// see current windows without a background ticker.
+	s.slo.Publish(time.Now())
 	switch strings.ToLower(r.URL.Query().Get("format")) {
 	case "", "prometheus", "text":
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")

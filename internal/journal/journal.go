@@ -1,0 +1,335 @@
+package journal
+
+import (
+	"bufio"
+	"compress/gzip"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/metrics"
+)
+
+// Config parameterizes a Writer.
+type Config struct {
+	// Path is the active journal file ("journal.jsonl"). Rotated segments
+	// live next to it as "<path>.<seq>.gz" (or "<path>.<seq>" for the
+	// instant between rename and gzip — the reader accepts both).
+	Path string
+	// MaxBytes rotates the active file once it exceeds this size
+	// (default 64 MiB).
+	MaxBytes int64
+	// MaxSegments bounds retained rotated segments; older ones are removed
+	// (default 8, negative = keep everything).
+	MaxSegments int
+	// QueueDepth bounds the async queue between Record and the writer
+	// goroutine (default 1024). When the queue is full, Record drops the
+	// entry and counts it — the query path never blocks on the disk.
+	QueueDepth int
+	// Metrics, when non-nil, receives the journal.* counters/gauges
+	// (recorded, dropped, rotated, bytes).
+	Metrics *metrics.Registry
+}
+
+// Writer appends entries to a JSONL journal from a dedicated goroutine.
+// Record never blocks; Close drains the queue and flushes. Safe for
+// concurrent use; a nil *Writer drops everything silently, so callers
+// never branch on "journal enabled".
+type Writer struct {
+	cfg  Config
+	ch   chan Entry
+	done chan struct{}
+	m    *metrics.Registry
+	seq  int // last used rotation sequence number
+
+	// openMu guards open against the Record/Close race: Close closes ch,
+	// and a send on a closed channel panics, so Record holds the read
+	// side while it enqueues.
+	openMu sync.RWMutex
+	open   bool
+
+	mu    sync.Mutex
+	f     *os.File
+	bw    *bufio.Writer
+	size  int64
+	wrErr error // first write error; journaling degrades to counting drops
+}
+
+// DefaultMaxBytes is the rotation threshold without an explicit one.
+const DefaultMaxBytes = 64 << 20
+
+// DefaultMaxSegments is how many rotated segments are retained by default.
+const DefaultMaxSegments = 8
+
+// DefaultQueueDepth bounds the Record queue by default.
+const DefaultQueueDepth = 1024
+
+// New opens (or appends to) the journal at cfg.Path and starts the writer
+// goroutine. Rotation sequence numbering resumes after the highest
+// existing segment, so restarts never overwrite history.
+func New(cfg Config) (*Writer, error) {
+	if cfg.Path == "" {
+		return nil, fmt.Errorf("journal: empty path")
+	}
+	if cfg.MaxBytes <= 0 {
+		cfg.MaxBytes = DefaultMaxBytes
+	}
+	if cfg.MaxSegments == 0 {
+		cfg.MaxSegments = DefaultMaxSegments
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = DefaultQueueDepth
+	}
+	if dir := filepath.Dir(cfg.Path); dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("journal: %w", err)
+		}
+	}
+	f, err := os.OpenFile(cfg.Path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	w := &Writer{
+		cfg:  cfg,
+		ch:   make(chan Entry, cfg.QueueDepth),
+		done: make(chan struct{}),
+		m:    cfg.Metrics,
+		f:    f,
+		bw:   bufio.NewWriterSize(f, 64<<10),
+		size: st.Size(),
+		open: true,
+		seq:  highestSegmentSeq(cfg.Path),
+	}
+	go w.run()
+	return w, nil
+}
+
+// Record enqueues one entry. It never blocks: when the queue is full —
+// or the writer is closed — the entry is dropped and journal.dropped
+// counts it. Nil-tolerant.
+func (w *Writer) Record(e Entry) {
+	if w == nil {
+		return
+	}
+	w.openMu.RLock()
+	defer w.openMu.RUnlock()
+	if !w.open {
+		w.m.Counter("journal.dropped").Inc()
+		return
+	}
+	select {
+	case w.ch <- e:
+		w.m.Counter("journal.recorded").Inc()
+	default:
+		w.m.Counter("journal.dropped").Inc()
+	}
+}
+
+// Close drains the queue, flushes and closes the file. Subsequent Record
+// calls drop (counted); Close is idempotent.
+func (w *Writer) Close() error {
+	if w == nil {
+		return nil
+	}
+	w.openMu.Lock()
+	if !w.open {
+		w.openMu.Unlock()
+		return w.Err()
+	}
+	w.open = false
+	w.openMu.Unlock()
+	close(w.ch)
+	<-w.done
+	return w.Err()
+}
+
+// Err returns the first write error the background writer hit (nil while
+// healthy). After an error the writer keeps consuming — and dropping —
+// entries so the queue never backs up into the server.
+func (w *Writer) Err() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.wrErr
+}
+
+func (w *Writer) run() {
+	defer close(w.done)
+	for e := range w.ch {
+		w.write(e)
+		// Flush whenever the queue momentarily drains: batched under load,
+		// prompt when idle, never a syscall per entry at peak.
+		if len(w.ch) == 0 {
+			w.flush()
+		}
+	}
+	w.flush()
+	w.f.Close()
+}
+
+func (w *Writer) fail(err error) {
+	w.mu.Lock()
+	if w.wrErr == nil {
+		w.wrErr = err
+	}
+	w.mu.Unlock()
+	w.m.Counter("journal.write_errors").Inc()
+}
+
+func (w *Writer) write(e Entry) {
+	if w.Err() != nil {
+		w.m.Counter("journal.dropped").Inc()
+		return
+	}
+	b, err := json.Marshal(e)
+	if err != nil {
+		// An entry that cannot marshal is a programming error; count and
+		// move on rather than poison the journal.
+		w.m.Counter("journal.encode_errors").Inc()
+		return
+	}
+	b = append(b, '\n')
+	if _, err := w.bw.Write(b); err != nil {
+		w.fail(err)
+		return
+	}
+	w.size += int64(len(b))
+	w.m.Gauge("journal.bytes").Set(w.size)
+	if w.size >= w.cfg.MaxBytes {
+		w.rotate()
+	}
+}
+
+func (w *Writer) flush() {
+	if w.Err() != nil {
+		return
+	}
+	if err := w.bw.Flush(); err != nil {
+		w.fail(err)
+	}
+}
+
+// rotate closes the active file, renames it to the next "<path>.<seq>",
+// gzips that segment (removing the plain copy), prunes old segments and
+// reopens a fresh active file. A crash between rename and gzip leaves a
+// plain segment behind — the reader accepts both spellings, so nothing is
+// lost.
+func (w *Writer) rotate() {
+	if err := w.bw.Flush(); err != nil {
+		w.fail(err)
+		return
+	}
+	if err := w.f.Close(); err != nil {
+		w.fail(err)
+		return
+	}
+	w.seq++
+	plain := fmt.Sprintf("%s.%d", w.cfg.Path, w.seq)
+	if err := os.Rename(w.cfg.Path, plain); err != nil {
+		w.fail(err)
+		return
+	}
+	if err := gzipFile(plain); err == nil {
+		os.Remove(plain)
+	}
+	// else: keep the plain segment — readable, just not compressed.
+	w.pruneSegments()
+	f, err := os.OpenFile(w.cfg.Path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		w.fail(err)
+		return
+	}
+	w.f = f
+	w.bw = bufio.NewWriterSize(f, 64<<10)
+	w.size = 0
+	w.m.Counter("journal.rotated").Inc()
+	w.m.Gauge("journal.bytes").Set(0)
+	w.m.Gauge("journal.segments").Set(int64(len(segments(w.cfg.Path))))
+}
+
+func gzipFile(path string) error {
+	src, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer src.Close()
+	dst, err := os.Create(path + ".gz")
+	if err != nil {
+		return err
+	}
+	zw := gzip.NewWriter(dst)
+	if _, err := io.Copy(zw, src); err != nil {
+		dst.Close()
+		os.Remove(path + ".gz")
+		return err
+	}
+	if err := zw.Close(); err != nil {
+		dst.Close()
+		os.Remove(path + ".gz")
+		return err
+	}
+	return dst.Close()
+}
+
+// segment is one rotated journal file next to the active path.
+type segment struct {
+	path string
+	seq  int
+}
+
+// segments lists rotated segments for path, oldest (lowest seq) first.
+func segments(path string) []segment {
+	matches, _ := filepath.Glob(path + ".*")
+	var out []segment
+	for _, m := range matches {
+		rest := strings.TrimPrefix(m, path+".")
+		rest = strings.TrimSuffix(rest, ".gz")
+		seq, err := strconv.Atoi(rest)
+		if err != nil {
+			continue
+		}
+		out = append(out, segment{path: m, seq: seq})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].seq < out[j].seq })
+	return out
+}
+
+// Segments returns the rotated segment paths for the journal at path,
+// oldest first — what a miner walks before the active file.
+func Segments(path string) []string {
+	segs := segments(path)
+	out := make([]string, len(segs))
+	for i, s := range segs {
+		out[i] = s.path
+	}
+	return out
+}
+
+func highestSegmentSeq(path string) int {
+	segs := segments(path)
+	if len(segs) == 0 {
+		return 0
+	}
+	return segs[len(segs)-1].seq
+}
+
+func (w *Writer) pruneSegments() {
+	if w.cfg.MaxSegments < 0 {
+		return
+	}
+	segs := segments(w.cfg.Path)
+	for len(segs) > w.cfg.MaxSegments {
+		os.Remove(segs[0].path)
+		segs = segs[1:]
+	}
+}

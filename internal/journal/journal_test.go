@@ -1,0 +1,390 @@
+package journal
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+func entry(i int) Entry {
+	return Entry{
+		Time:     time.Unix(1700000000+int64(i), 0).UTC(),
+		Query:    fmt.Sprintf("q(X) <- p%d(X)", i),
+		Sig:      QuerySig(fmt.Sprintf("cq-%d", i)),
+		Strategy: "ref-ucq",
+		Outcome:  OutcomeOK,
+		Rows:     i,
+		Fragments: []FragmentStat{
+			{Sig: fmt.Sprintf("frag-%d", i%7), EstRows: float64(i), Rows: int64(i), CacheHit: i%2 == 0},
+		},
+		Operators:   []OpStat{{Op: "scan", EstRows: float64(i), Rows: int64(i)}},
+		TotalMillis: float64(i),
+		EvalMillis:  float64(i) / 2,
+	}
+}
+
+func writeEntries(t *testing.T, path string, n int, cfg Config) {
+	t.Helper()
+	cfg.Path = path
+	w, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		w.Record(entry(i))
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteRead(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	writeEntries(t, path, 100, Config{})
+	got, st, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 100 {
+		t.Fatalf("entries = %d, want 100", len(got))
+	}
+	if st.Truncated || st.Corrupt != 0 {
+		t.Fatalf("clean file reported degraded: %+v", st)
+	}
+	if got[42].Query != entry(42).Query || got[42].Sig != entry(42).Sig {
+		t.Fatalf("entry 42 mismatch: %+v", got[42])
+	}
+	if got[42].Fragments[0].Sig != "frag-0" {
+		t.Fatalf("fragment round-trip: %+v", got[42].Fragments)
+	}
+}
+
+func TestRotationAndGzip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j", "journal.jsonl")
+	reg := metrics.NewRegistry()
+	// ~300 B/entry, rotate every ~2 KB -> many segments from 200 entries.
+	writeEntries(t, path, 200, Config{MaxBytes: 2 << 10, MaxSegments: -1, Metrics: reg})
+	segs := Segments(path)
+	if len(segs) < 5 {
+		t.Fatalf("expected several rotated segments, got %v", segs)
+	}
+	for _, s := range segs {
+		if !strings.HasSuffix(s, ".gz") {
+			t.Errorf("segment not gzipped: %s", s)
+		}
+	}
+	all, st, err := ReadAll(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 200 {
+		t.Fatalf("ReadAll = %d entries (stats %+v), want 200", len(all), st)
+	}
+	for i, e := range all {
+		if e.Rows != i {
+			t.Fatalf("order broken at %d: rows=%d", i, e.Rows)
+		}
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["journal.recorded"] != 200 {
+		t.Errorf("journal.recorded = %d", snap.Counters["journal.recorded"])
+	}
+	if snap.Counters["journal.rotated"] == 0 {
+		t.Error("journal.rotated = 0")
+	}
+}
+
+func TestPruneSegments(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	writeEntries(t, path, 200, Config{MaxBytes: 2 << 10, MaxSegments: 3})
+	if segs := Segments(path); len(segs) > 3 {
+		t.Fatalf("pruning kept %d segments: %v", len(segs), segs)
+	}
+}
+
+func TestReopenResumesSequence(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	writeEntries(t, path, 100, Config{MaxBytes: 2 << 10, MaxSegments: -1})
+	before := Segments(path)
+	writeEntries(t, path, 100, Config{MaxBytes: 2 << 10, MaxSegments: -1})
+	after := Segments(path)
+	if len(after) <= len(before) {
+		t.Fatalf("reopen did not continue rotating: %d -> %d", len(before), len(after))
+	}
+	seen := map[string]bool{}
+	for _, s := range after {
+		if seen[s] {
+			t.Fatalf("duplicate segment %s", s)
+		}
+		seen[s] = true
+	}
+	all, _, err := ReadAll(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 200 {
+		t.Fatalf("entries across restart = %d, want 200", len(all))
+	}
+}
+
+// TestTornWriteLosesAtMostOne is the crash-recovery property test: for
+// many random truncation points of the active file's tail, reading back
+// loses at most one entry and never corrupts an earlier one.
+func TestTornWriteLosesAtMostOne(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "journal.jsonl")
+	const n = 50
+	writeEntries(t, path, n, Config{})
+	orig, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Count(string(orig), "\n")
+	if lines != n {
+		t.Fatalf("setup: %d lines, want %d", lines, n)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		// Cut anywhere in the last ~3 entries' worth of bytes.
+		tail := 1 + rng.Intn(900)
+		if tail >= len(orig) {
+			tail = len(orig) - 1
+		}
+		cut := len(orig) - tail
+		torn := filepath.Join(dir, fmt.Sprintf("torn-%d.jsonl", trial))
+		if err := os.WriteFile(torn, orig[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		got, st, err := ReadFile(torn)
+		if err != nil {
+			t.Fatalf("trial %d (cut=%d): %v", trial, cut, err)
+		}
+		// Complete lines fully present in the prefix.
+		complete := strings.Count(string(orig[:cut]), "\n")
+		if len(got) < complete {
+			t.Fatalf("trial %d: lost %d entries (%d < %d complete lines)",
+				trial, complete-len(got), len(got), complete)
+		}
+		if len(got) > complete+1 {
+			t.Fatalf("trial %d: phantom entries: %d > %d+1", trial, len(got), complete)
+		}
+		// The surviving prefix must be byte-faithful.
+		for i, e := range got[:complete] {
+			if e.Rows != i {
+				t.Fatalf("trial %d: entry %d corrupted: %+v", trial, i, e)
+			}
+		}
+		if cut > 0 && orig[cut-1] != '\n' && !st.Truncated && len(got) == complete {
+			// A mid-line cut that dropped data must be reported.
+			t.Fatalf("trial %d: torn tail not reported: %+v", trial, st)
+		}
+		os.Remove(torn)
+	}
+}
+
+// TestConcurrentWritersDuringRotation hammers Record from many
+// goroutines with a rotation threshold small enough that rotations
+// happen constantly; run under -race this is the data-race test for the
+// writer. With a deep queue nothing should drop, and every recorded
+// entry must read back intact.
+func TestConcurrentWritersDuringRotation(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	reg := metrics.NewRegistry()
+	w, err := New(Config{
+		Path:        path,
+		MaxBytes:    4 << 10,
+		MaxSegments: -1,
+		QueueDepth:  1 << 16,
+		Metrics:     reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		writers = 8
+		perW    = 250
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				w.Record(entry(g*perW + i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["journal.dropped"] != 0 {
+		t.Fatalf("dropped %d entries with a deep queue", snap.Counters["journal.dropped"])
+	}
+	all, st, err := ReadAll(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Corrupt != 0 || st.Truncated {
+		t.Fatalf("degraded read after clean close: %+v", st)
+	}
+	if len(all) != writers*perW {
+		t.Fatalf("read %d entries, want %d", len(all), writers*perW)
+	}
+	seen := make(map[int]bool, len(all))
+	for _, e := range all {
+		if seen[e.Rows] {
+			t.Fatalf("duplicate entry %d", e.Rows)
+		}
+		seen[e.Rows] = true
+	}
+}
+
+func TestRecordAfterCloseDrops(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	reg := metrics.NewRegistry()
+	w, err := New(Config{Path: path, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Record(entry(0))
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	w.Record(entry(1)) // must not panic
+	if err := w.Close(); err != nil {
+		t.Fatal(err) // idempotent
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["journal.dropped"] != 1 {
+		t.Fatalf("dropped = %d, want 1", snap.Counters["journal.dropped"])
+	}
+	var nilW *Writer
+	nilW.Record(entry(2)) // nil-tolerant
+	if err := nilW.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFullQueueDropsWithoutBlocking(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	reg := metrics.NewRegistry()
+	w, err := New(Config{Path: path, QueueDepth: 1, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 10000; i++ {
+			w.Record(entry(i))
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Record blocked")
+	}
+	w.Close()
+	snap := reg.Snapshot()
+	total := snap.Counters["journal.recorded"] + snap.Counters["journal.dropped"]
+	if total != 10000 {
+		t.Fatalf("recorded+dropped = %d, want 10000", total)
+	}
+}
+
+func TestQuerySigInvariance(t *testing.T) {
+	a := QuerySig("cq1", "cq2", "cq3")
+	b := QuerySig("cq3", "cq1", "cq2")
+	if a != b {
+		t.Fatal("QuerySig should be order-invariant")
+	}
+	if a == QuerySig("cq1", "cq2") {
+		t.Fatal("distinct key sets should differ")
+	}
+	// Concatenation ambiguity: {"ab","c"} vs {"a","bc"}.
+	if QuerySig("ab", "c") == QuerySig("a", "bc") {
+		t.Fatal("separator missing: concatenation collision")
+	}
+}
+
+func TestAggregator(t *testing.T) {
+	var a Aggregator
+	for i := 0; i < 30; i++ {
+		e := entry(i % 3) // 3 distinct signatures, 10 hits each
+		e.EvalMillis = float64(i%3) * 10
+		a.Observe(e)
+	}
+	sum := a.Summarize()
+	if sum.TotalQueries != 30 || sum.DistinctQueries != 3 {
+		t.Fatalf("summary %+v", sum)
+	}
+	top := a.TopQueries(2)
+	if len(top) != 2 {
+		t.Fatalf("TopQueries(2) = %d", len(top))
+	}
+	// sig for i=2 has mean 20ms -> highest score.
+	if top[0].MeanEvalMillis != 20 {
+		t.Fatalf("top query mean = %v, want 20", top[0].MeanEvalMillis)
+	}
+	if top[0].Score != 10*20 {
+		t.Fatalf("score = %v", top[0].Score)
+	}
+	frags := a.TopFragments(10)
+	if len(frags) != 3 {
+		t.Fatalf("fragments = %d, want 3", len(frags))
+	}
+}
+
+func TestAggregatorBounded(t *testing.T) {
+	a := Aggregator{MaxSignatures: 5}
+	for i := 0; i < 100; i++ {
+		e := entry(i)
+		e.Sig = fmt.Sprintf("sig-%d", i)
+		e.Fragments = []FragmentStat{{Sig: fmt.Sprintf("f-%d", i)}}
+		a.Observe(e)
+	}
+	sum := a.Summarize()
+	if sum.DistinctQueries != 5 || sum.DistinctFragments != 5 {
+		t.Fatalf("bound not enforced: %+v", sum)
+	}
+	if sum.OverflowQueries != 95 || sum.OverflowFragments != 95 {
+		t.Fatalf("overflow not counted: %+v", sum)
+	}
+	// Known signatures keep accumulating after the freeze.
+	e := entry(0)
+	e.Sig = "sig-0"
+	a.Observe(e)
+	if got := a.Summarize().TotalQueries; got != 101 {
+		t.Fatalf("total = %d", got)
+	}
+}
+
+func TestReadCorruptInterior(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	writeEntries(t, path, 5, Config{})
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(string(data), "\n")
+	lines[2] = "{\"garbage\n"
+	if err := os.WriteFile(path, []byte(strings.Join(lines, "")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, st, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 || st.Corrupt != 1 || st.Truncated {
+		t.Fatalf("got %d entries, stats %+v", len(got), st)
+	}
+}

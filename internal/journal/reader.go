@@ -1,0 +1,134 @@
+package journal
+
+import (
+	"bufio"
+	"bytes"
+	"compress/gzip"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// ReadStats describes what a read skipped: a journal written up to a
+// crash is still usable, and the caller can see exactly how degraded.
+type ReadStats struct {
+	// Entries successfully decoded.
+	Entries int
+	// Truncated reports the file ended in a torn line (a crash mid-append)
+	// — at most one entry was lost.
+	Truncated bool
+	// Corrupt counts undecodable interior lines (torn rotation, manual
+	// edits); each is skipped.
+	Corrupt int
+}
+
+// maxLineBytes bounds a single journal line; entries are a few KB
+// (MaxOperators caps the only unbounded-ish list) so 8 MiB is generous.
+const maxLineBytes = 8 << 20
+
+// ReadFile decodes one journal file — the active "journal.jsonl" or a
+// rotated segment, gzipped or plain (sniffed by magic bytes, not
+// extension). A torn final line, the signature a crash mid-append leaves,
+// is tolerated: the complete prefix is returned with Truncated set.
+func ReadFile(path string) ([]Entry, ReadStats, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, ReadStats{}, err
+	}
+	defer f.Close()
+	var r io.Reader = bufio.NewReaderSize(f, 256<<10)
+	if isGzip(r.(*bufio.Reader)) {
+		zr, err := gzip.NewReader(r)
+		if err != nil {
+			return nil, ReadStats{}, fmt.Errorf("journal: %s: %w", path, err)
+		}
+		defer zr.Close()
+		r = zr
+	}
+	return decode(r, strings.HasSuffix(path, ".gz"))
+}
+
+func isGzip(br *bufio.Reader) bool {
+	head, err := br.Peek(2)
+	return err == nil && head[0] == 0x1f && head[1] == 0x8b
+}
+
+// decode reads JSONL entries. gz distinguishes a compressed segment
+// (where a short read is real corruption, not a torn append — gzip is
+// written post-rotation in one shot) only for stats classification; both
+// paths return whatever decoded cleanly.
+func decode(r io.Reader, gz bool) ([]Entry, ReadStats, error) {
+	var (
+		entries []Entry
+		stats   ReadStats
+	)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), maxLineBytes)
+	var lastLineComplete = true
+	for sc.Scan() {
+		line := sc.Bytes()
+		// Track whether this line could be torn: bufio.Scanner strips the
+		// trailing newline, so we cannot see it here — instead treat only a
+		// *final* undecodable line as torn; interior ones are corrupt.
+		trimmed := bytes.TrimSpace(line)
+		if len(trimmed) == 0 {
+			continue
+		}
+		var e Entry
+		if err := json.Unmarshal(trimmed, &e); err != nil {
+			// Defer classification: if another line follows, this was
+			// interior corruption; if not, it was the torn tail.
+			stats.Corrupt++
+			lastLineComplete = false
+			continue
+		}
+		if !lastLineComplete {
+			lastLineComplete = true // the bad line was interior after all
+		}
+		entries = append(entries, e)
+	}
+	if err := sc.Err(); err != nil {
+		if gz {
+			// A truncated gzip stream surfaces as an unexpected-EOF read
+			// error; everything decoded so far is good.
+			stats.Truncated = true
+			return entries, stats, nil
+		}
+		return entries, stats, err
+	}
+	if !lastLineComplete {
+		// The final line failed to decode: that is the torn-append case,
+		// not interior corruption.
+		stats.Corrupt--
+		stats.Truncated = true
+	}
+	stats.Entries = len(entries)
+	return entries, stats, nil
+}
+
+// ReadAll decodes the full journal at path: rotated segments oldest
+// first, then the active file. Missing files (pruned between listing and
+// reading, or an unstarted journal) are skipped silently.
+func ReadAll(path string) ([]Entry, ReadStats, error) {
+	var (
+		all   []Entry
+		stats ReadStats
+	)
+	files := append(Segments(path), path)
+	for _, p := range files {
+		entries, st, err := ReadFile(p)
+		if err != nil {
+			if os.IsNotExist(err) {
+				continue
+			}
+			return all, stats, err
+		}
+		all = append(all, entries...)
+		stats.Corrupt += st.Corrupt
+		stats.Truncated = stats.Truncated || st.Truncated
+	}
+	stats.Entries = len(all)
+	return all, stats, nil
+}

@@ -1,0 +1,255 @@
+package journal
+
+import (
+	"sort"
+	"sync"
+)
+
+// Aggregator is the bounded in-memory workload rollup behind GET
+// /v1/stats: per-query-signature and per-fragment-signature counts and
+// costs, maintained on the query path (it never re-reads the journal
+// file, and works even when the durable journal is disabled). Safe for
+// concurrent use.
+//
+// Boundedness: once MaxSignatures distinct signatures are tracked, new
+// signatures are only counted in OverflowQueries/OverflowFragments —
+// existing ones keep accumulating. A workload advisor mining top-K
+// signatures cares about the head of the distribution; the head is
+// established early, so freezing the key set under cardinality attack is
+// the right degradation.
+type Aggregator struct {
+	// MaxSignatures bounds each of the two maps (default
+	// DefaultMaxSignatures); set before first Observe.
+	MaxSignatures int
+
+	mu        sync.Mutex
+	queries   map[string]*queryAgg
+	fragments map[string]*fragmentAgg
+	total     int64
+	overflowQ int64
+	overflowF int64
+}
+
+// DefaultMaxSignatures bounds the aggregator's per-signature maps.
+const DefaultMaxSignatures = 4096
+
+type queryAgg struct {
+	sample     string // one representative query text
+	count      int64
+	errors     int64
+	totalEval  float64
+	totalRows  int64
+	strategies map[string]int64
+}
+
+type fragmentAgg struct {
+	count     int64
+	cacheHits int64
+	totalRows int64
+	totalEst  float64
+}
+
+// QueryStat is one query signature's rollup, scored for /v1/stats.
+type QueryStat struct {
+	Sig   string `json:"sig"`
+	Query string `json:"query"`
+	Count int64  `json:"count"`
+	// Errors counts non-ok outcomes.
+	Errors         int64   `json:"errors,omitempty"`
+	MeanEvalMillis float64 `json:"meanEvalMillis"`
+	MeanRows       float64 `json:"meanRows"`
+	// Score = count x mean eval cost — the materialization-benefit proxy
+	// ROADMAP item 4's advisor ranks by.
+	Score      float64          `json:"score"`
+	Strategies map[string]int64 `json:"strategies,omitempty"`
+}
+
+// FragmentStatAgg is one fragment signature's rollup.
+type FragmentStatAgg struct {
+	Sig       string  `json:"sig"`
+	Count     int64   `json:"count"`
+	CacheHits int64   `json:"cacheHits"`
+	MeanRows  float64 `json:"meanRows"`
+	// MeanEstRows is the cost model's mean estimate for the fragment —
+	// alongside MeanRows it shows calibration per fragment, not just per
+	// operator type.
+	MeanEstRows float64 `json:"meanEstRows"`
+}
+
+// Summary is the aggregate header for /v1/stats.
+type Summary struct {
+	TotalQueries       int64 `json:"totalQueries"`
+	DistinctQueries    int   `json:"distinctQueries"`
+	DistinctFragments  int   `json:"distinctFragments"`
+	OverflowQueries    int64 `json:"overflowQueries,omitempty"`
+	OverflowFragments  int64 `json:"overflowFragments,omitempty"`
+	MaxSignaturesLimit int   `json:"maxSignatures"`
+}
+
+// Observe folds one journal entry into the rollup.
+func (a *Aggregator) Observe(e Entry) {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.queries == nil {
+		a.queries = make(map[string]*queryAgg)
+		a.fragments = make(map[string]*fragmentAgg)
+	}
+	max := a.MaxSignatures
+	if max <= 0 {
+		max = DefaultMaxSignatures
+	}
+	a.total++
+
+	q := a.queries[e.Sig]
+	if q == nil {
+		if len(a.queries) >= max {
+			a.overflowQ++
+		} else {
+			q = &queryAgg{sample: e.Query, strategies: make(map[string]int64)}
+			a.queries[e.Sig] = q
+		}
+	}
+	if q != nil {
+		q.count++
+		if e.Outcome != OutcomeOK {
+			q.errors++
+		}
+		q.totalEval += e.EvalMillis
+		q.totalRows += int64(e.Rows)
+		q.strategies[e.Strategy]++
+	}
+
+	for _, fs := range e.Fragments {
+		if fs.Sig == "" {
+			continue
+		}
+		f := a.fragments[fs.Sig]
+		if f == nil {
+			if len(a.fragments) >= max {
+				a.overflowF++
+				continue
+			}
+			f = &fragmentAgg{}
+			a.fragments[fs.Sig] = f
+		}
+		f.count++
+		if fs.CacheHit {
+			f.cacheHits++
+		}
+		if fs.Rows >= 0 {
+			f.totalRows += fs.Rows
+		}
+		f.totalEst += fs.EstRows
+	}
+}
+
+// TopQueries returns up to n query signatures ordered by Score
+// (count x mean eval millis) descending, ties broken by count then sig.
+func (a *Aggregator) TopQueries(n int) []QueryStat {
+	if a == nil {
+		return nil
+	}
+	a.mu.Lock()
+	out := make([]QueryStat, 0, len(a.queries))
+	for sig, q := range a.queries {
+		mean := 0.0
+		if q.count > 0 {
+			mean = q.totalEval / float64(q.count)
+		}
+		strategies := make(map[string]int64, len(q.strategies))
+		for k, v := range q.strategies {
+			strategies[k] = v
+		}
+		out = append(out, QueryStat{
+			Sig:            sig,
+			Query:          q.sample,
+			Count:          q.count,
+			Errors:         q.errors,
+			MeanEvalMillis: mean,
+			MeanRows:       float64(q.totalRows) / float64(maxI64(q.count, 1)),
+			Score:          float64(q.count) * mean,
+			Strategies:     strategies,
+		})
+	}
+	a.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Sig < out[j].Sig
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// TopFragments returns up to n fragment signatures by count descending,
+// ties broken by mean rows then sig — frequency first, because a
+// frequently re-evaluated fragment is the advisor's materialization
+// candidate regardless of size.
+func (a *Aggregator) TopFragments(n int) []FragmentStatAgg {
+	if a == nil {
+		return nil
+	}
+	a.mu.Lock()
+	out := make([]FragmentStatAgg, 0, len(a.fragments))
+	for sig, f := range a.fragments {
+		c := maxI64(f.count, 1)
+		out = append(out, FragmentStatAgg{
+			Sig:         sig,
+			Count:       f.count,
+			CacheHits:   f.cacheHits,
+			MeanRows:    float64(f.totalRows) / float64(c),
+			MeanEstRows: f.totalEst / float64(c),
+		})
+	}
+	a.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		if out[i].MeanRows != out[j].MeanRows {
+			return out[i].MeanRows > out[j].MeanRows
+		}
+		return out[i].Sig < out[j].Sig
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// Summarize returns the aggregate header.
+func (a *Aggregator) Summarize() Summary {
+	if a == nil {
+		return Summary{}
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	max := a.MaxSignatures
+	if max <= 0 {
+		max = DefaultMaxSignatures
+	}
+	return Summary{
+		TotalQueries:       a.total,
+		DistinctQueries:    len(a.queries),
+		DistinctFragments:  len(a.fragments),
+		OverflowQueries:    a.overflowQ,
+		OverflowFragments:  a.overflowF,
+		MaxSignaturesLimit: max,
+	}
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

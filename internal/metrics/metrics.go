@@ -66,6 +66,26 @@ func (g *Gauge) Value() int64 {
 	return g.v.Load()
 }
 
+// FloatGauge is an instantaneous float value (e.g. an SLO burn rate).
+// Stored as atomic bits so readers never see a torn write.
+type FloatGauge struct{ bits atomic.Uint64 }
+
+// Set replaces the value.
+func (g *FloatGauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Value returns the current value.
+func (g *FloatGauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
 // DefaultLatencyBuckets are millisecond bucket upper bounds covering
 // sub-millisecond index probes up to the 30s default request timeout.
 var DefaultLatencyBuckets = []float64{
@@ -77,6 +97,14 @@ var DefaultLatencyBuckets = []float64{
 // (reformulation CQ counts, row counts).
 var DefaultSizeBuckets = []float64{
 	1, 3, 10, 30, 100, 300, 1000, 3000, 10000, 30000, 100000, 300000,
+}
+
+// DefaultQErrorBuckets are bucket upper bounds for q-error observations
+// (max(est/actual, actual/est), always >= 1). A perfectly calibrated
+// estimator lands everything in the first bucket; the top buckets catch
+// the multiple-orders-of-magnitude misestimates that flip plan choices.
+var DefaultQErrorBuckets = []float64{
+	1.5, 2, 3, 5, 10, 30, 100, 1000, 10000, 100000,
 }
 
 // Histogram counts observations into fixed buckets — memory is bounded by
@@ -207,6 +235,7 @@ type Registry struct {
 	mu       sync.Mutex
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
+	fgauges  map[string]*FloatGauge
 	hists    map[string]*Histogram
 }
 
@@ -215,6 +244,7 @@ func NewRegistry() *Registry {
 	return &Registry{
 		counters: map[string]*Counter{},
 		gauges:   map[string]*Gauge{},
+		fgauges:  map[string]*FloatGauge{},
 		hists:    map[string]*Histogram{},
 	}
 }
@@ -249,6 +279,21 @@ func (r *Registry) Gauge(name string) *Gauge {
 	return g
 }
 
+// FloatGauge returns the named float gauge, creating it if needed.
+func (r *Registry) FloatGauge(name string) *FloatGauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.fgauges[name]
+	if !ok {
+		g = &FloatGauge{}
+		r.fgauges[name] = g
+	}
+	return g
+}
+
 // Histogram returns the named histogram, creating it with the given bucket
 // bounds (DefaultLatencyBuckets when none) if needed; bounds are ignored
 // for an existing histogram.
@@ -268,17 +313,19 @@ func (r *Registry) Histogram(name string, bounds ...float64) *Histogram {
 
 // Snapshot is a point-in-time JSON-friendly view of a registry.
 type Snapshot struct {
-	Counters   map[string]int64             `json:"counters"`
-	Gauges     map[string]int64             `json:"gauges,omitempty"`
-	Histograms map[string]HistogramSnapshot `json:"histograms"`
+	Counters    map[string]int64             `json:"counters"`
+	Gauges      map[string]int64             `json:"gauges,omitempty"`
+	FloatGauges map[string]float64           `json:"floatGauges,omitempty"`
+	Histograms  map[string]HistogramSnapshot `json:"histograms"`
 }
 
 // Snapshot captures every instrument's current state.
 func (r *Registry) Snapshot() Snapshot {
 	snap := Snapshot{
-		Counters:   map[string]int64{},
-		Gauges:     map[string]int64{},
-		Histograms: map[string]HistogramSnapshot{},
+		Counters:    map[string]int64{},
+		Gauges:      map[string]int64{},
+		FloatGauges: map[string]float64{},
+		Histograms:  map[string]HistogramSnapshot{},
 	}
 	if r == nil {
 		return snap
@@ -292,6 +339,10 @@ func (r *Registry) Snapshot() Snapshot {
 	for n, g := range r.gauges {
 		gauges[n] = g
 	}
+	fgauges := make(map[string]*FloatGauge, len(r.fgauges))
+	for n, g := range r.fgauges {
+		fgauges[n] = g
+	}
 	hists := make(map[string]*Histogram, len(r.hists))
 	for n, h := range r.hists {
 		hists[n] = h
@@ -302,6 +353,9 @@ func (r *Registry) Snapshot() Snapshot {
 	}
 	for n, g := range gauges {
 		snap.Gauges[n] = g.Value()
+	}
+	for n, g := range fgauges {
+		snap.FloatGauges[n] = g.Value()
 	}
 	for n, h := range hists {
 		snap.Histograms[n] = h.Snapshot()

@@ -27,6 +27,12 @@ var promLabelRules = []struct{ prefix, label string }{
 	{"plancache.", "event"},
 	{"admission.", "event"},
 	{"rangeref.", "event"},
+	{"journal.", "event"},
+	{"slo.good.", "strategy"},
+	{"slo.bad.", "strategy"},
+	{"slo.burn_rate_5m.", "strategy"},
+	{"slo.burn_rate_1h.", "strategy"},
+	{"qerror.", "op"},
 }
 
 // promName splits a dotted registry name into a sanitized metric family
@@ -122,6 +128,9 @@ func WritePrometheus(w io.Writer, r *Registry) error {
 	}
 	for n, v := range snap.Gauges {
 		add(n, "gauge", promSeries{value: strconv.FormatInt(v, 10)})
+	}
+	for n, v := range snap.FloatGauges {
+		add(n, "gauge", promSeries{value: formatPromFloat(v)})
 	}
 	for n := range snap.Histograms {
 		h := snap.Histograms[n]

@@ -1,0 +1,216 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// SLO is a latency service-level objective: Objective (a fraction, e.g.
+// 0.99) of queries should finish successfully within LatencyMillis.
+type SLO struct {
+	LatencyMillis float64
+	Objective     float64
+}
+
+// DefaultSLO is used when the operator does not pass -slo: 99% of
+// queries within 500ms — loose enough to be meaningful on a laptop,
+// tight enough that an overload or a strategy regression burns visibly.
+var DefaultSLO = SLO{LatencyMillis: 500, Objective: 0.99}
+
+// ParseSLO parses the -slo flag syntax "<latency>:<objective>", where
+// latency is a Go duration ("250ms", "1s") and objective is either a
+// fraction ("0.999") or a percentage ("99.9").
+func ParseSLO(s string) (SLO, error) {
+	lat, objStr, ok := strings.Cut(s, ":")
+	if !ok {
+		return SLO{}, fmt.Errorf("slo %q: want <latency>:<objective>, e.g. 250ms:99.9", s)
+	}
+	d, err := time.ParseDuration(strings.TrimSpace(lat))
+	if err != nil {
+		return SLO{}, fmt.Errorf("slo %q: bad latency: %w", s, err)
+	}
+	obj, err := strconv.ParseFloat(strings.TrimSpace(objStr), 64)
+	if err != nil {
+		return SLO{}, fmt.Errorf("slo %q: bad objective: %w", s, err)
+	}
+	if obj > 1 {
+		obj /= 100 // "99.9" means 99.9%
+	}
+	if d <= 0 || obj <= 0 || obj >= 1 {
+		return SLO{}, fmt.Errorf("slo %q: need latency > 0 and objective in (0,1)", s)
+	}
+	return SLO{LatencyMillis: float64(d) / float64(time.Millisecond), Objective: obj}, nil
+}
+
+// String renders the SLO in the -slo flag syntax.
+func (s SLO) String() string {
+	return fmt.Sprintf("%s:%g", time.Duration(s.LatencyMillis*float64(time.Millisecond)), s.Objective*100)
+}
+
+// sloBucketSeconds is the ring resolution; sloBuckets x that is the
+// longest burn-rate window (1h).
+const (
+	sloBucketSeconds = 10
+	sloBuckets       = 360
+)
+
+// BurnWindows are the multi-window burn-rate horizons exposed as
+// slo.burn_rate_5m.* / slo.burn_rate_1h.* gauges — the classic
+// fast/slow pair: the short window reacts, the long window confirms.
+var BurnWindows = []struct {
+	Name   string
+	Window time.Duration
+}{
+	{"5m", 5 * time.Minute},
+	{"1h", time.Hour},
+}
+
+type sloBucket struct {
+	epoch int64 // unix seconds / sloBucketSeconds; 0 = never used
+	good  int64
+	bad   int64
+}
+
+type sloSeries struct {
+	buckets [sloBuckets]sloBucket
+}
+
+// SLOTracker classifies every finished query as good or bad against one
+// SLO, per strategy, and derives multi-window burn rates: burn =
+// observedBadFraction / allowedBadFraction, so 1.0 means exactly
+// spending the error budget, >1 means burning it faster. Counts go to
+// slo.good.<strategy>/slo.bad.<strategy> counters in the registry;
+// burn-rate gauges are refreshed by Publish. Safe for concurrent use;
+// nil-tolerant.
+type SLOTracker struct {
+	slo SLO
+	reg *Registry
+
+	mu     sync.Mutex
+	series map[string]*sloSeries
+}
+
+// NewSLOTracker returns a tracker for the given objective, recording
+// into reg (which may be nil; the tracker still tracks).
+func NewSLOTracker(slo SLO, reg *Registry) *SLOTracker {
+	if slo.LatencyMillis <= 0 || slo.Objective <= 0 || slo.Objective >= 1 {
+		slo = DefaultSLO
+	}
+	return &SLOTracker{slo: slo, reg: reg, series: map[string]*sloSeries{}}
+}
+
+// SLO returns the tracked objective.
+func (t *SLOTracker) SLO() SLO {
+	if t == nil {
+		return SLO{}
+	}
+	return t.slo
+}
+
+// Observe records one finished query: good means it succeeded within
+// the SLO latency. Strategy labels the series ("" folds into "all").
+func (t *SLOTracker) Observe(strategy string, millis float64, ok bool, now time.Time) {
+	if t == nil {
+		return
+	}
+	if strategy == "" {
+		strategy = "all"
+	}
+	good := ok && millis <= t.slo.LatencyMillis
+	if t.reg != nil {
+		if good {
+			t.reg.Counter("slo.good." + strategy).Inc()
+		} else {
+			t.reg.Counter("slo.bad." + strategy).Inc()
+		}
+	}
+	epoch := now.Unix() / sloBucketSeconds
+	idx := int(epoch % sloBuckets)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := t.series[strategy]
+	if s == nil {
+		s = &sloSeries{}
+		t.series[strategy] = s
+	}
+	b := &s.buckets[idx]
+	if b.epoch != epoch {
+		b.epoch, b.good, b.bad = epoch, 0, 0
+	}
+	if good {
+		b.good++
+	} else {
+		b.bad++
+	}
+}
+
+// BurnRate is one strategy x window burn-rate sample.
+type BurnRate struct {
+	Strategy string  `json:"strategy"`
+	Window   string  `json:"window"`
+	Good     int64   `json:"good"`
+	Bad      int64   `json:"bad"`
+	Burn     float64 `json:"burn"`
+}
+
+// BurnRates computes the burn rate for every tracked strategy over
+// every BurnWindow, sorted by strategy then window. Windows with no
+// traffic report burn 0.
+func (t *SLOTracker) BurnRates(now time.Time) []BurnRate {
+	if t == nil {
+		return nil
+	}
+	nowEpoch := now.Unix() / sloBucketSeconds
+	allowedBad := 1 - t.slo.Objective
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []BurnRate
+	for strategy, s := range t.series {
+		for _, w := range BurnWindows {
+			horizon := nowEpoch - int64(w.Window/(sloBucketSeconds*time.Second))
+			var good, bad int64
+			for i := range s.buckets {
+				b := &s.buckets[i]
+				if b.epoch > horizon && b.epoch <= nowEpoch {
+					good += b.good
+					bad += b.bad
+				}
+			}
+			burn := 0.0
+			if total := good + bad; total > 0 {
+				burn = (float64(bad) / float64(total)) / allowedBad
+			}
+			out = append(out, BurnRate{Strategy: strategy, Window: w.Name, Good: good, Bad: bad, Burn: burn})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Strategy != out[j].Strategy {
+			return out[i].Strategy < out[j].Strategy
+		}
+		return out[i].Window < out[j].Window
+	})
+	return out
+}
+
+// Publish refreshes the slo.burn_rate_<window>.<strategy> float gauges
+// from the rings — called right before metrics exposition so scrapes
+// see current burn rates without a background ticker.
+func (t *SLOTracker) Publish(now time.Time) {
+	if t == nil || t.reg == nil {
+		return
+	}
+	// The window set is closed (BurnWindows), so each window is its own
+	// literal family — new windows must also add a prom label rule.
+	for _, br := range t.BurnRates(now) {
+		switch br.Window {
+		case "5m":
+			t.reg.FloatGauge("slo.burn_rate_5m." + br.Strategy).Set(br.Burn)
+		case "1h":
+			t.reg.FloatGauge("slo.burn_rate_1h." + br.Strategy).Set(br.Burn)
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseSLO(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want SLO
+		ok   bool
+	}{
+		{"250ms:99", SLO{250, 0.99}, true},
+		{"1s:0.999", SLO{1000, 0.999}, true},
+		{"500ms:99.9", SLO{500, 0.999}, true},
+		{"250ms", SLO{}, false},
+		{"abc:99", SLO{}, false},
+		{"250ms:0", SLO{}, false},
+		{"250ms:100", SLO{}, false},
+		{"-1s:99", SLO{}, false},
+	} {
+		got, err := ParseSLO(tc.in)
+		if tc.ok != (err == nil) {
+			t.Errorf("ParseSLO(%q) err = %v, want ok=%v", tc.in, err, tc.ok)
+			continue
+		}
+		if !tc.ok {
+			continue
+		}
+		if got.LatencyMillis != tc.want.LatencyMillis ||
+			got.Objective < tc.want.Objective-1e-9 || got.Objective > tc.want.Objective+1e-9 {
+			t.Errorf("ParseSLO(%q) = %+v, want %+v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestSLOTrackerBurnRates(t *testing.T) {
+	reg := NewRegistry()
+	tr := NewSLOTracker(SLO{LatencyMillis: 100, Objective: 0.99}, reg)
+	now := time.Unix(1700000000, 0)
+	// 90 good + 10 bad => badFrac 0.1, allowed 0.01 => burn 10.
+	for i := 0; i < 90; i++ {
+		tr.Observe("ref-ucq", 50, true, now)
+	}
+	for i := 0; i < 5; i++ {
+		tr.Observe("ref-ucq", 500, true, now) // over latency: bad
+	}
+	for i := 0; i < 5; i++ {
+		tr.Observe("ref-ucq", 50, false, now) // error: bad
+	}
+	rates := tr.BurnRates(now)
+	if len(rates) != len(BurnWindows) {
+		t.Fatalf("got %d rates, want %d", len(rates), len(BurnWindows))
+	}
+	for _, r := range rates {
+		if r.Good != 90 || r.Bad != 10 {
+			t.Fatalf("window %s: good=%d bad=%d", r.Window, r.Good, r.Bad)
+		}
+		if r.Burn < 9.99 || r.Burn > 10.01 {
+			t.Fatalf("window %s: burn=%v, want 10", r.Window, r.Burn)
+		}
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["slo.good.ref-ucq"] != 90 || snap.Counters["slo.bad.ref-ucq"] != 10 {
+		t.Fatalf("counters: %v", snap.Counters)
+	}
+	tr.Publish(now)
+	snap = reg.Snapshot()
+	if v := snap.FloatGauges["slo.burn_rate_5m.ref-ucq"]; v < 9.99 || v > 10.01 {
+		t.Fatalf("burn gauge = %v", v)
+	}
+}
+
+func TestSLOTrackerWindowExpiry(t *testing.T) {
+	tr := NewSLOTracker(SLO{LatencyMillis: 100, Objective: 0.99}, nil)
+	start := time.Unix(1700000000, 0)
+	for i := 0; i < 10; i++ {
+		tr.Observe("sat", 500, true, start) // all bad
+	}
+	// 6 minutes later: outside 5m window, inside 1h window.
+	later := start.Add(6 * time.Minute)
+	byWindow := map[string]BurnRate{}
+	for _, r := range tr.BurnRates(later) {
+		byWindow[r.Window] = r
+	}
+	if byWindow["5m"].Bad != 0 {
+		t.Fatalf("5m window should have expired: %+v", byWindow["5m"])
+	}
+	if byWindow["1h"].Bad != 10 {
+		t.Fatalf("1h window should retain: %+v", byWindow["1h"])
+	}
+	// 2 hours later: ring fully recycled.
+	much := start.Add(2 * time.Hour)
+	for _, r := range tr.BurnRates(much) {
+		if r.Good+r.Bad != 0 {
+			t.Fatalf("stale buckets leaked into %s: %+v", r.Window, r)
+		}
+	}
+}
+
+func TestSLOTrackerNilAndDefaults(t *testing.T) {
+	var tr *SLOTracker
+	tr.Observe("x", 1, true, time.Unix(0, 0)) // no panic
+	tr.Publish(time.Unix(0, 0))
+	if got := tr.BurnRates(time.Unix(0, 0)); got != nil {
+		t.Fatalf("nil tracker rates: %v", got)
+	}
+	def := NewSLOTracker(SLO{}, nil)
+	if def.SLO() != DefaultSLO {
+		t.Fatalf("zero SLO should default: %+v", def.SLO())
+	}
+}
+
+func TestFloatGaugeProm(t *testing.T) {
+	reg := NewRegistry()
+	reg.FloatGauge("slo.burn_rate_5m.ref-ucq").Set(2.5)
+	var sb strings.Builder
+	if err := WritePrometheus(&sb, reg); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	want := `slo_burn_rate_5m{strategy="ref-ucq"} 2.5`
+	if !strings.Contains(out, want) {
+		t.Fatalf("prom output missing %q:\n%s", want, out)
+	}
+	if !strings.Contains(out, "# TYPE slo_burn_rate_5m gauge") {
+		t.Fatalf("missing TYPE line:\n%s", out)
+	}
+	var g *FloatGauge
+	g.Set(1) // nil-tolerant
+	if g.Value() != 0 {
+		t.Fatal("nil FloatGauge value")
+	}
+}
+
+func TestQErrorPromFamily(t *testing.T) {
+	reg := NewRegistry()
+	reg.Histogram("qerror.hashjoin", DefaultQErrorBuckets...).Observe(42)
+	var sb strings.Builder
+	if err := WritePrometheus(&sb, reg); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `qerror_count{op="hashjoin"} 1`) {
+		t.Fatalf("qerror family not labeled:\n%s", sb.String())
+	}
+}

@@ -14,6 +14,10 @@ type SlowQuery struct {
 	Millis   float64   `json:"millis"`
 	Rows     int       `json:"rows,omitempty"`
 	Err      string    `json:"error,omitempty"`
+	// Outcome is the query's final disposition — "ok", "error", "canceled",
+	// "budget" or "shed" (journal.Outcome* values) — so a shed or canceled
+	// query is distinguishable from a slow successful one.
+	Outcome string `json:"outcome,omitempty"`
 	// RequestID correlates the entry with the request's structured log
 	// lines and trace output (the X-Request-Id header).
 	RequestID string `json:"requestId,omitempty"`
