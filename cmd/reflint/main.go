@@ -6,8 +6,14 @@
 //
 // It runs in two modes:
 //
-//	reflint ./...                     # standalone, loads packages itself
+//	reflint [-json] ./...             # standalone, loads packages itself
 //	go vet -vettool=$(which reflint)  # unit checker driven by cmd/go
+//
+// Standalone output is deterministic: findings from every package are
+// collected, sorted by file:line:col, and printed once — so CI diffs
+// and the GitHub problem matcher see a stable stream. With -json the
+// findings are emitted as a JSON array on stdout instead (uploaded as a
+// CI artifact on failure).
 //
 // The vettool mode speaks cmd/go's unit-checker protocol: -V=full prints
 // a content-addressed version line (the go command's cache key), -flags
@@ -22,6 +28,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strings"
 
 	"repro/internal/analysis"
@@ -44,10 +51,19 @@ func main() {
 	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
 		os.Exit(runUnitchecker(args[0]))
 	}
-	if len(args) == 0 {
-		args = []string{"./..."}
+	asJSON := false
+	patterns := args[:0:0]
+	for _, a := range args {
+		if a == "-json" || a == "--json" {
+			asJSON = true
+			continue
+		}
+		patterns = append(patterns, a)
 	}
-	os.Exit(runStandalone(args))
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	os.Exit(runStandalone(patterns, asJSON))
 }
 
 // printVersion emits the tool fingerprint line cmd/go expects from
@@ -64,25 +80,70 @@ func printVersion() {
 	fmt.Printf("%s version devel reflint buildID=%02x\n", progname, string(h.Sum(nil)))
 }
 
-func runStandalone(patterns []string) int {
+// jsonDiagnostic is the -json wire shape of one finding.
+type jsonDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+func runStandalone(patterns []string, asJSON bool) int {
 	pkgs, err := analysis.Load(patterns)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "reflint:", err)
 		return 1
 	}
-	found := false
+	// Collect everything first: `go list` package order is not a
+	// contract, and CI annotations / artifact diffs need a stable
+	// stream. Sort globally by file:line:col (per-package runs are
+	// already sorted, but files of different packages interleave).
+	var all []analysis.Diagnostic
 	for _, pkg := range pkgs {
 		diags, err := pkg.RunAnalyzers(nil)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "reflint:", err)
 			return 1
 		}
-		for _, d := range diags {
-			found = true
+		all = append(all, diags...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i].Pos, all[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return all[i].Message < all[j].Message
+	})
+	if asJSON {
+		out := make([]jsonDiagnostic, 0, len(all))
+		for _, d := range all {
+			out = append(out, jsonDiagnostic{
+				File:     d.Pos.Filename,
+				Line:     d.Pos.Line,
+				Column:   d.Pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, "reflint:", err)
+			return 1
+		}
+	} else {
+		for _, d := range all {
 			fmt.Fprintln(os.Stderr, d.String())
 		}
 	}
-	if found {
+	if len(all) > 0 {
 		return 2
 	}
 	return 0

@@ -50,7 +50,11 @@ type Pass struct {
 	report func(Diagnostic)
 
 	// annotations caches the parsed //reflint: directives of each file.
-	annotations map[*ast.File][]annotation
+	// The map is shared by every pass over one package (RunAnalyzers
+	// wires the same instance into each), so a suppression consumed by
+	// any analyzer is visible as "used" to the end-of-run dangling
+	// check, across all files of the package.
+	annotations map[*ast.File][]*annotation
 }
 
 // Diagnostic is one finding.
@@ -79,13 +83,21 @@ type annotation struct {
 	reason string
 	line   int
 	pos    token.Pos
+	// used records that some analyzer consulted this annotation to
+	// suppress a finding; a known-check annotation that stays unused
+	// through a full-suite run is dangling (the code it excused was
+	// fixed or deleted) and is itself reported.
+	used bool
+	// emptyReported dedupes the missing-reason diagnostic when several
+	// analyzers probe the same annotation.
+	emptyReported bool
 }
 
 const directivePrefix = "//reflint:"
 
 // parseAnnotations extracts every //reflint: directive of a file.
-func parseAnnotations(fset *token.FileSet, f *ast.File) []annotation {
-	var out []annotation
+func parseAnnotations(fset *token.FileSet, f *ast.File) []*annotation {
+	var out []*annotation
 	for _, cg := range f.Comments {
 		for _, c := range cg.List {
 			if !strings.HasPrefix(c.Text, directivePrefix) {
@@ -98,7 +110,7 @@ func parseAnnotations(fset *token.FileSet, f *ast.File) []annotation {
 			if i := strings.Index(reason, "//"); i >= 0 {
 				reason = reason[:i]
 			}
-			out = append(out, annotation{
+			out = append(out, &annotation{
 				check:  check,
 				reason: strings.TrimSpace(reason),
 				line:   fset.Position(c.Pos()).Line,
@@ -110,9 +122,9 @@ func parseAnnotations(fset *token.FileSet, f *ast.File) []annotation {
 	return out
 }
 
-func (p *Pass) fileAnnotations(f *ast.File) []annotation {
+func (p *Pass) fileAnnotations(f *ast.File) []*annotation {
 	if p.annotations == nil {
-		p.annotations = map[*ast.File][]annotation{}
+		p.annotations = map[*ast.File][]*annotation{}
 	}
 	anns, ok := p.annotations[f]
 	if !ok {
@@ -158,21 +170,48 @@ func (p *Pass) suppressed(check string, pos token.Pos, fn *ast.FuncDecl) bool {
 			continue
 		}
 		if a.reason == "" {
-			p.Reportf(a.pos, "//reflint:%s annotation requires a reason", check)
+			if !a.emptyReported {
+				a.emptyReported = true
+				p.Reportf(a.pos, "//reflint:%s annotation requires a reason", check)
+			}
 			continue
 		}
+		a.used = true
 		return true
 	}
 	return false
 }
 
 // CheckDanglingAnnotations reports //reflint: directives naming an unknown
-// check — usually a typo that silently disables nothing.
+// check — usually a typo that silently disables nothing. It covers every
+// file of the package through the shared annotation store, so a typo in
+// any file is caught regardless of which file an analyzer visited first.
 func CheckDanglingAnnotations(pass *Pass, known map[string]bool) {
+	names := make([]string, 0, len(known))
+	for k := range known {
+		names = append(names, k)
+	}
+	sort.Strings(names)
 	for _, f := range pass.Files {
 		for _, a := range pass.fileAnnotations(f) {
 			if !known[a.check] {
-				pass.Reportf(a.pos, "unknown reflint annotation %q (known: guardpoll/noguard, spanend/nospanend, ctxflow/ctxbg, metricname)", a.check)
+				pass.Reportf(a.pos, "unknown reflint annotation %q (known: %s)", a.check, strings.Join(names, ", "))
+			}
+		}
+	}
+}
+
+// CheckUnusedAnnotations reports known-check suppressions that no
+// analyzer consumed. It is only meaningful after the *full* suite has
+// run over the package (RunAnalyzers(nil)): a suppression is unused
+// exactly when the finding it excused no longer fires, i.e. the code
+// was fixed and the annotation is now dead weight hiding future
+// regressions.
+func CheckUnusedAnnotations(pass *Pass, known map[string]bool) {
+	for _, f := range pass.Files {
+		for _, a := range pass.fileAnnotations(f) {
+			if known[a.check] && !a.used && a.reason != "" {
+				pass.Reportf(a.pos, "unused //reflint:%s suppression: no %s finding at this site — delete the annotation (or it will silently mask the next regression)", a.check, a.check)
 			}
 		}
 	}

@@ -1,0 +1,114 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Atomicfield generalizes the guard.flush lesson: once any site in a
+// package hands a field's address to sync/atomic (atomic.AddInt64(&x.n,
+// 1), CompareAndSwapInt32(&g.flush, ...)), every other access to that
+// field must also go through sync/atomic. A single plain read or write
+// silently downgrades the whole protocol — the race detector only
+// catches it when the interleaving actually happens, this analyzer
+// catches it always.
+//
+// The check is package-wide and two-pass: pass one collects the set of
+// "atomic fields" (struct fields whose address flows into a sync/atomic
+// call anywhere in the package); pass two flags every use of those
+// fields that is not itself an address-of argument to a sync/atomic
+// call. The modern fix is usually better than an annotation: migrate
+// the field to the typed atomics (atomic.Int64, atomic.Bool), which
+// make plain access impossible to type-check.
+var Atomicfield = &Analyzer{
+	Name: "atomicfield",
+	Doc:  "fields accessed via sync/atomic anywhere must be accessed via sync/atomic everywhere (or become typed atomics)",
+	Run:  runAtomicfield,
+}
+
+func runAtomicfield(pass *Pass) error {
+	// Pass 1: collect fields whose address reaches sync/atomic, and
+	// remember the blessed &field expressions (they are exempt in pass 2).
+	atomicFields := map[types.Object]bool{}
+	blessed := map[*ast.SelectorExpr]bool{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isSyncAtomicCall(pass, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				if sel := addrOfFieldSel(pass, arg); sel != nil {
+					if obj := fieldObject(pass, sel); obj != nil {
+						atomicFields[obj] = true
+						blessed[sel] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return nil
+	}
+	// Pass 2: any other selection of an atomic field is a plain access.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || blessed[sel] {
+				return true
+			}
+			obj := fieldObject(pass, sel)
+			if obj == nil || !atomicFields[obj] {
+				return true
+			}
+			fn := enclosingFunc(f, sel.Pos())
+			if pass.suppressed("atomicfield", sel.Pos(), fn) {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"field %s is accessed via sync/atomic elsewhere in this package; this plain access races with those — use sync/atomic here too, or migrate the field to a typed atomic (atomic.Int64 & co)",
+				obj.Name())
+			return true
+		})
+	}
+	return nil
+}
+
+// isSyncAtomicCall reports whether call invokes a function of the
+// sync/atomic package (atomic.AddInt64, atomic.CompareAndSwapUint32, ...).
+func isSyncAtomicCall(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pkgName, ok := pass.Info.Uses[id].(*types.PkgName)
+	return ok && pkgName.Imported().Path() == "sync/atomic"
+}
+
+// addrOfFieldSel unwraps `&x.f` to the field selector x.f, or nil.
+func addrOfFieldSel(pass *Pass, e ast.Expr) *ast.SelectorExpr {
+	un, ok := e.(*ast.UnaryExpr)
+	if !ok || un.Op.String() != "&" {
+		return nil
+	}
+	sel, ok := un.X.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	return sel
+}
+
+// fieldObject resolves sel to the struct-field object it selects, or
+// nil when sel is not a field selection (package refs, methods, ...).
+func fieldObject(pass *Pass, sel *ast.SelectorExpr) types.Object {
+	selection, ok := pass.Info.Selections[sel]
+	if !ok || selection.Kind() != types.FieldVal {
+		return nil
+	}
+	return selection.Obj()
+}

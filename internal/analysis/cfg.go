@@ -1,0 +1,455 @@
+package analysis
+
+// This file is the intraprocedural control-flow layer under the
+// concurrency analyzers (lockorder, and anything else that needs
+// path-sensitive state). It deliberately reimplements a small slice of
+// golang.org/x/tools/go/cfg + go/analysis's dataflow idioms on plain
+// go/ast, because the repository's analysis stack is dependency-free by
+// design (see package doc).
+//
+// A CFG is built per function body. Blocks hold *simple* nodes only —
+// expressions and straight-line statements. Compound statements
+// (if/for/switch/select/...) are decomposed into blocks and edges; they
+// never appear as block nodes themselves, with two deliberate
+// exceptions kept as opaque markers because their *shape* matters to
+// analyzers even after decomposition:
+//
+//   - *ast.SelectStmt: a select with no default clause is a blocking
+//     point (lockorder's "no channel ops under a ranked lock" rule);
+//   - *ast.RangeStmt: ranging over a channel is both a blocking point
+//     and goroutinelife's close-terminated shutdown idiom.
+//
+// Analyzers must not descend into marker nodes (their bodies are
+// already laid out into successor blocks); inspectShallow does the
+// right thing.
+//
+// Function literals are not inlined: a FuncLit's body runs at an
+// unknown time, so it gets its own CFG (see lockorder for how entry
+// state is seeded). inspectShallow never descends into FuncLits.
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Block is one basic block: simple nodes executed in order, then a
+// transfer of control to one of Succs.
+type Block struct {
+	Index int
+	Nodes []ast.Node
+	Succs []*Block
+}
+
+// CFG is the control-flow graph of one function body.
+type CFG struct {
+	Entry  *Block
+	Exit   *Block
+	Blocks []*Block
+	// Defers lists the function's defer statements in source order.
+	// Deferred calls run at Exit in reverse order; analyzers that care
+	// (lockorder treats `defer mu.Unlock()` as "held to function end")
+	// consult this list rather than block nodes.
+	Defers []*ast.DeferStmt
+}
+
+// BuildCFG lays out body (a function or function-literal body) into
+// basic blocks. A nil body (external/assembly functions) yields a CFG
+// with only entry and exit.
+func BuildCFG(body *ast.BlockStmt) *CFG {
+	b := &cfgBuilder{
+		cfg:           &CFG{},
+		labelBlocks:   map[string]*Block{},
+		labelBreak:    map[string]*Block{},
+		labelContinue: map[string]*Block{},
+	}
+	b.cfg.Entry = b.newBlock()
+	b.cfg.Exit = b.newBlock()
+	b.cur = b.cfg.Entry
+	if body != nil {
+		b.stmtList(body.List)
+	}
+	b.edge(b.cur, b.cfg.Exit)
+	return b.cfg
+}
+
+type cfgBuilder struct {
+	cfg *CFG
+	cur *Block
+
+	// break/continue targets of the innermost enclosing loop/switch.
+	breakStack    []*Block
+	continueStack []*Block
+
+	labelBlocks   map[string]*Block // label -> block the labeled stmt starts in
+	labelBreak    map[string]*Block // label -> after-block of the labeled loop/switch
+	labelContinue map[string]*Block // label -> head-block of the labeled loop
+
+	// pendingLabel is set between a LabeledStmt and the loop it labels.
+	pendingLabel string
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{Index: len(b.cfg.Blocks)}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) edge(from, to *Block) {
+	if from == nil || to == nil {
+		return
+	}
+	for _, s := range from.Succs {
+		if s == to {
+			return
+		}
+	}
+	from.Succs = append(from.Succs, to)
+}
+
+func (b *cfgBuilder) add(n ast.Node) {
+	if n != nil {
+		b.cur.Nodes = append(b.cur.Nodes, n)
+	}
+}
+
+// labelBlock returns (creating on first use) the block a label jumps to
+// — forward gotos reference labels before their LabeledStmt is built.
+func (b *cfgBuilder) labelBlock(name string) *Block {
+	blk, ok := b.labelBlocks[name]
+	if !ok {
+		blk = b.newBlock()
+		b.labelBlocks[name] = blk
+	}
+	return blk
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+// takeLabel consumes the pending label for the loop/switch being built,
+// registering its break/continue targets.
+func (b *cfgBuilder) takeLabel(head, after *Block) string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	if l != "" {
+		b.labelBreak[l] = after
+		if head != nil {
+			b.labelContinue[l] = head
+		}
+	}
+	return l
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.LabeledStmt:
+		lb := b.labelBlock(s.Label.Name)
+		b.edge(b.cur, lb)
+		b.cur = lb
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.add(s.Cond)
+		cond := b.cur
+		after := b.newBlock()
+		then := b.newBlock()
+		b.edge(cond, then)
+		b.cur = then
+		b.stmtList(s.Body.List)
+		b.edge(b.cur, after)
+		if s.Else != nil {
+			els := b.newBlock()
+			b.edge(cond, els)
+			b.cur = els
+			b.stmt(s.Else)
+			b.edge(b.cur, after)
+		} else {
+			b.edge(cond, after)
+		}
+		b.cur = after
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		head := b.newBlock()
+		b.edge(b.cur, head)
+		body := b.newBlock()
+		after := b.newBlock()
+		var post *Block
+		if s.Post != nil {
+			post = b.newBlock()
+		}
+		contTarget := head
+		if post != nil {
+			contTarget = post
+		}
+		b.takeLabel(contTarget, after)
+		b.cur = head
+		if s.Cond != nil {
+			b.add(s.Cond)
+			b.edge(head, after)
+		}
+		// cond == nil: `for {}` — after is reachable only via break.
+		b.edge(head, body)
+		b.breakStack = append(b.breakStack, after)
+		b.continueStack = append(b.continueStack, contTarget)
+		b.cur = body
+		b.stmtList(s.Body.List)
+		b.breakStack = b.breakStack[:len(b.breakStack)-1]
+		b.continueStack = b.continueStack[:len(b.continueStack)-1]
+		if post != nil {
+			b.edge(b.cur, post)
+			b.cur = post
+			b.add(s.Post)
+		}
+		b.edge(b.cur, head)
+		b.cur = after
+
+	case *ast.RangeStmt:
+		b.add(s.X)
+		head := b.newBlock()
+		b.edge(b.cur, head)
+		b.cur = head
+		b.add(s) // opaque marker: "iterate (or block, for channels) here"
+		body := b.newBlock()
+		after := b.newBlock()
+		b.takeLabel(head, after)
+		b.edge(head, body)
+		b.edge(head, after)
+		b.breakStack = append(b.breakStack, after)
+		b.continueStack = append(b.continueStack, head)
+		b.cur = body
+		b.stmtList(s.Body.List)
+		b.breakStack = b.breakStack[:len(b.breakStack)-1]
+		b.continueStack = b.continueStack[:len(b.continueStack)-1]
+		b.edge(b.cur, head)
+		b.cur = after
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		if s.Tag != nil {
+			b.add(s.Tag)
+		}
+		b.switchBody(s.Body, false)
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.add(s.Assign)
+		b.switchBody(s.Body, false)
+
+	case *ast.SelectStmt:
+		b.add(s) // opaque marker: blocking unless a default clause exists
+		b.switchBody(s.Body, true)
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.edge(b.cur, b.cfg.Exit)
+		b.cur = b.newBlock() // unreachable continuation
+
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.BREAK:
+			target := b.cfg.Exit
+			if s.Label != nil {
+				if t, ok := b.labelBreak[s.Label.Name]; ok {
+					target = t
+				}
+			} else if n := len(b.breakStack); n > 0 {
+				target = b.breakStack[n-1]
+			}
+			b.edge(b.cur, target)
+			b.cur = b.newBlock()
+		case token.CONTINUE:
+			target := b.cfg.Exit
+			if s.Label != nil {
+				if t, ok := b.labelContinue[s.Label.Name]; ok {
+					target = t
+				}
+			} else if n := len(b.continueStack); n > 0 {
+				target = b.continueStack[n-1]
+			}
+			b.edge(b.cur, target)
+			b.cur = b.newBlock()
+		case token.GOTO:
+			if s.Label != nil {
+				b.edge(b.cur, b.labelBlock(s.Label.Name))
+			}
+			b.cur = b.newBlock()
+		case token.FALLTHROUGH:
+			// Handled by switchBody via fallthrough edges; as a statement
+			// it transfers to the next clause block, which switchBody
+			// wires. Nothing to add here.
+		}
+
+	case *ast.DeferStmt:
+		b.cfg.Defers = append(b.cfg.Defers, s)
+		b.add(s)
+
+	default:
+		// Simple statements: assignments, expression statements, sends,
+		// inc/dec, go, declarations, empty. They carry no internal control
+		// flow (short-circuit && / || is deliberately not modeled).
+		b.add(s)
+	}
+}
+
+// switchBody lays out the clauses of a switch/type-switch/select. All
+// clause blocks are successors of the current block; absent a default
+// clause, control may also skip to after (for select, the marker node
+// carries the "blocks forever" semantics instead).
+func (b *cfgBuilder) switchBody(body *ast.BlockStmt, isSelect bool) {
+	head := b.cur
+	after := b.newBlock()
+	b.takeLabel(nil, after)
+	hasDefault := false
+
+	// Lay clause blocks out first so fallthrough can edge forward.
+	type clause struct {
+		blk  *Block
+		list []ast.Stmt
+	}
+	var clauses []clause
+	for _, raw := range body.List {
+		blk := b.newBlock()
+		b.edge(head, blk)
+		switch c := raw.(type) {
+		case *ast.CaseClause:
+			if c.List == nil {
+				hasDefault = true
+			}
+			for _, e := range c.List {
+				blk.Nodes = append(blk.Nodes, e)
+			}
+			clauses = append(clauses, clause{blk, c.Body})
+		case *ast.CommClause:
+			if c.Comm == nil {
+				hasDefault = true
+			}
+			// The comm statement itself (send / receive-assign) is part
+			// of the select's blocking semantics, carried by the marker
+			// node in head; it is not replayed as a block node.
+			clauses = append(clauses, clause{blk, c.Body})
+		}
+	}
+	if !hasDefault && !isSelect {
+		b.edge(head, after)
+	}
+	b.breakStack = append(b.breakStack, after)
+	for i, c := range clauses {
+		b.cur = c.blk
+		b.stmtList(c.list)
+		// fallthrough (switch only): last statement transfers to the next
+		// clause body instead of after.
+		if n := len(c.list); n > 0 {
+			if br, ok := c.list[n-1].(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH && i+1 < len(clauses) {
+				b.edge(b.cur, clauses[i+1].blk)
+				continue
+			}
+		}
+		b.edge(b.cur, after)
+	}
+	b.breakStack = b.breakStack[:len(b.breakStack)-1]
+	b.cur = after
+}
+
+// inspectShallow walks n like ast.Inspect but never descends into
+// function literals (their bodies have their own CFGs) or past the
+// opaque marker nodes (their bodies live in successor blocks). For a
+// marker node, f sees the node itself and nothing below it.
+func inspectShallow(n ast.Node, f func(ast.Node) bool) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if m == nil {
+			return true
+		}
+		if !f(m) {
+			return false
+		}
+		switch mm := m.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.RangeStmt:
+			// Only the range expression is "here"; body is elsewhere.
+			if mm != n {
+				return false
+			}
+			inspectShallow(mm.X, f)
+			return false
+		case *ast.SelectStmt:
+			if mm != n {
+				return false
+			}
+			return false
+		}
+		return true
+	})
+}
+
+// --- forward dataflow --------------------------------------------------------
+
+// Solve runs a forward dataflow fixed point over cfg: entry is the
+// state at function entry, join merges states at control-flow merges,
+// transfer computes one node's effect. After convergence, visit is
+// called for every node of every reachable block with the state *in
+// force before* that node — the hook analyzers report from. Both join
+// and transfer must be monotone over a finite state space or Solve will
+// not terminate; bitset states (see lockorder) satisfy this trivially.
+func Solve[S comparable](
+	cfg *CFG,
+	entry S,
+	join func(a, b S) S,
+	transfer func(n ast.Node, s S) S,
+	visit func(n ast.Node, s S),
+) {
+	in := map[*Block]S{cfg.Entry: entry}
+	seen := map[*Block]bool{cfg.Entry: true}
+	work := []*Block{cfg.Entry}
+	for len(work) > 0 {
+		blk := work[len(work)-1]
+		work = work[:len(work)-1]
+		s := in[blk]
+		for _, n := range blk.Nodes {
+			s = transfer(n, s)
+		}
+		for _, succ := range blk.Succs {
+			if !seen[succ] {
+				seen[succ] = true
+				in[succ] = s
+				work = append(work, succ)
+				continue
+			}
+			if merged := join(in[succ], s); merged != in[succ] {
+				in[succ] = merged
+				work = append(work, succ)
+			}
+		}
+	}
+	if visit == nil {
+		return
+	}
+	for _, blk := range cfg.Blocks {
+		if !seen[blk] {
+			continue
+		}
+		s := in[blk]
+		for _, n := range blk.Nodes {
+			visit(n, s)
+			s = transfer(n, s)
+		}
+	}
+}

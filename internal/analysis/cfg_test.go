@@ -1,0 +1,235 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// parseFuncBody parses src (a function body's statements) inside a stub
+// function and returns its *ast.BlockStmt.
+func parseFuncBody(t *testing.T, src string) *ast.BlockStmt {
+	t.Helper()
+	file := "package p\nfunc f(c, d bool) {\n" + src + "\n}\n"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", file, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return f.Decls[0].(*ast.FuncDecl).Body
+}
+
+// mustState runs a "must-assigned" dataflow over body: bit i is set
+// when variable vars[i] has been assigned on every path. It returns the
+// state observed at the first call expression named sink.
+func mustState(t *testing.T, body *ast.BlockStmt, vars []string) uint64 {
+	t.Helper()
+	bit := func(name string) uint64 {
+		for i, v := range vars {
+			if v == name {
+				return 1 << uint(i)
+			}
+		}
+		return 0
+	}
+	cfg := BuildCFG(body)
+	var got uint64
+	found := false
+	transfer := func(n ast.Node, s uint64) uint64 {
+		if as, ok := n.(*ast.AssignStmt); ok {
+			for _, lhs := range as.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok {
+					s |= bit(id.Name)
+				}
+			}
+		}
+		return s
+	}
+	Solve(cfg, uint64(0),
+		func(a, b uint64) uint64 { return a & b },
+		transfer,
+		func(n ast.Node, s uint64) {
+			if found {
+				return
+			}
+			inspectShallow(n, func(m ast.Node) bool {
+				if call, ok := m.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "sink" {
+						got, found = s, true
+					}
+				}
+				return true
+			})
+		})
+	if !found {
+		t.Fatalf("no sink() call found in body")
+	}
+	return got
+}
+
+func TestCFGMustJoinBothBranches(t *testing.T) {
+	body := parseFuncBody(t, `
+		x := 0
+		if c {
+			y := 1
+			_ = y
+		} else {
+			y := 2
+			_ = y
+		}
+		sink(x)
+	`)
+	s := mustState(t, body, []string{"x", "y"})
+	if s&1 == 0 {
+		t.Errorf("x must be assigned at sink; state=%b", s)
+	}
+	if s&2 == 0 {
+		t.Errorf("y assigned in both branches, must-join should keep it; state=%b", s)
+	}
+}
+
+func TestCFGMustJoinOneBranch(t *testing.T) {
+	body := parseFuncBody(t, `
+		if c {
+			y := 1
+			_ = y
+		}
+		sink(0)
+	`)
+	s := mustState(t, body, []string{"y"})
+	if s&1 != 0 {
+		t.Errorf("y assigned on one branch only, must-join should drop it; state=%b", s)
+	}
+}
+
+func TestCFGLoopBreakPath(t *testing.T) {
+	// The break path reaches sink without ever assigning y.
+	body := parseFuncBody(t, `
+		for {
+			if c {
+				break
+			}
+			y := 1
+			_ = y
+		}
+		sink(0)
+	`)
+	s := mustState(t, body, []string{"y"})
+	if s&1 != 0 {
+		t.Errorf("break path skips y assignment; state=%b", s)
+	}
+}
+
+func TestCFGSwitchAllCases(t *testing.T) {
+	body := parseFuncBody(t, `
+		var y int
+		switch {
+		case c:
+			y = 1
+		case d:
+			y = 2
+		default:
+			y = 3
+		}
+		sink(y)
+	`)
+	s := mustState(t, body, []string{"y"})
+	if s&1 == 0 {
+		t.Errorf("y assigned in every switch arm incl. default; state=%b", s)
+	}
+}
+
+func TestCFGSwitchMissingDefault(t *testing.T) {
+	body := parseFuncBody(t, `
+		var y int
+		_ = y
+		switch {
+		case c:
+			y = 1
+		}
+		sink(0)
+	`)
+	// Only the short-var/assign statements count; the `var y int` is a
+	// DeclStmt, not an AssignStmt, so y's bit is set only in the case arm.
+	s := mustState(t, body, []string{"y"})
+	if s&1 != 0 {
+		t.Errorf("switch without default may skip the arm; state=%b", s)
+	}
+}
+
+func TestCFGGotoForward(t *testing.T) {
+	body := parseFuncBody(t, `
+		if c {
+			goto done
+		}
+		y := 1
+		_ = y
+	done:
+		sink(0)
+	`)
+	s := mustState(t, body, []string{"y"})
+	if s&1 != 0 {
+		t.Errorf("goto path skips y assignment; state=%b", s)
+	}
+}
+
+func TestCFGRangeMarkerIsOpaque(t *testing.T) {
+	// The range body's assignment must not leak into the marker node's
+	// shallow inspection, and the after-loop state must not must-include
+	// it (zero iterations are possible).
+	body := parseFuncBody(t, `
+		xs := []int{1}
+		for range xs {
+			y := 1
+			_ = y
+		}
+		sink(0)
+	`)
+	s := mustState(t, body, []string{"y"})
+	if s&1 != 0 {
+		t.Errorf("range loop may run zero times; state=%b", s)
+	}
+}
+
+func TestCFGDefersRecorded(t *testing.T) {
+	body := parseFuncBody(t, `
+		defer sinkd()
+		if c {
+			defer sinkd()
+		}
+		sink(0)
+	`)
+	cfg := BuildCFG(body)
+	if len(cfg.Defers) != 2 {
+		t.Errorf("recorded %d defers, want 2", len(cfg.Defers))
+	}
+}
+
+func TestCFGExitReachable(t *testing.T) {
+	body := parseFuncBody(t, `
+		for i := 0; i < 3; i++ {
+			if c {
+				continue
+			}
+		}
+		sink(0)
+	`)
+	cfg := BuildCFG(body)
+	// Walk from entry; exit must be reachable.
+	seen := map[*Block]bool{}
+	var walk func(*Block)
+	walk = func(b *Block) {
+		if seen[b] {
+			return
+		}
+		seen[b] = true
+		for _, s := range b.Succs {
+			walk(s)
+		}
+	}
+	walk(cfg.Entry)
+	if !seen[cfg.Exit] {
+		t.Errorf("exit block unreachable from entry")
+	}
+}

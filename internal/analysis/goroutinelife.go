@@ -1,0 +1,157 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Goroutinelife requires every `go` statement in the serving packages
+// to be tied to a shutdown path, so a drained server actually drains:
+//
+//   - context cancellation: the goroutine's body consults ctx.Done() or
+//     ctx.Err() somewhere;
+//   - a WaitGroup: the body calls wg.Done() (its launcher Waits);
+//   - a bounded-queue close: the body ranges over a channel, so closing
+//     the channel terminates it (the journal writer's idiom).
+//
+// The body is the launched function literal, or — for `go w.run()` — the
+// body of a same-package function/method, resolved one level deep.
+// Goroutines whose body the analyzer cannot see (external callees,
+// method values) are flagged too: an unverifiable lifetime is indistinct
+// from an orphan, and the fix (wrap in a literal that consults ctx) is
+// cheap. Suppress with `//reflint:goroutinelife <reason>` for genuinely
+// process-lifetime goroutines.
+var Goroutinelife = &Analyzer{
+	Name: "goroutinelife",
+	Doc:  "every go statement is tied to a shutdown path (ctx cancellation, WaitGroup, or close-terminated channel range)",
+	Run:  runGoroutinelife,
+}
+
+// goroutinelifePackages limits the check to the packages whose goroutines
+// outlive a request and therefore must participate in shutdown. Test
+// files are already excluded suite-wide; main packages (cmd/*) own the
+// process lifetime and are exempt by construction.
+var goroutinelifePackages = map[string]bool{
+	"engine":     true,
+	"exec":       true,
+	"journal":    true,
+	"httpapi":    true,
+	"federation": true,
+}
+
+func runGoroutinelife(pass *Pass) error {
+	if !goroutinelifePackages[pass.Pkg.Name()] {
+		return nil
+	}
+	// Index same-package function bodies for one-level resolution of
+	// `go w.run()` / `go helper()`.
+	bodies := map[types.Object]*ast.BlockStmt{}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				if obj := pass.Info.Defs[fd.Name]; obj != nil {
+					bodies[obj] = fd.Body
+				}
+			}
+		}
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			var body ast.Node
+			switch fun := g.Call.Fun.(type) {
+			case *ast.FuncLit:
+				body = fun.Body
+			case *ast.Ident:
+				if obj := pass.Info.Uses[fun]; obj != nil {
+					if b, found := bodies[obj]; found {
+						body = b
+					}
+				}
+			case *ast.SelectorExpr:
+				if obj := pass.Info.Uses[fun.Sel]; obj != nil {
+					if b, found := bodies[obj]; found {
+						body = b
+					}
+				}
+			}
+			fn := enclosingFunc(f, g.Pos())
+			if body == nil {
+				if !pass.suppressed("goroutinelife", g.Pos(), fn) {
+					pass.Reportf(g.Pos(),
+						"goroutine in %s calls a function this package cannot see into; its lifetime is unverifiable — launch a literal that consults ctx.Done()/a WaitGroup, or annotate //reflint:goroutinelife <reason>",
+						funcDisplayName(fn))
+				}
+				return true
+			}
+			if goroutineTied(pass, body) {
+				return true
+			}
+			if !pass.suppressed("goroutinelife", g.Pos(), fn) {
+				pass.Reportf(g.Pos(),
+					"goroutine in %s has no shutdown path: tie it to ctx cancellation (ctx.Done/ctx.Err), a WaitGroup (defer wg.Done), or a close-terminated channel range — or annotate //reflint:goroutinelife <reason>",
+					funcDisplayName(fn))
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// goroutineTied scans the whole body (nested structure included — a
+// shutdown check anywhere terminates the goroutine's loop) for one of
+// the three shutdown idioms.
+func goroutineTied(pass *Pass, body ast.Node) bool {
+	tied := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if tied {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				switch sel.Sel.Name {
+				case "Done":
+					// wg.Done() (WaitGroup tie) or ctx.Done() (context tie).
+					if recvNamed(pass, sel.X, "sync", "WaitGroup") || recvNamed(pass, sel.X, "context", "Context") {
+						tied = true
+					}
+				case "Err":
+					if recvNamed(pass, sel.X, "context", "Context") {
+						tied = true
+					}
+				}
+			}
+		case *ast.RangeStmt:
+			if tv, ok := pass.Info.Types[n.X]; ok && tv.Type != nil {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					tied = true
+				}
+			}
+		}
+		return true
+	})
+	return tied
+}
+
+// recvNamed reports whether e's type (pointer-unwrapped) is the named
+// type pkgPath.name.
+func recvNamed(pass *Pass, e ast.Expr, pkgPath, name string) bool {
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	t := tv.Type
+	if ptr, isPtr := t.Underlying().(*types.Pointer); isPtr {
+		t = ptr.Elem()
+	}
+	named, isNamed := t.(*types.Named)
+	if !isNamed {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath
+}

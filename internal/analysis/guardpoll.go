@@ -91,9 +91,10 @@ func (g *guardpollCheck) checkLoop(loop ast.Node) {
 		funcDisplayName(fn), why)
 }
 
-// checkCallback enforces polling inside per-row (dict.Triple) and per-CQ
-// (query.CQ) callbacks.
-func (g *guardpollCheck) checkCallback(lit *ast.FuncLit) {
+// callbackKind classifies a function literal as a per-row / per-CQ
+// callback ("" otherwise). Shared with hotalloc: the same literals that
+// must poll the guard are also the per-row allocation surface.
+func (g *guardpollCheck) callbackKind(lit *ast.FuncLit) string {
 	kind := ""
 	for _, field := range lit.Type.Params.List {
 		tv, ok := g.pass.Info.Types[field.Type]
@@ -107,6 +108,13 @@ func (g *guardpollCheck) checkCallback(lit *ast.FuncLit) {
 			kind = "per-CQ callback"
 		}
 	}
+	return kind
+}
+
+// checkCallback enforces polling inside per-row (dict.Triple) and per-CQ
+// (query.CQ) callbacks.
+func (g *guardpollCheck) checkCallback(lit *ast.FuncLit) {
+	kind := g.callbackKind(lit)
 	if kind == "" {
 		return
 	}

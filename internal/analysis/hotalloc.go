@@ -1,0 +1,183 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Hotalloc turns the loops guardpoll identifies — the executor's
+// row-shaped loops and per-row/per-CQ callbacks — into a performance
+// lint surface. Inside such a loop, per-iteration work that allocates is
+// multiplied by row counts the paper measures in the millions:
+//
+//   - fmt calls (Sprintf/Fprintf/...) — reflection, boxing and a fresh
+//     string per row; fmt.Errorf is exempt because constructing the
+//     error that *exits* the loop is not per-row work;
+//   - make() of slices/maps/channels and map/slice composite literals —
+//     hoist the buffer out of the loop and reset it per iteration
+//     (Relation.Append copies its row, so scratch reuse is safe);
+//   - strings.Builder use — a Builder grown per row is a hidden
+//     make+copy per row; build keys into a reused []byte instead;
+//   - interface boxing: passing a concrete value to an interface-typed
+//     parameter allocates when it escapes — hot paths take concrete
+//     types.
+//
+// Only statements directly in the loop body are checked: nested loops
+// and function literals carry their own obligation. Suppress with
+// `//reflint:hotalloc <reason>` when the allocation is provably
+// off the per-row path (e.g. a once-per-loop slow branch).
+var Hotalloc = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "no allocations, fmt calls, or interface boxing directly inside guard-polled row loops in the executor",
+	Run:  runHotalloc,
+}
+
+func runHotalloc(pass *Pass) error {
+	if !guardpollPackages[pass.Pkg.Name()] {
+		return nil
+	}
+	h := &hotallocCheck{pass: pass}
+	for _, f := range pass.Files {
+		g := &guardpollCheck{pass: pass, file: f}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ForStmt:
+				if why := g.rowShaped(n); why != "" {
+					h.checkBody(f, n.Body, "row loop ("+why+")")
+				}
+			case *ast.RangeStmt:
+				if why := g.rowShaped(n); why != "" {
+					h.checkBody(f, n.Body, "row loop ("+why+")")
+				}
+			case *ast.FuncLit:
+				if kind := g.callbackKind(n); kind != "" {
+					h.checkBody(f, n.Body, kind)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+type hotallocCheck struct {
+	pass *Pass
+}
+
+// checkBody flags allocation-shaped work directly in body — nested
+// loops and literals excluded, conditionals included (a branch taken
+// per row is still per-row work).
+func (h *hotallocCheck) checkBody(f *ast.File, body *ast.BlockStmt, where string) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt, *ast.FuncLit:
+			return false // their own scope, checked separately
+		case *ast.CallExpr:
+			h.checkCall(f, n, where)
+		case *ast.CompositeLit:
+			if tv, ok := h.pass.Info.Types[n]; ok && tv.Type != nil {
+				switch tv.Type.Underlying().(type) {
+				case *types.Map:
+					h.report(f, n.Pos(), "map literal allocated per iteration in %s: hoist it out of the loop and clear() it per row", where)
+				case *types.Slice:
+					h.report(f, n.Pos(), "slice literal allocated per iteration in %s: hoist the buffer out of the loop and reslice to [:0] per row", where)
+				}
+			}
+		}
+		return true
+	})
+}
+
+func (h *hotallocCheck) checkCall(f *ast.File, call *ast.CallExpr, where string) {
+	// make() of a reference type. Builtins are recorded in Info.Uses as
+	// *types.Builtin, which also keeps a local function named make from
+	// matching.
+	if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "make" {
+		if _, isBuiltin := h.pass.Info.Uses[id].(*types.Builtin); isBuiltin {
+			h.report(f, call.Pos(), "make() per iteration in %s: hoist the buffer out of the loop and reuse it (Relation.Append copies rows, so scratch reuse is safe)", where)
+			return
+		}
+	}
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		// fmt.* except fmt.Errorf.
+		if id, isIdent := sel.X.(*ast.Ident); isIdent {
+			if pkgName, isPkg := h.pass.Info.Uses[id].(*types.PkgName); isPkg && pkgName.Imported().Path() == "fmt" {
+				if sel.Sel.Name != "Errorf" {
+					h.report(f, call.Pos(), "fmt.%s per iteration in %s: fmt reflects and allocates per call — format keys with strconv.Append* into a reused []byte", sel.Sel.Name, where)
+				}
+				return
+			}
+		}
+		// strings.Builder methods.
+		if tv, ok := h.pass.Info.Types[sel.X]; ok && builderTyped(tv.Type) {
+			h.report(f, call.Pos(), "strings.Builder.%s per iteration in %s: a Builder grown per row hides a make+copy per row — use a reused []byte with strconv.Append*", sel.Sel.Name, where)
+			return
+		}
+	}
+	h.checkBoxing(f, call, where)
+}
+
+// checkBoxing flags concrete values passed to interface-typed
+// parameters. fmt.Errorf operands are exempt with the call (error
+// path); conversions and builtins carry no parameters to box into.
+func (h *hotallocCheck) checkBoxing(f *ast.File, call *ast.CallExpr, where string) {
+	tv, ok := h.pass.Info.Types[call.Fun]
+	if !ok || tv.Type == nil {
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return // conversion or builtin
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if _, isIface := pt.Underlying().(*types.Interface); !isIface {
+			continue
+		}
+		atv, ok := h.pass.Info.Types[arg]
+		if !ok || atv.Type == nil || atv.IsNil() {
+			continue
+		}
+		if _, argIface := atv.Type.Underlying().(*types.Interface); argIface {
+			continue // interface-to-interface: no new box
+		}
+		if ptr, isPtr := atv.Type.Underlying().(*types.Pointer); isPtr {
+			_ = ptr // pointers box without copying the pointee; still an allocation on escape
+		}
+		h.report(f, arg.Pos(), "argument boxes a concrete %s into an interface parameter per iteration in %s: take/pass a concrete type on the hot path", atv.Type.String(), where)
+	}
+}
+
+// builderTyped reports whether t (pointer-unwrapped) is strings.Builder.
+func builderTyped(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Builder" && obj.Pkg() != nil && obj.Pkg().Path() == "strings"
+}
+
+func (h *hotallocCheck) report(f *ast.File, pos token.Pos, format string, args ...any) {
+	fn := enclosingFunc(f, pos)
+	if h.pass.suppressed("hotalloc", pos, fn) {
+		return
+	}
+	h.pass.Reportf(pos, format, args...)
+}

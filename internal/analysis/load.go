@@ -17,15 +17,26 @@ import (
 	"strings"
 )
 
-// All lists every analyzer of the suite, in output order.
-var All = []*Analyzer{Guardpoll, Spanend, Ctxflow, Metricname}
+// All lists every analyzer of the suite, in output order. The first
+// four are the syntactic checks of PR 3; the last five sit on the CFG /
+// dataflow layer (cfg.go) and guard the concurrency invariants of
+// DESIGN.md §12.
+var All = []*Analyzer{
+	Guardpoll, Spanend, Ctxflow, Metricname,
+	Lockorder, Atomicfield, Goroutinelife, Hotalloc, Errclass,
+}
 
 // knownChecks are the annotation names the suite understands.
 var knownChecks = map[string]bool{
-	"noguard":    true,
-	"nospanend":  true,
-	"ctxbg":      true,
-	"metricname": true,
+	"noguard":       true,
+	"nospanend":     true,
+	"ctxbg":         true,
+	"metricname":    true,
+	"lockorder":     true,
+	"atomicfield":   true,
+	"goroutinelife": true,
+	"hotalloc":      true,
+	"errclass":      true,
 }
 
 // Package is one loaded, type-checked package ready for analysis.
@@ -39,8 +50,11 @@ type Package struct {
 
 // RunAnalyzers runs the given analyzers (All when nil) over the package
 // and returns their findings sorted by position, including dangling
-// annotation checks.
+// annotation checks. Only a full-suite run (nil) additionally reports
+// *unused* suppressions: with a partial suite, an annotation for an
+// analyzer that did not run would look unused without being dead.
 func (p *Package) RunAnalyzers(analyzers []*Analyzer) ([]Diagnostic, error) {
+	full := analyzers == nil
 	if analyzers == nil {
 		analyzers = All
 	}
@@ -64,20 +78,45 @@ func (p *Package) RunAnalyzers(analyzers []*Analyzer) ([]Diagnostic, error) {
 		}
 	}
 	var diags []Diagnostic
+	// One annotation store for the whole run: every pass sees (and
+	// marks used) the same parsed //reflint: directives, across all
+	// files of the package, so the dangling checks below observe the
+	// union of what the analyzers consumed.
+	store := map[*ast.File][]*annotation{}
+	sawFirst := false
 	for _, a := range analyzers {
 		pass := &Pass{
-			Analyzer: a,
-			Fset:     p.Fset,
-			Files:    files,
-			Pkg:      p.Pkg,
-			Info:     p.Info,
-			report:   func(d Diagnostic) { diags = append(diags, d) },
+			Analyzer:    a,
+			Fset:        p.Fset,
+			Files:       files,
+			Pkg:         p.Pkg,
+			Info:        p.Info,
+			report:      func(d Diagnostic) { diags = append(diags, d) },
+			annotations: store,
 		}
 		if err := a.Run(pass); err != nil {
 			return nil, fmt.Errorf("%s: %s: %w", a.Name, p.ImportPath, err)
 		}
 		if a == All[0] {
-			CheckDanglingAnnotations(pass, knownChecks)
+			sawFirst = true
+		}
+	}
+	if len(analyzers) > 0 && (full || sawFirst) {
+		// Annotation hygiene reports under its own pseudo-analyzer name:
+		// these findings are about the //reflint: directives themselves,
+		// not about whichever analyzer happened to run last.
+		hygiene := &Pass{
+			Analyzer:    &Analyzer{Name: "reflint"},
+			Fset:        p.Fset,
+			Files:       files,
+			Pkg:         p.Pkg,
+			Info:        p.Info,
+			report:      func(d Diagnostic) { diags = append(diags, d) },
+			annotations: store,
+		}
+		CheckDanglingAnnotations(hygiene, knownChecks)
+		if full {
+			CheckUnusedAnnotations(hygiene, knownChecks)
 		}
 	}
 	sort.Slice(diags, func(i, j int) bool {

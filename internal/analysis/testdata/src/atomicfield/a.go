@@ -1,0 +1,24 @@
+// Package atomicfield is golden-test input for the atomicfield
+// analyzer. The atomic accesses live in this file and the plain
+// accesses in b.go: the check is package-wide, so distance between the
+// two must not matter.
+package atomicfield
+
+import "sync/atomic"
+
+type counters struct {
+	hits   int64
+	misses int64
+}
+
+func bump(c *counters) {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+func load(c *counters) int64 {
+	return atomic.LoadInt64(&c.hits)
+}
+
+func swap(c *counters) int64 {
+	return atomic.SwapInt64(&c.hits, 0)
+}

@@ -1,0 +1,19 @@
+package atomicfield
+
+func snapshot(c *counters) int64 {
+	return c.hits // want "field hits is accessed via sync/atomic elsewhere in this package"
+}
+
+func reset(c *counters) {
+	c.hits = 0 // want "field hits is accessed via sync/atomic elsewhere in this package"
+}
+
+// misses never meets sync/atomic, so plain access is fine.
+func plainOnly(c *counters) int64 {
+	return c.misses
+}
+
+func annotated(c *counters) int64 {
+	//reflint:atomicfield read during shutdown after all writers joined — single-threaded by contract
+	return c.hits
+}

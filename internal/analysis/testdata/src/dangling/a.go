@@ -1,0 +1,18 @@
+// Package dangling is regression input for the annotation-hygiene
+// checks of a full-suite run: the shared annotation store must span all
+// files of the package, so the suppression consumed in this file stays
+// silent while the unknown and unused directives in b.go are reported.
+package dangling
+
+import "sync/atomic"
+
+type gauge struct{ n int64 }
+
+func inc(g *gauge) {
+	atomic.AddInt64(&g.n, 1)
+}
+
+func drain(g *gauge) int64 {
+	//reflint:atomicfield read after Close, when all writers have joined — single-threaded by contract
+	return g.n
+}

@@ -1,0 +1,9 @@
+package dangling
+
+//reflint:nosuchcheck typo-ed check name suppresses nothing // want "unknown reflint annotation"
+func mistyped() {}
+
+func stale() {
+	//reflint:hotalloc leftover from a loop deleted two refactors ago // want "unused //reflint:hotalloc suppression"
+	_ = 0
+}

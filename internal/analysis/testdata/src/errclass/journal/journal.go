@@ -1,0 +1,12 @@
+// Package journal mirrors the outcome vocabulary of the real journal
+// package. The errclass golden test imports it by a path ending in
+// /journal, which is how the analyzer recognizes the package reference.
+package journal
+
+type Outcome string
+
+const (
+	OutcomeOK    Outcome = "ok"
+	OutcomeError Outcome = "error"
+	OutcomeShed  Outcome = "shed"
+)

@@ -1,0 +1,112 @@
+// Package journal is golden-test input for the goroutinelife analyzer.
+// Its package name puts it inside the analyzer's scope (the serving
+// packages whose goroutines must participate in shutdown).
+package journal
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+func step() {}
+
+var events chan int
+
+type worker struct{ ch chan int }
+
+// run is close-terminated: closing w.ch ends the range.
+func (w *worker) run() {
+	for range w.ch {
+		step()
+	}
+}
+
+// spin has no shutdown path at all.
+func (w *worker) spin() {
+	n := 0
+	for {
+		n++
+	}
+}
+
+func pump() {
+	for range events {
+		step()
+	}
+}
+
+// --- orphans -----------------------------------------------------------------
+
+func orphan() {
+	go func() { // want "has no shutdown path"
+		for {
+			step()
+		}
+	}()
+}
+
+func resolvedOrphan(w *worker) {
+	go w.spin() // want "has no shutdown path"
+}
+
+func unresolvable() {
+	go fmt.Println("bye") // want "cannot see into"
+}
+
+// --- tied goroutines ---------------------------------------------------------
+
+func ctxTied(ctx context.Context) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			default:
+				step()
+			}
+		}
+	}()
+}
+
+func ctxErrTied(ctx context.Context) {
+	go func() {
+		for ctx.Err() == nil {
+			step()
+		}
+	}()
+}
+
+func wgTied(wg *sync.WaitGroup) {
+	go func() {
+		defer wg.Done()
+		step()
+	}()
+}
+
+func rangeTied(ch chan int) {
+	go func() {
+		for range ch {
+			step()
+		}
+	}()
+}
+
+func resolvedTied(w *worker) {
+	go w.run()
+}
+
+func identTied() {
+	go pump()
+}
+
+// --- suppression -------------------------------------------------------------
+
+//reflint:goroutinelife process-lifetime metrics pump, exits with the process
+func annotated() {
+	go func() {
+		for {
+			step()
+		}
+	}()
+}

@@ -1,0 +1,207 @@
+// Package metrics is golden-test input for the lockorder analyzer. Its
+// package name matches the real metrics package, so the mirror types
+// below resolve to ranked keys of the hierarchy in DESIGN.md §12:
+// SLOTracker.mu (rank 40), Registry.mu (rank 50), Histogram.mu (rank 51).
+package metrics
+
+import "sync"
+
+type SLOTracker struct{ mu sync.Mutex }
+
+type Registry struct{ mu sync.RWMutex }
+
+type Histogram struct{ mu sync.Mutex }
+
+func (r *Registry) visitLocked() {}
+
+// --- rule 1: ordering --------------------------------------------------------
+
+func inOrder(t *SLOTracker, r *Registry) {
+	t.mu.Lock()
+	r.mu.Lock()
+	r.mu.Unlock()
+	t.mu.Unlock()
+}
+
+func inversion(t *SLOTracker, r *Registry) {
+	r.mu.Lock()
+	t.mu.Lock() // want "acquiring metrics.SLOTracker.mu .rank 40. while metrics.Registry.mu .rank 50. may be held"
+	t.mu.Unlock()
+	r.mu.Unlock()
+}
+
+// readInversion: read locks order the same way write locks do.
+func readInversion(t *SLOTracker, r *Registry) {
+	r.mu.RLock()
+	t.mu.Lock() // want "violates the lock hierarchy"
+	t.mu.Unlock()
+	r.mu.RUnlock()
+}
+
+// sameRank: two instances at one level can deadlock against each other.
+func sameRank(a, b *Registry) {
+	a.mu.Lock()
+	b.mu.Lock() // want "while metrics.Registry.mu .rank 50. may be held"
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+// adjacentInOrder: 50 before 51 is increasing rank — legal.
+func adjacentInOrder(r *Registry, h *Histogram) {
+	r.mu.Lock()
+	h.mu.Lock()
+	h.mu.Unlock()
+	r.mu.Unlock()
+}
+
+func adjacentInversion(r *Registry, h *Histogram) {
+	h.mu.Lock()
+	r.mu.Lock() // want "acquiring metrics.Registry.mu .rank 50. while metrics.Histogram.mu .rank 51. may be held"
+	r.mu.Unlock()
+	h.mu.Unlock()
+}
+
+func releaseFirst(t *SLOTracker, r *Registry) {
+	r.mu.Lock()
+	r.mu.Unlock()
+	t.mu.Lock()
+	t.mu.Unlock()
+}
+
+// branchMayHold: one path through the if holds the registry lock, so the
+// later acquisition is an inversion on that path (may-analysis).
+func branchMayHold(t *SLOTracker, r *Registry, cond bool) {
+	if cond {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+	}
+	t.mu.Lock() // want "may be held violates the lock hierarchy"
+	t.mu.Unlock()
+}
+
+// --- rule 2: no blocking while locked ----------------------------------------
+
+func sendUnderLock(r *Registry, ch chan int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ch <- 1 // want "channel send while a ranked lock may be held"
+}
+
+func recvUnderLock(t *SLOTracker, ch chan int) {
+	t.mu.Lock()
+	v := <-ch // want "channel receive while a ranked lock may be held"
+	_ = v
+	t.mu.Unlock()
+}
+
+func recvAfterUnlock(t *SLOTracker, ch chan int) {
+	t.mu.Lock()
+	t.mu.Unlock()
+	<-ch
+}
+
+func selectUnderLock(t *SLOTracker, a, b chan int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	select { // want "select without default while a ranked lock may be held"
+	case <-a:
+	case <-b:
+	}
+}
+
+func selectWithDefault(t *SLOTracker, a chan int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	select {
+	case <-a:
+	default:
+	}
+}
+
+func rangeChanUnderLock(t *SLOTracker, ch chan int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for range ch { // want "ranging over a channel while a ranked lock may be held"
+	}
+}
+
+func waitUnderLock(t *SLOTracker, wg *sync.WaitGroup) {
+	t.mu.Lock()
+	wg.Wait() // want "blocking call Wait while a ranked lock may be held"
+	t.mu.Unlock()
+}
+
+func waitAfterUnlock(t *SLOTracker, wg *sync.WaitGroup) {
+	t.mu.Lock()
+	t.mu.Unlock()
+	wg.Wait()
+}
+
+// flushLocked blocks while holding the caller's lock by contract — the
+// virtual lock counts for rule 2.
+func (t *SLOTracker) flushLocked(ch chan int) {
+	ch <- 1 // want "channel send while a ranked lock may be held .the caller-held lock"
+}
+
+// --- rule 3: the *Locked convention ------------------------------------------
+
+func callLockedWithout(r *Registry) {
+	r.visitLocked() // want "call to visitLocked: the .Locked suffix requires a ranked lock held on every path"
+}
+
+func callLockedWith(r *Registry) {
+	r.mu.Lock()
+	r.visitLocked()
+	r.mu.Unlock()
+}
+
+// renderLocked inherits its caller's lock, satisfying visitLocked's
+// requirement vacuously.
+func (r *Registry) renderLocked() {
+	r.visitLocked()
+}
+
+// lockedOnOnePath: rule 3 is a must-analysis — a lock held on only one
+// path does not discharge the *Locked contract.
+func lockedOnOnePath(r *Registry, cond bool) {
+	if cond {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+	}
+	r.visitLocked() // want "but none is provably held here"
+}
+
+// --- function literals -------------------------------------------------------
+
+// goLitStartsClean: a go-launched literal runs on its own goroutine and
+// holds nothing, whatever the launcher held.
+func goLitStartsClean(r *Registry, ch chan int, done chan struct{}) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	go func() {
+		select {
+		case ch <- 1:
+		case <-done:
+		}
+	}()
+}
+
+// inPlaceLitInherits: a literal invoked in place runs on the caller's
+// goroutine and inherits its lock state.
+func inPlaceLitInherits(r *Registry, ch chan int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	func() {
+		ch <- 1 // want "channel send while a ranked lock may be held"
+	}()
+}
+
+// --- suppression -------------------------------------------------------------
+
+func annotated(t *SLOTracker, r *Registry) {
+	r.mu.Lock()
+	//reflint:lockorder both instances are request-local here, never shared across goroutines
+	t.mu.Lock()
+	t.mu.Unlock()
+	r.mu.Unlock()
+}

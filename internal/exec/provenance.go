@@ -53,6 +53,7 @@ func (e *Evaluator) EvalUCQWithProvenanceContext(ctx context.Context, u query.UC
 			} else {
 				out.Append(row)
 			}
+			//reflint:hotalloc the slice is the returned provenance entry for a new distinct row — output shape, not per-iteration scratch
 			provenance = append(provenance, []int{ci})
 			if err := e.checkRows(out.Len()); err != nil {
 				return nil, nil, err

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 
 	"repro/internal/dict"
@@ -105,7 +106,6 @@ func (e *Evaluator) evalRangeCQ(headNames []string, q query.RangeCQ, g guard, sp
 	}
 	counts := make([]int, len(q.Atoms))
 	varsOf := make([][]string, len(q.Atoms))
-	//reflint:noguard bookkeeping bounded by atom count
 	for i, a := range q.Atoms {
 		pat, _ := rangeAtomPattern(a)
 		counts[i] = e.st.CountRange(pat)
@@ -306,7 +306,6 @@ func (e *Evaluator) rangeProbeJoin(cur *Relation, a query.RangeAtom, g guard, sp
 	// output columns), keeping the atom's column order for the free ones.
 	var bound, free []string
 	var boundCols []int
-	//reflint:noguard bookkeeping bounded by atom width
 	for _, v := range vars {
 		if c := cur.ColumnIndex(v); c != -1 {
 			bound = append(bound, v)
@@ -321,7 +320,10 @@ func (e *Evaluator) rangeProbeJoin(cur *Relation, a query.RangeAtom, g guard, sp
 	// matched triples.
 	type probeResult struct{ rows [][3]dict.ID }
 	cache := map[string]*probeResult{}
-	var keyBuf strings.Builder
+	// Probe keys are built into a reused byte buffer; the only string
+	// materialized per *distinct* key is the one the cache insert needs
+	// (map lookups on string(keyBuf) don't allocate).
+	keyBuf := make([]byte, 0, 64)
 	steps := 0
 	scanned := 0
 	for i := 0; i < cur.Len(); i++ {
@@ -332,21 +334,20 @@ func (e *Evaluator) rangeProbeJoin(cur *Relation, a query.RangeAtom, g guard, sp
 			}
 		}
 		r := cur.Row(i)
-		keyBuf.Reset()
+		keyBuf = keyBuf[:0]
 		for _, c := range boundCols {
-			fmt.Fprintf(&keyBuf, "%d,", r[c])
+			keyBuf = strconv.AppendUint(keyBuf, uint64(r[c]), 10)
+			keyBuf = append(keyBuf, ',')
 		}
-		key := keyBuf.String()
-		pr, ok := cache[key]
+		pr, ok := cache[string(keyBuf)]
 		if !ok {
 			pr = &probeResult{}
-			cache[key] = pr
+			cache[string(keyBuf)] = pr
 			// Narrow the probe pattern: every bound position becomes the
 			// row's exact ID, unless it falls outside the atom's ranges
 			// (then the probe is empty).
 			ppat := pat
 			feasible := true
-			//reflint:noguard bookkeeping bounded by atom width
 			for bi, v := range bound {
 				id := r[boundCols[bi]]
 				for _, pos := range varPos[v] {
@@ -406,7 +407,6 @@ func (e *Evaluator) rangeProbeJoin(cur *Relation, a query.RangeAtom, g guard, sp
 				}
 			}
 			copy(row, r)
-			//reflint:noguard bookkeeping bounded by atom width
 			for fi, v := range free {
 				row[len(cur.Vars)+fi] = trip[varPos[v][0]]
 			}
@@ -491,7 +491,6 @@ func (e *Evaluator) scanRangeAtom(a query.RangeAtom, g guard, sp *trace.Span, me
 		e.Trace.Scans = append(e.Trace.Scans, ScanInfo{Atom: query.FormatRangeAtom(a), Rows: rel.Len()})
 	}
 	canonical := make([]string, len(vars))
-	//reflint:noguard bounded by the atom's variable count
 	for i := range canonical {
 		canonical[i] = fmt.Sprintf("v%d", i)
 	}

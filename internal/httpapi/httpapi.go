@@ -797,8 +797,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		}
 		writeJSON(w, http.StatusOK, resp)
 	default:
-		writeJSON(w, http.StatusBadRequest,
-			errorResponse{fmt.Sprintf("bad format %q (want prometheus or json)", r.URL.Query().Get("format"))})
+		s.writeError(w, apiLegacy, http.StatusBadRequest, CodeInvalidRequest,
+			fmt.Sprintf("bad format %q (want prometheus or json)", r.URL.Query().Get("format")))
 	}
 }
 
