@@ -1,0 +1,195 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Insert mode: stream an N-Triples file into a running refserve through
+// POST /v1/update, in batches, from concurrent workers. Against a server
+// started with -data-dir this measures the durable write path — every
+// acknowledged batch has been WAL-logged per the server's -wal-sync
+// policy, so the reported throughput is the end-to-end group-commit rate.
+
+// insertConfig parameterizes one insert run.
+type insertConfig struct {
+	BaseURL string
+	// FilePath is the N-Triples file to stream ("-" reads stdin).
+	FilePath string
+	// Batch is the number of triples per /v1/update request.
+	Batch       int
+	Concurrency int
+	Timeout     time.Duration
+}
+
+// insertResult aggregates a run.
+type insertResult struct {
+	Config    insertConfig
+	Batches   int
+	Acked     int // triples acknowledged by the server
+	Errors    int
+	Durable   bool // every acked batch reported durable
+	Elapsed   time.Duration
+	Latencies []time.Duration
+}
+
+// insertPayload mirrors httpapi.UpdateRequest (insert only).
+type insertPayload struct {
+	Insert string `json:"insert"`
+}
+
+// insertReply mirrors the fields of httpapi.UpdateResponse we consume.
+type insertReply struct {
+	Inserted int  `json:"inserted"`
+	Durable  bool `json:"durable"`
+}
+
+// runInsert streams the file through cfg.Concurrency workers. Batches are
+// whole N-Triples lines, so a batch boundary never splits a triple.
+func runInsert(cfg insertConfig) (*insertResult, error) {
+	if cfg.Concurrency <= 0 || cfg.Batch <= 0 {
+		return nil, fmt.Errorf("concurrency and batch size must be positive")
+	}
+	var src io.Reader
+	if cfg.FilePath == "-" {
+		src = os.Stdin
+	} else {
+		f, err := os.Open(cfg.FilePath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		src = f
+	}
+
+	batches := make(chan string, cfg.Concurrency)
+	res := &insertResult{Config: cfg, Durable: true}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	client := &http.Client{Timeout: cfg.Timeout}
+	start := time.Now()
+	for i := 0; i < cfg.Concurrency; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for batch := range batches {
+				t0 := time.Now()
+				reply, err := postInsert(client, cfg.BaseURL, batch)
+				lat := time.Since(t0)
+				mu.Lock()
+				res.Batches++
+				if err != nil {
+					res.Errors++
+				} else {
+					res.Acked += reply.Inserted
+					res.Latencies = append(res.Latencies, lat)
+					if !reply.Durable {
+						res.Durable = false
+					}
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+
+	sc := bufio.NewScanner(src)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	var b strings.Builder
+	n := 0
+	flush := func() {
+		if n > 0 {
+			batches <- b.String()
+			b.Reset()
+			n = 0
+		}
+	}
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		b.WriteString(line)
+		b.WriteByte('\n')
+		if n++; n >= cfg.Batch {
+			flush()
+		}
+	}
+	flush()
+	close(batches)
+	wg.Wait()
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+func postInsert(client *http.Client, baseURL, batch string) (*insertReply, error) {
+	body, err := json.Marshal(insertPayload{Insert: batch})
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Post(baseURL+"/v1/update", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return nil, fmt.Errorf("status %d: %s", resp.StatusCode, bytes.TrimSpace(raw))
+	}
+	var reply insertReply
+	if err := json.NewDecoder(resp.Body).Decode(&reply); err != nil {
+		return nil, err
+	}
+	return &reply, nil
+}
+
+// Report renders the human-readable summary.
+func (r *insertResult) Report() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "inserted %d triples in %d batches over %s (%d errors)\n",
+		r.Acked, r.Batches, r.Elapsed.Round(time.Millisecond), r.Errors)
+	if r.Elapsed > 0 {
+		fmt.Fprintf(&sb, "  throughput  %.0f triples/s\n",
+			float64(r.Acked)/r.Elapsed.Seconds())
+	}
+	if len(r.Latencies) > 0 {
+		fmt.Fprintf(&sb, "  batch p50   %s\n", percentile(r.Latencies, 50))
+		fmt.Fprintf(&sb, "  batch p95   %s\n", percentile(r.Latencies, 95))
+	}
+	fmt.Fprintf(&sb, "  durable     %v\n", r.Durable)
+	return sb.String()
+}
+
+// JSON renders the machine-readable summary.
+func (r *insertResult) JSON() (string, error) {
+	out := map[string]any{
+		"mode":      "insert",
+		"acked":     r.Acked,
+		"batches":   r.Batches,
+		"errors":    r.Errors,
+		"durable":   r.Durable,
+		"elapsedMs": float64(r.Elapsed.Milliseconds()),
+	}
+	if r.Elapsed > 0 {
+		out["triplesPerSec"] = float64(r.Acked) / r.Elapsed.Seconds()
+	}
+	if len(r.Latencies) > 0 {
+		out["p50Ms"] = float64(percentile(r.Latencies, 50).Microseconds()) / 1000
+		out["p95Ms"] = float64(percentile(r.Latencies, 95).Microseconds()) / 1000
+	}
+	raw, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	return string(raw) + "\n", nil
+}

@@ -13,6 +13,12 @@
 // mid-append — is tolerated and loses at most one entry):
 //
 //	refload -url http://localhost:8080 -c 8 -replay journal.jsonl
+//
+// With -insert, refload streams an N-Triples file into POST /v1/update
+// in batches — against a refserve started with -data-dir this exercises
+// and measures the durable (WAL group-commit) write path:
+//
+//	refload -url http://localhost:8080 -c 4 -insert data.nt -batch 1000
 package main
 
 import (
@@ -34,8 +40,38 @@ func main() {
 		jsonOut     = flag.Bool("json", false, "emit the BENCH_*-style JSON summary instead of text")
 		path        = flag.String("path", "/v1/query", "query route (use /query for the deprecated surface)")
 		replay      = flag.String("replay", "", "replay a workload journal (JSONL from refserve -journal) instead of -query/-n")
+		insert      = flag.String("insert", "", "stream an N-Triples file ('-' = stdin) into POST /v1/update instead of querying")
+		batch       = flag.Int("batch", 1000, "triples per /v1/update request in -insert mode")
 	)
 	flag.Parse()
+
+	if *insert != "" {
+		res, err := runInsert(insertConfig{
+			BaseURL:     *baseURL,
+			FilePath:    *insert,
+			Batch:       *batch,
+			Concurrency: *concurrency,
+			Timeout:     *timeout,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "refload:", err)
+			os.Exit(1)
+		}
+		if *jsonOut {
+			out, jerr := res.JSON()
+			if jerr != nil {
+				fmt.Fprintln(os.Stderr, "refload:", jerr)
+				os.Exit(1)
+			}
+			fmt.Print(out)
+		} else {
+			fmt.Print(res.Report())
+		}
+		if res.Errors > 0 {
+			os.Exit(2)
+		}
+		return
+	}
 
 	if *replay != "" {
 		res, err := runReplay(replayConfig{

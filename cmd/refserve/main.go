@@ -3,12 +3,22 @@
 //
 //	refserve -scenario lubm -addr :8080
 //	refserve -data mygraph.nt
+//	refserve -scenario lubm -data-dir /var/lib/refserve
 //	curl 'localhost:8080/v1/query?q=q(x)+:-+x+rdf:type+ub:Student'
 //	curl localhost:8080/metrics
 //
 // With -max-concurrency, a cost-weighted admission gate bounds in-flight
 // evaluations and sheds excess load with 429 + Retry-After (see
 // internal/admission).
+//
+// With -data-dir, the graph is durable (see internal/durable): updates
+// through POST /v1/update are write-ahead logged before acknowledgment,
+// checkpoints compact the log into a columnar snapshot, and restarts
+// recover snapshot + WAL tail instead of re-parsing N-Triples. The
+// listener binds *before* recovery: while the snapshot loads and the WAL
+// replays, /healthz answers 200 and everything else answers 503 with
+// code "loading", so orchestrators see an honest not-ready instead of a
+// connection refusal — and never a "ready" over a half-loaded graph.
 //
 // On SIGINT/SIGTERM the server drains gracefully: it stops admitting
 // queries (readyz fails, queued queries reject), in-flight evaluations
@@ -33,74 +43,158 @@ import (
 
 	"repro/internal/admission"
 	"repro/internal/datasets"
+	"repro/internal/durable"
+	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/httpapi"
 	"repro/internal/journal"
 	"repro/internal/lubm"
 	"repro/internal/metrics"
+	"repro/internal/trace"
 	"repro/internal/viewcache"
 )
 
 func main() {
 	var (
-		addr       = flag.String("addr", ":8080", "listen address")
-		scenario   = flag.String("scenario", "lubm", "built-in scenario: lubm, insee, ign, dblp")
-		dataFile   = flag.String("data", "", "N-Triples/Turtle file to serve instead of a scenario")
-		scale      = flag.Int("scale", 1, "LUBM scale factor")
-		seed       = flag.Int64("seed", 42, "generator seed")
-		timeout    = flag.Duration("timeout", 30*time.Second, "per-query evaluation timeout")
-		slowQuery  = flag.Duration("slow-query", 500*time.Millisecond, "slow-query log threshold (0 disables)")
-		grace      = flag.Duration("grace", 5*time.Second, "shutdown grace period")
-		pprof      = flag.Bool("pprof", false, "mount net/http/pprof handlers under /debug/pprof/")
-		logJSON    = flag.Bool("log-json", true, "emit structured JSON query logs on stderr")
-		viewCache  = flag.String("view-cache", "on", "fragment view cache: on or off")
-		viewMB     = flag.Int("view-cache-mb", 64, "view cache byte budget in MiB")
-		planCache  = flag.Int("plan-cache", 0, "GCov plan cache capacity (0 = default 128)")
-		maxConc    = flag.Int("max-concurrency", 0, "admission gate weight budget (0 disables admission control)")
-		queueLen   = flag.Int("queue-depth", admission.DefaultQueueDepth, "admission queue depth (0 = shed immediately when full)")
-		queueWait  = flag.Duration("queue-timeout", admission.DefaultQueueTimeout, "max time a query may wait in the admission queue")
-		maxCost    = flag.Float64("max-cost", 0, "estimated-cost ceiling above which queries are shed (0 = no ceiling)")
-		journalLog = flag.String("journal", "", "durable workload journal path (JSONL; empty disables)")
-		journalMB  = flag.Int("journal-max-mb", 64, "journal size in MiB at which the active file rotates (gzipped)")
-		sloSpec    = flag.String("slo", metrics.DefaultSLO.String(), "latency SLO as <latency>:<objective>, e.g. 250ms:99.9")
+		addr         = flag.String("addr", ":8080", "listen address")
+		scenario     = flag.String("scenario", "lubm", "built-in scenario: lubm, insee, ign, dblp")
+		dataFile     = flag.String("data", "", "N-Triples/Turtle file to serve instead of a scenario")
+		scale        = flag.Int("scale", 1, "LUBM scale factor")
+		seed         = flag.Int64("seed", 42, "generator seed")
+		timeout      = flag.Duration("timeout", 30*time.Second, "per-query evaluation timeout")
+		slowQuery    = flag.Duration("slow-query", 500*time.Millisecond, "slow-query log threshold (0 disables)")
+		grace        = flag.Duration("grace", 5*time.Second, "shutdown grace period")
+		pprof        = flag.Bool("pprof", false, "mount net/http/pprof handlers under /debug/pprof/")
+		logJSON      = flag.Bool("log-json", true, "emit structured JSON query logs on stderr")
+		viewCache    = flag.String("view-cache", "on", "fragment view cache: on or off")
+		viewMB       = flag.Int("view-cache-mb", 64, "view cache byte budget in MiB")
+		planCache    = flag.Int("plan-cache", 0, "GCov plan cache capacity (0 = default 128)")
+		maxConc      = flag.Int("max-concurrency", 0, "admission gate weight budget (0 disables admission control)")
+		queueLen     = flag.Int("queue-depth", admission.DefaultQueueDepth, "admission queue depth (0 = shed immediately when full)")
+		queueWait    = flag.Duration("queue-timeout", admission.DefaultQueueTimeout, "max time a query may wait in the admission queue")
+		maxCost      = flag.Float64("max-cost", 0, "estimated-cost ceiling above which queries are shed (0 = no ceiling)")
+		journalLog   = flag.String("journal", "", "durable workload journal path (JSONL; empty disables)")
+		journalMB    = flag.Int("journal-max-mb", 64, "journal size in MiB at which the active file rotates (gzipped)")
+		sloSpec      = flag.String("slo", metrics.DefaultSLO.String(), "latency SLO as <latency>:<objective>, e.g. 250ms:99.9")
+		dataDir      = flag.String("data-dir", "", "durable data directory (snapshot + WAL; empty = in-memory only)")
+		walSync      = flag.String("wal-sync", "always", "WAL fsync policy: always, interval or none")
+		checkpointMB = flag.Int("checkpoint-mb", 256, "WAL MiB between automatic checkpoints (0 disables)")
 	)
 	flag.Parse()
+
+	// Bind the listener before loading anything: probes get an honest
+	// 503 "loading" during recovery instead of a connection refusal, and
+	// readyz flips only once the graph is complete.
+	lis, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal("refserve: ", err)
+	}
+	boot := httpapi.NewBoot()
+	// sigCtx fires on SIGINT/SIGTERM; baseCtx is every request's base
+	// context and outlives the signal so a drain can finish in-flight
+	// evaluations before aborting the stragglers.
+	sigCtx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	baseCtx, cancelBase := context.WithCancel(context.Background())
+	defer cancelBase()
+	hs := &http.Server{
+		Handler:     boot,
+		BaseContext: func(net.Listener) context.Context { return baseCtx },
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(lis) }()
+	log.Printf("listening on %s (recovering)…", lis.Addr())
+
+	// The registry outlives the server object: the durable manager's
+	// wal.* / recovery.* instruments register here during recovery, and
+	// httpapi.NewWith adopts the same registry for /metrics.
+	reg := metrics.NewRegistry()
 
 	var (
 		g        *graph.Graph
 		prefixes map[string]string
-		err      error
+		mgr      *durable.Manager
 	)
-	switch {
-	case strings.HasSuffix(*dataFile, ".snap"):
-		g, err = graph.LoadSnapshot(*dataFile)
-	case *dataFile != "":
-		g, err = graph.LoadFile(*dataFile)
-	case *scenario == "lubm":
-		p := lubm.Default()
-		p.Universities = *scale
-		g, err = lubm.NewGraph(p, *seed)
-		prefixes = map[string]string{"ub": lubm.NS}
-	default:
-		var scs []*datasets.Scenario
-		scs, err = datasets.All(datasets.Base, *seed)
-		if err == nil {
+	loadSource := func() (*graph.Graph, map[string]string, error) {
+		switch {
+		case strings.HasSuffix(*dataFile, ".snap"):
+			g, err := graph.LoadSnapshot(*dataFile)
+			return g, nil, err
+		case *dataFile != "":
+			g, err := graph.LoadFile(*dataFile)
+			return g, nil, err
+		case *scenario == "lubm":
+			p := lubm.Default()
+			p.Universities = *scale
+			g, err := lubm.NewGraph(p, *seed)
+			return g, map[string]string{"ub": lubm.NS}, err
+		default:
+			scs, err := datasets.All(datasets.Base, *seed)
+			if err != nil {
+				return nil, nil, err
+			}
 			for _, sc := range scs {
 				if sc.Name == *scenario {
-					g, prefixes = sc.Graph, sc.Prefixes
+					return sc.Graph, sc.Prefixes, nil
 				}
 			}
-			if g == nil {
-				err = fmt.Errorf("unknown scenario %q", *scenario)
-			}
+			return nil, nil, fmt.Errorf("unknown scenario %q", *scenario)
 		}
 	}
-	if err != nil {
-		log.Fatal("refserve: ", err)
+	if *dataDir != "" {
+		mode, err := durable.ParseSyncMode(*walSync)
+		if err != nil {
+			log.Fatal("refserve: ", err)
+		}
+		mgr, err = durable.Open(*dataDir, durable.Options{
+			SyncMode:        mode,
+			CheckpointBytes: int64(*checkpointMB) << 20,
+			Metrics:         reg,
+		})
+		if err != nil {
+			log.Fatal("refserve: ", err)
+		}
+		recTr := trace.New(0)
+		hadSnapshot := mgr.CurrentManifest().Snapshot != ""
+		recStart := time.Now()
+		g0, err := mgr.LoadGraph(recTr)
+		if err != nil {
+			log.Fatal("refserve: ", err)
+		}
+		eng := engine.New(g0)
+		stats, err := mgr.Replay(eng, recTr)
+		if err != nil {
+			log.Fatal("refserve: ", err)
+		}
+		g = eng.Graph()
+		if !hadSnapshot && stats.Records == 0 {
+			// Fresh data directory: seed it from -data/-scenario and
+			// checkpoint immediately, so every restart recovers from the
+			// snapshot instead of re-parsing or re-generating the source.
+			g, prefixes, err = loadSource()
+			if err != nil {
+				log.Fatal("refserve: ", err)
+			}
+			log.Printf("seeding fresh data dir %s (%d triples)…", *dataDir, g.DataCount())
+			if err := mgr.Checkpoint(g); err != nil {
+				log.Fatal("refserve: seed checkpoint: ", err)
+			}
+		} else {
+			if *scenario == "lubm" && *dataFile == "" {
+				prefixes = map[string]string{"ub": lubm.NS}
+			}
+			log.Printf("recovered %d triples in %s (snapshot %v, %d WAL records, torn tail %v)",
+				g.DataCount(), time.Since(recStart).Round(time.Millisecond),
+				hadSnapshot, stats.Records, stats.TornTail)
+		}
+	} else {
+		if g, prefixes, err = loadSource(); err != nil {
+			log.Fatal("refserve: ", err)
+		}
 	}
 
 	log.Printf("loaded %d data triples, %s; warming caches…", g.DataCount(), g.Schema())
-	srv := httpapi.New(g, prefixes)
+	srv := httpapi.NewWith(g, prefixes, reg)
 	srv.Timeout = *timeout
 	switch strings.ToLower(*viewCache) {
 	case "on":
@@ -158,22 +252,16 @@ func main() {
 		log.Printf("admission control enabled (budget %d, queue %d, queue timeout %s)",
 			*maxConc, *queueLen, *queueWait)
 	}
-
-	// sigCtx fires on SIGINT/SIGTERM; baseCtx is every request's base
-	// context and outlives the signal so a drain can finish in-flight
-	// evaluations before aborting the stragglers.
-	sigCtx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
-	defer stop()
-	baseCtx, cancelBase := context.WithCancel(context.Background())
-	defer cancelBase()
-	hs := &http.Server{
-		Addr:        *addr,
-		Handler:     srv,
-		BaseContext: func(net.Listener) context.Context { return baseCtx },
+	if mgr != nil {
+		srv.EnableDurability(mgr)
+		log.Printf("durability enabled (data dir %s, wal sync %s, checkpoint every %d MiB)",
+			*dataDir, *walSync, *checkpointMB)
 	}
-	errc := make(chan error, 1)
-	go func() { errc <- hs.ListenAndServe() }()
-	log.Printf("serving on %s", *addr)
+
+	// Flip the boot gate: readiness and every data route now serve the
+	// fully recovered graph.
+	boot.Ready(srv)
+	log.Printf("ready: serving on %s", lis.Addr())
 	select {
 	case err := <-errc:
 		log.Fatal("refserve: ", err)
@@ -192,6 +280,14 @@ func main() {
 		log.Printf("refserve: shutdown: %v", err)
 	}
 	cancelBase()
+	// Durable state closes after handlers return: pending checkpoints
+	// finish, then the WAL flushes its final batch and fsyncs.
+	srv.WaitCheckpoints()
+	if mgr != nil {
+		if err := mgr.Close(); err != nil {
+			log.Printf("refserve: wal close: %v", err)
+		}
+	}
 	// The journal closes last: handlers have returned, so the drain
 	// flushes every queued entry to disk before exit.
 	if err := jw.Close(); err != nil {

@@ -66,6 +66,16 @@ var lockRank = map[string]int{
 	"journal.Writer.mu":     21,
 	// Level 3: admission gate.
 	"admission.Gate.mu": 30,
+	// Level 3b: the durable subsystem. Manager.mu (manifest + size
+	// accounting) may one day nest around WAL.mu (staging state), never
+	// the reverse; neither is ever held across I/O, fsync, or a channel
+	// op — the group-commit protocol stages under mu and hands the
+	// batch to the flusher goroutine, which owns all file handles.
+	// httpapi's stateMu stays deliberately unranked (see httpapi.go):
+	// it is held across whole evaluations, which may block on the
+	// admission gate's channels.
+	"durable.Manager.mu": 31,
+	"durable.WAL.mu":     32,
 	// Level 4: per-strategy telemetry rollups.
 	"metrics.SLOTracker.mu": 40,
 	"journal.Aggregator.mu": 41,

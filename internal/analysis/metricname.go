@@ -45,6 +45,8 @@ var metricLabelPrefixes = []string{
 	"admission.",
 	"rangeref.",
 	"journal.",
+	"wal.",
+	"recovery.",
 	"slo.good.",
 	"slo.bad.",
 	"slo.burn_rate_5m.",

@@ -1,0 +1,149 @@
+package columnar
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/dict"
+	"repro/internal/rdf"
+)
+
+func sampleSnapshot() *Snapshot {
+	return &Snapshot{
+		Terms: []rdf.Term{
+			rdf.NewIRI("http://example.org/a"),
+			rdf.NewIRI("http://example.org/b"),
+			rdf.NewIRI("http://example.org/knows"),
+			rdf.NewLiteral("plain"),
+			rdf.NewLangLiteral("bonjour", "fr"),
+			rdf.NewTypedLiteral("42", "http://www.w3.org/2001/XMLSchema#integer"),
+			rdf.NewBlank("b0"),
+		},
+		Data: []dict.Triple{
+			{S: 1, P: 3, O: 2},
+			{S: 1, P: 3, O: 4},
+			{S: 2, P: 3, O: 5},
+			{S: 7, P: 3, O: 6},
+		},
+		Schema:     []dict.Triple{{S: 3, P: 1, O: 2}},
+		Classes:    []dict.ID{1, 2},
+		Properties: []dict.ID{3},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	snap := sampleSnapshot()
+	var buf bytes.Buffer
+	if err := Write(&buf, snap); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got, err := Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if !reflect.DeepEqual(got, snap) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, snap)
+	}
+}
+
+func TestRoundTripEmpty(t *testing.T) {
+	snap := &Snapshot{}
+	var buf bytes.Buffer
+	if err := Write(&buf, snap); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got, err := Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if len(got.Terms) != 0 || len(got.Data) != 0 || len(got.Schema) != 0 {
+		t.Fatalf("empty snapshot decoded non-empty: %+v", got)
+	}
+}
+
+// TestTruncationIsHardError verifies the acceptance property of the
+// framed format: a prefix of a valid snapshot — any prefix — must fail to
+// decode. A partially copied file can never silently load as a smaller
+// graph.
+func TestTruncationIsHardError(t *testing.T) {
+	snap := sampleSnapshot()
+	var buf bytes.Buffer
+	if err := Write(&buf, snap); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	full := buf.Bytes()
+	for cut := 0; cut < len(full); cut++ {
+		if _, err := Read(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("truncation at %d of %d bytes decoded without error", cut, len(full))
+		}
+	}
+}
+
+// TestBitFlipIsDetected flips every byte in turn; the section CRCs (or
+// the structural checks behind them) must catch each corruption. Flips in
+// the varint framing can shift lengths, but never to a silently wrong
+// decode of equal shape.
+func TestBitFlipIsDetected(t *testing.T) {
+	snap := sampleSnapshot()
+	var buf bytes.Buffer
+	if err := Write(&buf, snap); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	full := buf.Bytes()
+	for i := len(Magic); i < len(full); i++ {
+		mut := append([]byte(nil), full...)
+		mut[i] ^= 0x40
+		got, err := Read(bytes.NewReader(mut))
+		if err != nil {
+			continue
+		}
+		// A decode that still succeeds must be byte-equivalent content
+		// (e.g. the flip landed in a never-read padding position — the
+		// format has none today, so reaching here means equal content).
+		if !reflect.DeepEqual(got, snap) {
+			t.Fatalf("bit flip at offset %d decoded to different content without error", i)
+		}
+	}
+}
+
+func BenchmarkWrite(b *testing.B) {
+	snap := largeSnapshot(50000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := Write(&buf, snap); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRead(b *testing.B) {
+	snap := largeSnapshot(50000)
+	var buf bytes.Buffer
+	if err := Write(&buf, snap); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Read(bytes.NewReader(buf.Bytes())); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func largeSnapshot(n int) *Snapshot {
+	s := &Snapshot{}
+	for i := 0; i < n/10+3; i++ {
+		s.Terms = append(s.Terms, rdf.NewIRI("http://example.org/entity/"+string(rune('a'+i%26))+"/x"))
+	}
+	nt := dict.ID(len(s.Terms))
+	for i := 0; i < n; i++ {
+		s.Data = append(s.Data, dict.Triple{
+			S: dict.ID(i/10)%nt + 1,
+			P: dict.ID(i%7) + 1,
+			O: dict.ID(i%int(nt)) + 1,
+		})
+	}
+	return s
+}

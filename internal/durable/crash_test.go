@@ -1,0 +1,243 @@
+// Crash-injection harness: a child process serves the real HTTP stack
+// over a durable data directory; the parent streams inserts, SIGKILLs
+// the child at a randomized offset, recovers the directory and asserts
+// that every acknowledged write survived. This is the external test
+// package because it drives internal/httpapi, which imports durable.
+package durable_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/durable"
+	"repro/internal/engine"
+	"repro/internal/httpapi"
+)
+
+// crashHelperEnv carries the data directory into the re-exec'd helper;
+// its presence is what turns the test binary into a server process.
+const crashHelperEnv = "DURABLE_CRASH_HELPER_DIR"
+
+// TestCrashServerHelper is not a test: it is the child process body for
+// TestCrashZeroAckedLoss, selected via -test.run on a re-exec of this
+// test binary. It recovers the data directory, serves the HTTP stack
+// with always-fsync durability, publishes its address, and runs until
+// the parent SIGKILLs it.
+func TestCrashServerHelper(t *testing.T) {
+	dir := os.Getenv(crashHelperEnv)
+	if dir == "" {
+		t.Skip("helper process for TestCrashZeroAckedLoss")
+	}
+	mgr, err := durable.Open(dir, durable.Options{
+		SyncMode: durable.SyncAlways,
+		// Tiny segments so the kill lands across rotation boundaries too.
+		SegmentBytes: 1 << 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := mgr.LoadGraph(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := engine.New(g)
+	if _, err := mgr.Replay(eng, nil); err != nil {
+		t.Fatal(err)
+	}
+	srv := httpapi.New(eng.Graph(), nil)
+	srv.EnableDurability(mgr)
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Atomic publish: the parent never reads a half-written address.
+	addrFile := filepath.Join(dir, "helper.addr")
+	tmp := addrFile + ".tmp"
+	if err := os.WriteFile(tmp, []byte(lis.Addr().String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Rename(tmp, addrFile); err != nil {
+		t.Fatal(err)
+	}
+	// Serve until SIGKILL; there is deliberately no graceful path here.
+	t.Fatal(http.Serve(lis, srv))
+}
+
+// postOneInsert sends one triple and reports whether the server
+// acknowledged it (HTTP 200 after the WAL fsync).
+func postOneInsert(client *http.Client, base, subj string) bool {
+	nt := fmt.Sprintf("<%s> <http://example.org/p> <http://example.org/o> .\n", subj)
+	body, _ := json.Marshal(map[string]string{"insert": nt})
+	resp, err := client.Post(base+"/v1/update", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	var reply struct {
+		Inserted int  `json:"inserted"`
+		Durable  bool `json:"durable"`
+	}
+	if resp.StatusCode != http.StatusOK {
+		return false
+	}
+	return json.NewDecoder(resp.Body).Decode(&reply) == nil && reply.Inserted == 1 && reply.Durable
+}
+
+// waitHelperReady polls for the published address and a 200 readyz.
+func waitHelperReady(t *testing.T, addrFile string, cmd *exec.Cmd, out *bytes.Buffer) string {
+	t.Helper()
+	client := &http.Client{Timeout: time.Second}
+	deadline := time.Now().Add(20 * time.Second)
+	for time.Now().Before(deadline) {
+		if raw, err := os.ReadFile(addrFile); err == nil {
+			base := "http://" + strings.TrimSpace(string(raw))
+			resp, err := client.Get(base + "/v1/readyz")
+			if err == nil {
+				resp.Body.Close()
+				if resp.StatusCode == http.StatusOK {
+					return base
+				}
+			}
+		}
+		if cmd.ProcessState != nil {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("helper never became ready; output:\n%s", out.String())
+	return ""
+}
+
+// TestCrashZeroAckedLoss is the acceptance crash drill: SIGKILL the
+// serving process mid-insert-stream at randomized offsets, restart from
+// the data directory, and verify zero acknowledged writes were lost —
+// across several rounds so state accumulates through snapshot + WAL.
+func TestCrashZeroAckedLoss(t *testing.T) {
+	if os.Getenv(crashHelperEnv) != "" {
+		t.Skip("already inside a helper process")
+	}
+	if testing.Short() {
+		t.Skip("spawns child processes")
+	}
+	dir := t.TempDir()
+	seed := time.Now().UnixNano()
+	t.Logf("crash seed %d", seed)
+	rng := rand.New(rand.NewSource(seed))
+	client := &http.Client{Timeout: 10 * time.Second}
+	acked := make(map[string]bool)
+	var ackedMu sync.Mutex
+
+	for round := 0; round < 3; round++ {
+		addrFile := filepath.Join(dir, "helper.addr")
+		os.Remove(addrFile)
+		cmd := exec.Command(os.Args[0], "-test.run=^TestCrashServerHelper$")
+		cmd.Env = append(os.Environ(), crashHelperEnv+"="+dir)
+		var out bytes.Buffer
+		cmd.Stdout, cmd.Stderr = &out, &out
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { cmd.Process.Kill(); cmd.Wait() })
+		base := waitHelperReady(t, addrFile, cmd, &out)
+
+		killAfter := 20 + rng.Intn(120)
+		var n int64
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		for w := 0; w < 3; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := 0; ; i++ {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					subj := fmt.Sprintf("http://example.org/r%dw%di%d", round, w, i)
+					if !postOneInsert(client, base, subj) {
+						return // server died under us: this write is unacked
+					}
+					ackedMu.Lock()
+					acked[subj] = true
+					n++
+					ackedMu.Unlock()
+				}
+			}(w)
+		}
+		checkpointed := false
+		for {
+			ackedMu.Lock()
+			cur := n
+			ackedMu.Unlock()
+			if round == 1 && !checkpointed && cur >= int64(killAfter/2) {
+				// Mid-stream checkpoint: the kill then lands between a
+				// snapshot and subsequent WAL appends.
+				resp, err := client.Post(base+"/v1/admin/checkpoint", "application/json", nil)
+				if err == nil {
+					resp.Body.Close()
+				}
+				checkpointed = true
+			}
+			if cur >= int64(killAfter) {
+				break
+			}
+			time.Sleep(time.Millisecond)
+		}
+		cmd.Process.Kill() // SIGKILL: no flush, no deferred cleanup
+		close(stop)
+		wg.Wait()
+		cmd.Wait()
+
+		// Recover the directory in-process and verify every acked subject.
+		mgr, err := durable.Open(dir, durable.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := mgr.LoadGraph(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng := engine.New(g)
+		stats, err := mgr.Replay(eng, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g = eng.Graph()
+		present := make(map[string]bool, g.DataCount())
+		for _, tr := range g.DecodedData() {
+			present[tr.S.Value] = true
+		}
+		ackedMu.Lock()
+		missing := 0
+		for subj := range acked {
+			if !present[subj] {
+				missing++
+				if missing <= 5 {
+					t.Errorf("round %d: acked write lost: %s", round, subj)
+				}
+			}
+		}
+		total := len(acked)
+		ackedMu.Unlock()
+		if missing > 0 {
+			t.Fatalf("round %d: lost %d of %d acked writes (seed %d)", round, missing, total, seed)
+		}
+		t.Logf("round %d: %d acked writes all survived (killed after %d, torn tail %v, %d records replayed)",
+			round, total, killAfter, stats.TornTail, stats.Records)
+		if err := mgr.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

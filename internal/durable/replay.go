@@ -1,0 +1,135 @@
+package durable
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// ReplayStats describes what a WAL replay consumed and what it skipped.
+type ReplayStats struct {
+	// Records successfully decoded and applied.
+	Records int
+	// Segments read.
+	Segments int
+	// TornTail reports the last segment ended in a torn record (the
+	// signature of a crash mid-append); the complete prefix was applied
+	// and at most one unacknowledged record was lost.
+	TornTail bool
+}
+
+// ReplayWAL reads every segment in dir with number >= from, in order,
+// calling fn for each decoded record. Torn-tail semantics mirror the
+// journal reader: a short or corrupt record is tolerated only at the very
+// tail of the *last* segment — appends are strictly ordered, so that is
+// the only place a crash can tear. The same failure in an interior
+// segment (or anywhere followed by more data) is corruption of
+// acknowledged history and a hard error. An fn error aborts the replay.
+func ReplayWAL(dir string, from int, fn func(Record) error) (ReplayStats, error) {
+	var stats ReplayStats
+	segs, err := walSegments(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return stats, nil
+		}
+		return stats, err
+	}
+	for i, seg := range segs {
+		if seg < from {
+			continue
+		}
+		last := i == len(segs)-1
+		torn, n, err := replaySegment(walSegPath(dir, seg), last, fn)
+		stats.Records += n
+		stats.Segments++
+		if err != nil {
+			return stats, fmt.Errorf("durable: wal segment %d: %w", seg, err)
+		}
+		if torn {
+			stats.TornTail = true
+		}
+	}
+	return stats, nil
+}
+
+// replaySegment decodes one segment file. When tolerateTorn is set (last
+// segment only), a record that fails to frame-decode at the tail ends the
+// replay gracefully; interior corruption — a bad record with readable
+// data after it — is still a hard error, detected by checking whether any
+// bytes follow the failure point.
+func replaySegment(path string, tolerateTorn bool, fn func(Record) error) (torn bool, n int, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return false, 0, err
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(f, 256<<10)
+	for {
+		rec, ok, rerr := readRecord(br)
+		if rerr != nil {
+			if tolerateTorn && !moreDataFollows(br) {
+				return true, n, nil
+			}
+			return false, n, rerr
+		}
+		if !ok {
+			return false, n, nil // clean end of segment
+		}
+		if aerr := fn(rec); aerr != nil {
+			return false, n, fmt.Errorf("apply record %d: %w", n, aerr)
+		}
+		n++
+	}
+}
+
+// moreDataFollows reports whether unread bytes remain after a decode
+// failure — if so the failure was interior corruption, not a torn tail.
+func moreDataFollows(br *bufio.Reader) bool {
+	_, err := br.ReadByte()
+	return err == nil
+}
+
+// readRecord reads one framed record. ok=false with nil error is a clean
+// end of segment (EOF exactly at a record boundary). Any other short
+// read, an implausible length, a CRC mismatch, or an undecodable payload
+// returns an error — classification into torn-tail vs corruption is the
+// caller's job, since only the caller knows whether data follows.
+func readRecord(br *bufio.Reader) (Record, bool, error) {
+	payloadLen, err := binary.ReadUvarint(br)
+	if err != nil {
+		if err == io.EOF {
+			return Record{}, false, nil
+		}
+		return Record{}, false, fmt.Errorf("record length: %w", err)
+	}
+	if payloadLen > maxWALRecordBytes {
+		return Record{}, false, fmt.Errorf("record implausibly large (%d bytes)", payloadLen)
+	}
+	payload := make([]byte, payloadLen)
+	if _, err := io.ReadFull(br, payload); err != nil {
+		return Record{}, false, fmt.Errorf("record payload: %w", noEOF(err))
+	}
+	var crc [4]byte
+	if _, err := io.ReadFull(br, crc[:]); err != nil {
+		return Record{}, false, fmt.Errorf("record checksum: %w", noEOF(err))
+	}
+	if got, want := crc32.Checksum(payload, walCastagnoli), binary.LittleEndian.Uint32(crc[:]); got != want {
+		return Record{}, false, fmt.Errorf("record checksum mismatch (got %08x want %08x)", got, want)
+	}
+	rec, err := decodeRecordPayload(payload)
+	if err != nil {
+		return Record{}, false, err
+	}
+	return rec, true, nil
+}
+
+// noEOF upgrades io.EOF to io.ErrUnexpectedEOF inside a framed record.
+func noEOF(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}

@@ -3,20 +3,24 @@ package graph
 import (
 	"bufio"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
 
 	"repro/internal/dict"
+	"repro/internal/durable/columnar"
 	"repro/internal/rdf"
 	"repro/internal/schema"
 )
 
-// snapshotMagic versions the on-disk snapshot format.
-const snapshotMagic = "repro-rdf-snapshot-v1\n"
+// snapshotMagicV1 versions the original gob-encoded snapshot format.
+// WriteSnapshot now emits the v2 columnar format (see
+// internal/durable/columnar); v1 files remain readable.
+const snapshotMagicV1 = "repro-rdf-snapshot-v1\n"
 
-// snapshot is the gob payload: the dictionary's term table (IDs are the
+// snapshot is the v1 gob payload: the dictionary's term table (IDs are the
 // 1-based positions) plus encoded data and closed-schema triples. Reloads
 // rebuild the same IDs, so stores and statistics computed after a reload
 // match the original exactly. Classes and Properties record the declared
@@ -32,13 +36,11 @@ type snapshot struct {
 	Properties []dict.ID
 }
 
-// WriteSnapshot serializes the graph (dictionary, data, closed schema).
+// WriteSnapshot serializes the graph (dictionary, data, closed schema) in
+// the v2 columnar format: delta-encoded sorted ID-triple columns plus the
+// term table, flate-compressed and CRC32C-checksummed per section.
 func (g *Graph) WriteSnapshot(w io.Writer) error {
-	bw := bufio.NewWriterSize(w, 1<<16)
-	if _, err := bw.WriteString(snapshotMagic); err != nil {
-		return err
-	}
-	snap := snapshot{
+	snap := &columnar.Snapshot{
 		Data:       g.data,
 		Schema:     g.schema.Triples(),
 		Classes:    g.schema.Classes(),
@@ -48,10 +50,10 @@ func (g *Graph) WriteSnapshot(w io.Writer) error {
 	for i := range snap.Terms {
 		snap.Terms[i] = g.d.Decode(dict.ID(i + 1))
 	}
-	if err := gob.NewEncoder(bw).Encode(&snap); err != nil {
+	if err := columnar.Write(w, snap); err != nil {
 		return fmt.Errorf("graph: snapshot encode: %w", err)
 	}
-	return bw.Flush()
+	return nil
 }
 
 // SaveSnapshot writes the snapshot to a file, atomically and crash-durably:
@@ -98,25 +100,62 @@ func syncDir(dir string) error {
 	return df.Sync()
 }
 
-// ReadSnapshot reconstructs a graph from a snapshot stream. The rebuilt
-// dictionary assigns the identical IDs, and re-closing the (already
-// closed) schema is idempotent, so the result is indistinguishable from
-// the original.
+// ReadSnapshot reconstructs a graph from a snapshot stream, sniffing the
+// format by magic: v2 columnar snapshots (the current write format) load
+// their sections with per-column parallelism; v1 gob snapshots stay
+// readable. The rebuilt dictionary assigns the identical IDs, and
+// re-closing the (already closed) schema is idempotent, so the result is
+// indistinguishable from the original. Short reads are hard errors in
+// both formats: a truncated snapshot never loads as a smaller graph.
 func ReadSnapshot(r io.Reader) (*Graph, error) {
 	br := bufio.NewReaderSize(r, 1<<16)
-	magic := make([]byte, len(snapshotMagic))
-	if _, err := io.ReadFull(br, magic); err != nil {
+	magic, err := br.Peek(len(snapshotMagicV1))
+	if err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return nil, fmt.Errorf("graph: snapshot header: %w", io.ErrUnexpectedEOF)
+		}
 		return nil, fmt.Errorf("graph: snapshot header: %w", err)
 	}
-	if string(magic) != snapshotMagic {
+	switch string(magic) {
+	case columnar.Magic:
+		snap, err := columnar.Read(br)
+		if err != nil {
+			return nil, fmt.Errorf("graph: %w", err)
+		}
+		return buildFromSnapshot(snap.Terms, snap.Data, snap.Schema, snap.Classes, snap.Properties)
+	case snapshotMagicV1:
+		return readSnapshotV1(br)
+	default:
 		return nil, fmt.Errorf("graph: not a snapshot (bad magic %q)", string(magic))
+	}
+}
+
+// readSnapshotV1 decodes the legacy gob payload. The decoder is strict
+// about truncation: gob frames are length-prefixed, so a short read inside
+// a message surfaces as unexpected EOF, and a stream that ends cleanly
+// before the value message is still an error (io.EOF from Decode).
+func readSnapshotV1(br *bufio.Reader) (*Graph, error) {
+	if _, err := br.Discard(len(snapshotMagicV1)); err != nil {
+		return nil, fmt.Errorf("graph: snapshot header: %w", err)
 	}
 	var snap snapshot
 	if err := gob.NewDecoder(br).Decode(&snap); err != nil {
+		if errors.Is(err, io.EOF) {
+			// Decode returns a bare io.EOF when the stream ends cleanly
+			// before the value arrives — for a snapshot file that is a
+			// truncated payload, not a graceful end.
+			err = io.ErrUnexpectedEOF
+		}
 		return nil, fmt.Errorf("graph: snapshot decode: %w", err)
 	}
+	return buildFromSnapshot(snap.Terms, snap.Data, snap.Schema, snap.Classes, snap.Properties)
+}
+
+// buildFromSnapshot validates decoded snapshot components and assembles
+// the graph; shared by the v1 and v2 readers.
+func buildFromSnapshot(terms []rdf.Term, data, schemaTriples []dict.Triple, classes, properties []dict.ID) (*Graph, error) {
 	d := dict.New()
-	for i, term := range snap.Terms {
+	for i, term := range terms {
 		if !term.Valid() {
 			return nil, fmt.Errorf("graph: snapshot term %d invalid: %#v", i+1, term)
 		}
@@ -124,7 +163,7 @@ func ReadSnapshot(r io.Reader) (*Graph, error) {
 			return nil, fmt.Errorf("graph: snapshot term table has duplicates (term %d)", i+1)
 		}
 	}
-	n := dict.ID(len(snap.Terms))
+	n := dict.ID(len(terms))
 	checkTriple := func(t dict.Triple, what string) error {
 		if t.S == dict.None || t.P == dict.None || t.O == dict.None ||
 			t.S > n || t.P > n || t.O > n {
@@ -133,19 +172,19 @@ func ReadSnapshot(r io.Reader) (*Graph, error) {
 		return nil
 	}
 	b := schema.NewBuilder(d)
-	for _, id := range snap.Classes {
+	for _, id := range classes {
 		if id == dict.None || id > n {
 			return nil, fmt.Errorf("graph: snapshot class id %d unknown", id)
 		}
 		b.DeclareClass(d.Decode(id))
 	}
-	for _, id := range snap.Properties {
+	for _, id := range properties {
 		if id == dict.None || id > n {
 			return nil, fmt.Errorf("graph: snapshot property id %d unknown", id)
 		}
 		b.DeclareProperty(d.Decode(id))
 	}
-	for _, t := range snap.Schema {
+	for _, t := range schemaTriples {
 		if err := checkTriple(t, "schema"); err != nil {
 			return nil, err
 		}
@@ -157,12 +196,12 @@ func ReadSnapshot(r io.Reader) (*Graph, error) {
 	if err := b.Validate(); err != nil {
 		return nil, err
 	}
-	for _, t := range snap.Data {
+	for _, t := range data {
 		if err := checkTriple(t, "data"); err != nil {
 			return nil, err
 		}
 	}
-	g := &Graph{d: d, schema: b.Close(), data: sortDedup(snap.Data)}
+	g := &Graph{d: d, schema: b.Close(), data: sortDedup(data)}
 	// Snapshots written after the interval encoding are already in DFS
 	// order, so this is the identity; older snapshots get re-encoded here.
 	g.Reencode()

@@ -2,7 +2,9 @@ package graph
 
 import (
 	"bytes"
+	"encoding/gob"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 	"path/filepath"
@@ -11,6 +13,7 @@ import (
 	"testing"
 
 	"repro/internal/dict"
+	"repro/internal/rdf"
 )
 
 func TestSnapshotRoundTrip(t *testing.T) {
@@ -91,6 +94,81 @@ func TestSnapshotRejectsTruncation(t *testing.T) {
 	for _, cut := range []int{len(full) / 4, len(full) / 2, len(full) - 3} {
 		if _, err := ReadSnapshot(bytes.NewReader(full[:cut])); err == nil {
 			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+// writeSnapshotV1 emits the legacy gob format, preserved here so the
+// read-compat and truncation-hardening tests can exercise the v1 path
+// without an archived fixture.
+func writeSnapshotV1(g *Graph, w io.Writer) error {
+	if _, err := io.WriteString(w, snapshotMagicV1); err != nil {
+		return err
+	}
+	snap := snapshot{
+		Data:       g.data,
+		Schema:     g.schema.Triples(),
+		Classes:    g.schema.Classes(),
+		Properties: g.schema.Properties(),
+	}
+	snap.Terms = make([]rdf.Term, g.d.Len())
+	for i := range snap.Terms {
+		snap.Terms[i] = g.d.Decode(dict.ID(i + 1))
+	}
+	return gob.NewEncoder(w).Encode(&snap)
+}
+
+// TestSnapshotV1ReadCompat: snapshots written by the pre-columnar format
+// must keep loading, ID-identically.
+func TestSnapshotV1ReadCompat(t *testing.T) {
+	g, err := ParseString(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := writeSnapshotV1(g, &buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadSnapshot(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("v1 snapshot unreadable: %v", err)
+	}
+	a, b := g.AllTriples(), back.AllTriples()
+	if len(a) != len(b) {
+		t.Fatalf("triple counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("triple %d: %v != %v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestSnapshotRejectsTruncationExhaustive cuts a valid snapshot at every
+// byte offset, in both formats. A partially copied snapshot file must
+// never load as a smaller graph — short reads are hard errors everywhere,
+// including a clean EOF right after the magic or between gob messages
+// (the paths where the v1 decoder's bare io.EOF used to look like a
+// normal end of stream).
+func TestSnapshotRejectsTruncationExhaustive(t *testing.T) {
+	g, err := ParseString(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v2 bytes.Buffer
+	if err := g.WriteSnapshot(&v2); err != nil {
+		t.Fatal(err)
+	}
+	var v1 bytes.Buffer
+	if err := writeSnapshotV1(g, &v1); err != nil {
+		t.Fatal(err)
+	}
+	for name, full := range map[string][]byte{"v1": v1.Bytes(), "v2": v2.Bytes()} {
+		for cut := 0; cut < len(full); cut++ {
+			if _, err := ReadSnapshot(bytes.NewReader(full[:cut])); err == nil {
+				t.Fatalf("%s: truncation at %d of %d bytes loaded without error",
+					name, cut, len(full))
+			}
 		}
 	}
 }

@@ -16,6 +16,11 @@
 //	POST /v1/explain     reformulation sizes + GCov cover space (JSON)
 //	GET  /v1/slowlog     slow-query ring buffer with request IDs + span trees
 //	GET  /v1/dump        N-Triples export
+//	POST /v1/update      apply updates (N-Triples bodies: schemaAdd, delete,
+//	                     insert), WAL-logged before acknowledgment when
+//	                     durability is enabled
+//	POST /v1/admin/checkpoint
+//	                     snapshot + WAL truncate on demand
 //
 // The unversioned spellings (/query, /healthz, …) predate /v1 and keep
 // working, answering with Deprecation/Successor-Version headers; /v1
@@ -29,8 +34,9 @@
 // none) echoed on the response and attached to logs, slow-query entries
 // and traces.
 //
-// All handlers are read-only and safe for concurrent use once the engine
-// caches are warm (the server warms them at construction).
+// Handlers are safe for concurrent use once the engine caches are warm
+// (the server warms them at construction); /v1/update serializes writes
+// against everything else via stateMu (see update.go).
 //
 // Every evaluation runs under the request's context: a client disconnect
 // or server shutdown (via http.Server.BaseContext) cancels the in-flight
@@ -48,12 +54,14 @@ import (
 	"net/http/pprof"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/admission"
 	"repro/internal/core"
 	"repro/internal/dict"
+	"repro/internal/durable"
 	"repro/internal/engine"
 	"repro/internal/exec"
 	"repro/internal/graph"
@@ -84,6 +92,17 @@ type Server struct {
 	// /v1/readyz.
 	gate     *admission.Gate
 	draining atomic.Bool
+	// stateMu serializes updates (write lock) against everything that
+	// reads g or eng (read lock: queries, dumps, stats, checkpoints).
+	// Deliberately unranked in the lockorder hierarchy: evaluation
+	// legitimately blocks on the admission gate while holding the read
+	// side.
+	stateMu sync.RWMutex
+	// durable, when set (EnableDurability), WAL-logs every update before
+	// acknowledgment and drives auto-checkpoints; checkpointWG tracks
+	// in-flight auto-checkpoint goroutines for shutdown.
+	durable      *durable.Manager
+	checkpointWG sync.WaitGroup
 	// Timeout bounds each evaluation.
 	Timeout time.Duration
 	// MaxAnswerRows caps the rows serialized per response (0 = 10000).
@@ -107,12 +126,20 @@ type Server struct {
 // queries. Engine caches (store, statistics, saturation) are built eagerly
 // so concurrent requests only read.
 func New(g *graph.Graph, prefixes map[string]string) *Server {
+	return NewWith(g, prefixes, metrics.NewRegistry())
+}
+
+// NewWith is New with a caller-supplied metrics registry, for embedders
+// that instrument components living longer than the server — refserve
+// opens its durable manager (wal.* / recovery.* instruments) before the
+// graph is recovered and the server can exist.
+func NewWith(g *graph.Graph, prefixes map[string]string, reg *metrics.Registry) *Server {
 	s := &Server{
 		g:        g,
 		eng:      engine.New(g),
 		prefixes: prefixes,
 		mux:      http.NewServeMux(),
-		metrics:  metrics.NewRegistry(),
+		metrics:  reg,
 		slowLog:  metrics.NewSlowQueryLog(128),
 		workload: &journal.Aggregator{},
 		Timeout:  30 * time.Second,
@@ -141,6 +168,8 @@ func New(g *graph.Graph, prefixes map[string]string) *Server {
 	s.mux.HandleFunc("/v1/slowlog", s.handleSlowlog)
 	s.mux.HandleFunc("/v1/debug/costmodel", s.handleCostModel)
 	s.mux.HandleFunc("/v1/dump", s.handleDump)
+	s.mux.HandleFunc("/v1/update", func(w http.ResponseWriter, r *http.Request) { s.handleUpdate(w, r, apiV1) })
+	s.mux.HandleFunc("/v1/admin/checkpoint", s.handleCheckpoint)
 	// Legacy unversioned spellings: still served, marked deprecated.
 	// Prometheus scrapers conventionally expect /metrics at the root, so
 	// the legacy spelling will outlive the others — but it advertises its
@@ -195,6 +224,8 @@ func (s *Server) slowThreshold() time.Duration {
 // producing a truncated file.
 func (s *Server) handleDump(w http.ResponseWriter, r *http.Request) {
 	s.metrics.Counter("http.requests." + r.URL.Path).Inc()
+	s.stateMu.RLock()
+	defer s.stateMu.RUnlock()
 	w.Header().Set("Content-Type", "application/n-triples")
 	d := s.g.Dict()
 	ctx := r.Context()
@@ -390,6 +421,8 @@ func (s *Server) handleRoot(w http.ResponseWriter, r *http.Request) {
 		http.NotFound(w, r)
 		return
 	}
+	s.stateMu.RLock()
+	defer s.stateMu.RUnlock()
 	strategies := make([]string, len(engine.Strategies))
 	for i, st := range engine.Strategies {
 		strategies[i] = string(st)
@@ -402,7 +435,8 @@ func (s *Server) handleRoot(w http.ResponseWriter, r *http.Request) {
 		"endpoints": []string{
 			"/v1/healthz", "/v1/readyz", "/v1/stats", "/v1/metrics",
 			"/v1/query", "/v1/explain", "/v1/slowlog",
-			"/v1/debug/costmodel", "/v1/dump", "/metrics",
+			"/v1/debug/costmodel", "/v1/dump", "/v1/update",
+			"/v1/admin/checkpoint", "/metrics",
 		},
 	})
 }
@@ -412,6 +446,8 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	s.stateMu.RLock()
+	defer s.stateMu.RUnlock()
 	st := s.eng.Stats()
 	d := s.g.Dict()
 	type valueCount struct {
@@ -495,6 +531,11 @@ func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, v apiVersion
 	id := requestID(r)
 	path := r.URL.Path
 	s.metrics.Counter("http.requests." + path).Inc()
+	// Hold the read side for the whole evaluation: the engine copy's
+	// lazily (re)built caches read the live graph, and an update's
+	// in-place mutation must not interleave with that.
+	s.stateMu.RLock()
+	defer s.stateMu.RUnlock()
 	req, err := s.parseRequest(r)
 	if err != nil {
 		s.writeError(w, v, http.StatusBadRequest, CodeInvalidRequest, err.Error())
@@ -825,6 +866,8 @@ func (s *Server) handleSlowlog(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) serveExplain(w http.ResponseWriter, r *http.Request, v apiVersion) {
 	s.metrics.Counter("http.requests." + r.URL.Path).Inc()
+	s.stateMu.RLock()
+	defer s.stateMu.RUnlock()
 	req, err := s.parseRequest(r)
 	if err != nil {
 		s.writeError(w, v, http.StatusBadRequest, CodeInvalidRequest, err.Error())

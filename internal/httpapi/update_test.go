@@ -1,0 +1,266 @@
+package httpapi
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+
+	"repro/internal/durable"
+	"repro/internal/engine"
+	"repro/internal/graph"
+)
+
+// --- boot gate ---------------------------------------------------------------
+
+// Regression test: the server must not report ready while the graph is
+// still loading. Before the boot gate, refserve bound its listener only
+// after parsing finished, so probes either connection-refused (ambiguous)
+// or — worse, under the old inline wiring — answered 200 over a
+// half-loaded graph. Boot answers honestly: alive yes, ready no.
+func TestBootGateNotReadyUntilRecovered(t *testing.T) {
+	boot := NewBoot()
+	ts := httptest.NewServer(boot)
+	t.Cleanup(ts.Close)
+
+	// Liveness holds during recovery on both route dialects.
+	for _, path := range []string{"/healthz", "/v1/healthz"} {
+		var health map[string]string
+		if code := getJSON(t, ts.URL+path, &health); code != http.StatusOK || health["status"] != "ok" {
+			t.Fatalf("%s during load: code %d body %v", path, code, health)
+		}
+	}
+	// Readiness — and every data route — must 503 with the loading code.
+	q := url.QueryEscape(`q(x) :- x rdf:type ex:Book`)
+	for _, path := range []string{"/v1/readyz", "/v1/query?q=" + q, "/v1/stats", "/v1/dump"} {
+		var envelope v1Error
+		if code := getJSON(t, ts.URL+path, &envelope); code != http.StatusServiceUnavailable {
+			t.Fatalf("%s during load: code %d, want 503", path, code)
+		} else if envelope.Error.Code != CodeLoading {
+			t.Fatalf("%s during load: code %q, want %q", path, envelope.Error.Code, CodeLoading)
+		}
+	}
+	if boot.Server() != nil {
+		t.Fatal("Server() non-nil before Ready")
+	}
+
+	g, err := graph.ParseString(bookGraph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boot.Ready(New(g, map[string]string{"ex": "http://example.org/"}))
+
+	var ready map[string]string
+	if code := getJSON(t, ts.URL+"/v1/readyz", &ready); code != http.StatusOK || ready["status"] != "ready" {
+		t.Fatalf("readyz after Ready: code %d body %v", code, ready)
+	}
+	var compact struct {
+		Total int `json:"total"`
+	}
+	if code := getJSON(t, ts.URL+"/v1/query?q="+q, &compact); code != http.StatusOK || compact.Total != 1 {
+		t.Fatalf("query after Ready: code %d count %d", code, compact.Total)
+	}
+}
+
+// --- /v1/update --------------------------------------------------------------
+
+func TestUpdateInsertDeleteSchema(t *testing.T) {
+	ts := newTestServer(t)
+	q := url.QueryEscape(`q(x) :- x rdf:type ex:Publication`)
+	countOf := func() int {
+		var compact struct {
+			Total int `json:"total"`
+		}
+		if code := getJSON(t, ts.URL+"/v1/query?q="+q, &compact); code != http.StatusOK {
+			t.Fatalf("query status %d", code)
+		}
+		return compact.Total
+	}
+	if n := countOf(); n != 1 {
+		t.Fatalf("baseline count %d, want 1 (doi1 via subclass)", n)
+	}
+
+	// Insert a new Book: visible through RDFS reasoning immediately.
+	var resp UpdateResponse
+	code := postJSON(t, ts.URL+"/v1/update", UpdateRequest{
+		Insert: `<http://example.org/doi2> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://example.org/Book> .`,
+	}, &resp)
+	if code != http.StatusOK || resp.Inserted != 1 {
+		t.Fatalf("insert: code %d resp %+v", code, resp)
+	}
+	if resp.Durable {
+		t.Fatal("durable=true without a durability manager")
+	}
+	if n := countOf(); n != 2 {
+		t.Fatalf("count after insert %d, want 2", n)
+	}
+
+	// Delete it again; deleting a missing triple counts zero, not an error.
+	code = postJSON(t, ts.URL+"/v1/update", UpdateRequest{
+		Delete: `<http://example.org/doi2> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://example.org/Book> .
+<http://example.org/ghost> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://example.org/Book> .`,
+	}, &resp)
+	if code != http.StatusOK || resp.Deleted != 1 {
+		t.Fatalf("delete: code %d resp %+v", code, resp)
+	}
+	if n := countOf(); n != 1 {
+		t.Fatalf("count after delete %d, want 1", n)
+	}
+
+	// A schema update re-encodes intervals; queries through the new
+	// subclass edge must see old instances.
+	code = postJSON(t, ts.URL+"/v1/update", UpdateRequest{
+		SchemaAdd: `<http://example.org/Publication> <http://www.w3.org/2000/01/rdf-schema#subClassOf> <http://example.org/Work> .`,
+	}, &resp)
+	if code != http.StatusOK || resp.SchemaAdded != 1 {
+		t.Fatalf("schemaAdd: code %d resp %+v", code, resp)
+	}
+	qWork := url.QueryEscape(`q(x) :- x rdf:type ex:Work`)
+	var compact struct {
+		Total int `json:"total"`
+	}
+	if code := getJSON(t, ts.URL+"/v1/query?q="+qWork, &compact); code != http.StatusOK || compact.Total != 1 {
+		t.Fatalf("query via new schema edge: code %d count %d", code, compact.Total)
+	}
+}
+
+func TestUpdateErrors(t *testing.T) {
+	ts := newTestServer(t)
+	cases := []struct {
+		name     string
+		body     any
+		wantCode ErrorCode
+	}{
+		{"empty update", UpdateRequest{}, CodeInvalidRequest},
+		{"unknown field", map[string]string{"upsert": "x"}, CodeInvalidRequest},
+		{"bad n-triples", UpdateRequest{Insert: "not a triple"}, CodeParseError},
+	}
+	for _, tc := range cases {
+		var envelope v1Error
+		code := postJSON(t, ts.URL+"/v1/update", tc.body, &envelope)
+		if code != http.StatusBadRequest || envelope.Error.Code != tc.wantCode {
+			t.Fatalf("%s: code %d envelope %+v, want 400 %q", tc.name, code, envelope, tc.wantCode)
+		}
+	}
+	// Wrong method.
+	var envelope v1Error
+	if code := getJSON(t, ts.URL+"/v1/update", &envelope); code != http.StatusBadRequest {
+		t.Fatalf("GET /v1/update: code %d, want 400", code)
+	}
+}
+
+// --- durability wiring -------------------------------------------------------
+
+// newDurableServer builds a server over an empty graph with durability in
+// dir, mirroring refserve's boot sequence (Open → LoadGraph → Replay →
+// New → EnableDurability).
+func newDurableServer(t *testing.T, dir string) (*httptest.Server, *durable.Manager) {
+	t.Helper()
+	mgr, err := durable.Open(dir, durable.Options{SyncMode: durable.SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { mgr.Close() })
+	g, err := mgr.LoadGraph(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := engine.New(g)
+	if _, err := mgr.Replay(eng, nil); err != nil {
+		t.Fatal(err)
+	}
+	srv := New(eng.Graph(), map[string]string{"ex": "http://example.org/"})
+	srv.EnableDurability(mgr)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return ts, mgr
+}
+
+// Updates acknowledged by /v1/update must survive a restart from the same
+// data directory — the full WAL round trip through the HTTP layer.
+func TestUpdateDurableAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	ts, mgr := newDurableServer(t, dir)
+
+	var resp UpdateResponse
+	code := postJSON(t, ts.URL+"/v1/update", UpdateRequest{
+		SchemaAdd: `<http://example.org/Book> <http://www.w3.org/2000/01/rdf-schema#subClassOf> <http://example.org/Work> .`,
+		Insert: `<http://example.org/doi9> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://example.org/Book> .
+<http://example.org/doi8> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://example.org/Book> .`,
+	}, &resp)
+	if code != http.StatusOK || !resp.Durable || resp.Inserted != 2 || resp.SchemaAdded != 1 {
+		t.Fatalf("update: code %d resp %+v", code, resp)
+	}
+	code = postJSON(t, ts.URL+"/v1/update", UpdateRequest{
+		Delete: `<http://example.org/doi8> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://example.org/Book> .`,
+	}, &resp)
+	if code != http.StatusOK || resp.Deleted != 1 {
+		t.Fatalf("delete: code %d resp %+v", code, resp)
+	}
+	ts.Close()
+	if err := mgr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart: a second server over the same directory recovers the state.
+	ts2, _ := newDurableServer(t, dir)
+	q := url.QueryEscape(`q(x) :- x rdf:type ex:Work`)
+	var compact struct {
+		Total int `json:"total"`
+	}
+	if code := getJSON(t, ts2.URL+"/v1/query?q="+q, &compact); code != http.StatusOK || compact.Total != 1 {
+		t.Fatalf("recovered query: code %d count %d, want 1 (doi9 via replayed schema)", code, compact.Total)
+	}
+}
+
+func TestCheckpointEndpoint(t *testing.T) {
+	// Without durability the endpoint refuses.
+	ts := newTestServer(t)
+	var envelope v1Error
+	resp, err := http.Post(ts.URL+"/v1/admin/checkpoint", "application/json", strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("checkpoint without durability: code %d, want 400", resp.StatusCode)
+	}
+	_ = envelope
+
+	// With durability: insert, checkpoint, restart — the snapshot carries
+	// the state even though the pre-checkpoint WAL segments are pruned.
+	dir := t.TempDir()
+	ts2, mgr := newDurableServer(t, dir)
+	var ur UpdateResponse
+	code := postJSON(t, ts2.URL+"/v1/update", UpdateRequest{
+		Insert: `<http://example.org/doi5> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://example.org/Book> .`,
+	}, &ur)
+	if code != http.StatusOK {
+		t.Fatalf("insert: code %d", code)
+	}
+	var ck map[string]string
+	resp, err = http.Post(ts2.URL+"/v1/admin/checkpoint", "application/json", strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	code = resp.StatusCode
+	resp.Body.Close()
+	if code != http.StatusOK {
+		t.Fatalf("checkpoint: code %d", code)
+	}
+	_ = ck
+	ts2.Close()
+	if err := mgr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	ts3, _ := newDurableServer(t, dir)
+	q := url.QueryEscape(`q(x) :- x rdf:type ex:Book`)
+	var compact struct {
+		Total int `json:"total"`
+	}
+	if code := getJSON(t, ts3.URL+"/v1/query?q="+q, &compact); code != http.StatusOK || compact.Total != 1 {
+		t.Fatalf("recovered from snapshot: code %d count %d", code, compact.Total)
+	}
+}

@@ -52,6 +52,16 @@ const (
 	// CodeDraining: the server is shutting down and admits nothing new.
 	// HTTP 503 with Retry-After.
 	CodeDraining ErrorCode = "draining"
+	// CodeLoading: the server is still recovering (snapshot load + WAL
+	// replay) and not yet serving its graph. HTTP 503.
+	CodeLoading ErrorCode = "loading"
+	// CodeUpdateError: an update batch parsed but could not be applied
+	// (schema triple in a data batch, invalid constraint). HTTP 422.
+	CodeUpdateError ErrorCode = "update_error"
+	// CodeStorageError: the update applied in memory but could not be
+	// made durable (WAL write/fsync failure) — retry idempotently. Also
+	// covers failed checkpoints. HTTP 500.
+	CodeStorageError ErrorCode = "storage_error"
 )
 
 // v1Error is the /v1 error envelope: {"error": {"code": ..., "message": ...}}.

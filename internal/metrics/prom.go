@@ -28,6 +28,8 @@ var promLabelRules = []struct{ prefix, label string }{
 	{"admission.", "event"},
 	{"rangeref.", "event"},
 	{"journal.", "event"},
+	{"wal.", "event"},
+	{"recovery.", "event"},
 	{"slo.good.", "strategy"},
 	{"slo.bad.", "strategy"},
 	{"slo.burn_rate_5m.", "strategy"},

@@ -9,6 +9,7 @@ package storage
 
 import (
 	"sort"
+	"sync"
 
 	"repro/internal/dict"
 )
@@ -49,17 +50,43 @@ type Store struct {
 	osp []dict.Triple // sorted by (O,S,P)
 }
 
+// parallelBuildThreshold is the input size above which the three
+// permutation indexes are sorted concurrently; below it the goroutine
+// overhead outweighs the sort work.
+const parallelBuildThreshold = 1 << 14
+
 // Build sorts the given triples into the three permutations and returns the
-// store. The input slice is not retained; duplicates are removed.
+// store. The input slice is not retained; duplicates are removed. Large
+// inputs sort the three indexes in parallel — duplicates are identical
+// triples, so they are adjacent under every permutation ordering and each
+// index can sort+dedup the raw input independently, yielding the same set.
 func Build(d *dict.Dict, triples []dict.Triple) *Store {
-	spo := append([]dict.Triple(nil), triples...)
-	sortBy(spo, keySPO)
-	spo = dedupSorted(spo)
-	pos := append([]dict.Triple(nil), spo...)
-	sortBy(pos, keyPOS)
-	osp := append([]dict.Triple(nil), spo...)
-	sortBy(osp, keyOSP)
-	return &Store{d: d, spo: spo, pos: pos, osp: osp}
+	if len(triples) < parallelBuildThreshold {
+		spo := append([]dict.Triple(nil), triples...)
+		sortBy(spo, keySPO)
+		spo = dedupSorted(spo)
+		pos := append([]dict.Triple(nil), spo...)
+		sortBy(pos, keyPOS)
+		osp := append([]dict.Triple(nil), spo...)
+		sortBy(osp, keyOSP)
+		return &Store{d: d, spo: spo, pos: pos, osp: osp}
+	}
+	st := &Store{d: d}
+	var wg sync.WaitGroup
+	for _, ix := range []struct {
+		dst *[]dict.Triple
+		key func(dict.Triple) [3]dict.ID
+	}{{&st.spo, keySPO}, {&st.pos, keyPOS}, {&st.osp, keyOSP}} {
+		wg.Add(1)
+		go func(dst *[]dict.Triple, key func(dict.Triple) [3]dict.ID) {
+			defer wg.Done()
+			ts := append([]dict.Triple(nil), triples...)
+			sortBy(ts, key)
+			*dst = dedupSorted(ts)
+		}(ix.dst, ix.key)
+	}
+	wg.Wait()
+	return st
 }
 
 // Dict returns the dictionary the store is encoded against.
