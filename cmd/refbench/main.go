@@ -21,7 +21,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment to run: e1..e7, e10, ablation, or all")
+		exp     = flag.String("exp", "all", "experiment to run: e1..e7, e10, e13, ablation, or all")
 		scale   = flag.Int("scale", 1, "LUBM scale factor (universities)")
 		seed    = flag.Int64("seed", 42, "generator seed")
 		timeout = flag.Duration("timeout", 60*time.Second, "per-strategy evaluation timeout")
@@ -48,6 +48,7 @@ func main() {
 		{"e6", func(c bench.Config) (fmt.Stringer, error) { return bench.E6(c) }},
 		{"e7", func(c bench.Config) (fmt.Stringer, error) { return bench.E7(c) }},
 		{"e10", func(c bench.Config) (fmt.Stringer, error) { return bench.E10(c) }},
+		{"e13", func(c bench.Config) (fmt.Stringer, error) { return bench.E13(c) }},
 		{"ablation", func(c bench.Config) (fmt.Stringer, error) { return bench.Ablation(c) }},
 	}
 

@@ -79,6 +79,7 @@ func main() {
 		dataDir      = flag.String("data-dir", "", "durable data directory (snapshot + WAL; empty = in-memory only)")
 		walSync      = flag.String("wal-sync", "always", "WAL fsync policy: always, interval or none")
 		checkpointMB = flag.Int("checkpoint-mb", 256, "WAL MiB between automatic checkpoints (0 disables)")
+		shards       = flag.Int("shards", 1, "hash-partition the store by subject into N shards for scatter-gather evaluation (<2 = unsharded)")
 	)
 	flag.Parse()
 
@@ -149,6 +150,7 @@ func main() {
 		mgr, err = durable.Open(*dataDir, durable.Options{
 			SyncMode:        mode,
 			CheckpointBytes: int64(*checkpointMB) << 20,
+			Shards:          *shards,
 			Metrics:         reg,
 		})
 		if err != nil {
@@ -194,7 +196,10 @@ func main() {
 	}
 
 	log.Printf("loaded %d data triples, %s; warming caches…", g.DataCount(), g.Schema())
-	srv := httpapi.NewWith(g, prefixes, reg)
+	srv := httpapi.NewWithOptions(g, prefixes, reg, httpapi.Options{Shards: *shards})
+	if *shards >= 2 {
+		log.Printf("sharding enabled: %d subject-hash shards", *shards)
+	}
 	srv.Timeout = *timeout
 	switch strings.ToLower(*viewCache) {
 	case "on":

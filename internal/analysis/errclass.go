@@ -40,6 +40,7 @@ var errclassPackages = map[string]bool{"httpapi": true}
 var errclassMapperFuncs = map[string]bool{
 	"writeError":       true,
 	"writeAnswerError": true,
+	"writeGoneError":   true,
 	"classify":         true,
 }
 

@@ -59,6 +59,7 @@ var lockRank = map[string]int{
 	"viewcache.shard.mu":  10,
 	"engine.planCache.mu": 11,
 	"trace.Tracer.mu":     12,
+	"shard.Store.mu":      13,
 	// Level 2: the journal writer pair. openMu guards the Record/Close
 	// race, mu the write-side state; they are never nested today and
 	// adjacent ranks keep it that way in one direction only.

@@ -52,6 +52,8 @@ var metricLabelPrefixes = []string{
 	"slo.burn_rate_5m.",
 	"slo.burn_rate_1h.",
 	"qerror.",
+	"shard.",
+	"shard.rows.",
 }
 
 var metricNameRE = regexp.MustCompile(`^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)+$`)

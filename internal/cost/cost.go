@@ -34,16 +34,38 @@ type Estimate struct {
 // Model estimates evaluation costs from statistics.
 type Model struct {
 	st *stats.Stats
+	// shards is the scan parallelism a sharded store offers: scatter
+	// scans run on all shards concurrently, so their wall-clock cost
+	// scales by 1/shards. Cardinalities are unaffected — the partition
+	// changes where tuples live, not how many match.
+	shards int
 }
 
 // NewModel returns a cost model over the statistics.
-func NewModel(st *stats.Stats) *Model { return &Model{st: st} }
+func NewModel(st *stats.Stats) *Model { return &Model{st: st, shards: 1} }
+
+// SetShards declares the store's partition count so scan estimates scale
+// by 1/n (n < 1 is treated as unsharded).
+func (m *Model) SetShards(n int) {
+	if n < 1 {
+		n = 1
+	}
+	m.shards = n
+}
+
+// Shards returns the declared partition count.
+func (m *Model) Shards() int { return m.shards }
+
+// scanCost prices scanning card tuples, spread across the shards.
+func (m *Model) scanCost(card float64) float64 {
+	return CScan * card / float64(m.shards)
+}
 
 // Atom estimates a single triple-pattern scan.
 func (m *Model) Atom(a query.Atom) Estimate {
 	pat := a.Pattern()
 	card := m.st.PatternCard(pat)
-	est := Estimate{Cost: CScan * card, Card: card, V: map[string]float64{}}
+	est := Estimate{Cost: m.scanCost(card), Card: card, V: map[string]float64{}}
 	for i, arg := range [3]query.Arg{a.S, a.P, a.O} {
 		if !arg.IsVar() {
 			continue
@@ -111,7 +133,7 @@ func (m *Model) cq(q query.CQ, emit func(PlanStep)) Estimate {
 	}
 	first := remaining[start]
 	cur := ests[first]
-	cur.Cost = CScan * cur.Card
+	cur.Cost = m.scanCost(cur.Card)
 	remaining = append(remaining[:start], remaining[start+1:]...)
 	total := cur.Cost
 	if emit != nil {
@@ -137,7 +159,7 @@ func (m *Model) cq(q query.CQ, emit func(PlanStep)) Estimate {
 			total += CProbe*cur.Card + COut*out.Card
 			op = "inlj"
 		} else {
-			total += CScan*next.Card + CBuild*minF(cur.Card, next.Card) + COut*out.Card
+			total += m.scanCost(next.Card) + CBuild*minF(cur.Card, next.Card) + COut*out.Card
 		}
 		cur = out
 		if emit != nil {

@@ -8,9 +8,11 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/dict"
 	"repro/internal/graph"
 	"repro/internal/metrics"
 	"repro/internal/rdf"
+	"repro/internal/shard"
 	"repro/internal/trace"
 )
 
@@ -26,7 +28,14 @@ const manifestName = "MANIFEST.json"
 type Manifest struct {
 	// Snapshot is the snapshot file name inside the data directory;
 	// empty means no snapshot yet (recovery starts from an empty graph).
+	// When Shards is set, Snapshot names the base file (terms + schema,
+	// no data) of a sharded checkpoint.
 	Snapshot string `json:"snapshot"`
+	// Shards lists the data shard file names of a sharded checkpoint, in
+	// shard order (shard i = subject-hash partition i, see shard.Of).
+	// Empty for monolithic snapshots — the pre-sharding manifest shape
+	// unmarshals unchanged.
+	Shards []string `json:"shards,omitempty"`
 	// WALFrom is the lowest WAL segment number still needed; segments
 	// below it were captured by the snapshot and may be pruned.
 	WALFrom int `json:"walFrom"`
@@ -50,6 +59,12 @@ type Options struct {
 	// bytes accumulate in the WAL since the last one. <= 0 disables
 	// automatic checkpoints (explicit /v1/admin/checkpoint still works).
 	CheckpointBytes int64
+	// Shards, when >= 2, makes checkpoints write the sharded layout: a
+	// base file plus N data shard files partitioned by shard.Of — the
+	// same subject-hash assignment the in-memory shard.Store uses — so a
+	// sharded server checkpoints and recovers per shard. Recovery honors
+	// whatever layout the manifest records, regardless of this setting.
+	Shards int
 	// Metrics, when non-nil, receives the wal.* and recovery.* families.
 	Metrics *metrics.Registry
 }
@@ -67,6 +82,7 @@ type Manager struct {
 	wal             *WAL
 	m               *metrics.Registry
 	checkpointBytes int64
+	shards          int
 
 	mu            sync.Mutex
 	manifest      Manifest
@@ -110,16 +126,21 @@ func Open(dir string, opts Options) (*Manager, error) {
 		wal:             w,
 		m:               opts.Metrics,
 		checkpointBytes: opts.CheckpointBytes,
+		shards:          opts.Shards,
 		manifest:        man,
 	}, nil
 }
 
 // LoadGraph loads the manifest's snapshot (an empty graph when none
 // exists yet). The snapshot's columnar sections decode with per-column
-// parallelism inside graph.LoadSnapshot.
+// parallelism inside graph.LoadSnapshot; a sharded checkpoint also
+// decodes its shard files in parallel. The layout recovered is whatever
+// the manifest recorded — a server restarted with a different -shards
+// setting still recovers, and its next checkpoint rewrites the layout.
 func (mgr *Manager) LoadGraph(tr *trace.Tracer) (*graph.Graph, error) {
 	mgr.mu.Lock()
 	name := mgr.manifest.Snapshot
+	shardNames := append([]string(nil), mgr.manifest.Shards...)
 	mgr.mu.Unlock()
 	span := tr.StartSpan("recovery.load_snapshot")
 	defer span.End()
@@ -128,7 +149,20 @@ func (mgr *Manager) LoadGraph(tr *trace.Tracer) (*graph.Graph, error) {
 		span.SetStr("snapshot", "none")
 		return graph.ParseString("")
 	}
-	g, err := graph.LoadSnapshot(filepath.Join(mgr.dir, name))
+	var (
+		g   *graph.Graph
+		err error
+	)
+	if len(shardNames) > 0 {
+		paths := make([]string, len(shardNames))
+		for i, sn := range shardNames {
+			paths[i] = filepath.Join(mgr.dir, sn)
+		}
+		g, err = graph.LoadShardedSnapshot(filepath.Join(mgr.dir, name), paths)
+		span.SetInt("shards", int64(len(shardNames)))
+	} else {
+		g, err = graph.LoadSnapshot(filepath.Join(mgr.dir, name))
+	}
 	if err != nil {
 		return nil, fmt.Errorf("durable: snapshot %s: %w", name, err)
 	}
@@ -245,13 +279,32 @@ func (mgr *Manager) Checkpoint(g *graph.Graph) (retErr error) {
 		return fmt.Errorf("durable: checkpoint rotate: %w", err)
 	}
 	snapName := fmt.Sprintf("snapshot-%08d.col", cut)
-	if err := g.SaveSnapshot(filepath.Join(mgr.dir, snapName)); err != nil {
+	var shardNames []string
+	if mgr.shards >= 2 {
+		// Sharded layout: one base file (terms + schema) plus one data
+		// file per subject-hash shard, partitioned by the same shard.Of
+		// the in-memory store uses. All files land atomically before the
+		// manifest swap makes the set current, so a crash mid-checkpoint
+		// leaves the old manifest pointing at the old (complete) set.
+		snapName = fmt.Sprintf("snapshot-%08d.base.col", cut)
+		shardNames = make([]string, mgr.shards)
+		for i := range shardNames {
+			shardNames[i] = fmt.Sprintf("snapshot-%08d.s%03d.col", cut, i)
+		}
+		n := mgr.shards
+		err = g.SaveShardedSnapshot(mgr.dir, snapName, shardNames, func(s dict.ID) int {
+			return shard.Of(s, n)
+		})
+	} else {
+		err = g.SaveSnapshot(filepath.Join(mgr.dir, snapName))
+	}
+	if err != nil {
 		mgr.m.Counter("wal.checkpoint_errors").Inc()
 		return fmt.Errorf("durable: checkpoint snapshot: %w", err)
 	}
 	mgr.mu.Lock()
 	prev := mgr.manifest
-	next := Manifest{Snapshot: snapName, WALFrom: cut}
+	next := Manifest{Snapshot: snapName, Shards: shardNames, WALFrom: cut}
 	mgr.mu.Unlock()
 	if err := mgr.writeManifest(next); err != nil {
 		mgr.m.Counter("wal.checkpoint_errors").Inc()
@@ -302,8 +355,8 @@ func (mgr *Manager) writeManifest(man Manifest) error {
 }
 
 // prune removes WAL segments captured by the new snapshot and the
-// previous snapshot file. Best-effort: leftovers cost disk, not
-// correctness, and the next checkpoint retries.
+// previous snapshot file set (base + any shard files). Best-effort:
+// leftovers cost disk, not correctness, and the next checkpoint retries.
 func (mgr *Manager) prune(prev Manifest, cut int) {
 	segs, err := walSegments(mgr.dir)
 	if err != nil {
@@ -316,15 +369,16 @@ func (mgr *Manager) prune(prev Manifest, cut int) {
 			}
 		}
 	}
-	if prev.Snapshot != "" && prev.Snapshot != mgr.currentSnapshotName() {
-		os.Remove(filepath.Join(mgr.dir, prev.Snapshot))
+	cur := mgr.CurrentManifest()
+	keep := map[string]bool{cur.Snapshot: true}
+	for _, name := range cur.Shards {
+		keep[name] = true
 	}
-}
-
-func (mgr *Manager) currentSnapshotName() string {
-	mgr.mu.Lock()
-	defer mgr.mu.Unlock()
-	return mgr.manifest.Snapshot
+	for _, name := range append([]string{prev.Snapshot}, prev.Shards...) {
+		if name != "" && !keep[name] {
+			os.Remove(filepath.Join(mgr.dir, name))
+		}
+	}
 }
 
 // CurrentManifest returns a copy of the in-memory manifest; callers use

@@ -22,6 +22,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/query"
 	"repro/internal/saturation"
+	"repro/internal/shard"
 	"repro/internal/stats"
 	"repro/internal/storage"
 	"repro/internal/trace"
@@ -144,6 +145,8 @@ type Engine struct {
 	CaptureFragmentSigs bool
 
 	store    *storage.Store
+	shards   int
+	sharded  *shard.Store
 	st       *stats.Stats
 	model    *cost.Model
 	satModel *cost.Model
@@ -185,10 +188,60 @@ func (e *Engine) Store() *storage.Store {
 	return e.store
 }
 
-// Stats returns collected statistics over Store().
+// EnableSharding hash-partitions the explicit-data store into n shards:
+// Source() then returns a shard.Store whose scans the executor scatters
+// across shards in parallel, and the cost model prices scans at 1/n.
+// n < 2 disables sharding. Call before serving: per-request engine
+// copies share the built shard store by pointer. The saturated store
+// (Sat strategy) stays unsharded — saturation is the paper's baseline
+// and its store is rebuilt wholesale on every schema change anyway.
+func (e *Engine) EnableSharding(n int) {
+	if n < 2 {
+		n = 0
+	}
+	e.shards = n
+	e.sharded, e.store, e.st, e.model = nil, nil, nil, nil
+}
+
+// Shards returns the configured shard count (0 or 1 when unsharded).
+func (e *Engine) Shards() int {
+	if e.shards < 2 {
+		return 1
+	}
+	return e.shards
+}
+
+// Sharded returns the partitioned store when sharding is enabled (nil
+// otherwise), building it on first use. The admin topology surface uses
+// the concrete type; evaluation paths go through Source().
+func (e *Engine) Sharded() *shard.Store {
+	if e.shards < 2 {
+		return nil
+	}
+	if e.sharded == nil {
+		e.sharded = shard.Build(e.g.Dict(), e.g.AllTriples(), e.shards)
+		e.sharded.PublishMetrics(e.Metrics)
+	}
+	return e.sharded
+}
+
+// Source returns the scan source the Ref strategies evaluate against:
+// the sharded store when sharding is enabled, the plain store otherwise.
+func (e *Engine) Source() exec.Source {
+	if sh := e.Sharded(); sh != nil {
+		return sh
+	}
+	return e.Store()
+}
+
+// Stats returns collected statistics over Source().
 func (e *Engine) Stats() *stats.Stats {
 	if e.st == nil {
-		e.st = stats.Collect(e.Store())
+		if sh := e.Sharded(); sh != nil {
+			e.st = stats.Collect(sh)
+		} else {
+			e.st = stats.Collect(e.Store())
+		}
 	}
 	return e.st
 }
@@ -197,6 +250,7 @@ func (e *Engine) Stats() *stats.Stats {
 func (e *Engine) CostModel() *cost.Model {
 	if e.model == nil {
 		e.model = cost.NewModel(e.Stats())
+		e.model.SetShards(e.Shards())
 	}
 	return e.model
 }
@@ -268,7 +322,7 @@ func (e *Engine) SatStats() *stats.Stats {
 	return e.satStats
 }
 
-func (e *Engine) evaluator(st *storage.Store, ss *stats.Stats) *exec.Evaluator {
+func (e *Engine) evaluator(st exec.Source, ss *stats.Stats) *exec.Evaluator {
 	ev := exec.New(st, ss)
 	ev.Budget = e.Budget
 	ev.Parallel = e.Parallel
@@ -603,7 +657,7 @@ func (e *Engine) answerSat(ctx context.Context, q query.CQ, sp *trace.Span) (*An
 }
 
 func (e *Engine) answerUCQ(ctx context.Context, q query.CQ, r *core.Reformulator, s Strategy, sp *trace.Span) (*Answer, error) {
-	ev := e.evaluator(e.Store(), e.Stats())
+	ev := e.evaluator(e.Source(), e.Stats())
 	head := query.HeadVarNames(q)
 	prepStart := time.Now()
 	var rsp *trace.Span
@@ -679,7 +733,7 @@ func (e *Engine) answerCover(ctx context.Context, q query.CQ, cover query.Cover,
 		return nil, err
 	}
 	defer tkt.Release()
-	ev := e.evaluator(e.Store(), e.Stats())
+	ev := e.evaluator(e.Source(), e.Stats())
 	ev.MaxParallel = tkt.Weight()
 	cs := e.attachViewCache(ev, s)
 	es := startEval(sp, ev, e.CostModel())
@@ -757,7 +811,7 @@ func (e *Engine) answerGCov(ctx context.Context, q query.CQ, sp *trace.Span) (*A
 		return nil, err
 	}
 	defer tkt.Release()
-	ev := e.evaluator(e.Store(), e.Stats())
+	ev := e.evaluator(e.Source(), e.Stats())
 	ev.MaxParallel = tkt.Weight()
 	cs := e.attachViewCache(ev, RefGCov)
 	if cs != nil {

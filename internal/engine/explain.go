@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cost"
 	"repro/internal/dict"
+	"repro/internal/exec"
 	"repro/internal/query"
 	"repro/internal/trace"
 )
@@ -90,7 +91,8 @@ func (e *Engine) newPlan(q query.CQ, s Strategy) (*Plan, *trace.Span) {
 //reflint:nospanend plan spans are a rendered tree, never timed; Plan.Tree omits durations
 func (e *Engine) planSat(q query.CQ) (*Plan, error) {
 	p, root := e.newPlan(q, Sat)
-	est := explainCQ(root, e.SatCostModel(), e.g.Dict(), q)
+	// The saturated store stays unsharded, so Sat plans carry no scatter.
+	est := explainCQ(root, e.SatCostModel(), e.g.Dict(), q, 1)
 	p.ReformulationCQs = 1
 	p.EstimatedCost, p.EstimatedRows = est.Cost, est.Card
 	return p, nil
@@ -109,7 +111,7 @@ func (e *Engine) planUCQ(q query.CQ, r *core.Reformulator, s Strategy) (*Plan, e
 		if shown >= explainMaxUCQPlans {
 			return false
 		}
-		explainCQ(u, m, e.g.Dict(), cq)
+		explainCQ(u, m, e.g.Dict(), cq, e.Shards())
 		shown++
 		return true
 	})
@@ -181,6 +183,7 @@ func (e *Engine) planDat(q query.CQ) (*Plan, error) {
 func (e *Engine) explainJUCQ(root *trace.Span, p *Plan, j query.JUCQ) {
 	m := e.CostModel()
 	d := e.g.Dict()
+	shards := e.Shards()
 	frags := make([]cost.Estimate, len(j.Fragments))
 	n := 0
 	for i, f := range j.Fragments {
@@ -193,6 +196,11 @@ func (e *Engine) explainJUCQ(root *trace.Span, p *Plan, j query.JUCQ) {
 		fsp.SetInt("cqs", int64(len(f.UCQ.CQs)))
 		fsp.SetFloat("est_rows", frags[i].Card)
 		fsp.SetFloat("est_cost", frags[i].Cost)
+		if op := fragmentScatterOp(f.UCQ, shards); op != "" {
+			sc := fsp.Child("scatter")
+			sc.SetInt("n", int64(shards))
+			sc.SetStr("op", op)
+		}
 	}
 	p.ReformulationCQs = n
 	// Mirror cost.JoinFragments' greedy order: connected fragments first,
@@ -227,6 +235,40 @@ func (e *Engine) explainJUCQ(root *trace.Span, p *Plan, j query.JUCQ) {
 	prj.SetStr("cols", strings.Join(j.HeadNames, ","))
 }
 
+// fragmentScatterOp summarizes how a fragment fans out against a
+// sharded source, mirroring the executor: "ucq" when ≥2 member CQs are
+// co-partitioned (the group evaluates shard-locally in one scatter, the
+// rest on the parent path), "cq" when exactly one member scatters
+// shard-locally on its own, "scan" when only unbound-subject scans
+// scatter, "" when nothing scatters.
+func fragmentScatterOp(u query.UCQ, shards int) string {
+	if shards < 2 || len(u.CQs) == 0 {
+		return ""
+	}
+	co, anyScan := 0, false
+	for _, cq := range u.CQs {
+		if exec.CoPartitionedCQ(cq) {
+			co++
+			continue
+		}
+		for _, a := range cq.Atoms {
+			if a.Args()[0].IsVar() {
+				anyScan = true
+				break
+			}
+		}
+	}
+	switch {
+	case co >= 2:
+		return "ucq"
+	case co == 1:
+		return "cq"
+	case anyScan:
+		return "scan"
+	}
+	return ""
+}
+
 func sharesEstVar(a, b cost.Estimate) bool {
 	for v := range a.V {
 		if _, ok := b.V[v]; ok {
@@ -238,15 +280,26 @@ func sharesEstVar(a, b cost.Estimate) bool {
 
 // explainCQ adds the cost model's simulated greedy operator plan for one
 // CQ under parent: a "cq" node with one child per operator (scan, then
-// inlj/hash joins) carrying the running estimated cardinality.
+// inlj/hash joins) carrying the running estimated cardinality. Against a
+// sharded source the tree shows the executor's scatter shape: a
+// co-partitioned body nests its whole plan under one scatter node
+// (evaluated shard-locally N ways), any other body scatters its
+// unbound-subject scans individually.
 //
 //reflint:nospanend plan spans are a rendered tree, never timed; Plan.Tree omits durations
-func explainCQ(parent *trace.Span, m *cost.Model, d *dict.Dict, q query.CQ) cost.Estimate {
+func explainCQ(parent *trace.Span, m *cost.Model, d *dict.Dict, q query.CQ, shards int) cost.Estimate {
 	est, steps := m.CQPlan(q)
 	csp := parent.Child("cq")
 	csp.SetStr("q", query.FormatCQ(d, q))
 	csp.SetFloat("est_rows", est.Card)
 	csp.SetFloat("est_cost", est.Cost)
+	opParent := csp
+	if shards > 1 && exec.CoPartitionedCQ(q) {
+		sc := csp.Child("scatter")
+		sc.SetInt("n", int64(shards))
+		sc.SetStr("op", "cq")
+		opParent = sc
+	}
 	for _, st := range steps {
 		name := st.Op
 		if name == "hash" {
@@ -254,7 +307,14 @@ func explainCQ(parent *trace.Span, m *cost.Model, d *dict.Dict, q query.CQ) cost
 			// "hashjoin"; keep EXPLAIN and EXPLAIN ANALYZE aligned.
 			name = "hashjoin"
 		}
-		op := csp.Child(name)
+		sp := opParent
+		if sp == csp && shards > 1 && name == "scan" && q.Atoms[st.AtomIndex].S.IsVar() {
+			sc := csp.Child("scatter")
+			sc.SetInt("n", int64(shards))
+			sc.SetStr("op", "scan")
+			sp = sc
+		}
+		op := sp.Child(name)
 		op.SetStr("atom", query.FormatAtom(d, q.Atoms[st.AtomIndex]))
 		op.SetFloat("est_rows", st.Out.Card)
 	}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/cost"
+	"repro/internal/exec"
 	"repro/internal/metrics"
 	"repro/internal/query"
 	"repro/internal/trace"
@@ -54,7 +55,7 @@ func (e *Engine) answerRange(ctx context.Context, q query.CQ, sp *trace.Span) (*
 		return nil, err
 	}
 	defer tkt.Release()
-	ev := e.evaluator(e.Store(), nil)
+	ev := e.evaluator(e.Source(), nil)
 	ev.MaxParallel = tkt.Weight()
 	es := startEval(sp, ev, m)
 	defer es.End()
@@ -86,13 +87,22 @@ func (e *Engine) planRange(q query.CQ) (*Plan, error) {
 	u.SetInt("cqs", int64(len(ru.CQs)))
 	u.SetInt("range_atoms", int64(ru.RangeAtoms()))
 	u.SetInt("expansions", int64(ru.Expansions()))
+	parent := u
+	if n := e.Shards(); n > 1 && exec.CoPartitionedRangeUCQ(ru) {
+		// Against a sharded source a fully co-partitioned range union
+		// evaluates shard-locally; show the executor's scatter node.
+		sc := u.Child("scatter")
+		sc.SetInt("n", int64(n))
+		sc.SetStr("op", "rangeucq")
+		parent = sc
+	}
 	for _, cq := range ru.CQs {
 		ce := m.RangeCQ(cq)
 		parts := make([]string, len(cq.Atoms))
 		for i, a := range cq.Atoms {
 			parts[i] = query.FormatRangeAtom(a)
 		}
-		csp := u.Child("cq")
+		csp := parent.Child("cq")
 		csp.SetStr("q", strings.Join(parts, ", "))
 		csp.SetFloat("est_rows", ce.Card)
 		csp.SetFloat("est_cost", ce.Cost)

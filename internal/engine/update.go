@@ -119,6 +119,7 @@ func (e *Engine) UpdateSchema(add []rdf.Triple) error {
 // entailments (so the maintained closure and all reformulators are stale).
 func (e *Engine) invalidateAfterSchemaChange() {
 	e.store = nil
+	e.sharded = nil
 	e.st = nil
 	e.model = nil
 	e.satModel = nil
@@ -139,6 +140,7 @@ func (e *Engine) invalidateAfterSchemaChange() {
 // saturation result from the maintained closure.
 func (e *Engine) invalidateAfterUpdate() {
 	e.store = nil
+	e.sharded = nil
 	e.st = nil
 	e.model = nil
 	e.satStore = nil

@@ -46,7 +46,7 @@ type Budget struct {
 // what a cost-based RDBMS picks for the paper's selective cover fragments)
 // and hash joins.
 type Evaluator struct {
-	st    *storage.Store
+	st    Source
 	stats *stats.Stats
 
 	// Budget bounds every evaluation started afterwards.
@@ -121,15 +121,16 @@ type JoinInfo struct {
 	OutRows    int
 }
 
-// New returns an evaluator over the store with the given statistics
+// New returns an evaluator over the source with the given statistics
 // (statistics drive join ordering; they may be nil, in which case plans
-// fall back to left-to-right atom order).
-func New(st *storage.Store, s *stats.Stats) *Evaluator {
+// fall back to left-to-right atom order). A ShardedSource additionally
+// enables scatter-gather evaluation (see source.go).
+func New(st Source, s *stats.Stats) *Evaluator {
 	return &Evaluator{st: st, stats: s}
 }
 
-// Store returns the evaluator's store.
-func (e *Evaluator) Store() *storage.Store { return e.st }
+// Store returns the evaluator's source.
+func (e *Evaluator) Store() Source { return e.st }
 
 // checkEvery is how many rows an operator processes between guard checks;
 // it bounds how stale a timeout/cancellation can go inside a single scan
@@ -241,6 +242,9 @@ func (e *Evaluator) EvalCQContext(ctx context.Context, headNames []string, q que
 }
 
 func (e *Evaluator) evalCQ(headNames []string, q query.CQ, g guard, sp *trace.Span) (*Relation, error) {
+	if sh := e.scatterSource(); sh != nil && coPartitionedCQ(q) {
+		return e.evalCQScatter(sh, headNames, q, g, sp)
+	}
 	var csp *trace.Span
 	if sp != nil {
 		csp = sp.Child("cq")
@@ -383,17 +387,11 @@ func (e *Evaluator) preferINLJ(curRows int, extent float64) bool {
 }
 
 // scanAtom materializes one triple pattern into a relation over the atom's
-// distinct variables, enforcing repeated-variable equality.
+// distinct variables, enforcing repeated-variable equality. Against a
+// sharded source an unbound-subject scan fans out to every shard in
+// parallel (a bound subject needs no scatter: the source routes it to
+// the subject's home shard).
 func (e *Evaluator) scanAtom(a query.Atom, g guard, sp *trace.Span, est float64) (*Relation, error) {
-	var ssp *trace.Span
-	if sp != nil {
-		ssp = sp.Child("scan")
-		defer ssp.End()
-		ssp.SetStr("atom", query.FormatAtom(e.st.Dict(), a))
-		if est >= 0 {
-			ssp.SetFloat("est_rows", est)
-		}
-	}
 	args := a.Args()
 	var vars []string
 	varPos := map[string][]int{}
@@ -405,42 +403,58 @@ func (e *Evaluator) scanAtom(a query.Atom, g guard, sp *trace.Span, est float64)
 			varPos[arg.Var] = append(varPos[arg.Var], i)
 		}
 	}
-	rel := NewRelation(vars)
-	row := make([]dict.ID, len(vars))
-	var stopErr error
-	steps := 0
-	e.st.Each(a.Pattern(), func(t dict.Triple) bool {
-		steps++
-		if steps&(checkEvery-1) == 0 {
-			if err := g.err(); err != nil {
-				stopErr = err
-				return false
-			}
-		}
-		trip := [3]dict.ID{t.S, t.P, t.O}
-		for vi, v := range vars {
-			positions := varPos[v]
-			row[vi] = trip[positions[0]]
-			for _, p := range positions[1:] {
-				if trip[p] != row[vi] {
-					goto skip
+	pat := a.Pattern()
+	scan := func(src Source, rel *Relation) error {
+		row := make([]dict.ID, len(vars))
+		var stopErr error
+		steps := 0
+		src.Each(pat, func(t dict.Triple) bool {
+			steps++
+			if steps&(checkEvery-1) == 0 {
+				if err := g.err(); err != nil {
+					stopErr = err
+					return false
 				}
 			}
+			trip := [3]dict.ID{t.S, t.P, t.O}
+			for vi, v := range vars {
+				positions := varPos[v]
+				row[vi] = trip[positions[0]]
+				for _, p := range positions[1:] {
+					if trip[p] != row[vi] {
+						goto skip
+					}
+				}
+			}
+			if len(row) == 0 {
+				rel.AppendEmpty()
+			} else {
+				rel.Append(row)
+			}
+			if e.Budget.MaxRows > 0 && rel.Len() > e.Budget.MaxRows {
+				stopErr = fmt.Errorf("%w: scan of %d+ rows exceeds cap %d", ErrBudgetExceeded, rel.Len(), e.Budget.MaxRows)
+				return false
+			}
+		skip:
+			return true
+		})
+		return stopErr
+	}
+	if sh := e.scatterSource(); sh != nil && pat.S == dict.None {
+		return e.scatterScan(sh, "scan", query.FormatAtom(e.st.Dict(), a), vars, g, sp, est, scan)
+	}
+	var ssp *trace.Span
+	if sp != nil {
+		ssp = sp.Child("scan")
+		defer ssp.End()
+		ssp.SetStr("atom", query.FormatAtom(e.st.Dict(), a))
+		if est >= 0 {
+			ssp.SetFloat("est_rows", est)
 		}
-		if len(row) == 0 {
-			rel.AppendEmpty()
-		} else {
-			rel.Append(row)
-		}
-		if e.Budget.MaxRows > 0 && rel.Len() > e.Budget.MaxRows {
-			stopErr = fmt.Errorf("%w: scan of %d+ rows exceeds cap %d", ErrBudgetExceeded, rel.Len(), e.Budget.MaxRows)
-			return false
-		}
-	skip:
-		return true
-	})
-	if stopErr != nil {
-		return nil, stopErr
+	}
+	rel := NewRelation(vars)
+	if err := scan(e.st, rel); err != nil {
+		return nil, err
 	}
 	g.addScanned(rel.Len())
 	if ssp != nil {
@@ -746,6 +760,11 @@ func (e *Evaluator) evalUCQ(u query.UCQ, g guard, sp *trace.Span) (*Relation, er
 		defer usp.End()
 		usp.SetInt("cqs", int64(len(u.CQs)))
 	}
+	if sh := e.scatterSource(); sh != nil {
+		if co, rest := splitCoPartitioned(u); len(co) >= 2 {
+			return e.evalUCQScatter(sh, u, co, rest, g, usp)
+		}
+	}
 	if e.Parallel && e.Trace == nil && len(u.CQs) >= 8 {
 		return e.evalUCQParallel(u, g, usp)
 	}
@@ -882,7 +901,10 @@ func (e *Evaluator) evalUCQParallel(u query.UCQ, g guard, sp *trace.Span) (*Rela
 				// deadline instead of restarting Budget.Timeout per CQ.
 				// The span tree is mutex-protected, so workers may record
 				// operator spans concurrently.
-				sub := &Evaluator{st: e.st, stats: e.stats, Budget: e.Budget, ForceHashJoins: e.ForceHashJoins, Join: e.Join, Cost: e.Cost}
+				// MaxParallel 1: the union already owns the fan-out, so a
+				// sharded source evaluates its shards serially per CQ
+				// instead of multiplying workers.
+				sub := &Evaluator{st: e.st, stats: e.stats, Budget: e.Budget, ForceHashJoins: e.ForceHashJoins, Join: e.Join, Cost: e.Cost, MaxParallel: 1}
 				r, err := sub.evalCQ(u.HeadNames, cq, g, sp)
 				mu.Lock()
 				if err != nil && first == nil {
@@ -1038,7 +1060,7 @@ func (e *Evaluator) EvalJUCQContext(ctx context.Context, j query.JUCQ) (*Relatio
 				fsp := newFragSpan(i)
 				defer fsp.End()
 				sub := &Evaluator{st: e.st, stats: e.stats, Budget: e.Budget,
-					ForceHashJoins: e.ForceHashJoins, Join: e.Join, Parallel: false, Cost: e.Cost}
+					ForceHashJoins: e.ForceHashJoins, Join: e.Join, Parallel: false, Cost: e.Cost, MaxParallel: 1}
 				rels[i], errs[i] = evalFragment(sub, f, i, fsp)
 				endFragSpan(fsp, rels[i])
 			}()

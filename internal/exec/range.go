@@ -34,6 +34,12 @@ func (e *Evaluator) EvalRangeUCQContext(ctx context.Context, u query.RangeUCQ) (
 	}
 	g := e.newGuard(ctx)
 	defer g.flush(e.Metrics)
+	if sh := e.scatterSource(); sh != nil && rangeUCQCoPartitioned(u) {
+		// Every CQ shares one subject variable across its atoms: evaluate
+		// the whole union per shard (keeping the scan/join-prefix memos
+		// shard-local) and merge once at the end.
+		return e.evalRangeUCQScatter(sh, u, g, e.Span)
+	}
 	var usp *trace.Span
 	if e.Span != nil {
 		usp = e.Span.Child("union")
@@ -430,62 +436,88 @@ func (e *Evaluator) rangeProbeJoin(cur *Relation, a query.RangeAtom, g guard, sp
 	return out, nil
 }
 
+// rangeUCQCoPartitioned reports whether every CQ of the union is
+// co-partitioned (see coPartitionedRangeCQ) — the shape where the whole
+// union can be evaluated shard-locally and merged once.
+func rangeUCQCoPartitioned(u query.RangeUCQ) bool {
+	for _, cq := range u.CQs {
+		if !coPartitionedRangeCQ(cq) {
+			return false
+		}
+	}
+	return len(u.CQs) > 0
+}
+
 // scanRangeAtom materializes one range atom into a relation over its
 // variables (plain and capture), enforcing repeated-variable equality.
 // Results are memoized per evaluation under the canonical atom key.
+// Against a sharded source, a scan whose subject is unconstrained fans
+// out to every shard in parallel.
 func (e *Evaluator) scanRangeAtom(a query.RangeAtom, g guard, sp *trace.Span, memo map[string]*Relation) (*Relation, error) {
 	key, vars := rangeAtomKey(a)
 	if cached, ok := memo[key]; ok {
 		return cached.RenamedView(vars)
 	}
-	var ssp *trace.Span
-	if sp != nil {
-		ssp = sp.Child("rangescan")
-		defer ssp.End()
-		ssp.SetStr("atom", query.FormatRangeAtom(a))
-	}
 	pat, varPos := rangeAtomPattern(a)
-	rel := NewRelation(vars)
-	row := make([]dict.ID, len(vars))
-	var stopErr error
-	steps := 0
-	e.st.EachRange(pat, func(t dict.Triple) bool {
-		steps++
-		if steps&(checkEvery-1) == 0 {
-			if err := g.err(); err != nil {
-				stopErr = err
-				return false
-			}
-		}
-		trip := [3]dict.ID{t.S, t.P, t.O}
-		for vi, v := range vars {
-			positions := varPos[v]
-			row[vi] = trip[positions[0]]
-			for _, p := range positions[1:] {
-				if trip[p] != row[vi] {
-					goto skip
+	scan := func(src Source, rel *Relation) error {
+		row := make([]dict.ID, len(vars))
+		var stopErr error
+		steps := 0
+		src.EachRange(pat, func(t dict.Triple) bool {
+			steps++
+			if steps&(checkEvery-1) == 0 {
+				if err := g.err(); err != nil {
+					stopErr = err
+					return false
 				}
 			}
-		}
-		if len(row) == 0 {
-			rel.AppendEmpty()
-		} else {
-			rel.Append(row)
-		}
-		if e.Budget.MaxRows > 0 && rel.Len() > e.Budget.MaxRows {
-			stopErr = fmt.Errorf("%w: range scan of %d+ rows exceeds cap %d", ErrBudgetExceeded, rel.Len(), e.Budget.MaxRows)
-			return false
-		}
-	skip:
-		return true
-	})
-	if stopErr != nil {
-		return nil, stopErr
+			trip := [3]dict.ID{t.S, t.P, t.O}
+			for vi, v := range vars {
+				positions := varPos[v]
+				row[vi] = trip[positions[0]]
+				for _, p := range positions[1:] {
+					if trip[p] != row[vi] {
+						goto skip
+					}
+				}
+			}
+			if len(row) == 0 {
+				rel.AppendEmpty()
+			} else {
+				rel.Append(row)
+			}
+			if e.Budget.MaxRows > 0 && rel.Len() > e.Budget.MaxRows {
+				stopErr = fmt.Errorf("%w: range scan of %d+ rows exceeds cap %d", ErrBudgetExceeded, rel.Len(), e.Budget.MaxRows)
+				return false
+			}
+		skip:
+			return true
+		})
+		return stopErr
 	}
-	g.addScanned(rel.Len())
-	if ssp != nil {
-		ssp.SetInt("rows", int64(rel.Len()))
-		ssp.End()
+	var rel *Relation
+	if sh := e.scatterSource(); sh != nil && pat.S == nil {
+		r, err := e.scatterScan(sh, "rangescan", query.FormatRangeAtom(a), vars, g, sp, -1, scan)
+		if err != nil {
+			return nil, err
+		}
+		rel = r
+	} else {
+		var ssp *trace.Span
+		if sp != nil {
+			ssp = sp.Child("rangescan")
+			defer ssp.End()
+			ssp.SetStr("atom", query.FormatRangeAtom(a))
+		}
+		rel = NewRelation(vars)
+		if err := scan(e.st, rel); err != nil {
+			return nil, err
+		}
+		g.addScanned(rel.Len())
+		if ssp != nil {
+			ssp.SetInt("rows", int64(rel.Len()))
+			ssp.End()
+		}
 	}
 	if e.Trace != nil {
 		e.Trace.Scans = append(e.Trace.Scans, ScanInfo{Atom: query.FormatRangeAtom(a), Rows: rel.Len()})

@@ -1,0 +1,455 @@
+package exec
+
+import (
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/dict"
+	"repro/internal/query"
+	"repro/internal/stats"
+	"repro/internal/storage"
+	"repro/internal/trace"
+)
+
+// Source is the scan surface the evaluator runs against: the narrow,
+// read-only slice of *storage.Store the operators actually use. It exists
+// so one executor serves both a single store and a hash-partitioned
+// shard.Store — the evaluator never materializes a source, it only
+// iterates and counts.
+type Source interface {
+	// Dict returns the dictionary terms are encoded against.
+	Dict() *dict.Dict
+	// Len returns the number of triples.
+	Len() int
+	// Each streams every triple matching the pattern.
+	Each(pat storage.Pattern, fn func(dict.Triple) bool)
+	// Count returns the number of triples matching the pattern.
+	Count(pat storage.Pattern) int
+	// EachRange streams every triple matching the range pattern.
+	EachRange(pat storage.RangePattern, fn func(dict.Triple) bool)
+	// CountRange returns the number of triples matching the range pattern.
+	CountRange(pat storage.RangePattern) int
+}
+
+// ShardedSource is a Source hash-partitioned by subject: shard i holds
+// exactly the triples whose subject hashes to i, so a subject's whole
+// forward neighborhood is co-located. The evaluator uses the partitioning
+// two ways: atomic scans fan out to all shards in parallel (scatter) and
+// merge centrally (gather), while conjunctive bodies whose atoms all
+// share one subject variable are evaluated entirely shard-locally — any
+// embedding maps that variable to a single subject s, so every matched
+// triple lives on s's home shard and the per-shard answers just union.
+type ShardedSource interface {
+	Source
+	// NumShards returns the partition count (≥ 1).
+	NumShards() int
+	// Shard returns shard i's source (all triples with hash(S)%N == i).
+	Shard(i int) Source
+	// ShardStats returns shard i's statistics for shard-local planning.
+	ShardStats(i int) *stats.Stats
+	// HomeShard returns the shard holding subject s.
+	HomeShard(s dict.ID) int
+}
+
+// scatterSource returns the evaluator's source as a sharded source when
+// scatter-gather applies: more than one shard and no legacy trace (the
+// Trace slices are not mutex-protected, so traced runs stay sequential —
+// the Source interface still answers them correctly, shard by shard).
+func (e *Evaluator) scatterSource() ShardedSource {
+	sh, ok := e.st.(ShardedSource)
+	if !ok || sh.NumShards() < 2 || e.Trace != nil {
+		return nil
+	}
+	return sh
+}
+
+// shardWorkers bounds a scatter's parallelism: the admission gate's
+// granted weight (MaxParallel) when set, GOMAXPROCS otherwise, and never
+// more workers than shards.
+func (e *Evaluator) shardWorkers(n int) int {
+	w := runtime.GOMAXPROCS(0)
+	if e.MaxParallel > 0 && e.MaxParallel < w {
+		w = e.MaxParallel
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// shardSub returns a sub-evaluator over one shard, planning with that
+// shard's own statistics. Parallel is left off: the scatter already owns
+// the fan-out, and nested parallelism would overrun the admitted weight.
+func (e *Evaluator) shardSub(sh ShardedSource, i int) *Evaluator {
+	return &Evaluator{
+		st:             sh.Shard(i),
+		stats:          sh.ShardStats(i),
+		Budget:         e.Budget,
+		ForceHashJoins: e.ForceHashJoins,
+		Join:           e.Join,
+		Cost:           e.Cost,
+	}
+}
+
+// newScatterSpan opens the scatter node EXPLAIN ANALYZE shows: one
+// "scatter" span carrying the shard count and the scattered operator,
+// with each shard's own operator spans as children.
+func newScatterSpan(sp *trace.Span, op string, n int) *trace.Span {
+	if sp == nil {
+		return nil
+	}
+	ssp := sp.Child("scatter")
+	ssp.SetInt("n", int64(n))
+	ssp.SetStr("op", op)
+	return ssp
+}
+
+// runScatter executes task(i) for every shard i with bounded workers,
+// checking the shared guard between tasks. The per-shard results land in
+// order; the first error wins.
+func (e *Evaluator) runScatter(sh ShardedSource, g guard, task func(i int) (*Relation, error)) ([]*Relation, error) {
+	n := sh.NumShards()
+	parts := make([]*Relation, n)
+	errs := make([]error, n)
+	nw := e.shardWorkers(n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := g.err(); err != nil {
+					errs[i] = err
+					return
+				}
+				parts[i], errs[i] = task(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	if e.Metrics != nil {
+		for i, r := range parts {
+			if r != nil {
+				e.Metrics.Counter("shard.rows." + strconv.Itoa(i)).Add(int64(r.Len()))
+			}
+		}
+	}
+	return parts, nil
+}
+
+// gather merges per-shard relations in shard order — the deterministic
+// central merge every scatter ends with. The caller decides whether the
+// merged relation still needs a distinct pass (projected answers do,
+// disjoint raw scans do not).
+func (e *Evaluator) gather(parts []*Relation, vars []string, g guard) (*Relation, error) {
+	out := NewRelation(vars)
+	merged := 0
+	for _, r := range parts {
+		if r == nil {
+			continue
+		}
+		if err := appendRelation(out, r, g.err); err != nil {
+			return nil, err
+		}
+		merged += r.Len()
+	}
+	if err := e.checkRows(out.Len()); err != nil {
+		return nil, err
+	}
+	if e.Metrics != nil {
+		e.Metrics.Counter("shard.merge").Add(int64(merged))
+	}
+	return out, nil
+}
+
+// coPartitionedCQ reports whether every atom's subject is one shared
+// variable — the co-partitioned shape: any embedding maps that variable
+// to a single subject, so all of its matched triples live on one shard
+// and the CQ decomposes into independent shard-local evaluations whose
+// projected answers union. A constant subject or a second subject
+// variable breaks the rule (the embedding could span shards), so those
+// bodies keep central joins over scattered scans.
+func coPartitionedCQ(q query.CQ) bool {
+	if len(q.Atoms) == 0 {
+		return false
+	}
+	v := ""
+	for _, a := range q.Atoms {
+		s := a.Args()[0]
+		if !s.IsVar() {
+			return false
+		}
+		if v == "" {
+			v = s.Var
+		} else if v != s.Var {
+			return false
+		}
+	}
+	return true
+}
+
+// coPartitionedRangeCQ is coPartitionedCQ for range CQs: every atom's
+// subject must be one shared, range-free variable (a subject interval
+// constrains which subjects match but not where they live, so it would
+// still be shard-safe — kept out for symmetry with the scan router,
+// which only recognizes unconstrained subjects as scatter-safe).
+func coPartitionedRangeCQ(q query.RangeCQ) bool {
+	if len(q.Atoms) == 0 {
+		return false
+	}
+	v := ""
+	for _, a := range q.Atoms {
+		if a.S.Ranges != nil || !a.S.Arg.IsVar() {
+			return false
+		}
+		if v == "" {
+			v = a.S.Arg.Var
+		} else if v != a.S.Arg.Var {
+			return false
+		}
+	}
+	return true
+}
+
+// CoPartitionedCQ reports whether a sharded evaluation would run q
+// entirely shard-locally (every atom's subject is one shared variable) —
+// exported so EXPLAIN can show the same scatter shape the executor uses.
+func CoPartitionedCQ(q query.CQ) bool { return coPartitionedCQ(q) }
+
+// CoPartitionedRangeUCQ reports whether a sharded evaluation would run
+// the whole range union shard-locally — the range-strategy analogue of
+// CoPartitionedCQ, exported for EXPLAIN.
+func CoPartitionedRangeUCQ(u query.RangeUCQ) bool { return rangeUCQCoPartitioned(u) }
+
+// evalCQScatter evaluates a co-partitioned CQ shard-locally: each shard
+// runs the full body plan (ordered by its own statistics), projects the
+// head, and the per-shard answers merge under one distinct pass — the
+// only cross-shard step is that final union, after projection.
+func (e *Evaluator) evalCQScatter(sh ShardedSource, headNames []string, q query.CQ, g guard, sp *trace.Span) (*Relation, error) {
+	ssp := newScatterSpan(sp, "cq", sh.NumShards())
+	if ssp != nil {
+		defer ssp.End()
+		ssp.SetStr("q", query.FormatCQ(e.st.Dict(), q))
+	}
+	if e.Metrics != nil {
+		e.Metrics.Counter("shard.local_cqs").Inc()
+	}
+	parts, err := e.runScatter(sh, g, func(i int) (*Relation, error) {
+		return e.shardSub(sh, i).evalCQ(headNames, q, g, ssp)
+	})
+	if err != nil {
+		return nil, err
+	}
+	out, err := e.gather(parts, headNames, g)
+	if err != nil {
+		return nil, err
+	}
+	if err := out.DistinctCheck(g.err); err != nil {
+		return nil, err
+	}
+	if ssp != nil {
+		ssp.SetInt("rows", int64(out.Len()))
+		ssp.End()
+	}
+	return out, nil
+}
+
+// splitCoPartitioned partitions a union's members into the co-partitioned
+// group (evaluable shard-locally) and the rest. Members are independent —
+// a union is just a distinct concatenation — so the co-partitioned group
+// can evaluate in ONE scatter, each shard running the whole group
+// serially, paying the scatter/gather overhead once per union instead of
+// once per member. JUCQ fragment materialization is the shape that earns
+// this: hundreds of tiny single-subject-variable members per fragment,
+// interleaved with range-rule rewritings whose fresh subject variables
+// break co-partitioning (those stay on the parent path).
+func splitCoPartitioned(u query.UCQ) (co, rest []query.CQ) {
+	//reflint:noguard classification-only pass over member CQs — no rows materialize; callers poll the guard per member during evaluation
+	for _, cq := range u.CQs {
+		if coPartitionedCQ(cq) {
+			co = append(co, cq)
+		} else {
+			rest = append(rest, cq)
+		}
+	}
+	return co, rest
+}
+
+// evalUCQScatter evaluates a union with ≥2 co-partitioned members against
+// a sharded source: the co-partitioned group runs shard-locally in one
+// scatter (each shard evaluates the whole group serially with its own
+// statistics, per-shard unions merge in shard order), then the remaining
+// members evaluate on the parent path — their unbound-subject scans still
+// scatter individually — and one distinct pass lands at the end. The
+// answer is the unsharded union's exact row set.
+func (e *Evaluator) evalUCQScatter(sh ShardedSource, u query.UCQ, co, rest []query.CQ, g guard, sp *trace.Span) (*Relation, error) {
+	ssp := newScatterSpan(sp, "ucq", sh.NumShards())
+	if ssp != nil {
+		defer ssp.End()
+		ssp.SetInt("cqs", int64(len(co)))
+		ssp.SetInt("rest", int64(len(rest)))
+	}
+	if e.Metrics != nil {
+		e.Metrics.Counter("shard.local_cqs").Add(int64(len(co)))
+	}
+	parts, err := e.runScatter(sh, g, func(i int) (*Relation, error) {
+		sub := e.shardSub(sh, i)
+		out := NewRelation(u.HeadNames)
+		for _, cq := range co {
+			if err := g.err(); err != nil {
+				return nil, err
+			}
+			r, err := sub.evalCQ(u.HeadNames, cq, g, ssp)
+			if err != nil {
+				return nil, err
+			}
+			if err := appendRelation(out, r, g.err); err != nil {
+				return nil, err
+			}
+			g.addUnioned(r.Len())
+			if err := sub.checkRows(out.Len()); err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out, err := e.gather(parts, u.HeadNames, g)
+	if err != nil {
+		return nil, err
+	}
+	for _, cq := range rest {
+		if err := g.err(); err != nil {
+			return nil, err
+		}
+		r, err := e.evalCQ(u.HeadNames, cq, g, sp)
+		if err != nil {
+			return nil, err
+		}
+		if err := appendRelation(out, r, g.err); err != nil {
+			return nil, err
+		}
+		g.addUnioned(r.Len())
+		if err := e.checkRows(out.Len()); err != nil {
+			return nil, err
+		}
+	}
+	if err := out.DistinctCheck(g.err); err != nil {
+		return nil, err
+	}
+	if ssp != nil {
+		ssp.SetInt("rows", int64(out.Len()))
+		ssp.End()
+	}
+	return out, nil
+}
+
+// evalRangeUCQScatter evaluates a range union whose every CQ is
+// co-partitioned: each shard evaluates the whole union serially with its
+// own scan and join-prefix memos (the memo reuse the union depends on
+// stays intact per shard), and the per-shard unions merge under one
+// distinct pass.
+func (e *Evaluator) evalRangeUCQScatter(sh ShardedSource, u query.RangeUCQ, g guard, sp *trace.Span) (*Relation, error) {
+	ssp := newScatterSpan(sp, "rangeucq", sh.NumShards())
+	if ssp != nil {
+		defer ssp.End()
+		ssp.SetInt("cqs", int64(len(u.CQs)))
+	}
+	if e.Metrics != nil {
+		e.Metrics.Counter("shard.local_cqs").Add(int64(len(u.CQs)))
+	}
+	parts, err := e.runScatter(sh, g, func(i int) (*Relation, error) {
+		sub := e.shardSub(sh, i)
+		memo := map[string]*Relation{}
+		jmemo := map[string]*Relation{}
+		out := NewRelation(u.HeadNames)
+		for _, cq := range u.CQs {
+			if err := g.err(); err != nil {
+				return nil, err
+			}
+			r, err := sub.evalRangeCQ(u.HeadNames, cq, g, ssp, memo, jmemo)
+			if err != nil {
+				return nil, err
+			}
+			if err := appendRelation(out, r, g.err); err != nil {
+				return nil, err
+			}
+			g.addUnioned(r.Len())
+			if err := sub.checkRows(out.Len()); err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out, err := e.gather(parts, u.HeadNames, g)
+	if err != nil {
+		return nil, err
+	}
+	if err := out.DistinctCheck(g.err); err != nil {
+		return nil, err
+	}
+	if ssp != nil {
+		ssp.SetInt("rows", int64(out.Len()))
+		ssp.End()
+	}
+	return out, nil
+}
+
+// scatterScan fans one scan body out to every shard in parallel and
+// concatenates the per-shard relations in shard order. Shards partition
+// the triples, so the concatenation is exactly the unsharded scan's
+// multiset (in a different order — every consumer is order-insensitive:
+// joins hash or probe, projections dedup).
+func (e *Evaluator) scatterScan(sh ShardedSource, op, atom string, vars []string, g guard, sp *trace.Span, est float64, scan func(src Source, rel *Relation) error) (*Relation, error) {
+	ssp := newScatterSpan(sp, op, sh.NumShards())
+	if ssp != nil {
+		defer ssp.End()
+		ssp.SetStr("atom", atom)
+		if est >= 0 {
+			ssp.SetFloat("est_rows", est)
+		}
+	}
+	if e.Metrics != nil {
+		e.Metrics.Counter("shard.scan").Inc()
+	}
+	parts, err := e.runScatter(sh, g, func(i int) (*Relation, error) {
+		rel := NewRelation(vars)
+		if err := scan(sh.Shard(i), rel); err != nil {
+			return nil, err
+		}
+		return rel, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out, err := e.gather(parts, vars, g)
+	if err != nil {
+		return nil, err
+	}
+	g.addScanned(out.Len())
+	if ssp != nil {
+		ssp.SetInt("rows", int64(out.Len()))
+		ssp.End()
+	}
+	return out, nil
+}

@@ -5,36 +5,195 @@
 // complete distributed closure is not computable source by source — so a
 // mediator fetches the sources' *explicit* triples, merges them into one
 // graph, and answers queries by reformulation.
+//
+// Source is pattern-granular and context-aware: a source answers
+// ScanPattern(ctx, pattern) with an iterator over its matching explicit
+// triples, and Stats(ctx) with coarse sizing. In-process stores (a shard
+// of a subject-hash-partitioned store, a whole graph) and remote refserve
+// peers implement the same interface, so the mediator's merge path is one
+// scatter-gather — sources fetch in parallel, the gather dedups and
+// closes the union schema — whether the "shards" are goroutines or hosts.
+// Legacy Dump()-shaped sources participate through DumpAdapter.
 package federation
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
+	"sync"
 	"time"
 
+	"repro/internal/dict"
 	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/ntriples"
 	"repro/internal/rdf"
+	"repro/internal/storage"
 )
 
-// Source is one federated RDF source. Dump returns its explicit triples
-// (data plus constraint triples), exactly what a real endpoint exports —
-// never the saturation.
+// --- the Source API ----------------------------------------------------------
+
+// Pattern selects triples at a federated source by constant terms; nil
+// positions are wildcards. The zero Pattern matches every triple — the
+// dump, expressed as a scan.
+type Pattern struct {
+	S, P, O *rdf.Term
+}
+
+// Matches reports whether t matches the pattern.
+func (p Pattern) Matches(t rdf.Triple) bool {
+	return (p.S == nil || *p.S == t.S) &&
+		(p.P == nil || *p.P == t.P) &&
+		(p.O == nil || *p.O == t.O)
+}
+
+// Iterator streams one source's matching triples. Next returns false at
+// exhaustion or failure; Err distinguishes (nil on clean exhaustion).
+// Close releases the scan's resources and is safe to call repeatedly.
+type Iterator interface {
+	Next() (rdf.Triple, bool)
+	Err() error
+	Close() error
+}
+
+// SourceStats is one source's coarse sizing, for mediator-side planning
+// and accounting.
+type SourceStats struct {
+	// Triples is the source's explicit triple count (data + schema).
+	Triples int `json:"triples"`
+}
+
+// Source is one federated RDF source. ScanPattern streams its explicit
+// triples matching the pattern (data plus constraint triples, exactly
+// what a real endpoint exports — never the saturation); canceling ctx
+// aborts the scan. The zero Pattern is the full dump.
 type Source interface {
+	Name() string
+	ScanPattern(ctx context.Context, pat Pattern) (Iterator, error)
+	Stats(ctx context.Context) (SourceStats, error)
+}
+
+// Collect drains one pattern scan into a slice.
+func Collect(ctx context.Context, src Source, pat Pattern) ([]rdf.Triple, error) {
+	it, err := src.ScanPattern(ctx, pat)
+	if err != nil {
+		return nil, err
+	}
+	defer it.Close()
+	var out []rdf.Triple
+	for {
+		t, ok := it.Next()
+		if !ok {
+			break
+		}
+		out = append(out, t)
+	}
+	if err := it.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// sliceIterator filters an in-memory slice against a pattern.
+type sliceIterator struct {
+	ts  []rdf.Triple
+	pat Pattern
+	i   int
+}
+
+func (it *sliceIterator) Next() (rdf.Triple, bool) {
+	for it.i < len(it.ts) {
+		t := it.ts[it.i]
+		it.i++
+		if it.pat.Matches(t) {
+			return t, true
+		}
+	}
+	return rdf.Triple{}, false
+}
+
+func (it *sliceIterator) Err() error   { return nil }
+func (it *sliceIterator) Close() error { return nil }
+
+// idIterator decodes encoded triples lazily — sources backed by a
+// dictionary only pay decoding for the triples the pattern keeps.
+type idIterator struct {
+	d  *dict.Dict
+	ts []dict.Triple
+	i  int
+}
+
+func (it *idIterator) Next() (rdf.Triple, bool) {
+	if it.i >= len(it.ts) {
+		return rdf.Triple{}, false
+	}
+	t := it.d.DecodeTriple(it.ts[it.i])
+	it.i++
+	return t, true
+}
+
+func (it *idIterator) Err() error   { return nil }
+func (it *idIterator) Close() error { return nil }
+
+// --- legacy Dump compatibility -----------------------------------------------
+
+// Dumper is the pre-redesign source shape: a name and one bulk dump.
+// The concrete sources below still provide it (their Dump methods keep
+// working), and DumpAdapter lifts any third-party Dumper into the
+// pattern-scan API.
+type Dumper interface {
 	Name() string
 	Dump() ([]rdf.Triple, error)
 }
 
-// ContextSource is a Source whose fetch can be bounded by a context
-// (timeout, mediator shutdown). Sources over the network should implement
-// it; Mediator.BuildContext uses it when available.
+// ContextSource is a Dumper whose fetch can be bounded by a context
+// (timeout, mediator shutdown). DumpAdapter prefers it when present.
 type ContextSource interface {
-	Source
+	Dumper
 	DumpContext(ctx context.Context) ([]rdf.Triple, error)
 }
+
+// DumpAdapter lifts a legacy Dumper into the Source API: every scan
+// performs the full dump and filters mediator-side, and Stats dumps to
+// count. Old sources keep working behind the new interface — pattern
+// granularity just cannot save them any transfer.
+type DumpAdapter struct {
+	Dumper
+}
+
+// dump routes through DumpContext when the wrapped source supports it,
+// so no context-free call remains on cancelable paths.
+func (a DumpAdapter) dump(ctx context.Context) ([]rdf.Triple, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("federation: source %s: %w", a.Dumper.Name(), err)
+	}
+	if cs, ok := a.Dumper.(ContextSource); ok {
+		return cs.DumpContext(ctx)
+	}
+	return a.Dumper.Dump()
+}
+
+// ScanPattern implements Source.
+func (a DumpAdapter) ScanPattern(ctx context.Context, pat Pattern) (Iterator, error) {
+	ts, err := a.dump(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return &sliceIterator{ts: ts, pat: pat}, nil
+}
+
+// Stats implements Source.
+func (a DumpAdapter) Stats(ctx context.Context) (SourceStats, error) {
+	ts, err := a.dump(ctx)
+	if err != nil {
+		return SourceStats{}, err
+	}
+	return SourceStats{Triples: len(ts)}, nil
+}
+
+// --- concrete sources --------------------------------------------------------
 
 // LocalSource serves triples from memory (an in-process endpoint).
 type LocalSource struct {
@@ -45,7 +204,20 @@ type LocalSource struct {
 // Name implements Source.
 func (s *LocalSource) Name() string { return s.SourceName }
 
-// Dump implements Source.
+// ScanPattern implements Source.
+func (s *LocalSource) ScanPattern(ctx context.Context, pat Pattern) (Iterator, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("federation: source %s: %w", s.SourceName, err)
+	}
+	return &sliceIterator{ts: s.Triples, pat: pat}, nil
+}
+
+// Stats implements Source.
+func (s *LocalSource) Stats(context.Context) (SourceStats, error) {
+	return SourceStats{Triples: len(s.Triples)}, nil
+}
+
+// Dump implements Dumper (the legacy bulk fetch).
 func (s *LocalSource) Dump() ([]rdf.Triple, error) {
 	return append([]rdf.Triple(nil), s.Triples...), nil
 }
@@ -59,19 +231,106 @@ type GraphSource struct {
 // Name implements Source.
 func (s *GraphSource) Name() string { return s.SourceName }
 
-// Dump implements Source.
-func (s *GraphSource) Dump() ([]rdf.Triple, error) {
-	d := s.Graph.Dict()
-	all := s.Graph.AllTriples()
-	out := make([]rdf.Triple, len(all))
-	for i, t := range all {
-		out[i] = d.DecodeTriple(t)
+// ScanPattern implements Source: bound positions encode against the
+// graph's dictionary (a term the graph never saw matches nothing, with
+// no scan at all), and matching triples decode lazily.
+func (s *GraphSource) ScanPattern(ctx context.Context, pat Pattern) (Iterator, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("federation: source %s: %w", s.SourceName, err)
 	}
-	return out, nil
+	d := s.Graph.Dict()
+	enc, known := encodePattern(d, pat)
+	if !known {
+		return &idIterator{d: d}, nil
+	}
+	var match []dict.Triple
+	for _, t := range s.Graph.AllTriples() {
+		if (enc.S == dict.None || t.S == enc.S) &&
+			(enc.P == dict.None || t.P == enc.P) &&
+			(enc.O == dict.None || t.O == enc.O) {
+			match = append(match, t)
+		}
+	}
+	return &idIterator{d: d, ts: match}, nil
 }
 
-// HTTPSource fetches a remote endpoint's /dump route (see
-// internal/httpapi).
+// Stats implements Source.
+func (s *GraphSource) Stats(context.Context) (SourceStats, error) {
+	return SourceStats{Triples: len(s.Graph.AllTriples())}, nil
+}
+
+// Dump implements Dumper.
+func (s *GraphSource) Dump() ([]rdf.Triple, error) {
+	//reflint:ctxbg Dumper is the legacy context-free interface; context-aware callers use ScanPattern/Collect directly
+	return Collect(context.Background(), s, Pattern{})
+}
+
+// StoreSource exposes one triple store — typically a single shard of a
+// subject-hash-partitioned shard.Store — as a federated source. Bound
+// positions are answered by the store's own SPO/POS/OSP indexes instead
+// of scan-and-filter, which is what makes in-process shards and remote
+// peers interchangeable behind the mediator: the scatter-gather merge
+// neither knows nor cares which kind each source is.
+type StoreSource struct {
+	SourceName string
+	Dict       *dict.Dict
+	// Store is the scan surface; *storage.Store and *shard.Store both
+	// satisfy it.
+	Store interface {
+		Len() int
+		Each(pat storage.Pattern, fn func(dict.Triple) bool)
+	}
+}
+
+// Name implements Source.
+func (s *StoreSource) Name() string { return s.SourceName }
+
+// ScanPattern implements Source, index-backed.
+func (s *StoreSource) ScanPattern(ctx context.Context, pat Pattern) (Iterator, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("federation: source %s: %w", s.SourceName, err)
+	}
+	enc, known := encodePattern(s.Dict, pat)
+	if !known {
+		return &idIterator{d: s.Dict}, nil
+	}
+	var match []dict.Triple
+	s.Store.Each(enc, func(t dict.Triple) bool {
+		match = append(match, t)
+		return true
+	})
+	return &idIterator{d: s.Dict, ts: match}, nil
+}
+
+// Stats implements Source.
+func (s *StoreSource) Stats(context.Context) (SourceStats, error) {
+	return SourceStats{Triples: s.Store.Len()}, nil
+}
+
+// encodePattern maps a pattern's bound terms onto dictionary IDs. known
+// is false when a bound term is absent from the dictionary — such a
+// pattern matches nothing.
+func encodePattern(d *dict.Dict, pat Pattern) (storage.Pattern, bool) {
+	var enc storage.Pattern
+	for _, bind := range []struct {
+		term *rdf.Term
+		dst  *dict.ID
+	}{{pat.S, &enc.S}, {pat.P, &enc.P}, {pat.O, &enc.O}} {
+		if bind.term == nil {
+			continue
+		}
+		id, ok := d.Lookup(*bind.term)
+		if !ok {
+			return storage.Pattern{}, false
+		}
+		*bind.dst = id
+	}
+	return enc, true
+}
+
+// HTTPSource fetches a remote refserve endpoint (see internal/httpapi).
+// The remote surface exports dumps, not scans, so ScanPattern fetches
+// /v1/dump and filters mediator-side; Stats reads /v1/stats.
 type HTTPSource struct {
 	SourceName string
 	// BaseURL of the endpoint, e.g. "http://host:8080".
@@ -83,19 +342,58 @@ type HTTPSource struct {
 // Name implements Source.
 func (s *HTTPSource) Name() string { return s.SourceName }
 
-// Dump implements Source.
+// ScanPattern implements Source.
+func (s *HTTPSource) ScanPattern(ctx context.Context, pat Pattern) (Iterator, error) {
+	ts, err := s.DumpContext(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return &sliceIterator{ts: ts, pat: pat}, nil
+}
+
+// Stats implements Source: one /v1/stats round trip, no dump.
+func (s *HTTPSource) Stats(ctx context.Context) (SourceStats, error) {
+	body, err := s.get(ctx, "/v1/stats")
+	if err != nil {
+		return SourceStats{}, err
+	}
+	defer body.Close()
+	var st SourceStats
+	if err := json.NewDecoder(body).Decode(&st); err != nil {
+		return SourceStats{}, fmt.Errorf("federation: source %s: stats: %w", s.SourceName, err)
+	}
+	return st, nil
+}
+
+// Dump implements Dumper, routed through DumpContext — no context-free
+// HTTP call remains.
 func (s *HTTPSource) Dump() ([]rdf.Triple, error) {
 	return s.DumpContext(context.Background())
 }
 
-// DumpContext implements ContextSource: canceling ctx aborts the fetch
-// (and, endpoint-side, the streaming dump).
+// DumpContext fetches the endpoint's /v1/dump: canceling ctx aborts the
+// fetch (and, endpoint-side, the streaming dump).
 func (s *HTTPSource) DumpContext(ctx context.Context) ([]rdf.Triple, error) {
+	body, err := s.get(ctx, "/v1/dump")
+	if err != nil {
+		return nil, err
+	}
+	defer body.Close()
+	ts, err := ntriples.ParseAll(body)
+	if err != nil {
+		return nil, fmt.Errorf("federation: source %s: %w", s.SourceName, err)
+	}
+	return ts, nil
+}
+
+// get performs one context-bound GET and returns the 200 body; every
+// HTTPSource request flows through here.
+func (s *HTTPSource) get(ctx context.Context, path string) (io.ReadCloser, error) {
 	client := s.Client
 	if client == nil {
 		client = &http.Client{Timeout: 30 * time.Second}
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, s.BaseURL+"/dump", nil)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, s.BaseURL+path, nil)
 	if err != nil {
 		return nil, fmt.Errorf("federation: source %s: %w", s.SourceName, err)
 	}
@@ -103,17 +401,15 @@ func (s *HTTPSource) DumpContext(ctx context.Context) ([]rdf.Triple, error) {
 	if err != nil {
 		return nil, fmt.Errorf("federation: source %s: %w", s.SourceName, err)
 	}
-	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		resp.Body.Close()
 		return nil, fmt.Errorf("federation: source %s: status %d: %s", s.SourceName, resp.StatusCode, body)
 	}
-	ts, err := ntriples.ParseAll(resp.Body)
-	if err != nil {
-		return nil, fmt.Errorf("federation: source %s: %w", s.SourceName, err)
-	}
-	return ts, nil
+	return resp.Body, nil
 }
+
+// --- the mediator ------------------------------------------------------------
 
 // Mediator merges sources and answers over the union.
 type Mediator struct {
@@ -121,7 +417,7 @@ type Mediator struct {
 	// PerSource records how many triples each source contributed on the
 	// last Build, keyed by source name.
 	PerSource map[string]int
-	// FetchTime records how long each source's dump took on the last
+	// FetchTime records how long each source's scan took on the last
 	// Build, keyed by source name — the mediator-side observability
 	// counterpart to the endpoint's /metrics.
 	FetchTime map[string]time.Duration
@@ -139,36 +435,48 @@ func (m *Mediator) Build() (*graph.Graph, error) {
 	return m.BuildContext(context.Background())
 }
 
-// BuildContext is Build bounded by ctx: sources implementing
-// ContextSource have their fetches canceled with it.
+// BuildContext is Build bounded by ctx. The fetch is a scatter-gather:
+// every source scans in parallel (canceling ctx aborts the in-flight
+// scans), then one gather pass dedups the union and closes the merged
+// schema — the same shape the in-process executor uses across shards.
 func (m *Mediator) BuildContext(ctx context.Context) (*graph.Graph, error) {
 	if len(m.sources) == 0 {
 		return nil, fmt.Errorf("federation: no sources")
 	}
+	seen := map[string]bool{}
+	for _, src := range m.sources {
+		if seen[src.Name()] {
+			return nil, fmt.Errorf("federation: duplicate source name %q", src.Name())
+		}
+		seen[src.Name()] = true
+	}
+	type fetched struct {
+		ts   []rdf.Triple
+		took time.Duration
+		err  error
+	}
+	res := make([]fetched, len(m.sources))
+	var wg sync.WaitGroup
+	for i, src := range m.sources {
+		wg.Add(1)
+		go func(i int, src Source) {
+			defer wg.Done()
+			start := time.Now()
+			ts, err := Collect(ctx, src, Pattern{})
+			res[i] = fetched{ts: ts, took: time.Since(start), err: err}
+		}(i, src)
+	}
+	wg.Wait()
 	m.PerSource = map[string]int{}
 	m.FetchTime = map[string]time.Duration{}
 	var all []rdf.Triple
-	for _, src := range m.sources {
-		if err := ctx.Err(); err != nil {
-			return nil, fmt.Errorf("federation: build canceled: %w", err)
-		}
-		start := time.Now()
-		var ts []rdf.Triple
-		var err error
-		if cs, ok := src.(ContextSource); ok {
-			ts, err = cs.DumpContext(ctx)
-		} else {
-			ts, err = src.Dump()
-		}
-		if err != nil {
+	for i, src := range m.sources {
+		if err := res[i].err; err != nil {
 			return nil, err
 		}
-		if _, dup := m.PerSource[src.Name()]; dup {
-			return nil, fmt.Errorf("federation: duplicate source name %q", src.Name())
-		}
-		m.PerSource[src.Name()] = len(ts)
-		m.FetchTime[src.Name()] = time.Since(start)
-		all = append(all, ts...)
+		m.PerSource[src.Name()] = len(res[i].ts)
+		m.FetchTime[src.Name()] = res[i].took
+		all = append(all, res[i].ts...)
 	}
 	g, err := graph.FromTriples(rdf.DedupTriples(all))
 	if err != nil {

@@ -1,6 +1,8 @@
 package federation
 
 import (
+	"context"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -12,6 +14,8 @@ import (
 	"repro/internal/ntriples"
 	"repro/internal/query"
 	"repro/internal/rdf"
+	"repro/internal/shard"
+	"repro/internal/storage"
 )
 
 // Endpoint A publishes facts, endpoint B the ontology: the implicit
@@ -189,5 +193,206 @@ func TestMediatorConflictingSchema(t *testing.T) {
 	med := NewMediator(&LocalSource{SourceName: "bad", Triples: bad})
 	if _, err := med.Build(); err == nil {
 		t.Fatal("invalid merged schema must error")
+	}
+}
+
+// --- redesigned Source API ----------------------------------------------------
+
+func ptr(t rdf.Term) *rdf.Term { return &t }
+
+func TestScanPatternFiltersLocally(t *testing.T) {
+	src := &LocalSource{SourceName: "facts", Triples: mustTriples(t, factsSource)}
+	ctx := context.Background()
+	all, err := Collect(ctx, src, Pattern{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 2 {
+		t.Fatalf("full scan returned %d triples, want 2", len(all))
+	}
+	one, err := Collect(ctx, src, Pattern{S: ptr(rdf.NewIRI("http://example.org/doi1"))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(one) != 1 || one[0].O.Value != "http://example.org/borges" {
+		t.Fatalf("bound-subject scan: %v", one)
+	}
+	none, err := Collect(ctx, src, Pattern{P: ptr(rdf.NewIRI("http://example.org/nope"))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(none) != 0 {
+		t.Fatalf("unmatched pattern returned %d triples", len(none))
+	}
+}
+
+func TestScanPatternHonorsContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	src := &LocalSource{SourceName: "facts", Triples: mustTriples(t, factsSource)}
+	if _, err := src.ScanPattern(ctx, Pattern{}); err == nil {
+		t.Fatal("canceled context must abort the scan")
+	}
+	gs := &GraphSource{SourceName: "g", Graph: mustGraph(t, ontologySource)}
+	if _, err := gs.ScanPattern(ctx, Pattern{}); err == nil {
+		t.Fatal("canceled context must abort the graph scan")
+	}
+}
+
+func mustGraph(t *testing.T, text string) *graph.Graph {
+	t.Helper()
+	g, err := graph.ParseString(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestGraphSourceScanPattern(t *testing.T) {
+	gs := &GraphSource{SourceName: "g", Graph: mustGraph(t, ontologySource)}
+	ctx := context.Background()
+	// A term the graph never saw matches nothing, without scanning.
+	none, err := Collect(ctx, gs, Pattern{S: ptr(rdf.NewIRI("http://example.org/unknown"))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(none) != 0 {
+		t.Fatalf("unknown term matched %d triples", len(none))
+	}
+	typed, err := Collect(ctx, gs, Pattern{S: ptr(rdf.NewIRI("http://example.org/doi2"))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(typed) != 1 {
+		t.Fatalf("doi2 scan returned %d triples, want 1", len(typed))
+	}
+	st, err := gs.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Triples != 5 {
+		t.Fatalf("stats triples %d, want 5 (1 data + 4 schema)", st.Triples)
+	}
+}
+
+func TestStoreSourceIndexBackedScan(t *testing.T) {
+	g := mustGraph(t, factsSource)
+	st := storage.Build(g.Dict(), g.AllTriples())
+	src := &StoreSource{SourceName: "store", Dict: g.Dict(), Store: st}
+	ctx := context.Background()
+	all, err := Collect(ctx, src, Pattern{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != len(g.AllTriples()) {
+		t.Fatalf("full scan %d, want %d", len(all), len(g.AllTriples()))
+	}
+	by, err := Collect(ctx, src, Pattern{O: ptr(rdf.NewIRI("http://example.org/cortazar"))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(by) != 1 || by[0].S.Value != "http://example.org/doi2" {
+		t.Fatalf("bound-object scan: %v", by)
+	}
+	stats, err := src.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Triples != st.Len() {
+		t.Fatalf("stats %d != store len %d", stats.Triples, st.Len())
+	}
+}
+
+// TestShardedStoreBehindMediator: each shard of a subject-hash-
+// partitioned store is one federated source, and the mediator's
+// scatter-gather merge reassembles the exact original graph — the
+// in-process counterpart of merging remote endpoints.
+func TestShardedStoreBehindMediator(t *testing.T) {
+	g := mustGraph(t, factsSource+ontologySource)
+	sharded := shard.Build(g.Dict(), g.AllTriples(), 3)
+	srcs := make([]Source, sharded.NumShards())
+	for i := range srcs {
+		srcs[i] = &StoreSource{
+			SourceName: fmt.Sprintf("shard-%d", i),
+			Dict:       g.Dict(),
+			Store:      sharded.ShardStore(i),
+		}
+	}
+	merged, err := NewMediator(srcs...).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.DataCount() != g.DataCount() {
+		t.Fatalf("merged %d data triples, want %d", merged.DataCount(), g.DataCount())
+	}
+}
+
+// legacyDumper only implements the pre-redesign Dumper shape.
+type legacyDumper struct {
+	name string
+	ts   []rdf.Triple
+	err  error
+}
+
+func (d *legacyDumper) Name() string                { return d.name }
+func (d *legacyDumper) Dump() ([]rdf.Triple, error) { return d.ts, d.err }
+
+func TestDumpAdapterLiftsLegacySources(t *testing.T) {
+	ts := mustTriples(t, factsSource)
+	src := DumpAdapter{&legacyDumper{name: "old", ts: ts}}
+	ctx := context.Background()
+	got, err := Collect(ctx, src, Pattern{S: ptr(rdf.NewIRI("http://example.org/doi1"))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("adapter scan returned %d, want 1", len(got))
+	}
+	st, err := src.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Triples != len(ts) {
+		t.Fatalf("adapter stats %d, want %d", st.Triples, len(ts))
+	}
+	// The adapter is a full Source: the mediator accepts it directly.
+	merged, err := NewMediator(src).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.DataCount() == 0 {
+		t.Fatal("adapter-backed merge produced no data")
+	}
+	// Errors and cancellation propagate.
+	bad := DumpAdapter{&legacyDumper{name: "bad", err: fmt.Errorf("boom")}}
+	if _, err := Collect(ctx, bad, Pattern{}); err == nil {
+		t.Fatal("dump error must propagate through the adapter")
+	}
+	canceled, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, err := src.ScanPattern(canceled, Pattern{}); err == nil {
+		t.Fatal("canceled context must abort the adapter scan")
+	}
+}
+
+func TestHTTPSourceStats(t *testing.T) {
+	g := mustGraph(t, factsSource)
+	srv := httptest.NewServer(httpapi.New(g, nil))
+	defer srv.Close()
+	src := &HTTPSource{SourceName: "remote", BaseURL: srv.URL}
+	st, err := src.Stats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Triples != len(g.AllTriples()) {
+		t.Fatalf("remote stats %d, want %d", st.Triples, len(g.AllTriples()))
+	}
+	got, err := Collect(context.Background(), src,
+		Pattern{P: ptr(rdf.NewIRI("http://example.org/writtenBy"))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("remote pattern scan returned %d, want 2", len(got))
 	}
 }

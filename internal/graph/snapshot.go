@@ -63,13 +63,20 @@ func (g *Graph) WriteSnapshot(w io.Writer) error {
 // at any point leaves either the old snapshot or the new one, never a
 // partial file at path.
 func (g *Graph) SaveSnapshot(path string) error {
+	return saveAtomic(path, g.WriteSnapshot)
+}
+
+// saveAtomic runs write against a temp file in path's directory, fsyncs,
+// renames over path and fsyncs the directory entry — the shared
+// crash-durability discipline of every snapshot file.
+func saveAtomic(path string, write func(io.Writer) error) error {
 	dir := filepath.Dir(path)
 	f, err := os.CreateTemp(dir, ".snapshot-*.tmp")
 	if err != nil {
 		return err
 	}
 	tmp := f.Name()
-	if err := g.WriteSnapshot(f); err != nil {
+	if err := write(f); err != nil {
 		f.Close()
 		os.Remove(tmp)
 		return err

@@ -1,0 +1,164 @@
+package graph
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/dict"
+	"repro/internal/durable/columnar"
+	"repro/internal/rdf"
+)
+
+// Sharded snapshots split one logical snapshot into a base file plus N
+// data shard files, so a subject-hash-partitioned deployment (see
+// internal/shard) checkpoints and recovers per shard:
+//
+//   - the base file is a v2 columnar snapshot carrying the term table,
+//     the closed schema and the declared class/property sets — and no
+//     data triples;
+//   - shard file i is a v2 columnar snapshot carrying only the data
+//     triples whose subject maps to shard i, with every other section
+//     empty.
+//
+// All files share the base's dictionary IDs, so the shard columns
+// delta-encode exactly as well as the monolithic layout, and recovery
+// decodes the shard files in parallel before one assembly pass rebuilds
+// the graph — byte-identical to loading the equivalent monolithic
+// snapshot. The partition function is a parameter rather than an import
+// so this package stays independent of internal/shard; the durable
+// manager passes shard.Of, keeping on-disk and in-memory partitioning
+// aligned.
+
+// SaveShardedSnapshot writes the base file and one data shard file per
+// entry of shardNames into dir, each with SaveSnapshot's atomicity
+// (temp + fsync + rename + directory fsync). shardOf maps a subject ID
+// to its shard index in [0, len(shardNames)). Files land in parallel;
+// the first error wins, and a failed save never clobbers an existing
+// file. The caller (the durable manager) sequences the manifest swap
+// that makes the new file set current.
+func (g *Graph) SaveShardedSnapshot(dir, baseName string, shardNames []string, shardOf func(dict.ID) int) error {
+	n := len(shardNames)
+	if n < 1 {
+		return fmt.Errorf("graph: sharded snapshot needs at least one shard file")
+	}
+	base := &columnar.Snapshot{
+		Schema:     g.schema.Triples(),
+		Classes:    g.schema.Classes(),
+		Properties: g.schema.Properties(),
+	}
+	base.Terms = make([]rdf.Term, g.d.Len())
+	for i := range base.Terms {
+		base.Terms[i] = g.d.Decode(dict.ID(i + 1))
+	}
+	// Partition with a counting pass so the split never reallocates;
+	// g.data is sorted, so each part stays sorted and delta-encodes well.
+	counts := make([]int, n)
+	for _, t := range g.data {
+		i := shardOf(t.S)
+		if i < 0 || i >= n {
+			return fmt.Errorf("graph: shardOf(%d) = %d out of range [0,%d)", t.S, i, n)
+		}
+		counts[i]++
+	}
+	parts := make([][]dict.Triple, n)
+	for i, c := range counts {
+		parts[i] = make([]dict.Triple, 0, c)
+	}
+	for _, t := range g.data {
+		i := shardOf(t.S)
+		parts[i] = append(parts[i], t)
+	}
+
+	errs := make([]error, n+1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		errs[0] = saveAtomic(filepath.Join(dir, baseName), func(w io.Writer) error {
+			return columnar.Write(w, base)
+		})
+	}()
+	for i := range shardNames {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i+1] = saveAtomic(filepath.Join(dir, shardNames[i]), func(w io.Writer) error {
+				return columnar.Write(w, &columnar.Snapshot{Data: parts[i]})
+			})
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadShardedSnapshot reconstructs a graph from a base file and its data
+// shard files. Shard files decode in parallel (each one's sections also
+// decode in parallel, inside columnar.Read), then a single assembly pass
+// rebuilds the dictionary, re-closes the schema and sorts the merged
+// data — identical IDs and identical triples to the monolithic layout,
+// regardless of shard count or order. A base file carrying data, or a
+// shard file carrying anything but data, is rejected: mixing the two
+// roles means the manifest pointed at the wrong file.
+func LoadShardedSnapshot(basePath string, shardPaths []string) (*Graph, error) {
+	base, err := readColumnarFile(basePath)
+	if err != nil {
+		return nil, fmt.Errorf("graph: sharded snapshot base: %w", err)
+	}
+	if len(base.Data) != 0 {
+		return nil, fmt.Errorf("graph: sharded snapshot base %s carries %d data triples (not a base file)", filepath.Base(basePath), len(base.Data))
+	}
+	parts := make([][]dict.Triple, len(shardPaths))
+	errs := make([]error, len(shardPaths))
+	var wg sync.WaitGroup
+	for i, p := range shardPaths {
+		wg.Add(1)
+		go func(i int, p string) {
+			defer wg.Done()
+			snap, err := readColumnarFile(p)
+			if err != nil {
+				errs[i] = fmt.Errorf("graph: snapshot shard %s: %w", filepath.Base(p), err)
+				return
+			}
+			if len(snap.Terms) != 0 || len(snap.Schema) != 0 || len(snap.Classes) != 0 || len(snap.Properties) != 0 {
+				errs[i] = fmt.Errorf("graph: snapshot shard %s is not data-only (wrong file for this manifest slot)", filepath.Base(p))
+				return
+			}
+			parts[i] = snap.Data
+		}(i, p)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	data := make([]dict.Triple, 0, total)
+	for _, p := range parts {
+		data = append(data, p...)
+	}
+	return buildFromSnapshot(base.Terms, data, base.Schema, base.Classes, base.Properties)
+}
+
+// readColumnarFile reads one v2 columnar snapshot file. Sharded layouts
+// are newer than the v2 format, so no v1 sniffing here — a v1 file in a
+// sharded manifest is an error worth surfacing.
+func readColumnarFile(path string) (*columnar.Snapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return columnar.Read(f)
+}

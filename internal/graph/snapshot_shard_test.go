@@ -1,0 +1,127 @@
+package graph
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/dict"
+)
+
+// shardedSave saves g in the sharded layout into dir with n shards using
+// a simple modulo partition, returning the base and shard paths.
+func shardedSave(t *testing.T, g *Graph, dir string, n int) (string, []string) {
+	t.Helper()
+	names := make([]string, n)
+	paths := make([]string, n)
+	for i := range names {
+		names[i] = filepath.Base(dir) + "-shard" + string(rune('a'+i)) + ".col"
+		paths[i] = filepath.Join(dir, names[i])
+	}
+	if err := g.SaveShardedSnapshot(dir, "base.col", names, func(s dict.ID) int {
+		return int(s) % n
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return filepath.Join(dir, "base.col"), paths
+}
+
+func TestShardedSnapshotRoundTrip(t *testing.T) {
+	g, err := ParseString(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{1, 2, 4, 7} {
+		base, shards := shardedSave(t, g, t.TempDir(), n)
+		back, err := LoadShardedSnapshot(base, shards)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		a, b := g.AllTriples(), back.AllTriples()
+		if len(a) != len(b) {
+			t.Fatalf("n=%d: triple counts differ: %d vs %d", n, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("n=%d: triple %d: %v != %v", n, i, a[i], b[i])
+			}
+		}
+		if g.Schema().String() != back.Schema().String() {
+			t.Fatalf("n=%d: schema differs", n)
+		}
+	}
+}
+
+// TestShardedSnapshotShardOrderIrrelevant: the assembly pass re-sorts, so
+// loading the shard files in any order rebuilds the identical graph.
+func TestShardedSnapshotShardOrderIrrelevant(t *testing.T) {
+	g, err := ParseString(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, shards := shardedSave(t, g, t.TempDir(), 3)
+	reversed := []string{shards[2], shards[1], shards[0]}
+	back, err := LoadShardedSnapshot(base, reversed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := g.AllTriples(), back.AllTriples()
+	if len(a) != len(b) {
+		t.Fatalf("triple counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("triple %d: %v != %v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestShardedSnapshotRejectsRoleMixups: a monolithic snapshot in the base
+// slot (it carries data) and a base file in a shard slot (it carries
+// terms) must both be rejected — they mean the manifest pointed at the
+// wrong file.
+func TestShardedSnapshotRejectsRoleMixups(t *testing.T) {
+	g, err := ParseString(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	base, shards := shardedSave(t, g, dir, 2)
+	mono := filepath.Join(dir, "mono.col")
+	if err := g.SaveSnapshot(mono); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadShardedSnapshot(mono, shards); err == nil || !strings.Contains(err.Error(), "not a base file") {
+		t.Fatalf("monolithic snapshot as base: got %v, want 'not a base file'", err)
+	}
+	if _, err := LoadShardedSnapshot(base, []string{shards[0], base}); err == nil || !strings.Contains(err.Error(), "not data-only") {
+		t.Fatalf("base file as shard: got %v, want 'not data-only'", err)
+	}
+}
+
+// TestShardedSnapshotMissingShardFails: a missing shard file is a hard
+// error — recovery must never silently load a subset of the data.
+func TestShardedSnapshotMissingShardFails(t *testing.T) {
+	g, err := ParseString(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	base, shards := shardedSave(t, g, dir, 2)
+	if _, err := LoadShardedSnapshot(base, append(shards, filepath.Join(dir, "missing.col"))); err == nil {
+		t.Fatal("missing shard file loaded without error")
+	}
+}
+
+func TestShardedSnapshotRejectsOutOfRangePartition(t *testing.T) {
+	g, err := ParseString(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = g.SaveShardedSnapshot(t.TempDir(), "base.col", []string{"s0.col"}, func(dict.ID) int {
+		return 1
+	})
+	if err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Fatalf("got %v, want out-of-range error", err)
+	}
+}

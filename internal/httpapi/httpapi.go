@@ -21,10 +21,15 @@
 //	                     durability is enabled
 //	POST /v1/admin/checkpoint
 //	                     snapshot + WAL truncate on demand
+//	GET  /v1/admin/shards
+//	                     shard topology: count, per-shard triple/subject
+//	                     counts, skew ratio (see internal/shard)
 //
-// The unversioned spellings (/query, /healthz, …) predate /v1 and keep
-// working, answering with Deprecation/Successor-Version headers; /v1
-// errors use the {"error": {"code", "message"}} envelope (see v1.go).
+// The unversioned spellings (/query, /healthz, …) predate /v1: most
+// still answer, marked with Deprecation/Sunset/Successor-Version
+// headers, but /dump and /slowlog have completed the sunset and answer
+// 410 Gone with a successor pointer; /v1 errors use the
+// {"error": {"code", "message"}} envelope (see v1.go).
 //
 // With EnableAdmission, every evaluation first passes a cost-weighted
 // admission gate; shed queries answer 429/503 with Retry-After instead
@@ -69,7 +74,9 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/ntriples"
 	"repro/internal/query"
+	"repro/internal/shard"
 	"repro/internal/stats"
+	"repro/internal/storage"
 	"repro/internal/trace"
 )
 
@@ -134,6 +141,20 @@ func New(g *graph.Graph, prefixes map[string]string) *Server {
 // opens its durable manager (wal.* / recovery.* instruments) before the
 // graph is recovered and the server can exist.
 func NewWith(g *graph.Graph, prefixes map[string]string, reg *metrics.Registry) *Server {
+	return NewWithOptions(g, prefixes, reg, Options{})
+}
+
+// Options configures optional server construction behavior.
+type Options struct {
+	// Shards hash-partitions the explicit-data store by subject into this
+	// many shards (internal/shard): the executor then scatters scans
+	// across shards in parallel and evaluates co-partitioned joins
+	// shard-locally. Values below 2 serve an unsharded store.
+	Shards int
+}
+
+// NewWithOptions is NewWith with construction options.
+func NewWithOptions(g *graph.Graph, prefixes map[string]string, reg *metrics.Registry, opts Options) *Server {
 	s := &Server{
 		g:        g,
 		eng:      engine.New(g),
@@ -149,7 +170,10 @@ func NewWith(g *graph.Graph, prefixes map[string]string, reg *metrics.Registry) 
 	// The workload aggregator (and the journal, when enabled) correlates
 	// fragment frequency with cache behavior via fragment signatures.
 	s.eng.CaptureFragmentSigs = true
-	s.eng.Store()
+	s.eng.EnableSharding(opts.Shards)
+	// Warm the scan source (the sharded store when opts.Shards ≥ 2, the
+	// plain store otherwise) so concurrent requests only read.
+	s.eng.Source()
 	s.eng.Stats()
 	s.eng.SatStore()
 	s.eng.SatStats()
@@ -170,18 +194,50 @@ func NewWith(g *graph.Graph, prefixes map[string]string, reg *metrics.Registry) 
 	s.mux.HandleFunc("/v1/dump", s.handleDump)
 	s.mux.HandleFunc("/v1/update", func(w http.ResponseWriter, r *http.Request) { s.handleUpdate(w, r, apiV1) })
 	s.mux.HandleFunc("/v1/admin/checkpoint", s.handleCheckpoint)
-	// Legacy unversioned spellings: still served, marked deprecated.
-	// Prometheus scrapers conventionally expect /metrics at the root, so
-	// the legacy spelling will outlive the others — but it advertises its
-	// /v1 successor like the rest.
+	s.mux.HandleFunc("/v1/admin/shards", s.handleShards)
+	// Legacy unversioned spellings: still served, marked deprecated with a
+	// concrete Sunset date. Prometheus scrapers conventionally expect
+	// /metrics at the root, so the legacy spelling will outlive the others
+	// — but it advertises its /v1 successor like the rest.
 	s.mux.HandleFunc("/metrics", s.legacy("/metrics", s.handleMetrics))
 	s.mux.HandleFunc("/query", s.legacy("/query", func(w http.ResponseWriter, r *http.Request) { s.serveQuery(w, r, apiLegacy) }))
 	s.mux.HandleFunc("/explain", s.legacy("/explain", func(w http.ResponseWriter, r *http.Request) { s.serveExplain(w, r, apiLegacy) }))
 	s.mux.HandleFunc("/healthz", s.legacy("/healthz", s.handleHealth))
 	s.mux.HandleFunc("/stats", s.legacy("/stats", s.handleStats))
-	s.mux.HandleFunc("/slowlog", s.legacy("/slowlog", s.handleSlowlog))
-	s.mux.HandleFunc("/dump", s.legacy("/dump", s.handleDump))
+	// /slowlog and /dump completed their deprecation cycle (PR 5 started
+	// it); the unversioned spellings now answer 410 Gone with a successor
+	// pointer instead of serving data.
+	s.mux.HandleFunc("/slowlog", s.gone("/slowlog"))
+	s.mux.HandleFunc("/dump", s.gone("/dump"))
 	return s
+}
+
+// handleShards serves GET /v1/admin/shards: the partition topology —
+// shard count, per-shard triple and distinct-subject counts, and the
+// skew ratio (max/mean of per-shard triple counts). An unsharded server
+// reports a single pseudo-shard so the shape is stable for dashboards.
+func (s *Server) handleShards(w http.ResponseWriter, r *http.Request) {
+	s.metrics.Counter("http.requests." + r.URL.Path).Inc()
+	s.stateMu.RLock()
+	defer s.stateMu.RUnlock()
+	if sh := s.eng.Sharded(); sh != nil {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"shards":   sh.NumShards(),
+			"skew":     sh.Skew(),
+			"topology": sh.Topology(),
+		})
+		return
+	}
+	st := s.eng.Store()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"shards": 1,
+		"skew":   1.0,
+		"topology": []shard.ShardInfo{{
+			Shard:    0,
+			Triples:  st.Len(),
+			Subjects: st.DistinctInPosition(storage.Pattern{}, 's'),
+		}},
+	})
 }
 
 // EnablePprof mounts the net/http/pprof handlers under /debug/pprof/.
@@ -436,7 +492,7 @@ func (s *Server) handleRoot(w http.ResponseWriter, r *http.Request) {
 			"/v1/healthz", "/v1/readyz", "/v1/stats", "/v1/metrics",
 			"/v1/query", "/v1/explain", "/v1/slowlog",
 			"/v1/debug/costmodel", "/v1/dump", "/v1/update",
-			"/v1/admin/checkpoint", "/metrics",
+			"/v1/admin/checkpoint", "/v1/admin/shards", "/metrics",
 		},
 	})
 }
@@ -476,8 +532,18 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		"distinctObjects":    st.DistinctObjects(),
 		"topProperties":      top(st.TopValues('p', 10)),
 		"topPairs":           pairs,
+		"shards":             s.shardStats(),
 		"workload":           s.workloadStats(),
 	})
+}
+
+// shardStats is the /v1/stats partition section: count and skew, cheap
+// enough to compute inline (full topology lives on /v1/admin/shards).
+func (s *Server) shardStats() map[string]any {
+	if sh := s.eng.Sharded(); sh != nil {
+		return map[string]any{"count": sh.NumShards(), "skew": sh.Skew()}
+	}
+	return map[string]any{"count": 1, "skew": 1.0}
 }
 
 func (s *Server) parseRequest(r *http.Request) (QueryRequest, error) {
@@ -897,7 +963,7 @@ func (s *Server) serveExplain(w http.ResponseWriter, r *http.Request, v apiVersi
 		}
 	}
 	defer tkt.Release()
-	ev := exec.New(eng.Store(), eng.Stats())
+	ev := exec.New(eng.Source(), eng.Stats())
 	ev.Budget = exec.Budget{Timeout: s.Timeout}
 	ev.Metrics = s.metrics
 	ev.MaxParallel = tkt.Weight()

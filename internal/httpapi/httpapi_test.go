@@ -294,7 +294,7 @@ func TestConcurrentQueries(t *testing.T) {
 
 func TestDumpRoute(t *testing.T) {
 	ts := newTestServer(t)
-	resp, err := http.Get(ts.URL + "/dump")
+	resp, err := http.Get(ts.URL + "/v1/dump")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -166,7 +166,7 @@ func TestDumpCancellation(t *testing.T) {
 
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL+"/dump", nil)
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL+"/v1/dump", nil)
 	if resp, err := http.DefaultClient.Do(req); err == nil {
 		resp.Body.Close()
 		t.Fatal("canceled dump completed")

@@ -159,7 +159,7 @@ func TestSlowlogCapturesTrace(t *testing.T) {
 	postJSON(t, ts.URL+"/query", QueryRequest{Query: traceTestQuery, Strategy: "ref-gcov"}, &resp)
 
 	var slow SlowlogResponse
-	if code := getJSON(t, ts.URL+"/slowlog", &slow); code != http.StatusOK {
+	if code := getJSON(t, ts.URL+"/v1/slowlog", &slow); code != http.StatusOK {
 		t.Fatalf("slowlog status %d", code)
 	}
 	if len(slow.Entries) == 0 {

@@ -62,6 +62,10 @@ const (
 	// made durable (WAL write/fsync failure) — retry idempotently. Also
 	// covers failed checkpoints. HTTP 500.
 	CodeStorageError ErrorCode = "storage_error"
+	// CodeGone: the legacy unversioned route completed its deprecation
+	// cycle; the envelope's successor field names the /v1 replacement.
+	// HTTP 410.
+	CodeGone ErrorCode = "gone"
 )
 
 // v1Error is the /v1 error envelope: {"error": {"code": ..., "message": ...}}.
@@ -72,6 +76,9 @@ type v1Error struct {
 type v1ErrorBody struct {
 	Code    ErrorCode `json:"code"`
 	Message string    `json:"message"`
+	// Successor names the /v1 route replacing a sunset legacy route
+	// (CodeGone responses only).
+	Successor string `json:"successor,omitempty"`
 }
 
 // retryAfterSeconds is the Retry-After hint on 429/503 shed responses.
@@ -172,20 +179,54 @@ func wantsSPARQLJSON(r *http.Request) bool {
 
 // --- legacy route deprecation ------------------------------------------------
 
+// legacySunset is the RFC 8594 Sunset date every still-served legacy
+// route advertises: the date after which the unversioned spelling may
+// stop working (as /dump and /slowlog already have — see Server.gone).
+const legacySunset = "Thu, 31 Dec 2026 23:59:59 GMT"
+
 // legacy wraps an unversioned handler with deprecation signaling: the
 // route keeps working, but every response advertises its /v1 successor
-// (Deprecation + Successor-Version + an RFC 8288 successor-version link)
-// and counts into http.legacy_requests so removal can be data-driven.
+// (Deprecation + Sunset + Successor-Version + an RFC 8288
+// successor-version link) and counts into http.legacy_requests so
+// removal can be data-driven.
 func (s *Server) legacy(path string, h http.HandlerFunc) http.HandlerFunc {
 	successor := "/v1" + path
 	return func(w http.ResponseWriter, r *http.Request) {
 		s.metrics.Counter("http.legacy_requests." + path).Inc()
 		hdr := w.Header()
 		hdr.Set("Deprecation", "true")
+		hdr.Set("Sunset", legacySunset)
 		hdr.Set("Successor-Version", successor)
 		hdr.Set("Link", "<"+successor+`>; rel="successor-version"`)
 		h(w, r)
 	}
+}
+
+// gone answers a fully sunset legacy route: 410 Gone in the /v1 error
+// envelope with a successor pointer, so lingering clients get a
+// machine-actionable migration hint instead of silently stale data.
+func (s *Server) gone(path string) http.HandlerFunc {
+	successor := "/v1" + path
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.metrics.Counter("http.legacy_requests." + path).Inc()
+		hdr := w.Header()
+		hdr.Set("Sunset", legacySunset)
+		hdr.Set("Link", "<"+successor+`>; rel="successor-version"`)
+		s.writeGoneError(w, path, successor)
+	}
+}
+
+// writeGoneError emits the 410 envelope for a sunset route. Registered
+// alongside writeError in the errclass mapper list: the code is fixed
+// (CodeGone), not classified from an answering error, and the successor
+// field only exists on this outcome.
+func (s *Server) writeGoneError(w http.ResponseWriter, path, successor string) {
+	s.metrics.Counter("http.errors").Inc()
+	writeJSON(w, http.StatusGone, v1Error{Error: v1ErrorBody{
+		Code:      CodeGone,
+		Message:   path + " has been sunset; use " + successor,
+		Successor: successor,
+	}})
 }
 
 // --- admission & lifecycle ---------------------------------------------------

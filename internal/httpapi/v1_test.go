@@ -154,16 +154,25 @@ func TestV1ErrorEnvelope(t *testing.T) {
 	}
 }
 
+// TestLegacyDeprecationHeaders is the deprecation matrix over every
+// legacy route: still-served spellings answer 200 with the full
+// deprecation header set (Deprecation + Sunset + Successor-Version +
+// Link), sunset spellings answer 410 Gone with the successor pointer in
+// the /v1 error envelope.
 func TestLegacyDeprecationHeaders(t *testing.T) {
 	ts, srv := newTestServerAndAPI(t)
 	q := url.QueryEscape(`q(x) :- x rdf:type ex:Book`)
-	for _, path := range []string{"/query?q=" + q, "/healthz", "/stats", "/slowlog", "/dump", "/explain?q=" + q} {
+	served := []string{"/query?q=" + q, "/healthz", "/stats", "/metrics", "/explain?q=" + q}
+	for _, path := range served {
 		resp := getWithAccept(t, ts.URL+path, "")
 		if resp.StatusCode != http.StatusOK {
 			t.Fatalf("%s: status %d", path, resp.StatusCode)
 		}
 		if dep := resp.Header.Get("Deprecation"); dep != "true" {
 			t.Fatalf("%s: Deprecation = %q, want true", path, dep)
+		}
+		if sunset := resp.Header.Get("Sunset"); sunset != legacySunset {
+			t.Fatalf("%s: Sunset = %q, want %q", path, sunset, legacySunset)
 		}
 		want := "/v1" + path[:indexOrLen(path, '?')]
 		if succ := resp.Header.Get("Successor-Version"); succ != want {
@@ -173,14 +182,46 @@ func TestLegacyDeprecationHeaders(t *testing.T) {
 			t.Fatalf("%s: Link = %q", path, link)
 		}
 	}
+	for _, path := range []string{"/slowlog", "/dump"} {
+		resp := getWithAccept(t, ts.URL+path, "")
+		if resp.StatusCode != http.StatusGone {
+			t.Fatalf("%s: status %d, want %d", path, resp.StatusCode, http.StatusGone)
+		}
+		if sunset := resp.Header.Get("Sunset"); sunset != legacySunset {
+			t.Fatalf("%s: Sunset = %q, want %q", path, sunset, legacySunset)
+		}
+		want := "/v1" + path
+		if link := resp.Header.Get("Link"); link != fmt.Sprintf("<%s>; rel=%q", want, "successor-version") {
+			t.Fatalf("%s: Link = %q", path, link)
+		}
+		var envelope v1Error
+		if err := json.NewDecoder(resp.Body).Decode(&envelope); err != nil {
+			t.Fatalf("%s: decode envelope: %v", path, err)
+		}
+		resp.Body.Close()
+		if envelope.Error.Code != CodeGone {
+			t.Fatalf("%s: code %q, want %q", path, envelope.Error.Code, CodeGone)
+		}
+		if envelope.Error.Successor != want {
+			t.Fatalf("%s: successor %q, want %q", path, envelope.Error.Successor, want)
+		}
+	}
 	// /v1 routes carry no deprecation signaling.
 	resp := getWithAccept(t, ts.URL+"/v1/healthz", "")
 	if resp.Header.Get("Deprecation") != "" {
 		t.Fatal("/v1/healthz must not be deprecated")
 	}
+	if resp.Header.Get("Sunset") != "" {
+		t.Fatal("/v1/healthz must not carry a Sunset date")
+	}
 	snap := srv.Metrics().Snapshot()
 	if got := snap.Counters["http.legacy_requests./query"]; got != 1 {
 		t.Fatalf("http.legacy_requests./query = %d, want 1", got)
+	}
+	// Sunset routes still count as legacy traffic (removal stays
+	// data-driven) and as errors.
+	if got := snap.Counters["http.legacy_requests./dump"]; got != 1 {
+		t.Fatalf("http.legacy_requests./dump = %d, want 1", got)
 	}
 }
 

@@ -35,6 +35,8 @@ var promLabelRules = []struct{ prefix, label string }{
 	{"slo.burn_rate_5m.", "strategy"},
 	{"slo.burn_rate_1h.", "strategy"},
 	{"qerror.", "op"},
+	{"shard.rows.", "shard"},
+	{"shard.", "event"},
 }
 
 // promName splits a dotted registry name into a sanitized metric family

@@ -1,0 +1,319 @@
+// Package shard hash-partitions the triple store by subject into N
+// independent storage.Store shards, each with its own SPO/POS/OSP
+// indexes and statistics. The partition key is the subject: a subject's
+// whole forward neighborhood is co-located, so the reformulation
+// strategies' dominant shape — many atomic scans feeding subject-subject
+// joins — evaluates shard-locally with no shuffle, and the executor's
+// scatter-gather paths (internal/exec/source.go) parallelize the rest.
+//
+// Store implements exec.Source, so every evaluator path that runs
+// against a single store runs unchanged against a sharded one: scans
+// with a bound subject route to the subject's home shard, everything
+// else iterates shards in order. It also implements exec.ShardedSource,
+// which is what unlocks the parallel scatter paths.
+package shard
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/dict"
+	"repro/internal/exec"
+	"repro/internal/metrics"
+	"repro/internal/stats"
+	"repro/internal/storage"
+)
+
+// Store is a subject-hash-partitioned triple store.
+type Store struct {
+	d      *dict.Dict
+	shards []*storage.Store
+	total  int
+
+	// mu guards the lazily collected per-shard statistics (lock rank
+	// shard.Store.mu, level 1 — see DESIGN.md §14: a leaf lock, never
+	// held while acquiring any other ranked lock).
+	mu    sync.Mutex
+	stats []*stats.Stats
+}
+
+// hashSubject mixes a subject ID into its shard. IDs are dense small
+// integers (dictionary order), so identity modulo would put contiguous
+// subject runs — often one class of entities — on one shard; a
+// splitmix64-style finalizer spreads them evenly.
+func hashSubject(s dict.ID) uint64 {
+	x := uint64(s)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Of returns the shard index subject s maps to among n shards — the one
+// assignment function Build, HomeShard and the durable layer's sharded
+// snapshot writer all share, so on-disk shard files and the in-memory
+// partition always agree.
+func Of(s dict.ID, n int) int {
+	if n < 2 {
+		return 0
+	}
+	return int(hashSubject(s) % uint64(n))
+}
+
+// Build partitions the triples by hash(subject) % n and builds one
+// storage.Store per shard, in parallel. n < 2 builds a single shard
+// (still a valid Store, with scatter disabled by the executor).
+func Build(d *dict.Dict, triples []dict.Triple, n int) *Store {
+	if n < 1 {
+		n = 1
+	}
+	parts := make([][]dict.Triple, n)
+	if n == 1 {
+		parts[0] = triples
+	} else {
+		// Size the buckets with a counting pass so the split pass never
+		// reallocates.
+		counts := make([]int, n)
+		for _, t := range triples {
+			counts[Of(t.S, n)]++
+		}
+		for i, c := range counts {
+			parts[i] = make([]dict.Triple, 0, c)
+		}
+		for _, t := range triples {
+			parts[Of(t.S, n)] = append(parts[Of(t.S, n)], t)
+		}
+	}
+	st := &Store{d: d, shards: make([]*storage.Store, n), stats: make([]*stats.Stats, n), total: len(triples)}
+	nw := runtime.GOMAXPROCS(0)
+	if nw > n {
+		nw = n
+	}
+	var wg sync.WaitGroup
+	next := make(chan int, n)
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				st.shards[i] = storage.Build(d, parts[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return st
+}
+
+// --- exec.Source -------------------------------------------------------------
+
+// Dict returns the shared dictionary (shards encode against one dict).
+func (s *Store) Dict() *dict.Dict { return s.d }
+
+// Len returns the total triple count across shards.
+func (s *Store) Len() int { return s.total }
+
+// Each streams every matching triple. A bound subject routes to its home
+// shard (one hash, no fan-out); otherwise shards stream in order, so a
+// full iteration sees every triple exactly once.
+func (s *Store) Each(pat storage.Pattern, fn func(dict.Triple) bool) {
+	if pat.S != dict.None {
+		s.shards[s.HomeShard(pat.S)].Each(pat, fn)
+		return
+	}
+	for _, sh := range s.shards {
+		stopped := false
+		sh.Each(pat, func(t dict.Triple) bool {
+			if !fn(t) {
+				stopped = true
+				return false
+			}
+			return true
+		})
+		if stopped {
+			return
+		}
+	}
+}
+
+// Count returns the number of matching triples: the home shard's count
+// for a bound subject, the sum across shards otherwise (shards are
+// disjoint, so the sum is exact).
+func (s *Store) Count(pat storage.Pattern) int {
+	if pat.S != dict.None {
+		return s.shards[s.HomeShard(pat.S)].Count(pat)
+	}
+	n := 0
+	for _, sh := range s.shards {
+		n += sh.Count(pat)
+	}
+	return n
+}
+
+// EachRange streams every triple matching the range pattern. A subject
+// constrained to a single exact ID routes to its home shard; any other
+// subject constraint still filters correctly on every shard.
+func (s *Store) EachRange(pat storage.RangePattern, fn func(dict.Triple) bool) {
+	if id, ok := exactSubject(pat); ok {
+		s.shards[s.HomeShard(id)].EachRange(pat, fn)
+		return
+	}
+	for _, sh := range s.shards {
+		stopped := false
+		sh.EachRange(pat, func(t dict.Triple) bool {
+			if !fn(t) {
+				stopped = true
+				return false
+			}
+			return true
+		})
+		if stopped {
+			return
+		}
+	}
+}
+
+// CountRange returns the number of triples matching the range pattern.
+func (s *Store) CountRange(pat storage.RangePattern) int {
+	if id, ok := exactSubject(pat); ok {
+		return s.shards[s.HomeShard(id)].CountRange(pat)
+	}
+	n := 0
+	for _, sh := range s.shards {
+		n += sh.CountRange(pat)
+	}
+	return n
+}
+
+// exactSubject reports whether the pattern pins the subject to one ID.
+func exactSubject(pat storage.RangePattern) (dict.ID, bool) {
+	if len(pat.S) == 1 && pat.S[0].IsExact() {
+		return pat.S[0].Lo, true
+	}
+	return dict.None, false
+}
+
+// --- exec.ShardedSource ------------------------------------------------------
+
+// NumShards returns the partition count.
+func (s *Store) NumShards() int { return len(s.shards) }
+
+// Shard returns shard i as a plain source.
+func (s *Store) Shard(i int) exec.Source { return s.shards[i] }
+
+// ShardStore returns shard i's underlying store (snapshot writers need
+// the concrete type for its sorted Triples slice).
+func (s *Store) ShardStore(i int) *storage.Store { return s.shards[i] }
+
+// HomeShard returns the shard holding subject id.
+func (s *Store) HomeShard(id dict.ID) int {
+	return Of(id, len(s.shards))
+}
+
+// ShardStats returns shard i's statistics, collecting them on first use.
+// Lazy because the scatter paths only consult statistics for co-
+// partitioned bodies with two or more atoms — single-scan workloads
+// never pay for N stat collections.
+func (s *Store) ShardStats(i int) *stats.Stats {
+	s.mu.Lock()
+	st := s.stats[i]
+	if st == nil {
+		st = stats.Collect(s.shards[i])
+		s.stats[i] = st
+	}
+	s.mu.Unlock()
+	return st
+}
+
+// --- stats.Source ------------------------------------------------------------
+
+// Triples returns all triples in shard order (sorted SPO within each
+// shard, not globally). Statistics collection re-sorts for its POS pass;
+// other callers needing global order must sort.
+func (s *Store) Triples() []dict.Triple {
+	out := make([]dict.Triple, 0, s.total)
+	for _, sh := range s.shards {
+		out = append(out, sh.Triples()...)
+	}
+	return out
+}
+
+// DistinctInPosition counts distinct values in one position among the
+// matching triples. Subjects are partitioned, so subject counts sum
+// exactly; a bound subject routes to its home shard; other positions
+// merge a value set across shards.
+func (s *Store) DistinctInPosition(pat storage.Pattern, pos byte) int {
+	if pat.S != dict.None {
+		return s.shards[s.HomeShard(pat.S)].DistinctInPosition(pat, pos)
+	}
+	if pos == 's' {
+		n := 0
+		for _, sh := range s.shards {
+			n += sh.DistinctInPosition(pat, pos)
+		}
+		return n
+	}
+	seen := map[dict.ID]bool{}
+	s.Each(pat, func(t dict.Triple) bool {
+		if pos == 'p' {
+			seen[t.P] = true
+		} else {
+			seen[t.O] = true
+		}
+		return true
+	})
+	return len(seen)
+}
+
+// --- topology ----------------------------------------------------------------
+
+// ShardInfo describes one shard for the admin surface.
+type ShardInfo struct {
+	Shard    int `json:"shard"`
+	Triples  int `json:"triples"`
+	Subjects int `json:"subjects"`
+}
+
+// Topology returns per-shard triple and distinct-subject counts.
+func (s *Store) Topology() []ShardInfo {
+	out := make([]ShardInfo, len(s.shards))
+	for i, sh := range s.shards {
+		out[i] = ShardInfo{
+			Shard:    i,
+			Triples:  sh.Len(),
+			Subjects: sh.DistinctInPosition(storage.Pattern{}, 's'),
+		}
+	}
+	return out
+}
+
+// Skew returns the partition skew ratio max/mean of per-shard triple
+// counts (1.0 = perfectly even; empty or single-shard stores report 1).
+func (s *Store) Skew() float64 {
+	if len(s.shards) < 2 || s.total == 0 {
+		return 1
+	}
+	max := 0
+	for _, sh := range s.shards {
+		if sh.Len() > max {
+			max = sh.Len()
+		}
+	}
+	mean := float64(s.total) / float64(len(s.shards))
+	return float64(max) / mean
+}
+
+// PublishMetrics records the partition shape into the registry: the
+// shard count, the skew ratio, and per-shard triple counts.
+func (s *Store) PublishMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.Gauge("shard.count").Set(int64(len(s.shards)))
+	reg.FloatGauge("shard.skew").Set(s.Skew())
+}

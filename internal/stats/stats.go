@@ -34,9 +34,22 @@ type PairCount struct {
 	Count int
 }
 
+// Source is the scan surface statistics are collected from and estimated
+// against: the slice of *storage.Store the estimators use, satisfied by
+// both a single store and a hash-partitioned shard.Store (whose counts
+// sum across disjoint shards, so the estimates stay exact).
+type Source interface {
+	Len() int
+	Triples() []dict.Triple
+	Each(pat storage.Pattern, fn func(dict.Triple) bool)
+	Count(pat storage.Pattern) int
+	CountRange(p storage.RangePattern) int
+	DistinctInPosition(pat storage.Pattern, pos byte) int
+}
+
 // Stats holds collected statistics over one store.
 type Stats struct {
-	store *storage.Store
+	store Source
 	n     int
 
 	props map[dict.ID]PropertyStats
@@ -47,7 +60,7 @@ type Stats struct {
 }
 
 // Collect scans the store once per index and gathers statistics.
-func Collect(st *storage.Store) *Stats {
+func Collect(st Source) *Stats {
 	s := &Stats{store: st, n: st.Len(), props: map[dict.ID]PropertyStats{}}
 
 	// Per-property stats: the POS index is contiguous per property and
@@ -91,7 +104,7 @@ func Collect(st *storage.Store) *Stats {
 
 // posIndex exposes the POS-ordered triples for one sequential pass; the
 // store keeps them sorted by (P,O,S).
-func posIndex(st *storage.Store) []dict.Triple {
+func posIndex(st Source) []dict.Triple {
 	out := make([]dict.Triple, 0, st.Len())
 	// Iterate properties in ascending ID order via pattern scans would be
 	// wasteful; the unfiltered Each walks SPO order, so re-sort locally.
